@@ -1,0 +1,61 @@
+// Ablation: chunk size vs end-to-end cost.
+//
+// The paper splits oversize images into chunks of entire pixel vectors and
+// leaves partitioning strategy as future work. This bench sweeps the chunk
+// texel budget on a fixed scene and shows the trade-off the timing model
+// exposes: small chunks multiply halo overlap (redundant upload + compute)
+// and per-pass dispatch overhead; the largest chunk that fits video memory
+// wins.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hs;
+
+  util::Cli cli;
+  cli.add_flag("size", "scene edge length", "48");
+  cli.add_flag("bands", "spectral bands", "64");
+  if (!cli.parse(argc, argv)) return 1;
+  const int size = static_cast<int>(cli.get_int("size", 48));
+  const int bands = static_cast<int>(cli.get_int("bands", 64));
+
+  const auto cube = bench::calibration_cube(size, size, bands);
+  const std::uint64_t full = static_cast<std::uint64_t>(size) * static_cast<std::uint64_t>(size);
+
+  util::Table table({"Budget (texels)", "Chunks", "Padded texels", "Overlap",
+                     "Passes", "Upload", "Compute", "Download", "Total"});
+  for (std::uint64_t budget : {full, full / 2, full / 4, full / 8, full / 16}) {
+    core::AmcGpuOptions opt;
+    opt.chunk_texel_budget = budget;
+    const core::AmcGpuReport report =
+        core::morphology_gpu(cube, core::StructuringElement::square(1), opt);
+
+    std::uint64_t padded = 0;
+    double upload = 0, download = 0, compute = 0;
+    for (const auto& [name, stats] : report.stages) {
+      if (name == core::kStageUpload) upload = stats.modeled_seconds;
+      else if (name == core::kStageDownload) download = stats.modeled_seconds;
+      else compute += stats.modeled_seconds;
+    }
+    // Padded texels = fragments of the single-pass max/min stage.
+    for (const auto& [name, stats] : report.stages) {
+      if (name == core::kStageMaxMin) padded = stats.fragments;
+    }
+
+    table.add_row({std::to_string(budget), std::to_string(report.chunk_count),
+                   std::to_string(padded),
+                   util::Table::num(100.0 * (static_cast<double>(padded) / static_cast<double>(full) - 1.0), 1) + "%",
+                   std::to_string(report.totals.passes),
+                   util::format_duration(upload), util::format_duration(compute),
+                   util::format_duration(download),
+                   util::format_duration(report.modeled_seconds)});
+  }
+  table.print(std::cout, "Ablation: chunk size sweep (" + std::to_string(size) +
+                             "x" + std::to_string(size) + "x" +
+                             std::to_string(bands) + ", 3x3 SE, 7800 GTX)");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation: host vs GPU-resident classification (AMC steps 3-4).
+//
+// The paper's pipeline downloads the MEI and finishes on the CPU. This
+// bench keeps steps 3-4 on the simulated GPU as dot-product + argmax
+// passes (see core/unmix_gpu.hpp) and compares the modeled cost and the
+// label agreement with the host path, for a growing endmember count --
+// the axis that decides which side wins (c passes of GPU work vs c
+// triangular solves per pixel on the host model).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/unmix_gpu.hpp"
+#include "core/unmixing.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace hs;
+
+  hsi::SceneConfig scfg;
+  scfg.width = 48;
+  scfg.height = 48;
+  scfg.bands = 64;
+  const hsi::SyntheticScene scene = hsi::generate_indian_pines_scene(scfg);
+
+  util::Table table({"Endmembers c", "GPU modeled", "GPU passes",
+                     "Host wall (this machine)", "Label agreement"});
+  for (int c : {4, 8, 16, 32}) {
+    core::AmcConfig cfg;
+    cfg.num_classes = c;
+    const core::AmcResult seed = core::run_amc(scene.cube, cfg);
+
+    core::AmcGpuOptions opt;
+    const core::GpuUnmixReport gpu =
+        core::unmix_gpu(scene.cube, seed.endmember_spectra, opt);
+
+    util::Timer host_timer;
+    const core::Unmixer host(seed.endmember_spectra,
+                             core::UnmixingMethod::Unconstrained);
+    const auto host_labels = host.classify_cube(scene.cube);
+    const double host_wall = host_timer.seconds();
+
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < host_labels.size(); ++i) {
+      if (host_labels[i] == gpu.labels[i]) ++agree;
+    }
+    table.add_row({std::to_string(seed.endmember_spectra.size()),
+                   util::format_duration(gpu.modeled_seconds),
+                   std::to_string(gpu.totals.passes),
+                   util::format_duration(host_wall),
+                   util::Table::num(100.0 * static_cast<double>(agree) /
+                                        static_cast<double>(host_labels.size()),
+                                    2) + "%"});
+  }
+  table.print(std::cout,
+              "Ablation: GPU-resident classification (48x48x64 scene, "
+              "7800 GTX model; host wall times are this machine's, shown "
+              "for agreement context only)");
+  return 0;
+}

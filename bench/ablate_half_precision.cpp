@@ -1,0 +1,87 @@
+// Ablation: half-float (fp16) stream textures.
+//
+// NV3x-era GPGPU constantly weighed fp16 render targets (half the memory
+// traffic, twice the effective fill on some parts) against fp32 accuracy.
+// This bench runs the AMC stream pipeline both ways and reports the MEI
+// error the quantization introduces, the endmember-ranking stability, and
+// the modeled time difference.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace hs;
+
+  const auto cube = bench::calibration_cube(48, 48, 64);
+  const auto se = core::StructuringElement::square(1);
+
+  core::AmcGpuOptions fp32;
+  core::AmcGpuOptions fp16;
+  fp16.half_precision = true;
+
+  const core::AmcGpuReport a = core::morphology_gpu(cube, se, fp32);
+  const core::AmcGpuReport b = core::morphology_gpu(cube, se, fp16);
+
+  // MEI error statistics.
+  double max_abs = 0, max_rel = 0, mean_abs = 0;
+  for (std::size_t i = 0; i < a.morph.mei.size(); ++i) {
+    const double err = std::fabs(static_cast<double>(b.morph.mei[i]) -
+                                 static_cast<double>(a.morph.mei[i]));
+    max_abs = std::max(max_abs, err);
+    mean_abs += err;
+    if (a.morph.mei[i] > 1e-4f) {
+      max_rel = std::max(max_rel, err / static_cast<double>(a.morph.mei[i]));
+    }
+  }
+  mean_abs /= static_cast<double>(a.morph.mei.size());
+
+  // Does fp16 change which pixels look most eccentric? Compare top-32 sets.
+  auto top_set = [](const std::vector<float>& mei) {
+    std::vector<std::size_t> order(mei.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::partial_sort(order.begin(), order.begin() + 32, order.end(),
+                      [&](std::size_t x, std::size_t y) { return mei[x] > mei[y]; });
+    return std::vector<std::size_t>(order.begin(), order.begin() + 32);
+  };
+  const auto ta = top_set(a.morph.mei);
+  const auto tb = top_set(b.morph.mei);
+  int overlap = 0;
+  for (std::size_t i : tb) {
+    if (std::find(ta.begin(), ta.end(), i) != ta.end()) ++overlap;
+  }
+
+  // Index agreement (erosion/dilation selections).
+  std::size_t index_flips = 0;
+  for (std::size_t i = 0; i < a.morph.mei.size(); ++i) {
+    if (a.morph.erosion_index[i] != b.morph.erosion_index[i]) ++index_flips;
+    if (a.morph.dilation_index[i] != b.morph.dilation_index[i]) ++index_flips;
+  }
+
+  util::Table table({"Quantity", "fp32", "fp16"});
+  table.add_row({"modeled pipeline time",
+                 util::format_duration(a.modeled_seconds),
+                 util::format_duration(b.modeled_seconds)});
+  table.add_row({"texture bytes uploaded",
+                 util::format_bytes(a.totals.transfer.upload_bytes),
+                 util::format_bytes(b.totals.transfer.upload_bytes)});
+  table.add_row({"MEI mean |error|", "-", util::Table::num(mean_abs, 6)});
+  table.add_row({"MEI max |error|", "-", util::Table::num(max_abs, 6)});
+  table.add_row({"MEI max rel. error", "-",
+                 util::Table::num(100.0 * max_rel, 2) + "%"});
+  table.add_row({"top-32 MEI overlap", "-", std::to_string(overlap) + "/32"});
+  table.add_row({"argmin/argmax flips", "-",
+                 util::Table::num(100.0 * static_cast<double>(index_flips) /
+                                      (2.0 * static_cast<double>(a.morph.mei.size())),
+                                  2) + "%"});
+  table.print(std::cout,
+              "Ablation: fp16 vs fp32 stream textures (48x48x64, 3x3 SE, "
+              "7800 GTX)");
+  std::cout << "\nSpeedup from halved traffic: "
+            << util::Table::num(a.modeled_seconds / b.modeled_seconds, 2)
+            << "x modeled end-to-end\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation: hybrid CPU/GPU workload partitioning -- the paper's stated
+// future work ("we plan to study additional partitioning strategies to
+// balance the CPU and GPU workloads").
+//
+// Sweeps the fraction of image rows given to the host CPU while the GPU
+// processes the rest concurrently, and reports the modeled makespan. The
+// automatically balanced split (from the analytic cost models) is marked;
+// with a 2005 GPU vs. a 2005 CPU the optimum sits near "give the CPU a
+// few percent", which is why the paper's GPU-only design was the right
+// first step.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/hybrid.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace hs;
+
+  const auto cube = bench::calibration_cube(64, 64, 64);
+  const auto se = core::StructuringElement::square(1);
+
+  core::HybridOptions opt;
+  const double auto_fraction = core::balanced_cpu_fraction(
+      opt.cpu, opt.cpu_vectorized, opt.gpu.profile, cube.width(), cube.height(),
+      cube.bands(), se);
+
+  util::Table table({"CPU fraction", "CPU rows", "GPU rows", "CPU time",
+                     "GPU time", "Makespan"});
+  auto run = [&](double fraction, const std::string& tag) {
+    core::HybridOptions o = opt;
+    o.cpu_fraction = fraction;
+    const core::HybridReport r = core::morphology_hybrid(cube, se, o);
+    table.add_row({util::Table::num(r.cpu_fraction, 3) + tag,
+                   std::to_string(r.cpu_rows), std::to_string(r.gpu_rows),
+                   util::format_duration(r.cpu_seconds),
+                   util::format_duration(r.gpu_seconds),
+                   util::format_duration(r.makespan_seconds)});
+  };
+  for (double f : {0.0, 0.05, 0.10, 0.20, 0.40, 0.70, 1.0}) run(f, "");
+  run(auto_fraction, "  <- balanced");
+
+  table.print(std::cout,
+              "Hybrid CPU/GPU split (64x64x64 scene, Prescott + 7800 GTX, "
+              "modeled concurrent timeline)");
+  std::cout << "\nBalanced fraction from the analytic models: "
+            << util::Table::num(auto_fraction, 3) << "\n";
+  return 0;
+}

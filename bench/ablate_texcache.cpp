@@ -1,0 +1,55 @@
+// Ablation: the texture cache (Hakura-Gupta style, the paper's ref [7]).
+//
+// The AMC kernels re-fetch each texel many times (9 neighbors x 2 streams),
+// so the cache converts most fetch traffic into hits. This bench sweeps
+// the per-pipe cache capacity (including "off") and reports hit rates and
+// the modeled memory-bound time.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hs;
+
+  util::Cli cli;
+  cli.add_flag("size", "scene edge length", "40");
+  cli.add_flag("bands", "spectral bands", "64");
+  if (!cli.parse(argc, argv)) return 1;
+  const int size = static_cast<int>(cli.get_int("size", 40));
+  const int bands = static_cast<int>(cli.get_int("bands", 64));
+
+  const auto cube = bench::calibration_cube(size, size, bands);
+
+  util::Table table({"Cache / pipe", "Hit rate", "Miss bytes", "Modeled compute+mem"});
+  // Off = every fetch charged full texel traffic.
+  {
+    core::AmcGpuOptions opt;
+    opt.sim.texture_cache = false;
+    const core::AmcGpuReport report =
+        core::morphology_gpu(cube, core::StructuringElement::square(1), opt);
+    table.add_row({"off", "-", util::format_bytes(report.totals.exec.tex_fetch_bytes),
+                   util::format_duration(report.totals.modeled_pass_seconds)});
+  }
+  for (std::uint64_t kb : {1, 2, 4, 8, 16, 64}) {
+    core::AmcGpuOptions opt;
+    opt.profile.tex_cache_bytes_per_pipe = kb * 1024;
+    const core::AmcGpuReport report =
+        core::morphology_gpu(cube, core::StructuringElement::square(1), opt);
+    const auto& c = report.totals.cache;
+    std::uint64_t miss_bytes = 0;
+    for (const auto& [name, stats] : report.stages) miss_bytes += stats.cache_miss_bytes;
+    table.add_row({util::format_bytes(kb * 1024),
+                   util::Table::num(100.0 * static_cast<double>(c.hits) /
+                                        static_cast<double>(c.accesses),
+                                    1) + "%",
+                   util::format_bytes(miss_bytes),
+                   util::format_duration(report.totals.modeled_pass_seconds)});
+  }
+  table.print(std::cout, "Ablation: texture cache capacity (" +
+                             std::to_string(size) + "x" + std::to_string(size) +
+                             "x" + std::to_string(bands) + ", 3x3 SE, 7800 GTX)");
+  return 0;
+}

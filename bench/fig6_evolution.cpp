@@ -1,0 +1,47 @@
+// Regenerates Figure 6 of the paper: relative performance of the four
+// platforms and the generational evolution 2003 -> 2005. The paper's
+// headline: the CPU generation gained under 10% while the GPU generation
+// gained ~400% over the same period.
+//
+// Output: the data series behind the figure (performance normalized to the
+// 2003 CPU at every image size) plus the generation-gain summary.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hs;
+  using namespace hs::bench;
+
+  const std::vector<ModelRow> rows = modeled_exec_rows(/*vectorized=*/false);
+
+  util::Table series({"Size (MB)", "P4 C (2003)", "Prescott (2005)",
+                      "FX5950 U (2003)", "7800 GTX (2005)"});
+  for (const ModelRow& r : rows) {
+    // Performance = 1 / time, normalized to the 2003 CPU.
+    series.add_row({std::to_string(r.mb), "1.00",
+                    util::Table::num(r.p4 / r.prescott, 2),
+                    util::Table::num(r.p4 / r.fx5950, 2),
+                    util::Table::num(r.p4 / r.gtx7800, 2)});
+  }
+  series.print(std::cout,
+               "Figure 6. Relative performance (higher is better, normalized "
+               "to Pentium 4 Northwood, gcc build)");
+
+  const ModelRow& last = rows.back();
+  util::Table gains({"Generation step (2003 -> 2005)", "modeled gain", "paper"});
+  gains.add_row({"CPU: P4 Northwood -> Prescott",
+                 util::Table::num(100.0 * (last.p4 / last.prescott - 1.0), 1) + "%",
+                 "<10%"});
+  gains.add_row({"GPU: FX5950 Ultra -> 7800 GTX",
+                 util::Table::num(100.0 * (last.fx5950 / last.gtx7800 - 1.0), 1) + "%",
+                 "~400%"});
+  gains.add_row({"GPU (compute only)",
+                 util::Table::num(
+                     100.0 * (last.fx5950_compute / last.gtx7800_compute - 1.0), 1) + "%",
+                 "-"});
+  std::cout << "\n";
+  gains.print(std::cout, "Generational evolution at the full-scene size");
+  return 0;
+}

@@ -1,0 +1,209 @@
+// Micro-benchmarks (google-benchmark) of the library's hot paths: the SID
+// distance, the two CPU morphology engines, the fragment-program
+// interpreter, texture fetches, and the cache model. These quantify the
+// host-side cost of simulation, not the modeled GPU time.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/distances.hpp"
+#include "core/morphology.hpp"
+#include "core/rx.hpp"
+#include "core/shaders.hpp"
+#include "gpusim/assembler.hpp"
+#include "gpusim/gpu_device.hpp"
+#include "gpusim/interpreter.hpp"
+#include "gpusim/raster.hpp"
+#include "linalg/eigen.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hs;
+
+std::vector<float> random_spectrum(int n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng.uniform(0.05, 1.0));
+  return v;
+}
+
+hsi::HyperCube random_cube(int w, int h, int n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  hsi::HyperCube cube(w, h, n);
+  for (auto& v : cube.raw()) v = static_cast<float>(rng.uniform(0.05, 1.0));
+  return cube;
+}
+
+void BM_SidDistance(benchmark::State& state) {
+  const int bands = static_cast<int>(state.range(0));
+  const auto a = random_spectrum(bands, 1);
+  const auto b = random_spectrum(bands, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::sid(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * bands);
+}
+BENCHMARK(BM_SidDistance)->Arg(32)->Arg(216);
+
+void BM_SamDistance(benchmark::State& state) {
+  const auto a = random_spectrum(216, 1);
+  const auto b = random_spectrum(216, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::sam(a, b));
+  }
+}
+BENCHMARK(BM_SamDistance);
+
+void BM_MorphologyReference(benchmark::State& state) {
+  const int edge = static_cast<int>(state.range(0));
+  const auto cube = random_cube(edge, edge, 32, 3);
+  const auto se = core::StructuringElement::square(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::morphology_reference(cube, se));
+  }
+  state.SetItemsProcessed(state.iterations() * edge * edge);
+}
+BENCHMARK(BM_MorphologyReference)->Arg(16)->Arg(32);
+
+void BM_MorphologyVectorized(benchmark::State& state) {
+  const int edge = static_cast<int>(state.range(0));
+  const auto cube = random_cube(edge, edge, 32, 3);
+  const auto se = core::StructuringElement::square(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::morphology_vectorized(cube, se));
+  }
+  state.SetItemsProcessed(state.iterations() * edge * edge);
+}
+BENCHMARK(BM_MorphologyVectorized)->Arg(16)->Arg(32);
+
+void BM_InterpreterAluDispatch(benchmark::State& state) {
+  const auto program = gpusim::assemble_or_die("alu",
+                                               "!!HSFP1.0\n"
+                                               "MOV R0, {1.0, 2.0, 3.0, 4.0};\n"
+                                               "MUL R1, R0, R0;\n"
+                                               "MAD R1, R1, R0, R0;\n"
+                                               "DP4 R2.x, R1, R0;\n"
+                                               "RCP R3.x, R2.x;\n"
+                                               "MOV result.color, R3.x;\n"
+                                               "END\n");
+  gpusim::FragmentContext ctx;
+  gpusim::ExecCounters counters;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpusim::execute_fragment(program, ctx, counters));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(program.code.size()));
+}
+BENCHMARK(BM_InterpreterAluDispatch);
+
+void BM_InterpreterTexFetch(benchmark::State& state) {
+  gpusim::Texture2D tex(64, 64, gpusim::TextureFormat::RGBA32F);
+  const gpusim::Texture2D* textures[1] = {&tex};
+  const auto program = gpusim::assemble_or_die("tex",
+                                               "!!HSFP1.0\n"
+                                               "TEX R0, fragment.texcoord[0], texture[0];\n"
+                                               "MOV result.color, R0;\n"
+                                               "END\n");
+  gpusim::FragmentContext ctx;
+  ctx.texcoord[0] = {13.5f, 27.5f, 0, 1};
+  ctx.textures = textures;
+  gpusim::ExecCounters counters;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpusim::execute_fragment(program, ctx, counters));
+  }
+}
+BENCHMARK(BM_InterpreterTexFetch);
+
+void BM_TextureCacheAccess(benchmark::State& state) {
+  gpusim::TextureCacheConfig cfg;
+  gpusim::TextureCache cache(cfg);
+  int x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(0, x & 63, (x >> 6) & 63));
+    ++x;
+  }
+}
+BENCHMARK(BM_TextureCacheAccess);
+
+void BM_AssembleCumdistKernel(benchmark::State& state) {
+  const std::string src = core::shaders::cumulative_distance_fused_source(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpusim::assemble("k", src));
+  }
+}
+BENCHMARK(BM_AssembleCumdistKernel);
+
+void BM_DevicePass(benchmark::State& state) {
+  gpusim::DeviceProfile profile = gpusim::geforce_7800_gtx();
+  profile.fragment_pipes = 4;
+  gpusim::Device dev(profile);
+  const auto in = dev.create_texture(64, 64, gpusim::TextureFormat::RGBA32F);
+  const auto out = dev.create_texture(64, 64, gpusim::TextureFormat::RGBA32F);
+  const auto program = gpusim::assemble_or_die("sq",
+                                               "!!HSFP1.0\n"
+                                               "TEX R0, fragment.texcoord[0], texture[0];\n"
+                                               "MUL result.color, R0, R0;\n"
+                                               "END\n");
+  const gpusim::TextureHandle ins[1] = {in};
+  const gpusim::TextureHandle outs[1] = {out};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dev.draw(program, ins, {}, outs));
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 64);
+}
+BENCHMARK(BM_DevicePass);
+
+
+void BM_EigenSymmetric(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Xoshiro256 rng(7);
+  linalg::Matrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      const double v = rng.uniform(-1, 1);
+      a(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) = v;
+      a(static_cast<std::size_t>(j), static_cast<std::size_t>(i)) = v;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::eigen_symmetric(a));
+  }
+}
+BENCHMARK(BM_EigenSymmetric)->Arg(16)->Arg(64);
+
+void BM_RxDetect(benchmark::State& state) {
+  const auto cube = random_cube(32, 32, 16, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::rx_detect(cube));
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 32);
+}
+BENCHMARK(BM_RxDetect);
+
+void BM_RasterFullscreenQuad(benchmark::State& state) {
+  gpusim::DeviceProfile profile = gpusim::geforce_7800_gtx();
+  profile.fragment_pipes = 4;
+  gpusim::Device dev(profile);
+  const auto out = dev.create_texture(64, 64, gpusim::TextureFormat::R32F);
+  const auto program = gpusim::assemble_or_die(
+      "one", "!!HSFP1.0\nMOV result.color, {1.0};\nEND\n");
+  const auto quad = gpusim::fullscreen_quad(64, 64);
+  const gpusim::TextureHandle outs[1] = {out};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpusim::draw_triangles(
+        dev, program, quad, gpusim::Viewport{0, 0, 64, 64}, {}, {}, outs));
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 64);
+}
+BENCHMARK(BM_RasterFullscreenQuad);
+
+void BM_HalfQuantize(benchmark::State& state) {
+  float v = 0.123456f;
+  for (auto _ : state) {
+    v = gpusim::quantize_half(v + 1e-6f);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_HalfQuantize);
+
+}  // namespace

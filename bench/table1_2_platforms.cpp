@@ -1,0 +1,62 @@
+// Regenerates Tables 1 and 2 of the paper: the experimental platform
+// parameters, as configured in the simulator's device/CPU profiles.
+// Quantities the paper does not list (bus bandwidths, texture cache,
+// per-pass overhead, sustained CPU flop rates) are printed as well, since
+// they feed the timing model that regenerates Tables 4/5 and Figure 6.
+#include <iostream>
+
+#include "gpusim/device_profile.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace hs;
+  using gpusim::DeviceProfile;
+
+  const DeviceProfile nv38 = gpusim::geforce_fx5950_ultra();
+  const DeviceProfile g70 = gpusim::geforce_7800_gtx();
+
+  util::Table gpu({"Feature", nv38.name, g70.name});
+  auto row = [&](const std::string& name, const std::string& a,
+                 const std::string& b) { gpu.add_row({name, a, b}); };
+  row("Year", std::to_string(nv38.year), std::to_string(g70.year));
+  row("Architecture", nv38.architecture, g70.architecture);
+  row("Bus", nv38.bus.name, g70.bus.name);
+  row("Video Memory", util::format_bytes(nv38.video_memory_bytes),
+      util::format_bytes(g70.video_memory_bytes));
+  row("Core Clock", util::Table::num(nv38.core_clock_hz / 1e6, 0) + " MHz",
+      util::Table::num(g70.core_clock_hz / 1e6, 0) + " MHz");
+  row("Memory bandwidth", util::Table::num(nv38.mem_bandwidth_bps / 1e9, 1) + " GB/s",
+      util::Table::num(g70.mem_bandwidth_bps / 1e9, 1) + " GB/s");
+  row("#Pixel shader processors", std::to_string(nv38.fragment_pipes),
+      std::to_string(g70.fragment_pipes));
+  row("Texture fill rate", util::Table::num(nv38.tex_fill_rate / 1e6, 0) + " MTexels/s",
+      util::Table::num(g70.tex_fill_rate / 1e6, 0) + " MTexels/s");
+  row("[model] ALU ipc per pipe", util::Table::num(nv38.alu_ipc, 2),
+      util::Table::num(g70.alu_ipc, 2));
+  row("[model] Pass overhead", util::format_duration(nv38.pass_overhead_s),
+      util::format_duration(g70.pass_overhead_s));
+  row("[model] Tex cache / pipe", util::format_bytes(nv38.tex_cache_bytes_per_pipe),
+      util::format_bytes(g70.tex_cache_bytes_per_pipe));
+  row("[model] Bus upload", util::Table::num(nv38.bus.upload_bandwidth_bps / 1e9, 2) + " GB/s",
+      util::Table::num(g70.bus.upload_bandwidth_bps / 1e9, 2) + " GB/s");
+  row("[model] Bus download", util::Table::num(nv38.bus.download_bandwidth_bps / 1e9, 2) + " GB/s",
+      util::Table::num(g70.bus.download_bandwidth_bps / 1e9, 2) + " GB/s");
+  gpu.print(std::cout, "Table 1. Experimental GPU features");
+  std::cout << "\n";
+
+  const gpusim::CpuProfile p4 = gpusim::pentium4_northwood();
+  const gpusim::CpuProfile prescott = gpusim::pentium4_prescott();
+  util::Table cpu({"Feature", p4.name, prescott.name});
+  cpu.add_row({"Year", std::to_string(p4.year), std::to_string(prescott.year)});
+  cpu.add_row({"Clock", util::Table::num(p4.clock_hz / 1e9, 1) + " GHz",
+               util::Table::num(prescott.clock_hz / 1e9, 1) + " GHz"});
+  cpu.add_row({"FSB sustained", util::Table::num(p4.mem_bandwidth_bps / 1e9, 2) + " GB/s",
+               util::Table::num(prescott.mem_bandwidth_bps / 1e9, 2) + " GB/s"});
+  cpu.add_row({"[model] scalar flops/cycle", util::Table::num(p4.scalar_flops_per_cycle, 3),
+               util::Table::num(prescott.scalar_flops_per_cycle, 3)});
+  cpu.add_row({"[model] vector flops/cycle", util::Table::num(p4.vector_flops_per_cycle, 3),
+               util::Table::num(prescott.vector_flops_per_cycle, 3)});
+  cpu.print(std::cout, "Table 2. Experimental CPU features");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Regenerates Table 3 of the paper: per-class and overall classification
+// accuracy of AMC with a 3x3 structuring element.
+//
+// The real AVIRIS Indian Pines scene is no longer distributed, so the run
+// uses the synthetic Indian-Pines-like scene (see DESIGN.md for the
+// substitution argument). The *structure* of the table is the target:
+// macroscopically pure classes (BareSoil, Concrete/Asphalt, Woods, Lake)
+// classify well; Buildings and the early-season corn group, which the
+// generator renders as heavily mixed pixels, classify poorly; overall
+// accuracy lands in the same regime as the paper's 72.35%.
+//
+// Flags: --size N (scene edge, default 144), --bands N (default 216),
+// --classes C (default 32), --seed S, --backend {reference,vectorized,gpu}.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hs;
+
+  util::Cli cli;
+  cli.add_flag("size", "scene edge length in pixels", "144");
+  cli.add_flag("bands", "spectral bands", "216");
+  cli.add_flag("classes", "number of AMC classes c", "48");
+  cli.add_flag("seed", "scene seed", "7");
+  cli.add_flag("backend", "reference|vectorized|gpu", "vectorized");
+  cli.add_flag("unmixing", "unconstrained|scls|nnls", "nnls");
+  if (!cli.parse(argc, argv)) return 1;
+
+  hsi::SceneConfig scene_cfg;
+  scene_cfg.width = static_cast<int>(cli.get_int("size", 144));
+  scene_cfg.height = scene_cfg.width;
+  scene_cfg.bands = static_cast<int>(cli.get_int("bands", 216));
+  scene_cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+
+  std::cout << "Generating synthetic Indian Pines scene " << scene_cfg.width
+            << "x" << scene_cfg.height << "x" << scene_cfg.bands << " (seed "
+            << scene_cfg.seed << ")...\n";
+  const hsi::SyntheticScene scene = hsi::generate_indian_pines_scene(scene_cfg);
+
+  core::AmcConfig amc_cfg;
+  amc_cfg.num_classes = static_cast<int>(cli.get_int("classes", 48));
+  const std::string backend = cli.get("backend", "vectorized");
+  if (backend == "reference") amc_cfg.backend = core::Backend::CpuReference;
+  else if (backend == "gpu") amc_cfg.backend = core::Backend::GpuStream;
+  else amc_cfg.backend = core::Backend::CpuVectorized;
+  // Abundances constrained non-negative by default: the physically valid
+  // variant of the linear mixture model (Chang 2003); --unmixing
+  // unconstrained reproduces the plain LMM inversion.
+  const std::string unmix = cli.get("unmixing", "nnls");
+  if (unmix == "unconstrained") amc_cfg.unmixing = core::UnmixingMethod::Unconstrained;
+  else if (unmix == "scls") amc_cfg.unmixing = core::UnmixingMethod::SumToOne;
+  else amc_cfg.unmixing = core::UnmixingMethod::Nnls;
+
+  std::cout << "Running AMC (" << core::backend_name(amc_cfg.backend)
+            << ", 3x3 SE, c=" << amc_cfg.num_classes << ", "
+            << core::unmixing_method_name(amc_cfg.unmixing)
+            << " unmixing)...\n\n";
+  const core::AmcResult result = core::run_amc(scene.cube, amc_cfg);
+  const core::AccuracyReport acc = core::evaluate_accuracy(result, scene.truth);
+
+  util::Table table({"Class", "Accuracy (%)", "Pixels"});
+  for (int c = 0; c < scene.truth.num_classes(); ++c) {
+    const std::size_t n = scene.truth.class_count(c);
+    if (n == 0) continue;
+    table.add_row({scene.truth.class_names()[static_cast<std::size_t>(c)],
+                   util::Table::num(100.0 * acc.per_class[static_cast<std::size_t>(c)], 2),
+                   std::to_string(n)});
+  }
+  table.add_row({"Overall:", util::Table::num(100.0 * acc.overall, 2),
+                 std::to_string(scene.truth.labeled_count())});
+  table.add_row({"Kappa:", util::Table::num(acc.kappa, 4), ""});
+  table.print(std::cout,
+              "Table 3. Classification accuracy for each ground-truth class "
+              "(synthetic scene; paper reported 72.35% overall on the real "
+              "AVIRIS data)");
+
+  std::cout << "\nMorphology wall time: "
+            << util::format_duration(result.morphology_wall_seconds)
+            << ", post-processing: "
+            << util::format_duration(result.postprocess_wall_seconds) << "\n";
+  return 0;
+}

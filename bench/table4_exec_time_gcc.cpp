@@ -1,0 +1,20 @@
+// Regenerates Table 4 of the paper: execution time of the morphological
+// pipeline (CPU scalar "gcc -O3 -msse" builds vs both GPUs) across the six
+// image sizes, from 68 MB crops up to the full 547 MB Indian Pines scene.
+//
+// CPU times come from the analytic operation-count model with the Table 2
+// profiles; GPU times come from a functional-simulator calibration run
+// extrapolated to each target size (see core/cost_model.hpp). Absolute
+// values are self-consistent within this model -- the comparison target is
+// the *shape*: linear scaling in image size, a large GPU-over-CPU factor,
+// a 4-6x gap between GPU generations, and a sub-10% gap between the CPU
+// generations. See EXPERIMENTS.md for the unit discussion of the paper's
+// printed milliseconds.
+#include "bench_common.hpp"
+
+int main() {
+  hs::bench::print_exec_time_tables(
+      "Table 4. Execution time, scalar (gcc-style) CPU baselines", false,
+      hs::bench::paper_table4_gcc());
+  return 0;
+}

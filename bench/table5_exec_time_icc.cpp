@@ -1,0 +1,11 @@
+// Regenerates Table 5 of the paper: same as Table 4 but with the
+// vectorized ("icc -O3 -xP autovectorized") CPU baselines. The GPU columns
+// are identical to Table 4's, as in the paper.
+#include "bench_common.hpp"
+
+int main() {
+  hs::bench::print_exec_time_tables(
+      "Table 5. Execution time, vectorized (icc-style) CPU baselines", true,
+      hs::bench::paper_table5_icc());
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Target / anomaly detection -- the "timely response" scenario from the
+// paper's introduction (military target detection, biological threat
+// detection, chemical contamination monitoring).
+//
+// Generates an agricultural scene, implants a handful of sub-pixel
+// targets with an out-of-library spectrum, then finds them two ways:
+//   1. RX anomaly detection (global Mahalanobis scores);
+//   2. AMC's MEI map (the morphological eccentricity index itself is an
+//      anomaly measure: spectrally extreme pixels score high).
+// Reports the hit rate of both detectors at the same false-alarm budget.
+//
+// Usage: target_detection [--size N] [--bands N] [--targets K] [--mix F]
+#include <algorithm>
+#include <iostream>
+#include <set>
+
+#include "core/amc.hpp"
+#include "core/rx.hpp"
+#include "hsi/synthetic.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hs;
+
+  util::Cli cli;
+  cli.add_flag("size", "scene edge length", "64");
+  cli.add_flag("bands", "spectral bands", "64");
+  cli.add_flag("targets", "number of implanted targets", "6");
+  cli.add_flag("mix", "target fill fraction within its pixel", "0.6");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const int size = static_cast<int>(cli.get_int("size", 64));
+  const int bands = static_cast<int>(cli.get_int("bands", 64));
+  const int n_targets = static_cast<int>(cli.get_int("targets", 6));
+  const double mix = cli.get_double("mix", 0.6);
+
+  hsi::SceneConfig scfg;
+  scfg.width = size;
+  scfg.height = size;
+  scfg.bands = bands;
+  hsi::SyntheticScene scene = hsi::generate_indian_pines_scene(scfg);
+
+  // Implant sub-pixel targets: a paint-like flat-bright spectrum with a
+  // sharp absorption notch, linearly mixed into the background pixel.
+  util::Xoshiro256 rng(99);
+  std::set<std::size_t> target_pixels;
+  std::vector<float> spec(static_cast<std::size_t>(bands));
+  while (static_cast<int>(target_pixels.size()) < n_targets) {
+    const int x = 2 + static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(size - 4)));
+    const int y = 2 + static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(size - 4)));
+    const std::size_t idx = static_cast<std::size_t>(y) * static_cast<std::size_t>(size) +
+                            static_cast<std::size_t>(x);
+    if (!target_pixels.insert(idx).second) continue;
+    scene.cube.pixel(x, y, spec);
+    for (int b = 0; b < bands; ++b) {
+      float target = 0.65f;
+      if (b > bands / 3 && b < bands / 3 + 4) target = 0.15f;  // notch
+      spec[static_cast<std::size_t>(b)] = static_cast<float>(
+          mix * target + (1.0 - mix) * spec[static_cast<std::size_t>(b)]);
+    }
+    scene.cube.set_pixel(x, y, spec);
+  }
+  std::cout << "implanted " << n_targets << " sub-pixel targets (fill "
+            << mix << ") into a " << size << "x" << size << "x" << bands
+            << " scene\n\n";
+
+  const std::size_t budget = target_pixels.size() * 3;  // detections allowed
+
+  struct Detection {
+    int hits = 0;             ///< targets inside the top-k budget
+    std::size_t best_rank = 0;  ///< rank of the best-scoring target (1-based)
+  };
+  auto detect = [&](const std::vector<float>& scores) {
+    std::vector<std::size_t> order(scores.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return scores[a] > scores[b];
+    });
+    Detection d;
+    d.best_rank = order.size();
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (target_pixels.count(order[i])) {
+        d.best_rank = std::min(d.best_rank, i + 1);
+        if (i < budget) ++d.hits;
+      }
+    }
+    return d;
+  };
+
+  // 1. RX.
+  const core::RxResult rx = core::rx_detect(scene.cube);
+  const Detection rx_det = detect(rx.scores);
+
+  // 2. AMC MEI (GPU pipeline).
+  core::AmcConfig amc_cfg;
+  amc_cfg.num_classes = 8;
+  amc_cfg.backend = core::Backend::GpuStream;
+  const core::AmcResult amc = core::run_amc(scene.cube, amc_cfg);
+  const Detection mei_det = detect(amc.morph.mei);
+
+  util::Table table({"Detector", "Hits (of " + std::to_string(n_targets) + ")",
+                     "Budget (top-k)", "Best target rank", "Notes"});
+  table.add_row({"RX (Mahalanobis)", std::to_string(rx_det.hits),
+                 std::to_string(budget), std::to_string(rx_det.best_rank),
+                 "global background statistics"});
+  table.add_row({"AMC MEI", std::to_string(mei_det.hits),
+                 std::to_string(budget), std::to_string(mei_det.best_rank),
+                 "local eccentricity, GPU pipeline"});
+  table.print(std::cout, "Sub-pixel target detection");
+
+  std::cout << "\nRX threshold at default false-alarm rate: "
+            << util::Table::num(rx.threshold, 2) << " ("
+            << rx.detections.size() << " detections)\n";
+  std::cout << "RX whitens against *global* statistics, so rare targets "
+               "dominate its tail; the MEI responds to every local spectral\n"
+               "contrast -- field boundaries outrank isolated sub-pixel "
+               "targets -- which is why AMC uses it for endmember hunting,\n"
+               "not rare-target detection.\n";
+  return 0;
+}

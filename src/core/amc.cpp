@@ -1,0 +1,142 @@
+#include "core/amc.hpp"
+
+#include "core/distances.hpp"
+#include "core/unmix_gpu.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace hs::core {
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::CpuReference: return "cpu-reference";
+    case Backend::CpuVectorized: return "cpu-vectorized";
+    case Backend::GpuStream: return "gpu-stream";
+  }
+  return "?";
+}
+
+AmcResult run_amc(const hsi::HyperCube& cube, const AmcConfig& config) {
+  HS_ASSERT(config.num_classes >= 1);
+  HS_ASSERT_MSG(cube.bands() >= config.num_classes,
+                "linear unmixing needs bands >= num_classes");
+
+  AmcResult result;
+
+  // ---- steps 1-2: MEI via extended morphology ------------------------------
+  util::Timer morph_timer;
+  switch (config.backend) {
+    case Backend::CpuReference:
+      result.morph = morphology_reference(cube, config.se);
+      break;
+    case Backend::CpuVectorized:
+      result.morph = morphology_vectorized(cube, config.se);
+      break;
+    case Backend::GpuStream: {
+      AmcGpuReport report = morphology_gpu(cube, config.se, config.gpu);
+      result.morph = std::move(report.morph);
+      GpuRunSummary summary;
+      summary.stages = std::move(report.stages);
+      summary.totals = report.totals;
+      summary.chunk_count = report.chunk_count;
+      summary.modeled_seconds = report.modeled_seconds;
+      result.gpu = std::move(summary);
+      break;
+    }
+  }
+  result.morphology_wall_seconds = morph_timer.seconds();
+
+  // ---- step 3: endmember selection + abundance estimation ------------------
+  util::Timer post_timer;
+  // Candidates are the full MEI ranking (spatially thinned): distinct
+  // high-MEI windows can resolve to the same extreme pixel below, and
+  // spectral duplicates are dropped, so the scan must be allowed to reach
+  // deep into the ranking before c distinct materials are found.
+  const EndmemberSelection sel =
+      select_endmembers(result.morph.mei, cube.width(), cube.height(),
+                        static_cast<int>(cube.pixel_count()),
+                        config.endmember_min_separation);
+  HS_ASSERT_MSG(!sel.pixels.empty(), "no endmembers selected");
+
+  // A high MEI marks a neighborhood containing a spectrally extreme pixel;
+  // the *dilation-selected* pixel of that neighborhood (argmax of eq. 6) is
+  // the extreme one, so it -- not the window center, which is typically a
+  // mixed boundary pixel -- becomes the endmember (Plaza et al. 2002, the
+  // algorithm AMC derives from). Candidates spectrally closer than
+  // endmember_min_sid to an accepted endmember are skipped so that a
+  // single extreme region cannot consume several classes.
+  std::set<std::size_t> used;
+  std::vector<float> spec(static_cast<std::size_t>(cube.bands()));
+  for (std::size_t p : sel.pixels) {
+    if (static_cast<int>(result.endmember_pixels.size()) >= config.num_classes) {
+      break;
+    }
+    const int x = static_cast<int>(p % static_cast<std::size_t>(cube.width()));
+    const int y = static_cast<int>(p / static_cast<std::size_t>(cube.width()));
+    const auto [dx, dy] = config.se.offsets[result.morph.dilation_index[p]];
+    const int ex = std::clamp(x + dx, 0, cube.width() - 1);
+    const int ey = std::clamp(y + dy, 0, cube.height() - 1);
+    const std::size_t e =
+        static_cast<std::size_t>(ey) * static_cast<std::size_t>(cube.width()) +
+        static_cast<std::size_t>(ex);
+    if (!used.insert(e).second) continue;
+    cube.pixel(ex, ey, spec);
+    if (config.endmember_min_sid > 0) {
+      bool too_close = false;
+      for (const auto& accepted : result.endmember_spectra) {
+        if (sid(spec, accepted) < config.endmember_min_sid) {
+          too_close = true;
+          break;
+        }
+      }
+      if (too_close) continue;
+    }
+    result.endmember_pixels.push_back(e);
+    result.endmember_spectra.emplace_back(spec.begin(), spec.end());
+  }
+  HS_ASSERT_MSG(!result.endmember_pixels.empty(), "no endmembers selected");
+
+  // ---- step 4: max-abundance labeling ---------------------------------------
+  if (config.gpu_classification && config.backend == Backend::GpuStream) {
+    HS_ASSERT_MSG(config.unmixing == UnmixingMethod::Unconstrained,
+                  "GPU classification implements the unconstrained mixture model");
+    GpuUnmixReport unmix =
+        unmix_gpu(cube, result.endmember_spectra, config.gpu);
+    result.labels = std::move(unmix.labels);
+    if (result.gpu) {
+      result.gpu->classification_modeled_seconds = unmix.modeled_seconds;
+    }
+  } else {
+    const Unmixer unmixer(result.endmember_spectra, config.unmixing);
+    result.labels = unmixer.classify_cube(cube);
+  }
+  result.postprocess_wall_seconds = post_timer.seconds();
+  return result;
+}
+
+AccuracyReport evaluate_accuracy(const AmcResult& result,
+                                 const hsi::ClassMap& truth) {
+  HS_ASSERT(result.labels.size() == truth.labels().size());
+  const int truth_classes = truth.num_classes();
+  int predicted_classes = 0;
+  for (int v : result.labels) predicted_classes = std::max(predicted_classes, v + 1);
+
+  AccuracyReport report;
+  report.mapping = hsi::majority_mapping(truth.labels(), result.labels,
+                                         truth_classes, predicted_classes);
+  const hsi::ConfusionMatrix cm = hsi::remapped_confusion(
+      truth.labels(), result.labels, report.mapping, truth_classes);
+  report.overall = cm.overall_accuracy();
+  report.kappa = cm.kappa();
+  report.per_class.resize(static_cast<std::size_t>(truth_classes));
+  for (int c = 0; c < truth_classes; ++c) {
+    report.per_class[static_cast<std::size_t>(c)] = cm.class_accuracy(c);
+  }
+  return report;
+}
+
+}  // namespace hs::core

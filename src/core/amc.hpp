@@ -1,0 +1,98 @@
+// Public facade: the Automated Morphological Classification algorithm.
+//
+// run_amc executes the full four-step AMC of Section 3.1 on one of three
+// backends (double-precision scalar CPU, 4-wide float CPU, simulated-GPU
+// stream pipeline) and returns the MEI map, the extracted endmembers, and
+// the per-pixel classification. evaluate_accuracy scores a result against
+// ground truth with the unsupervised-clustering protocol (majority class
+// mapping, then per-class/overall accuracy and kappa) used to produce the
+// paper's Table 3.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/amc_gpu.hpp"
+#include "core/endmember.hpp"
+#include "core/morphology.hpp"
+#include "core/structuring_element.hpp"
+#include "core/unmixing.hpp"
+#include "hsi/cube.hpp"
+#include "hsi/ground_truth.hpp"
+#include "hsi/metrics.hpp"
+
+namespace hs::core {
+
+enum class Backend { CpuReference, CpuVectorized, GpuStream };
+
+const char* backend_name(Backend backend);
+
+struct AmcConfig {
+  /// Number of classes c: endmembers extracted and labels produced.
+  int num_classes = 16;
+  StructuringElement se = StructuringElement::square(1);
+  Backend backend = Backend::CpuReference;
+  UnmixingMethod unmixing = UnmixingMethod::Unconstrained;
+  /// Minimum Chebyshev separation between selected endmember pixels.
+  /// 0 reproduces the paper's literal top-c rule; the default keeps the
+  /// top scorers from clustering on a single boundary (see DESIGN.md).
+  int endmember_min_separation = 8;
+  /// Minimum SID between accepted endmember spectra: a candidate closer
+  /// than this to an already-accepted endmember is skipped, so one
+  /// extreme region (a lake boundary, say) cannot consume many classes.
+  /// 0 disables spectral deduplication. The default sits just above the
+  /// within-class SID noise floor of AVIRIS-like data (~1-2e-3 at 34 dB
+  /// SNR over 216 bands) so same-material duplicates collapse while even
+  /// closely related land-cover variants stay eligible.
+  double endmember_min_sid = 2.5e-3;
+  /// GPU backend options (ignored by the CPU backends).
+  AmcGpuOptions gpu;
+  /// With the GpuStream backend: also run steps 3-4 (abundances + argmax)
+  /// on the simulated GPU, making the whole classifier GPU-resident.
+  /// Requires the unconstrained mixture model (the only one the fragment
+  /// pipeline can express as dot-product passes).
+  bool gpu_classification = false;
+};
+
+/// GPU run telemetry (present when backend == GpuStream).
+struct GpuRunSummary {
+  std::vector<std::pair<std::string, stream::StageStats>> stages;
+  gpusim::DeviceTotals totals;
+  std::size_t chunk_count = 0;
+  double modeled_seconds = 0;
+  /// Modeled seconds of the GPU classification stage (steps 3-4), when
+  /// gpu_classification was requested; 0 otherwise.
+  double classification_modeled_seconds = 0;
+};
+
+struct AmcResult {
+  MorphOutputs morph;
+  /// Selected endmember pixel indices (y * width + x), best MEI first.
+  std::vector<std::size_t> endmember_pixels;
+  /// The endmember spectra (raw reflectance), one per class.
+  std::vector<std::vector<float>> endmember_spectra;
+  /// Per-pixel class label in [0, num_classes).
+  std::vector<int> labels;
+
+  double morphology_wall_seconds = 0;
+  double postprocess_wall_seconds = 0;
+  std::optional<GpuRunSummary> gpu;
+};
+
+AmcResult run_amc(const hsi::HyperCube& cube, const AmcConfig& config);
+
+struct AccuracyReport {
+  /// Producer's accuracy per ground-truth class (index = class id).
+  std::vector<double> per_class;
+  double overall = 0;
+  double kappa = 0;
+  /// Cluster -> ground-truth class mapping used.
+  std::vector<int> mapping;
+};
+
+AccuracyReport evaluate_accuracy(const AmcResult& result,
+                                 const hsi::ClassMap& truth);
+
+}  // namespace hs::core

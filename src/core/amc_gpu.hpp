@@ -1,0 +1,95 @@
+// GPU stream implementation of AMC step 2 (the paper's Section 3.2).
+//
+// Executes the six-stage pipeline of Figure 4 on the simulated GPU:
+// upload -> normalization -> cumulative distance -> max/min -> SID -> download,
+// with the image split into halo-padded spatial chunks when it exceeds
+// video memory. Functional outputs are bit-identical to
+// morphology_vectorized (the CPU mirror of the kernels) when the default
+// options are used; the report carries the modeled timing breakdown.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/morphology.hpp"
+#include "gpusim/device_profile.hpp"
+#include "gpusim/gpu_device.hpp"
+#include "stream/executor.hpp"
+#include "hsi/cube.hpp"
+
+namespace hs::core {
+
+struct AmcGpuOptions {
+  gpusim::DeviceProfile profile = gpusim::geforce_7800_gtx();
+  gpusim::SimConfig sim;
+
+  /// true: one cumulative-distance pass per band group covering all SE
+  /// neighbors (fewer passes, the tuned layout). false: one pass per
+  /// (neighbor, band group) pair -- the paper's literal "one cumulative
+  /// stream per neighbor" formulation; same results up to float
+  /// accumulation order.
+  bool fuse_neighbors = true;
+
+  /// true: materialize the log-probability stream once (extra stage,
+  /// fewer LG2 ops downstream). false: recompute logs inside the
+  /// cumulative-distance kernels. Outputs are bit-identical either way.
+  bool precompute_log = true;
+
+  /// Run the stream textures (band stacks and scalar accumulators) in
+  /// half-float formats -- the NV3x-era speed/precision trade. Halves the
+  /// texture memory and traffic; MEI values pick up fp16 quantization
+  /// error (quantified by bench/ablate_half_precision).
+  bool half_precision = false;
+
+  /// Maximum padded texels per chunk; 0 derives it from free video memory.
+  std::uint64_t chunk_texel_budget = 0;
+
+  /// Also run the paper's index-stream variant of the max/min stage
+  /// (Figure 4 describes "the index of the neighbors with maximum and
+  /// minimum cumulative distance") and download it; the report's
+  /// `index_stream` then holds (min_idx, max_idx) per pixel. The offsets
+  /// variant still drives the MEI stage either way.
+  bool emit_index_stream = false;
+};
+
+/// Stage names used in reports, in pipeline order.
+extern const char* const kStageUpload;
+extern const char* const kStageNormalization;
+extern const char* const kStageCumulativeDistance;
+extern const char* const kStageMaxMin;
+extern const char* const kStageSid;
+extern const char* const kStageDownload;
+
+/// Modeled cost of one chunk's trip through the pipeline.
+struct ChunkCost {
+  double upload_seconds = 0;
+  double pass_seconds = 0;
+  double download_seconds = 0;
+};
+
+struct AmcGpuReport {
+  MorphOutputs morph;
+  /// Per-stage aggregates in pipeline order.
+  std::vector<std::pair<std::string, stream::StageStats>> stages;
+  gpusim::DeviceTotals totals;
+  std::size_t chunk_count = 0;
+  std::vector<ChunkCost> chunk_costs;
+  /// Modeled end-to-end seconds, fully serialized (upload, compute and
+  /// download of every chunk back to back -- the paper-era baseline).
+  double modeled_seconds = 0;
+  /// (min_idx, max_idx) pairs per pixel when emit_index_stream is set.
+  std::vector<std::pair<std::uint8_t, std::uint8_t>> index_stream;
+
+  /// Modeled seconds with double-buffered transfers: chunk k+1 uploads
+  /// while chunk k computes and chunk k-1 downloads (the classic
+  /// three-stage software pipeline an onboard system would use). Equals
+  /// modeled_seconds for a single chunk.
+  double modeled_overlapped_seconds() const;
+};
+
+AmcGpuReport morphology_gpu(const hsi::HyperCube& cube,
+                            const StructuringElement& se,
+                            const AmcGpuOptions& options);
+
+}  // namespace hs::core

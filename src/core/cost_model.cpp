@@ -1,0 +1,131 @@
+#include "core/cost_model.hpp"
+
+#include <algorithm>
+
+#include "stream/chunker.hpp"
+#include "stream/stream.hpp"
+#include "util/assert.hpp"
+
+namespace hs::core {
+
+CpuCost cpu_morphology_cost(std::uint64_t pixels, int se_size, int bands) {
+  HS_ASSERT(se_size >= 1 && bands >= 1);
+  const double px = static_cast<double>(pixels);
+  const double n = static_cast<double>(bands);
+  const double nb = static_cast<double>(se_size);
+
+  CpuCost cost;
+  // Normalization: sum + divide-by-sum, then the SID inner loops reuse the
+  // precomputed log stream (the hand-tuned layout both the paper's CPU code
+  // and ours use).
+  cost.flops = px * (2.0 * n + 1.0);
+  cost.transcendentals = px * n;
+  // Cumulative distance: |B| neighbors x N bands x (sub, sub, mul, add).
+  cost.flops += px * nb * n * 4.0;
+  // Min/max scan over |B| shifted values, two chains.
+  cost.flops += px * nb * 2.0;
+  // MEI: one SID between the selected pair.
+  cost.flops += px * n * 4.0;
+  // Streamed traffic: raw read + p/log-p write + one effective re-read of
+  // the neighborhood from the cache hierarchy.
+  cost.bytes = px * n * 4.0 * 4.0;
+  return cost;
+}
+
+double model_cpu_morphology_seconds(const gpusim::CpuProfile& cpu,
+                                    const CpuCost& cost, bool vectorized,
+                                    double transcendental_flop_equiv) {
+  const double flop_equiv =
+      cost.flops + transcendental_flop_equiv * cost.transcendentals;
+  return gpusim::model_cpu_time(cpu, static_cast<std::uint64_t>(flop_equiv),
+                                static_cast<std::uint64_t>(cost.bytes),
+                                vectorized);
+}
+
+std::uint64_t amc_auto_texel_budget(const gpusim::DeviceProfile& profile,
+                                    int bands, bool precompute_log) {
+  const std::uint64_t groups =
+      static_cast<std::uint64_t>(stream::band_group_count(bands));
+  const std::uint64_t stacks = groups * (precompute_log ? 3u : 2u);
+  const std::uint64_t per_texel = stacks * 16 + 16 + 6 * 4;
+  const std::uint64_t usable = static_cast<std::uint64_t>(
+      0.9 * static_cast<double>(profile.video_memory_bytes));
+  return std::max<std::uint64_t>(1024, usable / per_texel);
+}
+
+GpuExtrapolation extrapolate_gpu_morphology(const AmcGpuReport& calibration,
+                                            const gpusim::DeviceProfile& profile,
+                                            int target_width, int target_height,
+                                            int bands, int se_radius,
+                                            bool precompute_log,
+                                            std::uint64_t chunk_texel_budget) {
+  HS_ASSERT(calibration.chunk_count > 0);
+  const int groups = stream::band_group_count(bands);
+  const int halo = 2 * se_radius;
+  const std::uint64_t budget =
+      chunk_texel_budget > 0
+          ? chunk_texel_budget
+          : amc_auto_texel_budget(profile, bands, precompute_log);
+
+  const stream::ChunkPlan plan =
+      stream::plan_chunks(target_width, target_height, halo, budget);
+  GpuExtrapolation out;
+  out.chunks = plan.chunks.size();
+  for (const auto& c : plan.chunks) {
+    out.padded_texels += static_cast<std::uint64_t>(c.pwidth) *
+                         static_cast<std::uint64_t>(c.pheight);
+  }
+
+  // Rendering stages: scale per-fragment rates measured by the calibration
+  // run. Every pass of a stage runs the same kernel, so the stage-level
+  // bottleneck max() is exact under linear scaling.
+  for (const auto& [name, stage] : calibration.stages) {
+    if (stage.passes == 0 || stage.fragments == 0) continue;  // transfer stages
+    const double frag = static_cast<double>(stage.fragments);
+    const std::uint64_t passes_per_chunk = stage.passes / calibration.chunk_count;
+    HS_ASSERT_MSG(passes_per_chunk * calibration.chunk_count == stage.passes,
+                  "calibration pass count not uniform across chunks");
+
+    const double target_frags =
+        static_cast<double>(out.padded_texels) * static_cast<double>(passes_per_chunk);
+    const double scale = target_frags / frag;
+
+    gpusim::PassCounts counts;
+    counts.fragments = static_cast<std::uint64_t>(target_frags);
+    counts.alu_instructions = static_cast<std::uint64_t>(
+        static_cast<double>(stage.alu_instructions) * scale);
+    counts.tex_fetches = static_cast<std::uint64_t>(
+        static_cast<double>(stage.tex_fetches) * scale);
+    counts.cache_miss_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(stage.cache_miss_bytes) * scale);
+    counts.unique_tile_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(stage.unique_tile_bytes) * scale);
+    counts.tex_fetch_bytes = counts.unique_tile_bytes;  // cache-enabled path
+    counts.bytes_written = static_cast<std::uint64_t>(
+        static_cast<double>(stage.bytes_written) * scale);
+    counts.cache_enabled = true;
+
+    const std::uint64_t target_passes = passes_per_chunk * out.chunks;
+    // model_pass_time adds one overhead; charge the remaining passes.
+    out.pass_seconds += gpusim::model_pass_time(profile, counts) +
+                        profile.pass_overhead_s *
+                            static_cast<double>(target_passes - 1);
+    out.passes += target_passes;
+  }
+
+  // Transfers from the chunk plan: the raw band stack up, the three result
+  // textures (D_B, offsets, MEI) down.
+  for (const auto& c : plan.chunks) {
+    const std::uint64_t texels = static_cast<std::uint64_t>(c.pwidth) *
+                                 static_cast<std::uint64_t>(c.pheight);
+    for (int g = 0; g < groups; ++g) {
+      out.upload_seconds += gpusim::model_upload_time(profile.bus, texels * 16);
+    }
+    out.download_seconds += gpusim::model_download_time(profile.bus, texels * 4);
+    out.download_seconds += gpusim::model_download_time(profile.bus, texels * 16);
+    out.download_seconds += gpusim::model_download_time(profile.bus, texels * 4);
+  }
+  return out;
+}
+
+}  // namespace hs::core

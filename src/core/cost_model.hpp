@@ -1,0 +1,78 @@
+// Analytic cost model for paper-scale workloads.
+//
+// The paper times the full Indian Pines scene (1.33 Mpixels x 216 bands);
+// running the *functional* simulator at that size would take tens of
+// minutes per data point, so the table benches (Tables 4/5, Figure 6)
+// proceed in two steps:
+//
+//   1. CPU side: closed-form operation counts for the morphological
+//      pipeline (documented below), converted to time with the Table 2
+//      CPU profiles.
+//   2. GPU side: a *calibration* run of the real simulator on a small
+//      scene measures per-fragment ALU/texture/cache-traffic rates per
+//      pipeline stage; those rates are exact for any image size because
+//      every kernel does size-independent per-fragment work. The
+//      extrapolation then re-plans the chunking at the target size and
+//      applies the same bottleneck timing model the simulator uses,
+//      plus the bus model for the transfers.
+//
+// CPU operation counts per pixel (N bands, |B| SE offsets):
+//   normalization: N adds + 1 clamped divide + N multiplies, plus N
+//                  log evaluations (counted as transcendentals);
+//   cumulative distance: |B| * N * (2 subs + 1 mul + 1 add);
+//   min/max: 2 * |B| compares;
+//   MEI: N * 4 flops.
+// Streamed bytes: ~4 float arrays of N per pixel (read raw, write p and
+// log p, re-read for the neighborhood scan from cache).
+#pragma once
+
+#include <cstdint>
+
+#include "core/amc_gpu.hpp"
+#include "gpusim/device_profile.hpp"
+
+namespace hs::core {
+
+struct CpuCost {
+  double flops = 0;            ///< adds/mults/compares
+  double transcendentals = 0;  ///< log evaluations
+  double bytes = 0;            ///< effective streamed memory traffic
+};
+
+CpuCost cpu_morphology_cost(std::uint64_t pixels, int se_size, int bands);
+
+/// Transcendentals are charged `transcendental_flop_equiv` flops each
+/// (libm log on a P4 costs tens of cycles; 10 flop-equivalents at the
+/// sustained rate is the calibrated middle ground).
+double model_cpu_morphology_seconds(const gpusim::CpuProfile& cpu,
+                                    const CpuCost& cost, bool vectorized,
+                                    double transcendental_flop_equiv = 10.0);
+
+struct GpuExtrapolation {
+  double upload_seconds = 0;
+  double pass_seconds = 0;
+  double download_seconds = 0;
+  std::uint64_t passes = 0;
+  std::uint64_t chunks = 0;
+  std::uint64_t padded_texels = 0;
+
+  double total_seconds() const {
+    return upload_seconds + pass_seconds + download_seconds;
+  }
+};
+
+/// The chunk texel budget morphology_gpu derives for a fresh device of
+/// `profile` (exposed so the extrapolation plans identical chunking).
+std::uint64_t amc_auto_texel_budget(const gpusim::DeviceProfile& profile,
+                                    int bands, bool precompute_log);
+
+/// Extrapolates a calibration run (real simulator output on a small scene,
+/// same bands / SE / options) to a target image size on `profile`.
+GpuExtrapolation extrapolate_gpu_morphology(const AmcGpuReport& calibration,
+                                            const gpusim::DeviceProfile& profile,
+                                            int target_width, int target_height,
+                                            int bands, int se_radius,
+                                            bool precompute_log,
+                                            std::uint64_t chunk_texel_budget = 0);
+
+}  // namespace hs::core

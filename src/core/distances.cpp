@@ -1,0 +1,75 @@
+#include "core/distances.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace hs::core {
+
+namespace {
+void normalize(std::span<const float> v, std::vector<double>& out) {
+  out.resize(v.size());
+  double sum = 0;
+  for (float x : v) sum += static_cast<double>(x);
+  sum = std::max(sum, static_cast<double>(kSumEpsilon));
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[i] = std::max(static_cast<double>(v[i]) / sum,
+                      static_cast<double>(kProbEpsilon));
+  }
+}
+}  // namespace
+
+double sid(std::span<const float> a, std::span<const float> b) {
+  HS_ASSERT(a.size() == b.size() && !a.empty());
+  thread_local std::vector<double> p, q;
+  normalize(a, p);
+  normalize(b, q);
+  return sid_normalized(p, q);
+}
+
+double sid_normalized(std::span<const double> p, std::span<const double> q) {
+  HS_ASSERT(p.size() == q.size());
+  // sum_l p log(p/q) + q log(q/p) == sum_l (p - q)(log p - log q)
+  double acc = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    acc += (p[i] - q[i]) * (std::log(p[i]) - std::log(q[i]));
+  }
+  return acc;
+}
+
+double sam(std::span<const float> a, std::span<const float> b) {
+  HS_ASSERT(a.size() == b.size() && !a.empty());
+  double dot = 0, na = 0, nb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+    na += static_cast<double>(a[i]) * static_cast<double>(a[i]);
+    nb += static_cast<double>(b[i]) * static_cast<double>(b[i]);
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  if (denom <= 0) return 0;
+  return std::acos(std::clamp(dot / denom, -1.0, 1.0));
+}
+
+double euclidean(std::span<const float> a, std::span<const float> b) {
+  HS_ASSERT(a.size() == b.size());
+  double acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double spectral_distance(Distance metric, std::span<const float> a,
+                         std::span<const float> b) {
+  switch (metric) {
+    case Distance::Sid: return sid(a, b);
+    case Distance::Sam: return sam(a, b);
+    case Distance::Euclidean: return euclidean(a, b);
+  }
+  return 0;
+}
+
+}  // namespace hs::core

@@ -1,0 +1,42 @@
+// Spectral distance measures.
+//
+// SID -- the spectral information divergence (eq. 2 of the paper) -- is the
+// distance AMC builds its morphological ordering on: pixel vectors are
+// normalized to probability distributions (eqs. 3-4) and compared with the
+// symmetrized KL divergence. SAM and Euclidean distance are provided as
+// alternatives for the distance ablation.
+//
+// Numerical guards: the band-sum is clamped below by kSumEpsilon before
+// the division and each probability by kProbEpsilon before the log, so
+// zero-valued bands (dead detector columns in real AVIRIS data) cannot
+// produce NaNs. The GPU kernels apply the *same* clamps with MAX
+// instructions, keeping CPU and GPU numerics aligned.
+#pragma once
+
+#include <span>
+
+namespace hs::core {
+
+inline constexpr float kSumEpsilon = 1e-6f;
+inline constexpr float kProbEpsilon = 1e-12f;
+
+/// Symmetric spectral information divergence between two spectra
+/// (non-negative, zero iff the normalized spectra coincide). Reference
+/// implementation in double precision.
+double sid(std::span<const float> a, std::span<const float> b);
+
+/// SID between two already-normalized probability vectors.
+double sid_normalized(std::span<const double> p, std::span<const double> q);
+
+/// Spectral angle mapper, radians in [0, pi/2] for non-negative spectra.
+double sam(std::span<const float> a, std::span<const float> b);
+
+/// Euclidean distance between raw spectra.
+double euclidean(std::span<const float> a, std::span<const float> b);
+
+enum class Distance { Sid, Sam, Euclidean };
+
+double spectral_distance(Distance metric, std::span<const float> a,
+                         std::span<const float> b);
+
+}  // namespace hs::core

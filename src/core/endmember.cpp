@@ -1,0 +1,48 @@
+#include "core/endmember.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace hs::core {
+
+EndmemberSelection select_endmembers(std::span<const float> mei, int width,
+                                     int height, int count,
+                                     int min_separation) {
+  HS_ASSERT(width > 0 && height > 0 &&
+            mei.size() == static_cast<std::size_t>(width) * static_cast<std::size_t>(height));
+  HS_ASSERT(count > 0 && min_separation >= 0);
+
+  std::vector<std::size_t> order(mei.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (mei[a] != mei[b]) return mei[a] > mei[b];
+    return a < b;
+  });
+
+  EndmemberSelection sel;
+  for (std::size_t cand : order) {
+    if (static_cast<int>(sel.pixels.size()) >= count) break;
+    const int cx = static_cast<int>(cand % static_cast<std::size_t>(width));
+    const int cy = static_cast<int>(cand / static_cast<std::size_t>(width));
+    bool ok = true;
+    if (min_separation > 0) {
+      for (std::size_t taken : sel.pixels) {
+        const int tx = static_cast<int>(taken % static_cast<std::size_t>(width));
+        const int ty = static_cast<int>(taken / static_cast<std::size_t>(width));
+        if (std::abs(cx - tx) < min_separation &&
+            std::abs(cy - ty) < min_separation) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) sel.pixels.push_back(cand);
+  }
+  return sel;
+}
+
+}  // namespace hs::core

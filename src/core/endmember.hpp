@@ -1,0 +1,29 @@
+// Endmember selection (step 3 of AMC, first half).
+//
+// The c pixels with the highest MEI scores become the class endmembers.
+// A minimum spatial separation (Chebyshev distance) between selected
+// pixels is supported because raw top-c selection tends to pick several
+// texels of the same high-contrast boundary; the paper does not state its
+// dedup rule, so separation = 0 reproduces the literal text and the
+// accuracy bench documents the value it uses (see DESIGN.md).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace hs::core {
+
+struct EndmemberSelection {
+  /// Pixel indices (y * width + x) of the selected endmembers, in
+  /// descending MEI order.
+  std::vector<std::size_t> pixels;
+};
+
+/// Selects up to `count` pixels by descending MEI, skipping candidates
+/// within `min_separation` (Chebyshev) of an already-selected pixel.
+/// Deterministic: ties in MEI are broken by pixel index.
+EndmemberSelection select_endmembers(std::span<const float> mei, int width,
+                                     int height, int count,
+                                     int min_separation);
+
+}  // namespace hs::core

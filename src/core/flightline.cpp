@@ -1,0 +1,103 @@
+#include "core/flightline.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hs::core {
+
+FlightlineProcessor::FlightlineProcessor(int width, int bands,
+                                         FlightlineConfig config,
+                                         RowCallback on_row)
+    : width_(width),
+      bands_(bands),
+      config_(std::move(config)),
+      on_row_(std::move(on_row)),
+      halo_(2 * config_.se.radius) {
+  HS_ASSERT(width > 0 && bands > 0);
+  HS_ASSERT(config_.block_rows > 0);
+  HS_ASSERT(on_row_ != nullptr);
+}
+
+void FlightlineProcessor::push_row(std::span<const float> row_bip) {
+  HS_ASSERT_MSG(!finished_, "push_row after finish");
+  HS_ASSERT(row_bip.size() == static_cast<std::size_t>(width_) *
+                                  static_cast<std::size_t>(bands_));
+  buffer_.emplace_back(row_bip.begin(), row_bip.end());
+  ++next_row_;
+
+  // A block of interior rows [emitted_, emitted_ + block_rows) can launch
+  // once its bottom halo has arrived.
+  while (next_row_ >= emitted_ + config_.block_rows + halo_) {
+    launch(/*final_block=*/false);
+  }
+}
+
+void FlightlineProcessor::finish() {
+  HS_ASSERT_MSG(!finished_, "finish called twice");
+  finished_ = true;
+  while (emitted_ < next_row_) {
+    launch(/*final_block=*/true);
+  }
+}
+
+void FlightlineProcessor::launch(bool final_block) {
+  const std::int64_t interior_begin = emitted_;
+  const std::int64_t interior_end =
+      std::min<std::int64_t>(interior_begin + config_.block_rows, next_row_);
+  HS_ASSERT(interior_end > interior_begin);
+
+  const std::int64_t band_begin = std::max<std::int64_t>(0, interior_begin - halo_);
+  const std::int64_t band_end =
+      final_block ? std::min<std::int64_t>(next_row_, interior_end + halo_)
+                  : interior_end + halo_;
+  HS_ASSERT(band_end <= buffer_start_ + static_cast<std::int64_t>(buffer_.size()));
+
+  // Materialize the band as a cube.
+  const int band_rows = static_cast<int>(band_end - band_begin);
+  hsi::HyperCube band(width_, band_rows, bands_, hsi::Interleave::BIP);
+  for (int r = 0; r < band_rows; ++r) {
+    const std::vector<float>& row =
+        buffer_[static_cast<std::size_t>(band_begin + r - buffer_start_)];
+    std::copy(row.begin(), row.end(),
+              band.raw().begin() + static_cast<std::ptrdiff_t>(
+                                       static_cast<std::size_t>(r) *
+                                       static_cast<std::size_t>(width_) *
+                                       static_cast<std::size_t>(bands_)));
+  }
+
+  const AmcGpuReport report = morphology_gpu(band, config_.se, config_.gpu);
+  modeled_seconds_ += report.modeled_seconds;
+  ++blocks_;
+
+  // Emit the interior rows.
+  const int local0 = static_cast<int>(interior_begin - band_begin);
+  for (std::int64_t row = interior_begin; row < interior_end; ++row) {
+    const std::size_t local =
+        static_cast<std::size_t>(local0 + (row - interior_begin)) *
+        static_cast<std::size_t>(width_);
+    FlightlineRow out;
+    out.row = row;
+    out.mei.assign(report.morph.mei.begin() + static_cast<std::ptrdiff_t>(local),
+                   report.morph.mei.begin() + static_cast<std::ptrdiff_t>(local + static_cast<std::size_t>(width_)));
+    out.db.assign(report.morph.db.begin() + static_cast<std::ptrdiff_t>(local),
+                  report.morph.db.begin() + static_cast<std::ptrdiff_t>(local + static_cast<std::size_t>(width_)));
+    out.erosion_index.assign(
+        report.morph.erosion_index.begin() + static_cast<std::ptrdiff_t>(local),
+        report.morph.erosion_index.begin() + static_cast<std::ptrdiff_t>(local + static_cast<std::size_t>(width_)));
+    out.dilation_index.assign(
+        report.morph.dilation_index.begin() + static_cast<std::ptrdiff_t>(local),
+        report.morph.dilation_index.begin() + static_cast<std::ptrdiff_t>(local + static_cast<std::size_t>(width_)));
+    on_row_(std::move(out));
+  }
+  emitted_ = interior_end;
+
+  // Drop rows the next block's top halo no longer needs.
+  const std::int64_t keep_from = std::max<std::int64_t>(0, emitted_ - halo_);
+  while (buffer_start_ < keep_from && !buffer_.empty()) {
+    buffer_.erase(buffer_.begin());
+    ++buffer_start_;
+  }
+}
+
+}  // namespace hs::core

@@ -1,0 +1,91 @@
+// Streaming (pushbroom) flightline processing.
+//
+// AVIRIS "routinely collects images hundreds of kilometers long" (paper,
+// Section 1): an onboard processor never holds the flightline in memory --
+// scanlines arrive continuously from the sensor, and results must leave at
+// the same rate. FlightlineProcessor implements that regime on top of the
+// GPU morphology pipeline: rows are pushed as they arrive, buffered into
+// halo-overlapped blocks, each block runs the six-stage stream pipeline,
+// and finished MEI/D_B rows are emitted through a callback. Host memory is
+// bounded by one block (plus halo), independent of flightline length.
+//
+// Functional guarantee: the emitted rows are bit-identical to running the
+// whole flightline through morphology_gpu at once (the halo logic matches
+// the chunker's).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/amc_gpu.hpp"
+#include "core/structuring_element.hpp"
+
+namespace hs::core {
+
+struct FlightlineConfig {
+  /// Interior rows processed per block. Larger blocks amortize per-pass
+  /// overhead; memory grows accordingly.
+  int block_rows = 64;
+  StructuringElement se = StructuringElement::square(1);
+  AmcGpuOptions gpu;
+};
+
+/// One finished scanline of results.
+struct FlightlineRow {
+  std::int64_t row = 0;  ///< global row index within the flightline
+  std::vector<float> mei;
+  std::vector<float> db;
+  std::vector<std::uint8_t> erosion_index;
+  std::vector<std::uint8_t> dilation_index;
+};
+
+class FlightlineProcessor {
+ public:
+  using RowCallback = std::function<void(FlightlineRow&&)>;
+
+  /// `width`/`bands` are fixed by the sensor; rows stream in via push_row.
+  FlightlineProcessor(int width, int bands, FlightlineConfig config,
+                      RowCallback on_row);
+
+  int width() const { return width_; }
+  int bands() const { return bands_; }
+
+  /// Appends one scanline (width * bands floats, BIP: band innermost).
+  /// May trigger a block launch that emits finished rows via the callback.
+  void push_row(std::span<const float> row_bip);
+
+  /// Flushes the remaining buffered rows (the final partial block).
+  /// Must be called once after the last push_row.
+  void finish();
+
+  /// Rows pushed so far.
+  std::int64_t rows_pushed() const { return next_row_; }
+  /// Rows emitted so far.
+  std::int64_t rows_emitted() const { return emitted_; }
+  /// Aggregate modeled GPU seconds across all launched blocks.
+  double modeled_gpu_seconds() const { return modeled_seconds_; }
+  std::size_t blocks_launched() const { return blocks_; }
+
+  /// Host-side buffered rows right now (the memory bound).
+  std::size_t buffered_rows() const { return buffer_.size(); }
+
+ private:
+  void launch(bool final_block);
+
+  int width_;
+  int bands_;
+  FlightlineConfig config_;
+  RowCallback on_row_;
+  int halo_;
+
+  /// Rolling buffer of raw rows; front() is global row `buffer_start_`.
+  std::vector<std::vector<float>> buffer_;
+  std::int64_t buffer_start_ = 0;
+  std::int64_t next_row_ = 0;
+  std::int64_t emitted_ = 0;
+  double modeled_seconds_ = 0;
+  std::size_t blocks_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace hs::core

@@ -1,0 +1,215 @@
+#include "core/hybrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/cost_model.hpp"
+#include "core/shaders.hpp"
+#include "gpusim/assembler.hpp"
+#include "stream/chunker.hpp"
+#include "stream/stream.hpp"
+#include "util/assert.hpp"
+
+namespace hs::core {
+
+namespace {
+
+/// Static per-fragment cost of one pass type.
+struct KernelCost {
+  std::uint64_t alu = 0;
+  std::uint64_t tex = 0;
+  std::uint64_t write_bytes = 0;        ///< render-target bytes per fragment
+  std::uint64_t input_texel_bytes = 0;  ///< unique texture bytes per fragment
+};
+
+double pass_time(const gpusim::DeviceProfile& profile, const KernelCost& k,
+                 std::uint64_t fragments) {
+  gpusim::PassCounts counts;
+  counts.fragments = fragments;
+  counts.alu_instructions = k.alu * fragments;
+  counts.tex_fetches = k.tex * fragments;
+  counts.unique_tile_bytes = k.input_texel_bytes * fragments;
+  // Without simulating the L1 we approximate its miss traffic as the
+  // compulsory traffic (every unique byte moves L2->L1 at least once).
+  counts.cache_miss_bytes = counts.unique_tile_bytes;
+  counts.tex_fetch_bytes = counts.unique_tile_bytes;
+  counts.bytes_written = k.write_bytes * fragments;
+  counts.cache_enabled = true;
+  return gpusim::model_pass_time(profile, counts);
+}
+
+KernelCost cost_of(const gpusim::FragmentProgram& program,
+                   std::uint64_t write_bytes, std::uint64_t input_bytes) {
+  KernelCost k;
+  k.alu = static_cast<std::uint64_t>(program.alu_instruction_count());
+  k.tex = static_cast<std::uint64_t>(program.tex_instruction_count());
+  k.write_bytes = write_bytes;
+  k.input_texel_bytes = input_bytes;
+  return k;
+}
+
+}  // namespace
+
+double analytic_gpu_morphology_seconds(const gpusim::DeviceProfile& profile,
+                                       int width, int height, int bands,
+                                       const StructuringElement& se,
+                                       bool precompute_log,
+                                       std::uint64_t chunk_texel_budget) {
+  if (width <= 0 || height <= 0) return 0.0;
+  const int groups = stream::band_group_count(bands);
+  const int nb = se.size();
+  const int halo = 2 * se.radius;
+  const std::uint64_t budget =
+      chunk_texel_budget > 0
+          ? chunk_texel_budget
+          : amc_auto_texel_budget(profile, bands, precompute_log);
+  const stream::ChunkPlan plan = stream::plan_chunks(width, height, halo, budget);
+
+  // Assemble the kernels once for their static instruction mix.
+  const auto clear = gpusim::assemble_or_die("clear", shaders::clear_source());
+  const auto sum = gpusim::assemble_or_die("sum", shaders::band_sum_source());
+  const auto norm = gpusim::assemble_or_die("norm", shaders::normalize_source());
+  const auto logk = gpusim::assemble_or_die("log", shaders::log_source());
+  const auto cumdist = gpusim::assemble_or_die(
+      "cumdist", precompute_log
+                     ? shaders::cumulative_distance_fused_source(nb)
+                     : shaders::cumulative_distance_inline_log_source(nb));
+  const auto minmax =
+      gpusim::assemble_or_die("minmax", shaders::minmax_offsets_source(nb));
+  const auto mei = gpusim::assemble_or_die("mei", shaders::mei_source());
+
+  double total = 0;
+  for (const auto& chunk : plan.chunks) {
+    const std::uint64_t texels = static_cast<std::uint64_t>(chunk.pwidth) *
+                                 static_cast<std::uint64_t>(chunk.pheight);
+    const std::uint64_t g = static_cast<std::uint64_t>(groups);
+
+    // Stage 2: clear + per-group sum/normalize (+ log).
+    total += pass_time(profile, cost_of(clear, 4, 0), texels);
+    total += static_cast<double>(g) *
+             pass_time(profile, cost_of(sum, 4, 16 + 4), texels);
+    total += static_cast<double>(g) *
+             pass_time(profile, cost_of(norm, 16, 16 + 4), texels);
+    if (precompute_log) {
+      total += static_cast<double>(g) *
+               pass_time(profile, cost_of(logk, 16, 16), texels);
+    }
+    // Stage 3: clear + per-group fused cumulative distance.
+    total += pass_time(profile, cost_of(clear, 4, 0), texels);
+    const std::uint64_t cum_inputs = precompute_log ? (16 + 16 + 4) : (16 + 4);
+    total += static_cast<double>(g) *
+             pass_time(profile, cost_of(cumdist, 4, cum_inputs), texels);
+    // Stage 4: one min/max pass.
+    total += pass_time(profile, cost_of(minmax, 16, 4), texels);
+    // Stage 5: clear + per-group MEI.
+    total += pass_time(profile, cost_of(clear, 4, 0), texels);
+    total += static_cast<double>(g) *
+             pass_time(profile, cost_of(mei, 4, 16 + 16 + 16 + 4), texels);
+
+    // Stages 1/6: transfers.
+    for (int gi = 0; gi < groups; ++gi) {
+      total += gpusim::model_upload_time(profile.bus, texels * 16);
+    }
+    total += gpusim::model_download_time(profile.bus, texels * 4);
+    total += gpusim::model_download_time(profile.bus, texels * 16);
+    total += gpusim::model_download_time(profile.bus, texels * 4);
+  }
+  return total;
+}
+
+double analytic_cpu_morphology_seconds(const gpusim::CpuProfile& cpu,
+                                       bool vectorized, std::uint64_t pixels,
+                                       const StructuringElement& se, int bands) {
+  if (pixels == 0) return 0.0;
+  return model_cpu_morphology_seconds(
+      cpu, cpu_morphology_cost(pixels, se.size(), bands), vectorized);
+}
+
+double balanced_cpu_fraction(const gpusim::CpuProfile& cpu, bool vectorized,
+                             const gpusim::DeviceProfile& gpu, int width,
+                             int height, int bands,
+                             const StructuringElement& se) {
+  const std::uint64_t px =
+      static_cast<std::uint64_t>(width) * static_cast<std::uint64_t>(height);
+  const double t_cpu = analytic_cpu_morphology_seconds(cpu, vectorized, px, se, bands);
+  const double t_gpu =
+      analytic_gpu_morphology_seconds(gpu, width, height, bands, se);
+  if (t_cpu + t_gpu <= 0) return 0.0;
+  // Rates are ~linear in rows; both finish together when the CPU gets the
+  // share proportional to its speed.
+  return std::clamp(t_gpu / (t_cpu + t_gpu), 0.0, 1.0);
+}
+
+HybridReport morphology_hybrid(const hsi::HyperCube& cube,
+                               const StructuringElement& se,
+                               const HybridOptions& options) {
+  const int w = cube.width();
+  const int h = cube.height();
+  const int halo = 2 * se.radius;
+
+  HybridReport report;
+  report.cpu_fraction =
+      options.cpu_fraction >= 0
+          ? std::clamp(options.cpu_fraction, 0.0, 1.0)
+          : balanced_cpu_fraction(options.cpu, options.cpu_vectorized,
+                                  options.gpu.profile, w, h, cube.bands(), se);
+  report.cpu_rows = static_cast<int>(std::lround(report.cpu_fraction * h));
+  report.cpu_rows = std::clamp(report.cpu_rows, 0, h);
+  report.gpu_rows = h - report.cpu_rows;
+
+  report.morph.width = w;
+  report.morph.height = h;
+  const std::size_t px = cube.pixel_count();
+  report.morph.db.assign(px, 0.f);
+  report.morph.erosion_index.assign(px, 0);
+  report.morph.dilation_index.assign(px, 0);
+  report.morph.mei.assign(px, 0.f);
+
+  auto stitch = [&](const MorphOutputs& part, int src_row0, int dst_row0,
+                    int rows) {
+    for (int y = 0; y < rows; ++y) {
+      const std::size_t src = static_cast<std::size_t>(src_row0 + y) *
+                              static_cast<std::size_t>(w);
+      const std::size_t dst = static_cast<std::size_t>(dst_row0 + y) *
+                              static_cast<std::size_t>(w);
+      std::copy_n(part.db.begin() + static_cast<std::ptrdiff_t>(src), w,
+                  report.morph.db.begin() + static_cast<std::ptrdiff_t>(dst));
+      std::copy_n(part.mei.begin() + static_cast<std::ptrdiff_t>(src), w,
+                  report.morph.mei.begin() + static_cast<std::ptrdiff_t>(dst));
+      std::copy_n(part.erosion_index.begin() + static_cast<std::ptrdiff_t>(src), w,
+                  report.morph.erosion_index.begin() + static_cast<std::ptrdiff_t>(dst));
+      std::copy_n(part.dilation_index.begin() + static_cast<std::ptrdiff_t>(src), w,
+                  report.morph.dilation_index.begin() + static_cast<std::ptrdiff_t>(dst));
+    }
+  };
+
+  // CPU band: rows [0, cpu_rows), computed on a crop extended by the halo.
+  if (report.cpu_rows > 0) {
+    const int crop_h = std::min(h, report.cpu_rows + halo);
+    const hsi::HyperCube band = cube.crop(0, 0, w, crop_h);
+    const MorphOutputs part = options.cpu_vectorized
+                                  ? morphology_vectorized(band, se)
+                                  : morphology_reference(band, se);
+    stitch(part, 0, 0, report.cpu_rows);
+    report.cpu_seconds = analytic_cpu_morphology_seconds(
+        options.cpu, options.cpu_vectorized,
+        static_cast<std::uint64_t>(crop_h) * static_cast<std::uint64_t>(w), se,
+        cube.bands());
+  }
+
+  // GPU band: rows [cpu_rows, h), crop extended upward by the halo.
+  if (report.gpu_rows > 0) {
+    const int crop_y0 = std::max(0, report.cpu_rows - halo);
+    const int lead = report.cpu_rows - crop_y0;  // halo rows inside the crop
+    const hsi::HyperCube band = cube.crop(0, crop_y0, w, h - crop_y0);
+    const AmcGpuReport gpu = morphology_gpu(band, se, options.gpu);
+    stitch(gpu.morph, lead, report.cpu_rows, report.gpu_rows);
+    report.gpu_seconds = gpu.modeled_seconds;
+    report.gpu_chunks = gpu.chunk_count;
+  }
+
+  report.makespan_seconds = std::max(report.cpu_seconds, report.gpu_seconds);
+  return report;
+}
+
+}  // namespace hs::core

@@ -1,0 +1,73 @@
+// Hybrid CPU/GPU workload partitioning.
+//
+// The paper closes with: "In future research, we plan to study additional
+// partitioning strategies to balance the CPU and GPU workloads." This
+// module implements that strategy for the morphological pipeline: the
+// image is split into a CPU row band and a GPU row band (each extended by
+// the usual 2r halo so results are exact), the two engines process their
+// bands concurrently in the modeled timeline, and the makespan is
+// max(cpu_time, gpu_time). The split fraction can be fixed or derived
+// from the cost models so both sides finish together.
+//
+// Functional guarantee: the stitched outputs are bit-identical to a
+// full-image run of the vectorized CPU engine (and therefore to the GPU
+// pipeline), because both engines mirror the same arithmetic and the halo
+// makes borders exact.
+#pragma once
+
+#include "core/amc_gpu.hpp"
+#include "core/morphology.hpp"
+#include "gpusim/device_profile.hpp"
+
+namespace hs::core {
+
+struct HybridOptions {
+  AmcGpuOptions gpu;
+  /// Host CPU working alongside the GPU (cost model only).
+  gpusim::CpuProfile cpu = gpusim::pentium4_prescott();
+  bool cpu_vectorized = true;
+  /// Fraction of image rows assigned to the CPU, in [0, 1].
+  /// Negative = balance automatically from the cost models.
+  double cpu_fraction = -1.0;
+};
+
+struct HybridReport {
+  MorphOutputs morph;
+  double cpu_fraction = 0;  ///< fraction actually used
+  int cpu_rows = 0;
+  int gpu_rows = 0;
+  /// Modeled concurrent timeline.
+  double cpu_seconds = 0;
+  double gpu_seconds = 0;
+  double makespan_seconds = 0;
+  std::size_t gpu_chunks = 0;
+};
+
+/// Runs the split; either band may be empty (fraction 0 or 1).
+HybridReport morphology_hybrid(const hsi::HyperCube& cube,
+                               const StructuringElement& se,
+                               const HybridOptions& options);
+
+/// Analytic (no-simulation) estimate of the GPU pipeline's modeled time
+/// for a given image, from the assembled kernels' static per-fragment
+/// instruction mix, the chunk plan, and the transfer model. Used to pick
+/// the automatic split; validated against the simulator in tests.
+double analytic_gpu_morphology_seconds(const gpusim::DeviceProfile& profile,
+                                       int width, int height, int bands,
+                                       const StructuringElement& se,
+                                       bool precompute_log = true,
+                                       std::uint64_t chunk_texel_budget = 0);
+
+/// Analytic CPU time for the same pipeline (wraps the cost model).
+double analytic_cpu_morphology_seconds(const gpusim::CpuProfile& cpu,
+                                       bool vectorized, std::uint64_t pixels,
+                                       const StructuringElement& se, int bands);
+
+/// The balanced CPU fraction: both sides finish together under the
+/// analytic models (clamped to [0, 1]).
+double balanced_cpu_fraction(const gpusim::CpuProfile& cpu, bool vectorized,
+                             const gpusim::DeviceProfile& gpu, int width,
+                             int height, int bands,
+                             const StructuringElement& se);
+
+}  // namespace hs::core

@@ -1,0 +1,139 @@
+#include "core/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace hs::core {
+
+namespace {
+
+/// k-means++-style seeding: first centroid uniform, then proportional to
+/// squared distance from the nearest chosen centroid.
+std::vector<std::vector<float>> seed_centroids(const hsi::HyperCube& cube,
+                                               const KMeansConfig& config,
+                                               util::Xoshiro256& rng) {
+  const std::size_t px = cube.pixel_count();
+  const int bands = cube.bands();
+  std::vector<std::vector<float>> centroids;
+  centroids.reserve(static_cast<std::size_t>(config.clusters));
+
+  std::vector<float> spec(static_cast<std::size_t>(bands));
+  auto pixel_at = [&](std::size_t p) {
+    const int x = static_cast<int>(p % static_cast<std::size_t>(cube.width()));
+    const int y = static_cast<int>(p / static_cast<std::size_t>(cube.width()));
+    cube.pixel(x, y, spec);
+    return std::vector<float>(spec.begin(), spec.end());
+  };
+
+  centroids.push_back(pixel_at(rng.uniform_int(px)));
+
+  std::vector<double> best_d2(px, std::numeric_limits<double>::infinity());
+  while (static_cast<int>(centroids.size()) < config.clusters) {
+    // Update squared distances to the nearest chosen centroid.
+    const auto& last = centroids.back();
+    double total = 0;
+    for (std::size_t p = 0; p < px; ++p) {
+      const int x = static_cast<int>(p % static_cast<std::size_t>(cube.width()));
+      const int y = static_cast<int>(p / static_cast<std::size_t>(cube.width()));
+      cube.pixel(x, y, spec);
+      const double d = spectral_distance(config.metric, spec, last);
+      best_d2[p] = std::min(best_d2[p], d * d);
+      total += best_d2[p];
+    }
+    if (total <= 0) {
+      // Degenerate (all pixels identical): duplicate the first centroid.
+      centroids.push_back(centroids.front());
+      continue;
+    }
+    double r = rng.uniform() * total;
+    std::size_t pick = px - 1;
+    for (std::size_t p = 0; p < px; ++p) {
+      r -= best_d2[p];
+      if (r <= 0) {
+        pick = p;
+        break;
+      }
+    }
+    centroids.push_back(pixel_at(pick));
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult kmeans_spectral(const hsi::HyperCube& cube,
+                             const KMeansConfig& config) {
+  HS_ASSERT(config.clusters >= 1);
+  HS_ASSERT(config.max_iterations >= 1);
+  const std::size_t px = cube.pixel_count();
+  const int bands = cube.bands();
+  HS_ASSERT(px >= static_cast<std::size_t>(config.clusters));
+
+  util::Xoshiro256 rng(config.seed);
+  KMeansResult result;
+  result.centroids = seed_centroids(cube, config, rng);
+  result.labels.assign(px, 0);
+
+  std::vector<float> spec(static_cast<std::size_t>(bands));
+  std::vector<std::vector<double>> sums(
+      static_cast<std::size_t>(config.clusters),
+      std::vector<double>(static_cast<std::size_t>(bands), 0.0));
+  std::vector<std::size_t> counts(static_cast<std::size_t>(config.clusters), 0);
+
+  double previous = std::numeric_limits<double>::infinity();
+  for (result.iterations = 1; result.iterations <= config.max_iterations;
+       ++result.iterations) {
+    // Assignment step.
+    double distortion = 0;
+    for (auto& s : sums) std::fill(s.begin(), s.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), std::size_t{0});
+
+    for (std::size_t p = 0; p < px; ++p) {
+      const int x = static_cast<int>(p % static_cast<std::size_t>(cube.width()));
+      const int y = static_cast<int>(p / static_cast<std::size_t>(cube.width()));
+      cube.pixel(x, y, spec);
+      double best = std::numeric_limits<double>::infinity();
+      int best_k = 0;
+      for (int k = 0; k < config.clusters; ++k) {
+        const double d = spectral_distance(
+            config.metric, spec, result.centroids[static_cast<std::size_t>(k)]);
+        if (d < best) {
+          best = d;
+          best_k = k;
+        }
+      }
+      result.labels[p] = best_k;
+      distortion += best;
+      auto& s = sums[static_cast<std::size_t>(best_k)];
+      for (int b = 0; b < bands; ++b) {
+        s[static_cast<std::size_t>(b)] += spec[static_cast<std::size_t>(b)];
+      }
+      ++counts[static_cast<std::size_t>(best_k)];
+    }
+    result.distortion = distortion;
+
+    // Update step (empty clusters keep their previous centroid).
+    for (int k = 0; k < config.clusters; ++k) {
+      if (counts[static_cast<std::size_t>(k)] == 0) continue;
+      auto& c = result.centroids[static_cast<std::size_t>(k)];
+      const double inv = 1.0 / static_cast<double>(counts[static_cast<std::size_t>(k)]);
+      for (int b = 0; b < bands; ++b) {
+        c[static_cast<std::size_t>(b)] = static_cast<float>(
+            sums[static_cast<std::size_t>(k)][static_cast<std::size_t>(b)] * inv);
+      }
+    }
+
+    if (previous - distortion <= config.tolerance * std::max(previous, 1e-30)) {
+      result.converged = true;
+      break;
+    }
+    previous = distortion;
+  }
+  return result;
+}
+
+}  // namespace hs::core

@@ -1,0 +1,41 @@
+// Spectral-only k-means clustering.
+//
+// The baseline AMC is motivated against: "last-generation hyperspectral
+// image analysis algorithms naturally integrate the wealth [of] spatial
+// and spectral information" (paper, Section 1) -- as opposed to classic
+// purely *spectral* clustering, which treats pixels as an unordered bag of
+// spectra. This k-means (Lloyd's algorithm with k-means++-style seeding,
+// pluggable spectral distance) supplies that baseline so the spatial
+// benefit of the morphological pipeline can be quantified
+// (bench/ablate_spatial_vs_spectral).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/distances.hpp"
+#include "hsi/cube.hpp"
+
+namespace hs::core {
+
+struct KMeansConfig {
+  int clusters = 16;
+  int max_iterations = 50;
+  /// Relative decrease of total distortion that counts as converged.
+  double tolerance = 1e-4;
+  Distance metric = Distance::Euclidean;
+  std::uint64_t seed = 1;
+};
+
+struct KMeansResult {
+  std::vector<int> labels;                     ///< per pixel, [0, k)
+  std::vector<std::vector<float>> centroids;   ///< k spectra
+  double distortion = 0;                       ///< final total distance
+  int iterations = 0;
+  bool converged = false;
+};
+
+KMeansResult kmeans_spectral(const hsi::HyperCube& cube,
+                             const KMeansConfig& config = {});
+
+}  // namespace hs::core

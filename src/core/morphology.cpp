@@ -1,0 +1,290 @@
+#include "core/morphology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/distances.hpp"
+#include "util/assert.hpp"
+
+namespace hs::core {
+
+namespace {
+
+inline int clampi(int v, int lo, int hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace
+
+MorphOutputs morphology_reference(const hsi::HyperCube& cube,
+                                  const StructuringElement& se) {
+  const int w = cube.width();
+  const int h = cube.height();
+  const int n = cube.bands();
+  const std::size_t px = cube.pixel_count();
+  const std::size_t sn = static_cast<std::size_t>(n);
+
+  MorphOutputs out;
+  out.width = w;
+  out.height = h;
+  out.db.assign(px, 0.f);
+  out.erosion_index.assign(px, 0);
+  out.dilation_index.assign(px, 0);
+  out.mei.assign(px, 0.f);
+
+  // Normalized distributions and their logs, computed once and reused for
+  // every neighborhood the pixel participates in.
+  std::vector<double> p(px * sn), lp(px * sn);
+  {
+    std::vector<float> spec(sn);
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        cube.pixel(x, y, spec);
+        double sum = 0;
+        for (int b = 0; b < n; ++b) sum += static_cast<double>(spec[static_cast<std::size_t>(b)]);
+        sum = std::max(sum, static_cast<double>(kSumEpsilon));
+        const std::size_t base = (static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+                                  static_cast<std::size_t>(x)) * sn;
+        for (int b = 0; b < n; ++b) {
+          const double v = std::max(static_cast<double>(spec[static_cast<std::size_t>(b)]) / sum,
+                                    static_cast<double>(kProbEpsilon));
+          p[base + static_cast<std::size_t>(b)] = v;
+          lp[base + static_cast<std::size_t>(b)] = std::log(v);
+        }
+      }
+    }
+  }
+
+  auto pixel_base = [&](int x, int y) {
+    return (static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+            static_cast<std::size_t>(x)) * sn;
+  };
+
+  auto pair_sid = [&](std::size_t a, std::size_t b) {
+    double acc = 0;
+    for (std::size_t l = 0; l < sn; ++l) {
+      acc += (p[a + l] - p[b + l]) * (lp[a + l] - lp[b + l]);
+    }
+    return acc;
+  };
+
+  // Cumulative distance D_B (eq. 1), once per pixel.
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const std::size_t center = pixel_base(x, y);
+      double acc = 0;
+      for (const auto& [dx, dy] : se.offsets) {
+        const std::size_t nb = pixel_base(clampi(x + dx, 0, w - 1),
+                                          clampi(y + dy, 0, h - 1));
+        acc += pair_sid(center, nb);
+      }
+      out.db[static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+             static_cast<std::size_t>(x)] = static_cast<float>(acc);
+    }
+  }
+
+  // Erosion (argmin) / dilation (argmax) over the shifted D_B values
+  // (eqs. 5-6), first-wins tie-breaking in SE scan order, then the MEI
+  // (SID between the dilation- and erosion-selected pixel vectors).
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      int min_d = 0, max_d = 0;
+      float min_v = 0, max_v = 0;
+      for (int d = 0; d < se.size(); ++d) {
+        const auto [dx, dy] = se.offsets[static_cast<std::size_t>(d)];
+        const float v =
+            out.db[static_cast<std::size_t>(clampi(y + dy, 0, h - 1)) *
+                       static_cast<std::size_t>(w) +
+                   static_cast<std::size_t>(clampi(x + dx, 0, w - 1))];
+        if (d == 0) {
+          min_v = max_v = v;
+        } else {
+          if (v < min_v) {
+            min_v = v;
+            min_d = d;
+          }
+          if (v > max_v) {
+            max_v = v;
+            max_d = d;
+          }
+        }
+      }
+      const std::size_t idx =
+          static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+          static_cast<std::size_t>(x);
+      out.erosion_index[idx] = static_cast<std::uint8_t>(min_d);
+      out.dilation_index[idx] = static_cast<std::uint8_t>(max_d);
+
+      const auto [ex, ey] = se.offsets[static_cast<std::size_t>(min_d)];
+      const auto [gx, gy] = se.offsets[static_cast<std::size_t>(max_d)];
+      const std::size_t ero = pixel_base(clampi(x + ex, 0, w - 1),
+                                         clampi(y + ey, 0, h - 1));
+      const std::size_t dil = pixel_base(clampi(x + gx, 0, w - 1),
+                                         clampi(y + gy, 0, h - 1));
+      out.mei[idx] = static_cast<float>(pair_sid(dil, ero));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized engine: float arithmetic in band groups of four, mirroring the
+// fragment programs instruction for instruction (see core/shaders.cpp).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// ln(2) exactly as the shader literal {0.69314718} parses to float.
+constexpr float kLn2 = 0.69314718f;
+
+/// DP4 with the interpreter's evaluation order.
+inline float dp4_mirror(const float* a, const float* b) {
+  return a[0] * b[0] + a[1] * b[1] + a[2] * b[2] + a[3] * b[3];
+}
+
+}  // namespace
+
+MorphOutputs morphology_vectorized(const hsi::HyperCube& cube,
+                                   const StructuringElement& se) {
+  const int w = cube.width();
+  const int h = cube.height();
+  const int n = cube.bands();
+  const int groups = (n + 3) / 4;
+  const std::size_t padn = static_cast<std::size_t>(groups) * 4;
+  const std::size_t px = cube.pixel_count();
+
+  MorphOutputs out;
+  out.width = w;
+  out.height = h;
+  out.db.assign(px, 0.f);
+  out.erosion_index.assign(px, 0);
+  out.dilation_index.assign(px, 0);
+  out.mei.assign(px, 0.f);
+
+  // Normalization stage: band-group sums (DP4 order), reciprocal multiply,
+  // then the log stream (MAX clamp, LG2, scale by ln 2).
+  std::vector<float> p(px * padn, 0.f), lp(px * padn, 0.f);
+  {
+    std::vector<float> spec(static_cast<std::size_t>(n));
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        cube.pixel(x, y, spec);
+        const std::size_t base =
+            (static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+             static_cast<std::size_t>(x)) * padn;
+        float* pp = p.data() + base;
+        for (int b = 0; b < n; ++b) pp[b] = spec[static_cast<std::size_t>(b)];
+
+        float sum = 0.f;
+        for (int g = 0; g < groups; ++g) {
+          const float* f = pp + 4 * g;
+          const float sg = f[0] * 1.f + f[1] * 1.f + f[2] * 1.f + f[3] * 1.f;
+          sum = sum + sg;
+        }
+        const float r = 1.f / std::max(sum, kSumEpsilon);
+        float* lpp = lp.data() + base;
+        for (std::size_t b = 0; b < padn; ++b) {
+          pp[b] = pp[b] * r;
+          lpp[b] = std::log2(std::max(pp[b], kProbEpsilon)) * kLn2;
+        }
+      }
+    }
+  }
+
+  auto base_of = [&](int x, int y) {
+    return (static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+            static_cast<std::size_t>(x)) * padn;
+  };
+
+  // Cumulative distance: one "pass" per band group (group-major), each pass
+  // accumulating the SE neighbors in scan order inside a register.
+  for (int g = 0; g < groups; ++g) {
+    const std::size_t go = static_cast<std::size_t>(g) * 4;
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const float* pc = p.data() + base_of(x, y) + go;
+        const float* lc = lp.data() + base_of(x, y) + go;
+        float acc = 0.f;
+        for (const auto& [dx, dy] : se.offsets) {
+          const std::size_t nb =
+              base_of(clampi(x + dx, 0, w - 1), clampi(y + dy, 0, h - 1)) + go;
+          const float* pq = p.data() + nb;
+          const float* lq = lp.data() + nb;
+          float dp[4], dl[4];
+          for (int c = 0; c < 4; ++c) {
+            dp[c] = pc[c] - pq[c];
+            dl[c] = lc[c] - lq[c];
+          }
+          acc = acc + dp4_mirror(dp, dl);
+        }
+        const std::size_t idx =
+            static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+            static_cast<std::size_t>(x);
+        out.db[idx] = out.db[idx] + acc;
+      }
+    }
+  }
+
+  // Min/max stage: strict-compare chains over the shifted D_B, first-wins.
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      int min_d = 0, max_d = 0;
+      float min_v = 0.f, max_v = 0.f;
+      for (int d = 0; d < se.size(); ++d) {
+        const auto [dx, dy] = se.offsets[static_cast<std::size_t>(d)];
+        const float v =
+            out.db[static_cast<std::size_t>(clampi(y + dy, 0, h - 1)) *
+                       static_cast<std::size_t>(w) +
+                   static_cast<std::size_t>(clampi(x + dx, 0, w - 1))];
+        if (d == 0) {
+          min_v = max_v = v;
+        } else {
+          if (v < min_v) {
+            min_v = v;
+            min_d = d;
+          }
+          if (max_v < v) {
+            max_v = v;
+            max_d = d;
+          }
+        }
+      }
+      const std::size_t idx =
+          static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+          static_cast<std::size_t>(x);
+      out.erosion_index[idx] = static_cast<std::uint8_t>(min_d);
+      out.dilation_index[idx] = static_cast<std::uint8_t>(max_d);
+    }
+  }
+
+  // MEI stage: one pass per band group, accumulating SID(dilation, erosion).
+  for (int g = 0; g < groups; ++g) {
+    const std::size_t go = static_cast<std::size_t>(g) * 4;
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const std::size_t idx =
+            static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+            static_cast<std::size_t>(x);
+        const auto [ex, ey] =
+            se.offsets[static_cast<std::size_t>(out.erosion_index[idx])];
+        const auto [gx, gy] =
+            se.offsets[static_cast<std::size_t>(out.dilation_index[idx])];
+        const std::size_t ero =
+            base_of(clampi(x + ex, 0, w - 1), clampi(y + ey, 0, h - 1)) + go;
+        const std::size_t dil =
+            base_of(clampi(x + gx, 0, w - 1), clampi(y + gy, 0, h - 1)) + go;
+        float dp[4], dl[4];
+        for (int c = 0; c < 4; ++c) {
+          dp[c] = p[dil + static_cast<std::size_t>(c)] -
+                  p[ero + static_cast<std::size_t>(c)];
+          dl[c] = lp[dil + static_cast<std::size_t>(c)] -
+                  lp[ero + static_cast<std::size_t>(c)];
+        }
+        out.mei[idx] = out.mei[idx] + dp4_mirror(dp, dl);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hs::core

@@ -1,0 +1,56 @@
+// Extended morphological operations and the MEI score (step 2 of AMC).
+//
+// Two CPU engines compute the same mathematics:
+//
+//   * morphology_reference -- the clean double-precision implementation
+//     (the paper's "gcc" scalar baseline). Hand-tuned in the same sense
+//     the paper describes: the cumulative distance D_B is computed once
+//     per pixel and *reused* for all neighborhoods that contain the pixel
+//     (without the reuse, erosion+dilation would recompute every D_B
+//     |B| times).
+//
+//   * morphology_vectorized -- the 4-wide float implementation (the
+//     paper's "icc autovectorized" baseline). It processes bands in
+//     groups of four with the exact operation order, precision, and
+//     epsilon clamps of the GPU fragment programs, so its outputs are
+//     bit-comparable with the GPU stream pipeline -- the equivalence test
+//     between backends rests on this.
+//
+// Border policy is clamp-to-edge everywhere (matching the texture
+// addressing mode of the GPU path).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/structuring_element.hpp"
+#include "hsi/cube.hpp"
+
+namespace hs::core {
+
+struct MorphOutputs {
+  int width = 0;
+  int height = 0;
+  /// Cumulative SID distance D_B per pixel (eq. 1).
+  std::vector<float> db;
+  /// Index into se.offsets of the erosion selection (argmin, eq. 5).
+  std::vector<std::uint8_t> erosion_index;
+  /// Index into se.offsets of the dilation selection (argmax, eq. 6).
+  std::vector<std::uint8_t> dilation_index;
+  /// Morphological eccentricity index: SID(dilation pixel, erosion pixel).
+  std::vector<float> mei;
+
+  std::size_t pixel_count() const {
+    return static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+  }
+};
+
+/// Double-precision scalar reference.
+MorphOutputs morphology_reference(const hsi::HyperCube& cube,
+                                  const StructuringElement& se);
+
+/// Float, band-group-of-4 engine mirroring the GPU kernel arithmetic.
+MorphOutputs morphology_vectorized(const hsi::HyperCube& cube,
+                                   const StructuringElement& se);
+
+}  // namespace hs::core

@@ -1,0 +1,92 @@
+#include "core/morphology_ops.hpp"
+
+#include <algorithm>
+
+#include "core/distances.hpp"
+#include "core/morphology.hpp"
+#include "util/assert.hpp"
+
+namespace hs::core {
+
+namespace {
+
+enum class Selection { Erosion, Dilation };
+
+hsi::HyperCube select_transform(const hsi::HyperCube& cube,
+                                const StructuringElement& se,
+                                Selection selection) {
+  const MorphOutputs morph = morphology_reference(cube, se);
+  hsi::HyperCube out(cube.width(), cube.height(), cube.bands(),
+                     cube.interleave());
+  std::vector<float> spec(static_cast<std::size_t>(cube.bands()));
+  for (int y = 0; y < cube.height(); ++y) {
+    for (int x = 0; x < cube.width(); ++x) {
+      const std::size_t idx =
+          static_cast<std::size_t>(y) * static_cast<std::size_t>(cube.width()) +
+          static_cast<std::size_t>(x);
+      const std::uint8_t d = selection == Selection::Erosion
+                                 ? morph.erosion_index[idx]
+                                 : morph.dilation_index[idx];
+      const auto [dx, dy] = se.offsets[d];
+      const int sx = std::clamp(x + dx, 0, cube.width() - 1);
+      const int sy = std::clamp(y + dy, 0, cube.height() - 1);
+      cube.pixel(sx, sy, spec);
+      out.set_pixel(x, y, spec);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+hsi::HyperCube extended_erode(const hsi::HyperCube& cube,
+                              const StructuringElement& se) {
+  return select_transform(cube, se, Selection::Erosion);
+}
+
+hsi::HyperCube extended_dilate(const hsi::HyperCube& cube,
+                               const StructuringElement& se) {
+  return select_transform(cube, se, Selection::Dilation);
+}
+
+hsi::HyperCube extended_open(const hsi::HyperCube& cube,
+                             const StructuringElement& se) {
+  return extended_dilate(extended_erode(cube, se), se);
+}
+
+hsi::HyperCube extended_close(const hsi::HyperCube& cube,
+                              const StructuringElement& se) {
+  return extended_erode(extended_dilate(cube, se), se);
+}
+
+std::vector<std::vector<float>> morphological_profile(
+    const hsi::HyperCube& cube, int steps) {
+  HS_ASSERT(steps >= 1);
+  std::vector<std::vector<float>> profile;
+  profile.reserve(static_cast<std::size_t>(2 * steps));
+
+  std::vector<float> a(static_cast<std::size_t>(cube.bands()));
+  std::vector<float> b(static_cast<std::size_t>(cube.bands()));
+  auto sid_map = [&](const hsi::HyperCube& transformed) {
+    std::vector<float> out(cube.pixel_count());
+    for (int y = 0; y < cube.height(); ++y) {
+      for (int x = 0; x < cube.width(); ++x) {
+        cube.pixel(x, y, a);
+        transformed.pixel(x, y, b);
+        out[static_cast<std::size_t>(y) * static_cast<std::size_t>(cube.width()) +
+            static_cast<std::size_t>(x)] = static_cast<float>(sid(a, b));
+      }
+    }
+    return out;
+  };
+
+  for (int s = 1; s <= steps; ++s) {
+    profile.push_back(sid_map(extended_open(cube, StructuringElement::square(s))));
+  }
+  for (int s = 1; s <= steps; ++s) {
+    profile.push_back(sid_map(extended_close(cube, StructuringElement::square(s))));
+  }
+  return profile;
+}
+
+}  // namespace hs::core

@@ -1,0 +1,45 @@
+// Extended morphological operators on pixel-vector images.
+//
+// AMC's step 2 uses one erosion/dilation pair internally; the algorithm
+// family it derives from (Plaza et al. 2005, the paper's reference [11])
+// builds *sequences* of extended transformations -- openings, closings,
+// morphological profiles. These operators materialize the transformed
+// cubes: each output pixel is the input pixel vector selected by the
+// SID-cumulative-distance argmin (erosion) or argmax (dilation) over the
+// structuring element, per eqs. 5-6.
+#pragma once
+
+#include <vector>
+
+#include "core/structuring_element.hpp"
+#include "hsi/cube.hpp"
+
+namespace hs::core {
+
+/// Extended erosion: every pixel replaced by its B-neighborhood's most
+/// spectrally central member (argmin of D_B).
+hsi::HyperCube extended_erode(const hsi::HyperCube& cube,
+                              const StructuringElement& se);
+
+/// Extended dilation: every pixel replaced by its B-neighborhood's most
+/// spectrally distinct member (argmax of D_B).
+hsi::HyperCube extended_dilate(const hsi::HyperCube& cube,
+                               const StructuringElement& se);
+
+/// Opening: erosion followed by dilation. Removes bright (spectrally
+/// anomalous) structures smaller than the SE.
+hsi::HyperCube extended_open(const hsi::HyperCube& cube,
+                             const StructuringElement& se);
+
+/// Closing: dilation followed by erosion.
+hsi::HyperCube extended_close(const hsi::HyperCube& cube,
+                              const StructuringElement& se);
+
+/// Morphological profile: per-pixel SID between the input and each of
+/// `steps` successive openings/closings with SEs of growing radius
+/// (radius = 1..steps, square). Output layout: profiles[s][pixel], with
+/// openings first (s in [0, steps)) then closings (s in [steps, 2*steps)).
+std::vector<std::vector<float>> morphological_profile(
+    const hsi::HyperCube& cube, int steps);
+
+}  // namespace hs::core

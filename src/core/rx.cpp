@@ -1,0 +1,69 @@
+#include "core/rx.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "hsi/band_math.hpp"
+#include "linalg/cholesky.hpp"
+#include "util/assert.hpp"
+
+namespace hs::core {
+
+RxResult rx_detect(const hsi::HyperCube& cube, const RxConfig& config) {
+  HS_ASSERT(config.false_alarm_rate > 0 && config.false_alarm_rate < 1);
+  const int n = cube.bands();
+  const std::size_t px = cube.pixel_count();
+
+  const std::vector<double> mean = hsi::band_means(cube);
+  linalg::Matrix cov = hsi::band_covariance(cube);
+  double trace = 0;
+  for (int i = 0; i < n; ++i) trace += cov(static_cast<std::size_t>(i), static_cast<std::size_t>(i));
+  const double ridge = config.ridge * std::max(trace / n, 1e-12);
+  for (int i = 0; i < n; ++i) cov(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) += ridge;
+
+  const auto chol = linalg::Cholesky::factor(cov);
+  HS_ASSERT_MSG(chol.has_value(), "covariance not positive definite after ridge");
+
+  RxResult result;
+  result.scores.assign(px, 0.f);
+  std::vector<float> spec(static_cast<std::size_t>(n));
+  std::vector<double> centered(static_cast<std::size_t>(n));
+  for (int y = 0; y < cube.height(); ++y) {
+    for (int x = 0; x < cube.width(); ++x) {
+      cube.pixel(x, y, spec);
+      for (int b = 0; b < n; ++b) {
+        centered[static_cast<std::size_t>(b)] =
+            static_cast<double>(spec[static_cast<std::size_t>(b)]) -
+            mean[static_cast<std::size_t>(b)];
+      }
+      const auto solved = chol->solve(centered);
+      double score = 0;
+      for (int b = 0; b < n; ++b) {
+        score += centered[static_cast<std::size_t>(b)] * solved[static_cast<std::size_t>(b)];
+      }
+      result.scores[static_cast<std::size_t>(y) * static_cast<std::size_t>(cube.width()) +
+                    static_cast<std::size_t>(x)] = static_cast<float>(score);
+    }
+  }
+
+  // Empirical quantile threshold.
+  std::vector<float> sorted = result.scores;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t cut = std::min(
+      px - 1, static_cast<std::size_t>((1.0 - config.false_alarm_rate) *
+                                       static_cast<double>(px)));
+  result.threshold = sorted[cut];
+
+  std::vector<std::size_t> order(px);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return result.scores[a] > result.scores[b];
+  });
+  for (std::size_t i : order) {
+    if (result.scores[i] <= result.threshold) break;
+    result.detections.push_back(i);
+  }
+  return result;
+}
+
+}  // namespace hs::core

@@ -1,0 +1,38 @@
+// RX anomaly detection (Reed-Xiaoli).
+//
+// The standard global anomaly detector for hyperspectral imagery and one
+// of the "timely response" applications (target/threat detection) the
+// paper's introduction motivates: score every pixel by its Mahalanobis
+// distance to the scene's global background statistics,
+//     RX(x) = (x - mu)^T C^-1 (x - mu),
+// and threshold the score. Complements AMC: AMC labels everything, RX
+// flags the pixels that fit nothing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hsi/cube.hpp"
+
+namespace hs::core {
+
+struct RxResult {
+  /// Per-pixel RX score (>= 0).
+  std::vector<float> scores;
+  /// Chi-squared-motivated detection threshold actually used.
+  double threshold = 0;
+  /// Pixel indices with score above the threshold, descending score.
+  std::vector<std::size_t> detections;
+};
+
+struct RxConfig {
+  /// Fraction of pixels expected to be anomalous; the threshold is the
+  /// (1 - rate) quantile of the empirical score distribution.
+  double false_alarm_rate = 0.001;
+  /// Relative ridge added to the covariance diagonal (rank safety).
+  double ridge = 1e-6;
+};
+
+RxResult rx_detect(const hsi::HyperCube& cube, const RxConfig& config = {});
+
+}  // namespace hs::core

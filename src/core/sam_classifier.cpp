@@ -1,0 +1,40 @@
+#include "core/sam_classifier.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace hs::core {
+
+std::vector<int> classify_by_library(const hsi::HyperCube& cube,
+                                     const hsi::SpectralLibrary& library,
+                                     const LibraryClassifierConfig& config) {
+  HS_ASSERT(cube.bands() == library.bands);
+  HS_ASSERT(library.num_classes() > 0);
+
+  std::vector<int> labels(cube.pixel_count(), -1);
+  std::vector<float> spec(static_cast<std::size_t>(cube.bands()));
+  for (int y = 0; y < cube.height(); ++y) {
+    for (int x = 0; x < cube.width(); ++x) {
+      cube.pixel(x, y, spec);
+      double best = std::numeric_limits<double>::infinity();
+      int best_class = -1;
+      for (int c = 0; c < library.num_classes(); ++c) {
+        const double d =
+            spectral_distance(config.metric, spec, library.signature(c));
+        if (d < best) {
+          best = d;
+          best_class = c;
+        }
+      }
+      if (config.reject_threshold >= 0 && best > config.reject_threshold) {
+        best_class = -1;
+      }
+      labels[static_cast<std::size_t>(y) * static_cast<std::size_t>(cube.width()) +
+             static_cast<std::size_t>(x)] = best_class;
+    }
+  }
+  return labels;
+}
+
+}  // namespace hs::core

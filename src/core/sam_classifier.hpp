@@ -1,0 +1,30 @@
+// Supervised spectral-library classification.
+//
+// The supervised counterpart to AMC's unsupervised pipeline: each pixel is
+// assigned the library class whose reference spectrum is nearest under the
+// chosen spectral distance (SAM by default; SID and Euclidean are the
+// alternatives). With the synthetic scene's own library this is the oracle
+// upper bound the AMC result can be compared against.
+#pragma once
+
+#include <vector>
+
+#include "core/distances.hpp"
+#include "hsi/cube.hpp"
+#include "hsi/spectral_library.hpp"
+
+namespace hs::core {
+
+struct LibraryClassifierConfig {
+  Distance metric = Distance::Sam;
+  /// Pixels whose best distance exceeds this are labeled -1 (reject).
+  /// Negative disables rejection.
+  double reject_threshold = -1.0;
+};
+
+/// Labels every pixel with the nearest library class (or -1 on reject).
+std::vector<int> classify_by_library(const hsi::HyperCube& cube,
+                                     const hsi::SpectralLibrary& library,
+                                     const LibraryClassifierConfig& config = {});
+
+}  // namespace hs::core

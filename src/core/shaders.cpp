@@ -1,0 +1,199 @@
+#include "core/shaders.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace hs::core::shaders {
+
+namespace {
+constexpr const char* kHeader = "!!HSFP1.0\n";
+constexpr const char* kSumEps = "{0.000001}";       // == core::kSumEpsilon
+constexpr const char* kProbEps = "{0.000000000001}"; // == core::kProbEpsilon
+constexpr const char* kLn2 = "{0.69314718}";
+}  // namespace
+
+std::string clear_source() {
+  return std::string(kHeader) +
+         "MOV result.color, {0.0, 0.0, 0.0, 0.0};\n"
+         "END\n";
+}
+
+std::string band_sum_source() {
+  return std::string(kHeader) +
+         "TEX R0, fragment.texcoord[0], texture[0];\n"  // f_g
+         "TEX R1, fragment.texcoord[0], texture[1];\n"  // running sum
+         "DP4 R2.x, R0, {1.0, 1.0, 1.0, 1.0};\n"
+         "ADD result.color.x, R1.x, R2.x;\n"
+         "END\n";
+}
+
+std::string normalize_source() {
+  std::ostringstream os;
+  os << kHeader;
+  os << "TEX R0, fragment.texcoord[0], texture[0];\n";  // f_g
+  os << "TEX R1, fragment.texcoord[0], texture[1];\n";  // sum
+  os << "MAX R1.x, R1.x, " << kSumEps << ";\n";
+  os << "RCP R2.x, R1.x;\n";
+  os << "MUL result.color, R0, R2.x;\n";
+  os << "END\n";
+  return os.str();
+}
+
+std::string log_source() {
+  std::ostringstream os;
+  os << kHeader;
+  os << "TEX R0, fragment.texcoord[0], texture[0];\n";  // p_g
+  os << "MAX R0, R0, " << kProbEps << ";\n";
+  os << "LG2 R1.x, R0.x;\n";
+  os << "LG2 R1.y, R0.y;\n";
+  os << "LG2 R1.z, R0.z;\n";
+  os << "LG2 R1.w, R0.w;\n";
+  os << "MUL result.color, R1, " << kLn2 << ";\n";
+  os << "END\n";
+  return os.str();
+}
+
+std::string cumulative_distance_fused_source(int neighbors) {
+  HS_ASSERT(neighbors >= 1);
+  std::ostringstream os;
+  os << kHeader;
+  os << "TEX R0, fragment.texcoord[0], texture[0];\n";  // p center
+  os << "TEX R1, fragment.texcoord[0], texture[1];\n";  // lp center
+  os << "MOV R2.x, {0.0};\n";                           // accumulator
+  for (int d = 0; d < neighbors; ++d) {
+    os << "ADD R3.xy, fragment.texcoord[0], c[" << d << "];\n";
+    os << "TEX R4, R3, texture[0];\n";  // p neighbor
+    os << "TEX R5, R3, texture[1];\n";  // lp neighbor
+    os << "SUB R6, R0, R4;\n";
+    os << "SUB R7, R1, R5;\n";
+    os << "DP4 R8.x, R6, R7;\n";
+    os << "ADD R2.x, R2.x, R8.x;\n";
+  }
+  os << "TEX R9, fragment.texcoord[0], texture[2];\n";  // db in
+  os << "ADD result.color.x, R9.x, R2.x;\n";
+  os << "END\n";
+  return os.str();
+}
+
+std::string cumulative_distance_inline_log_source(int neighbors) {
+  HS_ASSERT(neighbors >= 1);
+  std::ostringstream os;
+  os << kHeader;
+  os << "TEX R0, fragment.texcoord[0], texture[0];\n";  // p center
+  // Center log, computed once per fragment.
+  os << "MAX R1, R0, " << kProbEps << ";\n";
+  os << "LG2 R2.x, R1.x;\n";
+  os << "LG2 R2.y, R1.y;\n";
+  os << "LG2 R2.z, R1.z;\n";
+  os << "LG2 R2.w, R1.w;\n";
+  os << "MUL R1, R2, " << kLn2 << ";\n";                // lp center
+  os << "MOV R3.x, {0.0};\n";                           // accumulator
+  for (int d = 0; d < neighbors; ++d) {
+    os << "ADD R4.xy, fragment.texcoord[0], c[" << d << "];\n";
+    os << "TEX R5, R4, texture[0];\n";  // p neighbor
+    os << "MAX R6, R5, " << kProbEps << ";\n";
+    os << "LG2 R7.x, R6.x;\n";
+    os << "LG2 R7.y, R6.y;\n";
+    os << "LG2 R7.z, R6.z;\n";
+    os << "LG2 R7.w, R6.w;\n";
+    os << "MUL R6, R7, " << kLn2 << ";\n";  // lq
+    os << "SUB R8, R0, R5;\n";
+    os << "SUB R9, R1, R6;\n";
+    os << "DP4 R10.x, R8, R9;\n";
+    os << "ADD R3.x, R3.x, R10.x;\n";
+  }
+  os << "TEX R11, fragment.texcoord[0], texture[1];\n";  // db in
+  os << "ADD result.color.x, R11.x, R3.x;\n";
+  os << "END\n";
+  return os.str();
+}
+
+std::string cumulative_distance_single_source() {
+  std::ostringstream os;
+  os << kHeader;
+  os << "TEX R0, fragment.texcoord[0], texture[0];\n";
+  os << "TEX R1, fragment.texcoord[0], texture[1];\n";
+  os << "ADD R3.xy, fragment.texcoord[0], c[0];\n";
+  os << "TEX R4, R3, texture[0];\n";
+  os << "TEX R5, R3, texture[1];\n";
+  os << "SUB R6, R0, R4;\n";
+  os << "SUB R7, R1, R5;\n";
+  os << "DP4 R8.x, R6, R7;\n";
+  os << "TEX R9, fragment.texcoord[0], texture[2];\n";
+  os << "ADD result.color.x, R9.x, R8.x;\n";
+  os << "END\n";
+  return os.str();
+}
+
+std::string minmax_offsets_source(int neighbors) {
+  HS_ASSERT(neighbors >= 1);
+  std::ostringstream os;
+  os << kHeader;
+  // d = 0 initializes both chains.
+  os << "ADD R0.xy, fragment.texcoord[0], c[0];\n";
+  os << "TEX R2, R0, texture[0];\n";
+  os << "MOV R3.x, R2.x;\n";  // min value
+  os << "MOV R3.y, R2.x;\n";  // max value
+  os << "MOV R1, c[0];\n";    // offsets (dxmin, dymin, dxmax, dymax)
+  for (int d = 1; d < neighbors; ++d) {
+    os << "ADD R0.xy, fragment.texcoord[0], c[" << d << "];\n";
+    os << "TEX R2, R0, texture[0];\n";
+    // Min chain: new value wins iff dd - min < 0 (strict; first wins ties).
+    os << "SUB R4.x, R2.x, R3.x;\n";
+    os << "CMP R3.x, R4.x, R2.x, R3.x;\n";
+    os << "CMP R1.xy, R4.x, c[" << d << "], R1;\n";
+    // Max chain: new value wins iff max - dd < 0.
+    os << "SUB R4.y, R3.y, R2.x;\n";
+    os << "CMP R3.y, R4.y, R2.x, R3.y;\n";
+    os << "CMP R1.zw, R4.y, c[" << d << "], R1;\n";
+  }
+  os << "MOV result.color, R1;\n";
+  os << "END\n";
+  return os.str();
+}
+
+std::string minmax_indices_source(int neighbors) {
+  HS_ASSERT(neighbors >= 1);
+  std::ostringstream os;
+  os << kHeader;
+  os << "ADD R0.xy, fragment.texcoord[0], c[0];\n";
+  os << "TEX R2, R0, texture[0];\n";
+  os << "MOV R3.z, R2.x;\n";          // min value
+  os << "MOV R3.w, R2.x;\n";          // max value
+  os << "MOV R3.xy, c[0].zzzz;\n";    // min/max index (c[d].z carries d)
+  for (int d = 1; d < neighbors; ++d) {
+    os << "ADD R0.xy, fragment.texcoord[0], c[" << d << "];\n";
+    os << "TEX R2, R0, texture[0];\n";
+    os << "SUB R4.x, R2.x, R3.z;\n";
+    os << "CMP R3.z, R4.x, R2.x, R3.z;\n";
+    os << "CMP R3.x, R4.x, c[" << d << "].z, R3.x;\n";
+    os << "SUB R4.y, R3.w, R2.x;\n";
+    os << "CMP R3.w, R4.y, R2.x, R3.w;\n";
+    os << "CMP R3.y, R4.y, c[" << d << "].z, R3.y;\n";
+  }
+  os << "MOV result.color, R3;\n";
+  os << "END\n";
+  return os.str();
+}
+
+std::string mei_source() {
+  std::ostringstream os;
+  os << kHeader;
+  os << "TEX R0, fragment.texcoord[0], texture[2];\n";       // offsets
+  os << "ADD R1.xy, fragment.texcoord[0], R0;\n";            // erosion coord
+  os << "ADD R2.xy, fragment.texcoord[0], R0.zwzw;\n";       // dilation coord
+  os << "TEX R3, R1, texture[0];\n";                         // p ero
+  os << "TEX R4, R2, texture[0];\n";                         // p dil
+  os << "TEX R5, R1, texture[1];\n";                         // lp ero
+  os << "TEX R6, R2, texture[1];\n";                         // lp dil
+  os << "SUB R7, R4, R3;\n";
+  os << "SUB R8, R6, R5;\n";
+  os << "DP4 R9.x, R7, R8;\n";
+  os << "TEX R10, fragment.texcoord[0], texture[3];\n";      // mei in
+  os << "ADD result.color.x, R10.x, R9.x;\n";
+  os << "END\n";
+  return os.str();
+}
+
+}  // namespace hs::core::shaders

@@ -1,0 +1,43 @@
+#include "core/structuring_element.hpp"
+
+#include "util/assert.hpp"
+
+namespace hs::core {
+
+StructuringElement StructuringElement::square(int radius) {
+  HS_ASSERT(radius >= 0);
+  StructuringElement se;
+  se.radius = radius;
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      se.offsets.emplace_back(dx, dy);
+    }
+  }
+  return se;
+}
+
+StructuringElement StructuringElement::cross(int radius) {
+  HS_ASSERT(radius >= 0);
+  StructuringElement se;
+  se.radius = radius;
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      if (dx == 0 || dy == 0) se.offsets.emplace_back(dx, dy);
+    }
+  }
+  return se;
+}
+
+StructuringElement StructuringElement::disk(int radius) {
+  HS_ASSERT(radius >= 0);
+  StructuringElement se;
+  se.radius = radius;
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      if (dx * dx + dy * dy <= radius * radius) se.offsets.emplace_back(dx, dy);
+    }
+  }
+  return se;
+}
+
+}  // namespace hs::core

@@ -1,0 +1,29 @@
+// Structuring elements for the extended morphological operations.
+//
+// The paper uses a 3x3 square SE; square(1) reproduces it. The offset
+// *order* is part of the algorithm's observable behaviour (argmin/argmax
+// tie-breaking is first-wins over this order), so it is fixed: row-major,
+// top-left to bottom-right, origin included.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace hs::core {
+
+struct StructuringElement {
+  int radius = 1;
+  /// (dx, dy) offsets in fixed scan order; includes (0, 0).
+  std::vector<std::pair<int, int>> offsets;
+
+  int size() const { return static_cast<int>(offsets.size()); }
+
+  /// (2r+1) x (2r+1) square window.
+  static StructuringElement square(int radius);
+  /// Plus-shaped window of the given radius.
+  static StructuringElement cross(int radius);
+  /// Discrete disk: offsets with dx^2 + dy^2 <= radius^2.
+  static StructuringElement disk(int radius);
+};
+
+}  // namespace hs::core

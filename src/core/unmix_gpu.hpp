@@ -1,0 +1,49 @@
+// GPU-resident linear unmixing and max-abundance classification.
+//
+// The paper's GPU pipeline ends at the MEI download (Figure 4); steps 3-4
+// of AMC (abundance estimation, argmax labeling) run on the host. This
+// module moves them onto the simulated GPU as well, making the whole
+// classifier GPU-resident:
+//
+//   * host side, once per scene: W = (E^T E)^-1 E^T (c x bands), the
+//     pseudo-inverse rows of the endmember matrix;
+//   * abundance stage: a_k(x) = dot(W_k, f(x)) accumulated over band
+//     groups with DP4 passes (one ping-pong per endmember), then packed
+//     four abundances per RGBA texture with masked writes;
+//   * argmax stage: one pass chaining CMP selections over the packed
+//     abundance textures, emitting the class index per pixel.
+//
+// The arithmetic is the *unconstrained* linear mixture model in float
+// (the GPU of this era had no doubles); labels agree with the host
+// Unmixer except where two abundances tie within float rounding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/amc_gpu.hpp"
+#include "hsi/cube.hpp"
+
+namespace hs::core {
+
+struct GpuUnmixReport {
+  /// Per-pixel argmax class in [0, c).
+  std::vector<int> labels;
+  /// Per-pixel abundances (pixel-major, c per pixel); filled only when
+  /// requested.
+  std::vector<float> abundances;
+  gpusim::DeviceTotals totals;
+  std::size_t chunk_count = 0;
+  double modeled_seconds = 0;
+};
+
+/// Unmixes and labels every pixel on the simulated GPU.
+/// `endmembers[k]` is a bands-long raw spectrum. Uses the same device
+/// options/chunking machinery as morphology_gpu (no halo is needed --
+/// unmixing is purely per-pixel).
+GpuUnmixReport unmix_gpu(const hsi::HyperCube& cube,
+                         const std::vector<std::vector<float>>& endmembers,
+                         const AmcGpuOptions& options,
+                         bool download_abundances = false);
+
+}  // namespace hs::core

@@ -1,0 +1,135 @@
+#include "core/unmixing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/nnls.hpp"
+#include "linalg/qr.hpp"
+#include "util/assert.hpp"
+
+namespace hs::core {
+
+const char* unmixing_method_name(UnmixingMethod method) {
+  switch (method) {
+    case UnmixingMethod::Unconstrained: return "unconstrained";
+    case UnmixingMethod::SumToOne: return "sum-to-one";
+    case UnmixingMethod::Nnls: return "nnls";
+  }
+  return "?";
+}
+
+struct Unmixer::Impl {
+  linalg::Matrix e;  ///< bands x count
+  std::optional<linalg::Cholesky> chol;
+  std::optional<linalg::HouseholderQr> qr;  ///< fallback when Gram is singular
+  // Sum-to-one correction state: g1 = G^-1 * 1, s11 = 1^T G^-1 1.
+  std::vector<double> g1;
+  double s11 = 0;
+};
+
+Unmixer::Unmixer(std::vector<std::vector<float>> endmembers,
+                 UnmixingMethod method)
+    : endmembers_(std::move(endmembers)), method_(method) {
+  HS_ASSERT_MSG(!endmembers_.empty(), "need at least one endmember");
+  bands_ = static_cast<int>(endmembers_.front().size());
+  HS_ASSERT(bands_ > 0);
+  for (const auto& e : endmembers_) {
+    HS_ASSERT_MSG(static_cast<int>(e.size()) == bands_,
+                  "endmember band counts differ");
+  }
+  HS_ASSERT_MSG(bands_ >= static_cast<int>(endmembers_.size()),
+                "more endmembers than bands: system underdetermined");
+
+  auto impl = std::make_shared<Impl>();
+  impl->e = linalg::Matrix(static_cast<std::size_t>(bands_), endmembers_.size());
+  for (std::size_t k = 0; k < endmembers_.size(); ++k) {
+    for (int b = 0; b < bands_; ++b) {
+      impl->e(static_cast<std::size_t>(b), k) =
+          static_cast<double>(endmembers_[k][static_cast<std::size_t>(b)]);
+    }
+  }
+
+  linalg::Matrix gram = impl->e.gram();
+  impl->chol = linalg::Cholesky::factor(gram);
+  if (!impl->chol) {
+    // Near-duplicate endmembers: retry with a relative ridge, then fall
+    // back to QR which handles rank deficiency outright.
+    double trace = 0;
+    for (std::size_t i = 0; i < gram.rows(); ++i) trace += gram(i, i);
+    linalg::Matrix ridged = gram;
+    const double ridge = 1e-10 * std::max(trace, 1.0);
+    for (std::size_t i = 0; i < ridged.rows(); ++i) ridged(i, i) += ridge;
+    impl->chol = linalg::Cholesky::factor(ridged);
+    if (!impl->chol) impl->qr.emplace(impl->e);
+  }
+
+  if (impl->chol) {
+    const std::vector<double> ones(endmembers_.size(), 1.0);
+    impl->g1 = impl->chol->solve(ones);
+    impl->s11 = 0;
+    for (double v : impl->g1) impl->s11 += v;
+  }
+  impl_ = std::move(impl);
+}
+
+std::vector<double> Unmixer::abundances(std::span<const float> spectrum) const {
+  HS_ASSERT(spectrum.size() == static_cast<std::size_t>(bands_));
+
+  if (method_ == UnmixingMethod::Nnls) {
+    std::vector<double> b(spectrum.begin(), spectrum.end());
+    return linalg::nnls(impl_->e, b).x;
+  }
+
+  std::vector<double> x(spectrum.begin(), spectrum.end());
+  std::vector<double> a;
+  if (impl_->chol) {
+    const auto etx = impl_->e.multiply_transposed(x);
+    a = impl_->chol->solve(etx);
+  } else {
+    a = impl_->qr->solve(x);
+  }
+
+  if (method_ == UnmixingMethod::SumToOne && impl_->chol &&
+      std::fabs(impl_->s11) > 1e-30) {
+    double sum = 0;
+    for (double v : a) sum += v;
+    const double corr = (1.0 - sum) / impl_->s11;
+    for (std::size_t k = 0; k < a.size(); ++k) a[k] += corr * impl_->g1[k];
+  }
+  return a;
+}
+
+int Unmixer::classify(std::span<const float> spectrum) const {
+  const auto a = abundances(spectrum);
+  return static_cast<int>(std::max_element(a.begin(), a.end()) - a.begin());
+}
+
+std::vector<int> Unmixer::classify_cube(const hsi::HyperCube& cube,
+                                        std::vector<double>* abundances_out) const {
+  HS_ASSERT(cube.bands() == bands_);
+  const std::size_t px = cube.pixel_count();
+  const std::size_t count = endmembers_.size();
+  std::vector<int> labels(px, 0);
+  if (abundances_out) abundances_out->assign(px * count, 0.0);
+
+  std::vector<float> spec(static_cast<std::size_t>(bands_));
+  for (int y = 0; y < cube.height(); ++y) {
+    for (int x = 0; x < cube.width(); ++x) {
+      cube.pixel(x, y, spec);
+      const auto a = abundances(spec);
+      const std::size_t idx =
+          static_cast<std::size_t>(y) * static_cast<std::size_t>(cube.width()) +
+          static_cast<std::size_t>(x);
+      labels[idx] =
+          static_cast<int>(std::max_element(a.begin(), a.end()) - a.begin());
+      if (abundances_out) {
+        std::copy(a.begin(), a.end(), abundances_out->begin() + static_cast<std::ptrdiff_t>(idx * count));
+      }
+    }
+  }
+  return labels;
+}
+
+}  // namespace hs::core

@@ -1,0 +1,58 @@
+// Linear spectral unmixing and max-abundance labeling (steps 3-4 of AMC).
+//
+// The linear mixture model x = E a + n is solved per pixel. Three solvers:
+//
+//   Unconstrained -- a = (E^T E)^-1 E^T x, the paper's "standard linear
+//                    mixture model". The Gram matrix is factored once
+//                    (Cholesky, with a tiny ridge retry, then QR fallback),
+//                    so per-pixel work is one matvec + two triangular
+//                    solves.
+//   SumToOne      -- abundances constrained to sum to 1 (SCLS), the usual
+//                    physical refinement, via the closed-form correction
+//                    of the unconstrained solution.
+//   Nnls          -- abundances constrained non-negative (Lawson-Hanson).
+//                    Markedly slower; used by the unmixing ablation.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "hsi/cube.hpp"
+
+namespace hs::core {
+
+enum class UnmixingMethod { Unconstrained, SumToOne, Nnls };
+
+const char* unmixing_method_name(UnmixingMethod method);
+
+class Unmixer {
+ public:
+  /// `endmembers[k]` is the bands-long spectrum of endmember k.
+  Unmixer(std::vector<std::vector<float>> endmembers, UnmixingMethod method);
+
+  int endmember_count() const { return static_cast<int>(endmembers_.size()); }
+  int bands() const { return bands_; }
+  UnmixingMethod method() const { return method_; }
+
+  /// Abundance vector of one pixel spectrum (size = endmember_count()).
+  std::vector<double> abundances(std::span<const float> spectrum) const;
+
+  /// argmax abundance for one spectrum.
+  int classify(std::span<const float> spectrum) const;
+
+  /// Labels every pixel of the cube; abundances_out, if non-null, receives
+  /// pixel-major abundance vectors (pixel * count + k).
+  std::vector<int> classify_cube(const hsi::HyperCube& cube,
+                                 std::vector<double>* abundances_out = nullptr) const;
+
+ private:
+  struct Impl;
+  std::vector<std::vector<float>> endmembers_;
+  int bands_;
+  UnmixingMethod method_;
+  // Precomputed solver state (type-erased to keep linalg out of this header).
+  std::shared_ptr<const Impl> impl_;
+};
+
+}  // namespace hs::core

@@ -1,0 +1,464 @@
+#include "gpusim/assembler.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace hs::gpusim {
+
+namespace {
+
+const std::map<std::string, Opcode>& opcode_table() {
+  static const std::map<std::string, Opcode> table = {
+      {"MOV", Opcode::MOV}, {"ABS", Opcode::ABS}, {"FLR", Opcode::FLR},
+      {"FRC", Opcode::FRC}, {"RCP", Opcode::RCP}, {"RSQ", Opcode::RSQ},
+      {"LG2", Opcode::LG2}, {"EX2", Opcode::EX2}, {"ADD", Opcode::ADD},
+      {"SUB", Opcode::SUB}, {"MUL", Opcode::MUL}, {"MIN", Opcode::MIN},
+      {"MAX", Opcode::MAX}, {"SLT", Opcode::SLT}, {"SGE", Opcode::SGE},
+      {"DP3", Opcode::DP3}, {"DP4", Opcode::DP4}, {"MAD", Opcode::MAD},
+      {"CMP", Opcode::CMP}, {"LRP", Opcode::LRP}, {"TEX", Opcode::TEX},
+  };
+  return table;
+}
+
+int component_index(char c) {
+  switch (c) {
+    case 'x': case 'r': return 0;
+    case 'y': case 'g': return 1;
+    case 'z': case 'b': return 2;
+    case 'w': case 'a': return 3;
+  }
+  return -1;
+}
+
+struct Parser {
+  std::string text;
+  std::size_t pos = 0;
+  int line = 1;
+  std::optional<AssembleError> error;
+
+  void fail(const std::string& message) {
+    if (!error) error = AssembleError{line, message};
+  }
+
+  void skip_space_and_comments() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '#') {
+        while (pos < text.size() && text[pos] != '\n') ++pos;
+      } else if (c == '\n') {
+        ++line;
+        ++pos;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos;
+      } else {
+        return;
+      }
+    }
+  }
+
+  bool eof() {
+    skip_space_and_comments();
+    return pos >= text.size();
+  }
+
+  char peek() {
+    skip_space_and_comments();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+
+  bool consume(char c) {
+    skip_space_and_comments();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) {
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  /// Reads an identifier-like token: letters, digits, '.', '_', '!'.
+  std::string word() {
+    skip_space_and_comments();
+    std::size_t start = pos;
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' || c == '_' ||
+          c == '!') {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    return text.substr(start, pos - start);
+  }
+
+  std::optional<int> bracketed_index() {
+    if (!consume('[')) {
+      fail("expected '['");
+      return std::nullopt;
+    }
+    skip_space_and_comments();
+    std::size_t start = pos;
+    while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    if (start == pos) {
+      fail("expected index");
+      return std::nullopt;
+    }
+    const int value = std::atoi(text.substr(start, pos - start).c_str());
+    expect(']');
+    return value;
+  }
+
+  std::optional<float> number() {
+    skip_space_and_comments();
+    const char* begin = text.c_str() + pos;
+    char* end = nullptr;
+    const float v = std::strtof(begin, &end);
+    if (end == begin) {
+      fail("expected number");
+      return std::nullopt;
+    }
+    pos += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+};
+
+/// Splits "name.suffix" into the register part and optional suffix after the
+/// final '.' -- but only when that suffix looks like a swizzle/mask, so
+/// "fragment.texcoord" is not split.
+void split_suffix(const std::string& token, std::string& base, std::string& suffix) {
+  base = token;
+  suffix.clear();
+  const auto dotpos = token.rfind('.');
+  if (dotpos == std::string::npos) return;
+  const std::string tail = token.substr(dotpos + 1);
+  if (tail.empty() || tail.size() > 4) return;
+  for (char c : tail) {
+    if (component_index(c) < 0) return;
+  }
+  base = token.substr(0, dotpos);
+  suffix = tail;
+}
+
+bool parse_swizzle(const std::string& text, Swizzle& out, Parser& p) {
+  if (text.empty()) return true;
+  if (text.size() == 1) {
+    const int c = component_index(text[0]);
+    if (c < 0) {
+      p.fail("bad swizzle '" + text + "'");
+      return false;
+    }
+    out.comp = {static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(c),
+                static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(c)};
+    return true;
+  }
+  if (text.size() != 4) {
+    p.fail("swizzle must have 1 or 4 components");
+    return false;
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    const int c = component_index(text[i]);
+    if (c < 0) {
+      p.fail("bad swizzle '" + text + "'");
+      return false;
+    }
+    out.comp[i] = static_cast<std::uint8_t>(c);
+  }
+  return true;
+}
+
+bool parse_write_mask(const std::string& text, std::uint8_t& mask, Parser& p) {
+  if (text.empty()) {
+    mask = 0xF;
+    return true;
+  }
+  mask = 0;
+  int last = -1;
+  for (char ch : text) {
+    const int c = component_index(ch);
+    if (c < 0 || c <= last) {
+      p.fail("write mask components must be an ordered subset of xyzw");
+      return false;
+    }
+    mask = static_cast<std::uint8_t>(mask | (1u << c));
+    last = c;
+  }
+  return true;
+}
+
+std::optional<SrcOperand> parse_source(Parser& p) {
+  SrcOperand src;
+  if (p.consume('-')) src.negate = true;
+
+  if (p.peek() == '{') {
+    p.expect('{');
+    src.file = RegFile::Literal;
+    std::array<float, 4> vals{};
+    std::size_t count = 0;
+    for (;;) {
+      auto v = p.number();
+      if (!v) return std::nullopt;
+      if (count < 4) vals[count] = *v;
+      ++count;
+      if (!p.consume(',')) break;
+    }
+    p.expect('}');
+    if (count == 1) {
+      src.literal = float4(vals[0]);
+    } else if (count == 3) {
+      src.literal = {vals[0], vals[1], vals[2], 1.0f};
+    } else if (count == 4) {
+      src.literal = {vals[0], vals[1], vals[2], vals[3]};
+    } else {
+      p.fail("literal must have 1, 3 or 4 components");
+      return std::nullopt;
+    }
+    // Optional swizzle after the closing brace: {..}.x
+    if (p.pos < p.text.size() && p.text[p.pos] == '.') {
+      ++p.pos;
+      std::string sw = p.word();
+      if (!parse_swizzle(sw, src.swizzle, p)) return std::nullopt;
+    }
+    return p.error ? std::nullopt : std::optional<SrcOperand>(src);
+  }
+
+  std::string token = p.word();
+  if (token.empty()) {
+    p.fail("expected source operand");
+    return std::nullopt;
+  }
+
+  std::string base, suffix;
+  split_suffix(token, base, suffix);
+
+  if (base.size() >= 2 && base[0] == 'R' &&
+      std::isdigit(static_cast<unsigned char>(base[1]))) {
+    src.file = RegFile::Temp;
+    src.index = static_cast<std::uint8_t>(std::atoi(base.c_str() + 1));
+  } else if (base == "c") {
+    auto idx = p.bracketed_index();
+    if (!idx) return std::nullopt;
+    src.file = RegFile::Const;
+    src.index = static_cast<std::uint8_t>(*idx);
+    // swizzle may follow the bracket: c[3].x
+    if (p.pos < p.text.size() && p.text[p.pos] == '.') {
+      ++p.pos;
+      suffix = p.word();
+    }
+  } else if (base == "fragment.texcoord") {
+    auto idx = p.bracketed_index();
+    if (!idx) return std::nullopt;
+    src.file = RegFile::TexCoord;
+    src.index = static_cast<std::uint8_t>(*idx);
+    if (p.pos < p.text.size() && p.text[p.pos] == '.') {
+      ++p.pos;
+      suffix = p.word();
+    }
+  } else {
+    p.fail("unknown source register '" + token + "'");
+    return std::nullopt;
+  }
+
+  if (!parse_swizzle(suffix, src.swizzle, p)) return std::nullopt;
+  return p.error ? std::nullopt : std::optional<SrcOperand>(src);
+}
+
+std::optional<DstOperand> parse_destination(Parser& p) {
+  DstOperand dst;
+  std::string token = p.word();
+  if (token.empty()) {
+    p.fail("expected destination operand");
+    return std::nullopt;
+  }
+  std::string base, suffix;
+  split_suffix(token, base, suffix);
+
+  if (base.size() >= 2 && base[0] == 'R' &&
+      std::isdigit(static_cast<unsigned char>(base[1]))) {
+    dst.file = RegFile::Temp;
+    dst.index = static_cast<std::uint8_t>(std::atoi(base.c_str() + 1));
+  } else if (base == "result.color") {
+    dst.file = RegFile::Output;
+    dst.index = 0;
+    if (p.peek() == '[') {
+      auto idx = p.bracketed_index();
+      if (!idx) return std::nullopt;
+      dst.index = static_cast<std::uint8_t>(*idx);
+      if (p.pos < p.text.size() && p.text[p.pos] == '.') {
+        ++p.pos;
+        suffix = p.word();
+      }
+    }
+  } else {
+    p.fail("unknown destination register '" + token + "'");
+    return std::nullopt;
+  }
+
+  if (!parse_write_mask(suffix, dst.write_mask, p)) return std::nullopt;
+  return p.error ? std::nullopt : std::optional<DstOperand>(dst);
+}
+
+}  // namespace
+
+std::variant<FragmentProgram, AssembleError> assemble(const std::string& name,
+                                                      const std::string& source) {
+  Parser p;
+  p.text = source;
+
+  const std::string header = p.word();
+  if (header != "!!HSFP1.0") {
+    return AssembleError{p.line, "missing !!HSFP1.0 header"};
+  }
+
+  FragmentProgram program;
+  program.name = name;
+
+  bool saw_end = false;
+  while (!p.eof()) {
+    const int stmt_line = p.line;
+    std::string op_word = p.word();
+    if (op_word.empty()) {
+      return AssembleError{p.line, "expected opcode"};
+    }
+    if (op_word == "END") {
+      saw_end = true;
+      break;
+    }
+    const auto& ops = opcode_table();
+    auto it = ops.find(op_word);
+    if (it == ops.end()) {
+      return AssembleError{stmt_line, "unknown opcode '" + op_word + "'"};
+    }
+
+    Instruction ins;
+    ins.op = it->second;
+
+    auto dst = parse_destination(p);
+    if (!dst) return *p.error;
+    ins.dst = *dst;
+
+    const int arity = opcode_arity(ins.op);
+    const int reg_sources = ins.op == Opcode::TEX ? 1 : arity;
+    for (int s = 0; s < reg_sources; ++s) {
+      if (!p.consume(',')) return AssembleError{p.line, "expected ','"};
+      auto src = parse_source(p);
+      if (!src) return *p.error;
+      ins.src[static_cast<std::size_t>(s)] = *src;
+    }
+    ins.src_count = static_cast<std::uint8_t>(reg_sources);
+
+    if (ins.op == Opcode::TEX) {
+      if (!p.consume(',')) return AssembleError{p.line, "expected ',' before texture unit"};
+      std::string tex_word = p.word();
+      if (tex_word != "texture") {
+        return AssembleError{p.line, "TEX third operand must be texture[u]"};
+      }
+      auto unit = p.bracketed_index();
+      if (!unit) return *p.error;
+      ins.tex_unit = static_cast<std::uint8_t>(*unit);
+    }
+
+    if (!p.consume(';')) return AssembleError{p.line, "expected ';'"};
+    if (p.error) return *p.error;
+    program.code.push_back(ins);
+  }
+
+  if (!saw_end) {
+    return AssembleError{p.line, "missing END"};
+  }
+
+  const auto problems = validate(program);
+  if (!problems.empty()) {
+    return AssembleError{0, name + ": " + problems.front()};
+  }
+  return program;
+}
+
+FragmentProgram assemble_or_die(const std::string& name,
+                                const std::string& source) {
+  auto result = assemble(name, source);
+  if (auto* err = std::get_if<AssembleError>(&result)) {
+    std::fprintf(stderr, "fragment program '%s' line %d: %s\n", name.c_str(),
+                 err->line, err->message.c_str());
+    HS_ASSERT_MSG(false, "fragment program failed to assemble");
+  }
+  return std::get<FragmentProgram>(std::move(result));
+}
+
+namespace {
+const char kCompName[4] = {'x', 'y', 'z', 'w'};
+
+std::string render_src(const SrcOperand& src) {
+  std::ostringstream os;
+  if (src.negate) os << '-';
+  switch (src.file) {
+    case RegFile::Temp: os << 'R' << int(src.index); break;
+    case RegFile::Const: os << "c[" << int(src.index) << ']'; break;
+    case RegFile::TexCoord: os << "fragment.texcoord[" << int(src.index) << ']'; break;
+    case RegFile::Literal: {
+      // %.9g: enough significant digits for a float to round-trip exactly.
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "{%.9g, %.9g, %.9g, %.9g}",
+                    static_cast<double>(src.literal.x), static_cast<double>(src.literal.y),
+                    static_cast<double>(src.literal.z), static_cast<double>(src.literal.w));
+      os << buf;
+      break;
+    }
+    case RegFile::Output: os << "<invalid>"; break;
+  }
+  if (!src.swizzle.is_identity()) {
+    os << '.';
+    const auto& c = src.swizzle.comp;
+    if (c[0] == c[1] && c[1] == c[2] && c[2] == c[3]) {
+      os << kCompName[c[0]];
+    } else {
+      for (auto v : c) os << kCompName[v];
+    }
+  }
+  return os.str();
+}
+
+std::string render_dst(const DstOperand& dst) {
+  std::ostringstream os;
+  if (dst.file == RegFile::Temp) {
+    os << 'R' << int(dst.index);
+  } else {
+    os << "result.color[" << int(dst.index) << ']';
+  }
+  if (dst.write_mask != 0xF) {
+    os << '.';
+    for (int c = 0; c < 4; ++c) {
+      if (dst.write_mask & (1u << c)) os << kCompName[c];
+    }
+  }
+  return os.str();
+}
+}  // namespace
+
+std::string disassemble(const FragmentProgram& program) {
+  std::ostringstream os;
+  os << "!!HSFP1.0\n# " << program.name << "\n";
+  for (const auto& ins : program.code) {
+    os << opcode_name(ins.op) << ' ' << render_dst(ins.dst);
+    for (int s = 0; s < ins.src_count; ++s) {
+      os << ", " << render_src(ins.src[static_cast<std::size_t>(s)]);
+    }
+    if (ins.op == Opcode::TEX) os << ", texture[" << int(ins.tex_unit) << ']';
+    os << ";\n";
+  }
+  os << "END\n";
+  return os.str();
+}
+
+}  // namespace hs::gpusim

@@ -1,0 +1,46 @@
+// Textual fragment-program assembler.
+//
+// The AMC kernels are written in an ARB_fragment_program-flavoured assembly
+// (the hardware-level output of the paper's Cg/fp30 toolchain) and
+// assembled at startup. Grammar:
+//
+//   program   := "!!HSFP1.0" { statement } "END"
+//   statement := opcode dst "," src { "," src } ";"
+//   dst       := ("R" n | "result.color" [ "[" n "]" ]) [ "." mask ]
+//   src       := [ "-" ] reg [ "." swizzle ]
+//   reg       := "R" n | "c[" n "]" | "fragment.texcoord[" n "]"
+//              | "texture[" n "]"            (TEX third operand)
+//              | "{" f [ "," f [ "," f "," f ] ] "}"   (literal; 1 or 3/4
+//                 values; one value broadcasts, 3 values get w = 1)
+//   mask      := subset of "xyzw" in order   swizzle := 1 or 4 of [xyzwrgba]
+//
+// "#" starts a comment. Statements may span lines; ";" terminates.
+// TEX statements read "TEX dst, coordsrc, texture[u];".
+#pragma once
+
+#include <string>
+#include <variant>
+
+#include "gpusim/fragment_ir.hpp"
+
+namespace hs::gpusim {
+
+struct AssembleError {
+  int line = 0;  ///< 1-based source line of the problem
+  std::string message;
+};
+
+/// Assembles `source` into a validated FragmentProgram. On any syntax or
+/// validation problem the first error is returned instead.
+std::variant<FragmentProgram, AssembleError> assemble(
+    const std::string& name, const std::string& source);
+
+/// Convenience for kernels known to be correct at build time: asserts on
+/// error with the message included.
+FragmentProgram assemble_or_die(const std::string& name,
+                                const std::string& source);
+
+/// Renders a program back to canonical assembly text (round-trip tested).
+std::string disassemble(const FragmentProgram& program);
+
+}  // namespace hs::gpusim

@@ -1,0 +1,72 @@
+// 4-component float vector, the native datatype of the simulated fragment
+// pipeline (RGBA channels). The AMC port packs four consecutive spectral
+// bands into one float4 exactly as the paper packs them into RGBA texels.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "util/assert.hpp"
+
+namespace hs::gpusim {
+
+struct float4 {
+  float x = 0.f, y = 0.f, z = 0.f, w = 0.f;
+
+  constexpr float4() = default;
+  constexpr float4(float xx, float yy, float zz, float ww)
+      : x(xx), y(yy), z(zz), w(ww) {}
+  /// Broadcast constructor: all four lanes set to s.
+  constexpr explicit float4(float s) : x(s), y(s), z(s), w(s) {}
+
+  float& operator[](std::size_t i) {
+    HS_DEBUG_ASSERT(i < 4);
+    return (&x)[i];
+  }
+  float operator[](std::size_t i) const {
+    HS_DEBUG_ASSERT(i < 4);
+    return (&x)[i];
+  }
+
+  friend constexpr float4 operator+(float4 a, float4 b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z, a.w + b.w};
+  }
+  friend constexpr float4 operator-(float4 a, float4 b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z, a.w - b.w};
+  }
+  friend constexpr float4 operator*(float4 a, float4 b) {
+    return {a.x * b.x, a.y * b.y, a.z * b.z, a.w * b.w};
+  }
+  friend constexpr float4 operator*(float4 a, float s) {
+    return {a.x * s, a.y * s, a.z * s, a.w * s};
+  }
+  friend constexpr float4 operator-(float4 a) {
+    return {-a.x, -a.y, -a.z, -a.w};
+  }
+  float4& operator+=(float4 b) { return *this = *this + b; }
+
+  friend constexpr bool operator==(float4 a, float4 b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z && a.w == b.w;
+  }
+};
+
+inline float dot3(float4 a, float4 b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+inline float dot4(float4 a, float4 b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z + a.w * b.w;
+}
+inline float4 min4(float4 a, float4 b) {
+  return {std::min(a.x, b.x), std::min(a.y, b.y), std::min(a.z, b.z),
+          std::min(a.w, b.w)};
+}
+inline float4 max4(float4 a, float4 b) {
+  return {std::max(a.x, b.x), std::max(a.y, b.y), std::max(a.z, b.z),
+          std::max(a.w, b.w)};
+}
+inline float4 abs4(float4 a) {
+  return {std::fabs(a.x), std::fabs(a.y), std::fabs(a.z), std::fabs(a.w)};
+}
+
+}  // namespace hs::gpusim

@@ -1,0 +1,243 @@
+#include "gpusim/fragment_ir.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hs::gpusim {
+
+int opcode_arity(Opcode op) {
+  switch (op) {
+    case Opcode::MOV:
+    case Opcode::ABS:
+    case Opcode::FLR:
+    case Opcode::FRC:
+    case Opcode::RCP:
+    case Opcode::RSQ:
+    case Opcode::LG2:
+    case Opcode::EX2:
+    case Opcode::TEX:
+      return 1;
+    case Opcode::ADD:
+    case Opcode::SUB:
+    case Opcode::MUL:
+    case Opcode::MIN:
+    case Opcode::MAX:
+    case Opcode::SLT:
+    case Opcode::SGE:
+    case Opcode::DP3:
+    case Opcode::DP4:
+      return 2;
+    case Opcode::MAD:
+    case Opcode::CMP:
+    case Opcode::LRP:
+      return 3;
+  }
+  return 0;
+}
+
+bool opcode_is_scalar(Opcode op) {
+  return op == Opcode::RCP || op == Opcode::RSQ || op == Opcode::LG2 ||
+         op == Opcode::EX2;
+}
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::MOV: return "MOV";
+    case Opcode::ABS: return "ABS";
+    case Opcode::FLR: return "FLR";
+    case Opcode::FRC: return "FRC";
+    case Opcode::RCP: return "RCP";
+    case Opcode::RSQ: return "RSQ";
+    case Opcode::LG2: return "LG2";
+    case Opcode::EX2: return "EX2";
+    case Opcode::ADD: return "ADD";
+    case Opcode::SUB: return "SUB";
+    case Opcode::MUL: return "MUL";
+    case Opcode::MIN: return "MIN";
+    case Opcode::MAX: return "MAX";
+    case Opcode::SLT: return "SLT";
+    case Opcode::SGE: return "SGE";
+    case Opcode::DP3: return "DP3";
+    case Opcode::DP4: return "DP4";
+    case Opcode::MAD: return "MAD";
+    case Opcode::CMP: return "CMP";
+    case Opcode::LRP: return "LRP";
+    case Opcode::TEX: return "TEX";
+  }
+  return "???";
+}
+
+int FragmentProgram::alu_instruction_count() const {
+  return static_cast<int>(std::count_if(
+      code.begin(), code.end(),
+      [](const Instruction& i) { return i.op != Opcode::TEX; }));
+}
+
+int FragmentProgram::tex_instruction_count() const {
+  return static_cast<int>(code.size()) - alu_instruction_count();
+}
+
+int FragmentProgram::max_tex_unit() const {
+  int m = -1;
+  for (const auto& i : code) {
+    if (i.op == Opcode::TEX) m = std::max(m, static_cast<int>(i.tex_unit));
+  }
+  return m;
+}
+
+int FragmentProgram::max_texcoord() const {
+  int m = -1;
+  for (const auto& i : code) {
+    for (int s = 0; s < i.src_count; ++s) {
+      if (i.src[static_cast<std::size_t>(s)].file == RegFile::TexCoord) {
+        m = std::max(m, static_cast<int>(i.src[static_cast<std::size_t>(s)].index));
+      }
+    }
+  }
+  return m;
+}
+
+int FragmentProgram::max_constant() const {
+  int m = -1;
+  for (const auto& i : code) {
+    for (int s = 0; s < i.src_count; ++s) {
+      if (i.src[static_cast<std::size_t>(s)].file == RegFile::Const) {
+        m = std::max(m, static_cast<int>(i.src[static_cast<std::size_t>(s)].index));
+      }
+    }
+  }
+  return m;
+}
+
+int FragmentProgram::max_output() const {
+  int m = -1;
+  for (const auto& i : code) {
+    if (i.dst.file == RegFile::Output) m = std::max(m, static_cast<int>(i.dst.index));
+  }
+  return m;
+}
+
+namespace {
+std::string errf(std::size_t pc, const char* fmt, int a = 0, int b = 0) {
+  char buf[160];
+  char msg[128];
+  std::snprintf(msg, sizeof msg, fmt, a, b);
+  std::snprintf(buf, sizeof buf, "instruction %zu: %s", pc, msg);
+  return buf;
+}
+}  // namespace
+
+std::vector<std::string> validate(const FragmentProgram& program) {
+  std::vector<std::string> errors;
+  if (program.code.empty()) {
+    errors.emplace_back("program has no instructions");
+    return errors;
+  }
+  if (program.code.size() > kMaxInstructions) {
+    errors.push_back(errf(0, "program exceeds %d instructions", kMaxInstructions));
+  }
+
+  // Per-component initialization tracking for temps.
+  std::array<std::uint8_t, kMaxTemps> init{};  // bitmask of written lanes
+  bool any_output = false;
+
+  for (std::size_t pc = 0; pc < program.code.size(); ++pc) {
+    const Instruction& ins = program.code[pc];
+    const int arity = opcode_arity(ins.op);
+    if (ins.src_count != arity) {
+      errors.push_back(errf(pc, "opcode expects %d sources, has %d", arity,
+                            ins.src_count));
+      continue;
+    }
+
+    // Sources.
+    for (int s = 0; s < arity; ++s) {
+      const SrcOperand& src = ins.src[static_cast<std::size_t>(s)];
+      switch (src.file) {
+        case RegFile::Temp: {
+          if (src.index >= kMaxTemps) {
+            errors.push_back(errf(pc, "temp index %d out of range", src.index));
+            break;
+          }
+          // Which source lanes are actually consumed?
+          std::uint8_t needed = 0;
+          if (opcode_is_scalar(ins.op) || (ins.op == Opcode::TEX)) {
+            // scalar ops read lane swizzle[0]; TEX reads lanes swizzle[0..1]
+            needed = static_cast<std::uint8_t>(1u << src.swizzle.comp[0]);
+            if (ins.op == Opcode::TEX) {
+              needed = static_cast<std::uint8_t>(needed | (1u << src.swizzle.comp[1]));
+            }
+          } else if (ins.op == Opcode::DP3 || ins.op == Opcode::DP4) {
+            const int lanes = ins.op == Opcode::DP3 ? 3 : 4;
+            for (int lane = 0; lane < lanes; ++lane) {
+              needed = static_cast<std::uint8_t>(
+                  needed | (1u << src.swizzle.comp[static_cast<std::size_t>(lane)]));
+            }
+          } else {
+            // Component-wise ops consume only the lanes the write mask
+            // selects (ARB semantics: unmasked lanes are never evaluated).
+            for (int lane = 0; lane < 4; ++lane) {
+              if (ins.dst.write_mask & (1u << lane)) {
+                needed = static_cast<std::uint8_t>(
+                    needed | (1u << src.swizzle.comp[static_cast<std::size_t>(lane)]));
+              }
+            }
+          }
+          if ((init[src.index] & needed) != needed) {
+            errors.push_back(
+                errf(pc, "read of uninitialized temp R%d component(s)", src.index));
+          }
+          break;
+        }
+        case RegFile::Const:
+          if (src.index >= kMaxConstants) {
+            errors.push_back(errf(pc, "constant index %d out of range", src.index));
+          }
+          break;
+        case RegFile::TexCoord:
+          if (src.index >= kMaxTexCoords) {
+            errors.push_back(errf(pc, "texcoord index %d out of range", src.index));
+          }
+          break;
+        case RegFile::Output:
+          errors.push_back(errf(pc, "outputs are write-only"));
+          break;
+        case RegFile::Literal:
+          break;
+      }
+    }
+    if (ins.op == Opcode::TEX && ins.tex_unit >= kMaxTexUnits) {
+      errors.push_back(errf(pc, "texture unit %d out of range", ins.tex_unit));
+    }
+
+    // Destination.
+    if (ins.dst.write_mask == 0) {
+      errors.push_back(errf(pc, "empty write mask"));
+    }
+    switch (ins.dst.file) {
+      case RegFile::Temp:
+        if (ins.dst.index >= kMaxTemps) {
+          errors.push_back(errf(pc, "temp index %d out of range", ins.dst.index));
+        } else {
+          init[ins.dst.index] =
+              static_cast<std::uint8_t>(init[ins.dst.index] | ins.dst.write_mask);
+        }
+        break;
+      case RegFile::Output:
+        if (ins.dst.index >= kMaxOutputs) {
+          errors.push_back(errf(pc, "output index %d out of range", ins.dst.index));
+        }
+        any_output = true;
+        break;
+      default:
+        errors.push_back(errf(pc, "destination must be a temp or an output"));
+    }
+  }
+
+  if (!any_output) {
+    errors.emplace_back("program never writes result.color");
+  }
+  return errors;
+}
+
+}  // namespace hs::gpusim

@@ -1,0 +1,190 @@
+// The simulated GPU device: video-memory management, host transfers, and
+// multi-pass quad rendering.
+//
+// A Device owns textures (counted against the profile's video memory, as
+// the paper's chunking strategy depends on that limit), executes fragment
+// programs over full-viewport quads ("draw passes") across its simulated
+// fragment pipes, and accumulates both functional statistics and modeled
+// time. It enforces the stream-model rules the paper relies on:
+//
+//   * a pass's outputs cannot also be bound as its inputs (no feedback
+//     within a pass -- ping-pong between passes instead);
+//   * all outputs of a pass have identical dimensions (the viewport);
+//   * fragments are independent -- the device may execute them in any
+//     order across pipes, so kernels must not depend on output order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gpusim/device_profile.hpp"
+#include "gpusim/fragment_ir.hpp"
+#include "gpusim/interpreter.hpp"
+#include "gpusim/texture.hpp"
+#include "gpusim/texture_cache.hpp"
+#include "gpusim/timing_model.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hs::gpusim {
+
+/// Thrown when a texture allocation would exceed the device's video memory.
+class GpuOutOfMemory : public std::runtime_error {
+ public:
+  explicit GpuOutOfMemory(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Opaque texture identifier. 0 is never a valid handle.
+using TextureHandle = std::uint32_t;
+
+struct SimConfig {
+  /// OS worker threads executing simulated pipes. 0 = auto
+  /// (min(hardware_concurrency, fragment_pipes)). Functional results and
+  /// all statistics are independent of this value: work and caches are
+  /// partitioned by *logical* pipe, threads only multiplex them.
+  std::size_t worker_threads = 0;
+  /// Simulate the per-pipe texture cache (stats + timing). Off = every
+  /// fetch is modeled as full-texel memory traffic.
+  bool texture_cache = true;
+  /// Enforce the profile's video-memory capacity on texture creation.
+  bool enforce_memory_limit = true;
+};
+
+struct PassStats {
+  std::string program;
+  int width = 0;
+  int height = 0;
+  std::uint64_t fragments = 0;
+  ExecCounters exec;
+  TextureCacheStats cache;
+  std::uint64_t cache_miss_bytes = 0;
+  std::uint64_t unique_tile_bytes = 0;  ///< compulsory DRAM texture traffic
+  std::uint64_t bytes_written = 0;
+  double modeled_seconds = 0;
+};
+
+struct TransferStats {
+  std::uint64_t upload_bytes = 0;
+  std::uint64_t download_bytes = 0;
+  std::uint64_t uploads = 0;
+  std::uint64_t downloads = 0;
+  double modeled_upload_seconds = 0;
+  double modeled_download_seconds = 0;
+};
+
+struct DeviceTotals {
+  std::uint64_t passes = 0;
+  std::uint64_t fragments = 0;
+  ExecCounters exec;
+  TextureCacheStats cache;
+  std::uint64_t bytes_written = 0;
+  double modeled_pass_seconds = 0;
+  TransferStats transfer;
+
+  /// Modeled end-to-end time: all passes plus all transfers.
+  double modeled_total_seconds() const {
+    return modeled_pass_seconds + transfer.modeled_upload_seconds +
+           transfer.modeled_download_seconds;
+  }
+};
+
+class Device {
+ public:
+  explicit Device(DeviceProfile profile, SimConfig config = {});
+
+  const DeviceProfile& profile() const { return profile_; }
+  const SimConfig& config() const { return config_; }
+
+  // -- video memory ---------------------------------------------------------
+
+  /// Allocates a texture; throws GpuOutOfMemory when the profile's video
+  /// memory would be exceeded (and enforcement is on).
+  TextureHandle create_texture(int width, int height, TextureFormat format,
+                               AddressMode address = AddressMode::ClampToEdge);
+  void destroy_texture(TextureHandle handle);
+
+  Texture2D& texture(TextureHandle handle);
+  const Texture2D& texture(TextureHandle handle) const;
+
+  std::uint64_t video_memory_used() const { return memory_used_; }
+  std::uint64_t video_memory_free() const;
+
+  // -- host transfers (counted against the bus model) ------------------------
+
+  /// Uploads row-major texel data; size must match width*height.
+  void upload(TextureHandle handle, std::span<const float4> texels);
+  void upload(TextureHandle handle, std::span<const float> scalars);
+  std::vector<float4> download(TextureHandle handle);
+  std::vector<float> download_scalar(TextureHandle handle);
+
+  // -- rendering --------------------------------------------------------------
+
+  /// Executes one full-viewport pass of `program`: for every texel of the
+  /// output(s), runs the fragment program with texcoord[0] = texel center,
+  /// textures bound to `inputs` (unit i = inputs[i]), constants c[i] =
+  /// constants[i], writing result.color[k] to outputs[k].
+  PassStats draw(const FragmentProgram& program,
+                 std::span<const TextureHandle> inputs,
+                 std::span<const float4> constants,
+                 std::span<const TextureHandle> outputs);
+
+  /// A rasterized fragment for geometry passes (see gpusim/raster.hpp):
+  /// target pixel plus the interpolated texcoord attributes.
+  struct GeomFragment {
+    int x = 0;
+    int y = 0;
+    float4 texcoord0{};
+    float4 texcoord1{};
+  };
+
+  /// Executes one pass over an explicit fragment list (produced by a
+  /// rasterizer) instead of the full viewport. Fragments must lie inside
+  /// the render target(s); all other rules match draw().
+  PassStats draw_fragments(const FragmentProgram& program,
+                           std::span<const GeomFragment> fragments,
+                           std::span<const TextureHandle> inputs,
+                           std::span<const float4> constants,
+                           std::span<const TextureHandle> outputs);
+
+  const DeviceTotals& totals() const { return totals_; }
+  void reset_totals() { totals_ = {}; }
+
+ private:
+  struct Slot {
+    std::unique_ptr<Texture2D> texture;
+  };
+
+  /// Validated bindings shared by the two draw paths.
+  struct BoundPass {
+    int width = 0;
+    int height = 0;
+    std::vector<Texture2D*> targets;
+    std::vector<const Texture2D*> inputs;
+    std::vector<std::uint32_t> input_ids;
+  };
+
+  BoundPass bind_pass(const FragmentProgram& program,
+                      std::span<const TextureHandle> inputs,
+                      std::span<const float4> constants,
+                      std::span<const TextureHandle> outputs);
+  std::vector<TileTouchTracker> make_tile_trackers(const BoundPass& bound) const;
+  PassStats finalize_pass(const FragmentProgram& program, const BoundPass& bound,
+                          std::uint64_t fragments,
+                          std::span<const ExecCounters> pipe_counters,
+                          std::span<const TileTouchTracker> pipe_tiles);
+
+  Texture2D& slot(TextureHandle handle) const;
+
+  DeviceProfile profile_;
+  SimConfig config_;
+  std::vector<Slot> slots_;  // index = handle - 1
+  std::uint64_t memory_used_ = 0;
+  std::vector<TextureCache> pipe_caches_;  // one per logical pipe
+  util::ThreadPool pool_;
+  DeviceTotals totals_;
+};
+
+}  // namespace hs::gpusim

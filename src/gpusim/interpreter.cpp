@@ -1,0 +1,152 @@
+#include "gpusim/interpreter.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace hs::gpusim {
+
+namespace {
+
+inline float4 apply_swizzle(float4 v, const Swizzle& s) {
+  return {v[s.comp[0]], v[s.comp[1]], v[s.comp[2]], v[s.comp[3]]};
+}
+
+inline float4 read_source(const SrcOperand& src, const float4* temps,
+                          const FragmentContext& ctx) {
+  float4 v;
+  switch (src.file) {
+    case RegFile::Temp:
+      v = temps[src.index];
+      break;
+    case RegFile::Const:
+      v = src.index < ctx.constants.size() ? ctx.constants[src.index]
+                                           : float4(0.f);
+      break;
+    case RegFile::TexCoord:
+      v = ctx.texcoord[src.index];
+      break;
+    case RegFile::Literal:
+      v = src.literal;
+      break;
+    case RegFile::Output:
+      HS_DEBUG_ASSERT(false);
+      v = float4(0.f);
+      break;
+  }
+  v = apply_swizzle(v, src.swizzle);
+  if (src.negate) v = -v;
+  return v;
+}
+
+inline void write_masked(float4& dst, float4 value, std::uint8_t mask) {
+  if (mask & 1u) dst.x = value.x;
+  if (mask & 2u) dst.y = value.y;
+  if (mask & 4u) dst.z = value.z;
+  if (mask & 8u) dst.w = value.w;
+}
+
+// Approximations of the hardware special-function unit. NV30-class RCP was
+// good to ~23 mantissa bits, close enough to IEEE that we just use the host
+// operations; LG2/EX2 likewise.
+inline float hw_rcp(float x) { return 1.0f / x; }
+inline float hw_rsq(float x) { return 1.0f / std::sqrt(x); }
+inline float hw_lg2(float x) { return std::log2(x); }
+inline float hw_ex2(float x) { return std::exp2(x); }
+
+}  // namespace
+
+FragmentResult execute_fragment(const FragmentProgram& program,
+                                const FragmentContext& ctx,
+                                ExecCounters& counters) {
+  float4 temps[kMaxTemps];
+  FragmentResult result;
+
+  for (const Instruction& ins : program.code) {
+    float4 value;
+
+    if (ins.op == Opcode::TEX) {
+      const float4 coord = read_source(ins.src[0], temps, ctx);
+      const Texture2D* tex = ins.tex_unit < ctx.textures.size()
+                                 ? ctx.textures[ins.tex_unit]
+                                 : nullptr;
+      HS_DEBUG_ASSERT(tex != nullptr);
+      value = tex->fetch(coord.x, coord.y);
+      ++counters.tex_fetches;
+      counters.tex_fetch_bytes += bytes_per_texel(tex->format());
+      if (ctx.cache != nullptr || ctx.tiles != nullptr) {
+        int tx, ty;
+        if (tex->resolve(coord.x, coord.y, tx, ty)) {
+          if (ctx.cache != nullptr) {
+            const std::uint32_t id = ins.tex_unit < ctx.texture_ids.size()
+                                         ? ctx.texture_ids[ins.tex_unit]
+                                         : ins.tex_unit;
+            ctx.cache->access(id, tx, ty);
+          }
+          if (ctx.tiles != nullptr) ctx.tiles->touch(ins.tex_unit, tx, ty);
+        }
+      }
+    } else {
+      ++counters.alu_instructions;
+      const float4 a = ins.src_count > 0 ? read_source(ins.src[0], temps, ctx)
+                                         : float4(0.f);
+      const float4 b = ins.src_count > 1 ? read_source(ins.src[1], temps, ctx)
+                                         : float4(0.f);
+      const float4 c = ins.src_count > 2 ? read_source(ins.src[2], temps, ctx)
+                                         : float4(0.f);
+      switch (ins.op) {
+        case Opcode::MOV: value = a; break;
+        case Opcode::ABS: value = abs4(a); break;
+        case Opcode::FLR:
+          value = {std::floor(a.x), std::floor(a.y), std::floor(a.z),
+                   std::floor(a.w)};
+          break;
+        case Opcode::FRC:
+          value = {a.x - std::floor(a.x), a.y - std::floor(a.y),
+                   a.z - std::floor(a.z), a.w - std::floor(a.w)};
+          break;
+        case Opcode::RCP: value = float4(hw_rcp(a.x)); break;
+        case Opcode::RSQ: value = float4(hw_rsq(a.x)); break;
+        case Opcode::LG2: value = float4(hw_lg2(a.x)); break;
+        case Opcode::EX2: value = float4(hw_ex2(a.x)); break;
+        case Opcode::ADD: value = a + b; break;
+        case Opcode::SUB: value = a - b; break;
+        case Opcode::MUL: value = a * b; break;
+        case Opcode::MIN: value = min4(a, b); break;
+        case Opcode::MAX: value = max4(a, b); break;
+        case Opcode::SLT:
+          value = {a.x < b.x ? 1.f : 0.f, a.y < b.y ? 1.f : 0.f,
+                   a.z < b.z ? 1.f : 0.f, a.w < b.w ? 1.f : 0.f};
+          break;
+        case Opcode::SGE:
+          value = {a.x >= b.x ? 1.f : 0.f, a.y >= b.y ? 1.f : 0.f,
+                   a.z >= b.z ? 1.f : 0.f, a.w >= b.w ? 1.f : 0.f};
+          break;
+        case Opcode::DP3: value = float4(dot3(a, b)); break;
+        case Opcode::DP4: value = float4(dot4(a, b)); break;
+        case Opcode::MAD: value = a * b + c; break;
+        case Opcode::CMP:
+          value = {a.x < 0.f ? b.x : c.x, a.y < 0.f ? b.y : c.y,
+                   a.z < 0.f ? b.z : c.z, a.w < 0.f ? b.w : c.w};
+          break;
+        case Opcode::LRP:
+          value = a * b + (float4(1.f) - a) * c;
+          break;
+        case Opcode::TEX:
+          value = float4(0.f);  // unreachable
+          break;
+      }
+    }
+
+    if (ins.dst.file == RegFile::Temp) {
+      write_masked(temps[ins.dst.index], value, ins.dst.write_mask);
+    } else {
+      write_masked(result.color[ins.dst.index], value, ins.dst.write_mask);
+      result.outputs_written =
+          static_cast<std::uint8_t>(result.outputs_written | (1u << ins.dst.index));
+    }
+  }
+  return result;
+}
+
+}  // namespace hs::gpusim

@@ -1,0 +1,195 @@
+#include "gpusim/kernel_builder.hpp"
+
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace hs::gpusim {
+
+namespace {
+int component_of(char c) {
+  switch (c) {
+    case 'x': case 'r': return 0;
+    case 'y': case 'g': return 1;
+    case 'z': case 'b': return 2;
+    case 'w': case 'a': return 3;
+  }
+  return -1;
+}
+}  // namespace
+
+KernelValue KernelValue::swizzled(std::array<std::uint8_t, 4> comp) const {
+  // Compose with the existing swizzle.
+  SrcOperand src = src_;
+  for (std::size_t i = 0; i < 4; ++i) {
+    src.swizzle.comp[i] = src_.swizzle.comp[comp[i]];
+  }
+  return KernelValue(builder_, src);
+}
+
+KernelValue KernelValue::swizzle(const char* pattern) const {
+  const std::size_t len = std::strlen(pattern);
+  HS_ASSERT_MSG(len == 1 || len == 4, "swizzle must have 1 or 4 components");
+  std::array<std::uint8_t, 4> comp{};
+  if (len == 1) {
+    const int c = component_of(pattern[0]);
+    HS_ASSERT_MSG(c >= 0, "bad swizzle component");
+    comp.fill(static_cast<std::uint8_t>(c));
+  } else {
+    for (std::size_t i = 0; i < 4; ++i) {
+      const int c = component_of(pattern[i]);
+      HS_ASSERT_MSG(c >= 0, "bad swizzle component");
+      comp[i] = static_cast<std::uint8_t>(c);
+    }
+  }
+  return swizzled(comp);
+}
+
+KernelValue KernelValue::operator-() const {
+  SrcOperand src = src_;
+  src.negate = !src.negate;
+  return KernelValue(builder_, src);
+}
+
+KernelValue operator+(const KernelValue& a, const KernelValue& b) {
+  HS_ASSERT(a.builder_ == b.builder_);
+  return a.builder_->emit(Opcode::ADD, &a.src_, &b.src_, nullptr);
+}
+
+KernelValue operator-(const KernelValue& a, const KernelValue& b) {
+  HS_ASSERT(a.builder_ == b.builder_);
+  return a.builder_->emit(Opcode::SUB, &a.src_, &b.src_, nullptr);
+}
+
+KernelValue operator*(const KernelValue& a, const KernelValue& b) {
+  HS_ASSERT(a.builder_ == b.builder_);
+  return a.builder_->emit(Opcode::MUL, &a.src_, &b.src_, nullptr);
+}
+
+KernelBuilder::KernelBuilder(std::string name) { program_.name = std::move(name); }
+
+std::uint8_t KernelBuilder::alloc_temp() {
+  HS_ASSERT_MSG(next_temp_ < kMaxTemps, "kernel exceeds temp registers");
+  return static_cast<std::uint8_t>(next_temp_++);
+}
+
+KernelValue KernelBuilder::emit(Opcode op, const SrcOperand* a,
+                                const SrcOperand* b, const SrcOperand* c,
+                                int tex_unit) {
+  HS_ASSERT_MSG(!built_, "builder already built");
+  Instruction ins;
+  ins.op = op;
+  ins.dst.file = RegFile::Temp;
+  ins.dst.index = alloc_temp();
+  ins.dst.write_mask = 0xF;
+  int count = 0;
+  for (const SrcOperand* src : {a, b, c}) {
+    if (src != nullptr) ins.src[static_cast<std::size_t>(count++)] = *src;
+  }
+  ins.src_count = static_cast<std::uint8_t>(count);
+  ins.tex_unit = static_cast<std::uint8_t>(tex_unit);
+  program_.code.push_back(ins);
+
+  SrcOperand result;
+  result.file = RegFile::Temp;
+  result.index = ins.dst.index;
+  return KernelValue(this, result);
+}
+
+KernelValue KernelBuilder::texcoord(int index) {
+  HS_ASSERT(index >= 0 && index < kMaxTexCoords);
+  SrcOperand src;
+  src.file = RegFile::TexCoord;
+  src.index = static_cast<std::uint8_t>(index);
+  return KernelValue(this, src);
+}
+
+KernelValue KernelBuilder::constant(int index) {
+  HS_ASSERT(index >= 0 && index < kMaxConstants);
+  SrcOperand src;
+  src.file = RegFile::Const;
+  src.index = static_cast<std::uint8_t>(index);
+  return KernelValue(this, src);
+}
+
+KernelValue KernelBuilder::literal(float4 value) {
+  SrcOperand src;
+  src.file = RegFile::Literal;
+  src.literal = value;
+  return KernelValue(this, src);
+}
+
+KernelValue KernelBuilder::tex(int unit, const KernelValue& coord) {
+  HS_ASSERT(unit >= 0 && unit < kMaxTexUnits);
+  HS_ASSERT(coord.builder_ == this);
+  return emit(Opcode::TEX, &coord.src_, nullptr, nullptr, unit);
+}
+
+KernelValue KernelBuilder::mad(const KernelValue& a, const KernelValue& b,
+                               const KernelValue& c) {
+  return emit(Opcode::MAD, &a.src_, &b.src_, &c.src_);
+}
+KernelValue KernelBuilder::min(const KernelValue& a, const KernelValue& b) {
+  return emit(Opcode::MIN, &a.src_, &b.src_, nullptr);
+}
+KernelValue KernelBuilder::max(const KernelValue& a, const KernelValue& b) {
+  return emit(Opcode::MAX, &a.src_, &b.src_, nullptr);
+}
+KernelValue KernelBuilder::dot3(const KernelValue& a, const KernelValue& b) {
+  return emit(Opcode::DP3, &a.src_, &b.src_, nullptr);
+}
+KernelValue KernelBuilder::dot4(const KernelValue& a, const KernelValue& b) {
+  return emit(Opcode::DP4, &a.src_, &b.src_, nullptr);
+}
+KernelValue KernelBuilder::cmp(const KernelValue& a, const KernelValue& b,
+                               const KernelValue& c) {
+  return emit(Opcode::CMP, &a.src_, &b.src_, &c.src_);
+}
+KernelValue KernelBuilder::lerp(const KernelValue& t, const KernelValue& a,
+                                const KernelValue& b) {
+  return emit(Opcode::LRP, &t.src_, &a.src_, &b.src_);
+}
+KernelValue KernelBuilder::abs(const KernelValue& v) {
+  return emit(Opcode::ABS, &v.src_, nullptr, nullptr);
+}
+KernelValue KernelBuilder::floor(const KernelValue& v) {
+  return emit(Opcode::FLR, &v.src_, nullptr, nullptr);
+}
+KernelValue KernelBuilder::fract(const KernelValue& v) {
+  return emit(Opcode::FRC, &v.src_, nullptr, nullptr);
+}
+KernelValue KernelBuilder::rcp(const KernelValue& v) {
+  return emit(Opcode::RCP, &v.src_, nullptr, nullptr);
+}
+KernelValue KernelBuilder::rsq(const KernelValue& v) {
+  return emit(Opcode::RSQ, &v.src_, nullptr, nullptr);
+}
+KernelValue KernelBuilder::log2(const KernelValue& v) {
+  return emit(Opcode::LG2, &v.src_, nullptr, nullptr);
+}
+KernelValue KernelBuilder::exp2(const KernelValue& v) {
+  return emit(Opcode::EX2, &v.src_, nullptr, nullptr);
+}
+
+void KernelBuilder::output(const KernelValue& value, int index) {
+  HS_ASSERT(index >= 0 && index < kMaxOutputs);
+  HS_ASSERT(value.builder_ == this);
+  Instruction ins;
+  ins.op = Opcode::MOV;
+  ins.dst.file = RegFile::Output;
+  ins.dst.index = static_cast<std::uint8_t>(index);
+  ins.dst.write_mask = 0xF;
+  ins.src[0] = value.src_;
+  ins.src_count = 1;
+  program_.code.push_back(ins);
+}
+
+FragmentProgram KernelBuilder::build() {
+  HS_ASSERT_MSG(!built_, "builder already built");
+  built_ = true;
+  const auto errors = validate(program_);
+  HS_ASSERT_MSG(errors.empty(), "built kernel failed validation");
+  return std::move(program_);
+}
+
+}  // namespace hs::gpusim

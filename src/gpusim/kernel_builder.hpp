@@ -1,0 +1,111 @@
+// Brook-style kernel construction.
+//
+// The paper frames GPGPU through the stream model popularized by Brook
+// (its reference [1]): kernels over streams, written in a high-level
+// language and compiled to fragment programs. KernelBuilder is that upper
+// layer for this simulator -- a small C++ expression API that emits
+// validated fragment IR, so application kernels can be composed without
+// writing assembly:
+//
+//   KernelBuilder kb("diff_sq");
+//   auto coord = kb.texcoord(0);
+//   auto a = kb.tex(0, coord);
+//   auto b = kb.tex(1, coord + kb.constant(0));   // neighbor offset in c[0]
+//   auto d = a - b;
+//   kb.output(kb.dot4(d, d));
+//   FragmentProgram program = kb.build();
+//
+// Registers are allocated linearly (kernels of this era are tens of
+// instructions; no liveness analysis is needed below kMaxTemps).
+#pragma once
+
+#include <string>
+
+#include "gpusim/fragment_ir.hpp"
+
+namespace hs::gpusim {
+
+class KernelBuilder;
+
+/// A value in the kernel being built: a register reference plus swizzle.
+/// Values are cheap handles; all state lives in the KernelBuilder.
+class KernelValue {
+ public:
+  /// Component selections (read-only views; no instruction emitted).
+  KernelValue x() const { return swizzled({0, 0, 0, 0}); }
+  KernelValue y() const { return swizzled({1, 1, 1, 1}); }
+  KernelValue z() const { return swizzled({2, 2, 2, 2}); }
+  KernelValue w() const { return swizzled({3, 3, 3, 3}); }
+  KernelValue swizzle(const char* pattern) const;
+
+  KernelValue operator-() const;
+
+  friend KernelValue operator+(const KernelValue& a, const KernelValue& b);
+  friend KernelValue operator-(const KernelValue& a, const KernelValue& b);
+  friend KernelValue operator*(const KernelValue& a, const KernelValue& b);
+
+ private:
+  friend class KernelBuilder;
+  KernelValue(KernelBuilder* builder, SrcOperand src)
+      : builder_(builder), src_(src) {}
+  KernelValue swizzled(std::array<std::uint8_t, 4> comp) const;
+
+  KernelBuilder* builder_;
+  SrcOperand src_;
+};
+
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(std::string name);
+
+  // -- inputs ---------------------------------------------------------------
+  KernelValue texcoord(int index);
+  KernelValue constant(int index);
+  KernelValue literal(float4 value);
+  KernelValue literal(float value) { return literal(float4(value)); }
+  /// Texture fetch at `coord` (lanes x, y) from `unit`.
+  KernelValue tex(int unit, const KernelValue& coord);
+
+  // -- operations -------------------------------------------------------------
+  KernelValue mad(const KernelValue& a, const KernelValue& b, const KernelValue& c);
+  KernelValue min(const KernelValue& a, const KernelValue& b);
+  KernelValue max(const KernelValue& a, const KernelValue& b);
+  KernelValue dot3(const KernelValue& a, const KernelValue& b);
+  KernelValue dot4(const KernelValue& a, const KernelValue& b);
+  /// (a < 0) ? b : c, per component.
+  KernelValue cmp(const KernelValue& a, const KernelValue& b, const KernelValue& c);
+  KernelValue lerp(const KernelValue& t, const KernelValue& a, const KernelValue& b);
+  KernelValue abs(const KernelValue& v);
+  KernelValue floor(const KernelValue& v);
+  KernelValue fract(const KernelValue& v);
+  /// Scalar special functions (consume lane x of v, broadcast).
+  KernelValue rcp(const KernelValue& v);
+  KernelValue rsq(const KernelValue& v);
+  KernelValue log2(const KernelValue& v);
+  KernelValue exp2(const KernelValue& v);
+
+  // -- outputs ----------------------------------------------------------------
+  /// Writes `value` to result.color[index] (mask = all components).
+  void output(const KernelValue& value, int index = 0);
+
+  /// Finalizes, validates, and returns the program. The builder is spent.
+  FragmentProgram build();
+
+  int instructions_emitted() const { return static_cast<int>(program_.code.size()); }
+
+  /// Low-level escape hatch: emits one instruction into a fresh temp and
+  /// returns it. The expression API above is sugar over this.
+  KernelValue emit(Opcode op, const SrcOperand* a, const SrcOperand* b,
+                   const SrcOperand* c, int tex_unit = 0);
+
+ private:
+  friend class KernelValue;
+
+  std::uint8_t alloc_temp();
+
+  FragmentProgram program_;
+  int next_temp_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace hs::gpusim

@@ -1,0 +1,152 @@
+#include "gpusim/raster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace hs::gpusim {
+
+namespace {
+
+struct ScreenVertex {
+  float x = 0;
+  float y = 0;
+  std::array<float4, kVertexAttributes> attributes{};
+};
+
+/// Twice the signed area of triangle (a, b, c); positive when the winding
+/// is counter-clockwise in our y-down pixel space.
+double edge(double ax, double ay, double bx, double by, double cx, double cy) {
+  return (bx - ax) * (cy - ay) - (by - ay) * (cx - ax);
+}
+
+}  // namespace
+
+std::vector<Vertex> fullscreen_quad(int width, int height) {
+  HS_ASSERT(width > 0 && height > 0);
+  // Attribute 0 carries texel coordinates so the interpolated value at a
+  // fragment center equals (x + .5, y + .5), matching Device::draw.
+  auto v = [&](float cx, float cy, float tx, float ty) {
+    Vertex vert;
+    vert.position = {cx, cy, 0.f, 1.f};
+    vert.attributes[0] = {tx, ty, 0.f, 1.f};
+    return vert;
+  };
+  const float w = static_cast<float>(width);
+  const float h = static_cast<float>(height);
+  return {
+      v(-1.f, -1.f, 0.f, 0.f), v(1.f, -1.f, w, 0.f), v(1.f, 1.f, w, h),
+      v(-1.f, -1.f, 0.f, 0.f), v(1.f, 1.f, w, h),    v(-1.f, 1.f, 0.f, h),
+  };
+}
+
+PassStats draw_triangles(Device& device, const FragmentProgram& program,
+                         std::span<const Vertex> vertices,
+                         const Viewport& viewport,
+                         std::span<const TextureHandle> inputs,
+                         std::span<const float4> constants,
+                         std::span<const TextureHandle> outputs) {
+  HS_ASSERT_MSG(vertices.size() % 3 == 0,
+                "vertex count must be a multiple of three");
+  HS_ASSERT(viewport.width > 0 && viewport.height > 0);
+
+  // Vertex stage (fixed-function GPGPU subset): viewport transform,
+  // attribute passthrough.
+  std::vector<ScreenVertex> screen(vertices.size());
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const Vertex& in = vertices[i];
+    screen[i].x = static_cast<float>(viewport.x) +
+                  (in.position.x * 0.5f + 0.5f) * static_cast<float>(viewport.width);
+    screen[i].y = static_cast<float>(viewport.y) +
+                  (in.position.y * 0.5f + 0.5f) * static_cast<float>(viewport.height);
+    screen[i].attributes = in.attributes;
+  }
+
+  // Rasterize with "later primitive wins" overwrite semantics (no
+  // blending): a per-pixel slot records the covering fragment, then the
+  // surviving fragments are emitted in scanline order so the device's
+  // pipe partitioning sees spatial locality and never writes one pixel
+  // from two pipes.
+  const int vw = viewport.width;
+  const int vh = viewport.height;
+  std::vector<std::int32_t> owner(
+      static_cast<std::size_t>(vw) * static_cast<std::size_t>(vh), -1);
+  struct Covered {
+    std::array<float4, kVertexAttributes> attributes;
+  };
+  std::vector<Covered> covered(owner.size());
+
+  for (std::size_t t = 0; t + 2 < screen.size(); t += 3) {
+    const ScreenVertex& a = screen[t];
+    const ScreenVertex& b = screen[t + 1];
+    const ScreenVertex& c = screen[t + 2];
+    double area = edge(a.x, a.y, b.x, b.y, c.x, c.y);
+    if (area == 0.0) continue;  // degenerate
+
+    const int min_x = std::max(viewport.x,
+                               static_cast<int>(std::floor(std::min({a.x, b.x, c.x}))));
+    const int max_x = std::min(viewport.x + vw - 1,
+                               static_cast<int>(std::ceil(std::max({a.x, b.x, c.x}))));
+    const int min_y = std::max(viewport.y,
+                               static_cast<int>(std::floor(std::min({a.y, b.y, c.y}))));
+    const int max_y = std::min(viewport.y + vh - 1,
+                               static_cast<int>(std::ceil(std::max({a.y, b.y, c.y}))));
+
+    // Normalize to positive area so the inside test is winding-agnostic.
+    const double sign = area > 0 ? 1.0 : -1.0;
+    for (int y = min_y; y <= max_y; ++y) {
+      for (int x = min_x; x <= max_x; ++x) {
+        const double px = x + 0.5;
+        const double py = y + 0.5;
+        double w0 = sign * edge(b.x, b.y, c.x, c.y, px, py);
+        double w1 = sign * edge(c.x, c.y, a.x, a.y, px, py);
+        double w2 = sign * edge(a.x, a.y, b.x, b.y, px, py);
+        // Inclusive edges on one side only would need the full top-left
+        // rule; sampling at half-integer centers against integer-aligned
+        // edges avoids exact-on-edge cases for the common GPGPU quads,
+        // and shared diagonals resolve by "later primitive wins".
+        if (w0 < 0 || w1 < 0 || w2 < 0) continue;
+        const double inv = 1.0 / (sign * area);
+        const double l0 = w0 * inv;
+        const double l1 = w1 * inv;
+        const double l2 = w2 * inv;
+        const std::size_t idx =
+            static_cast<std::size_t>(y - viewport.y) * static_cast<std::size_t>(vw) +
+            static_cast<std::size_t>(x - viewport.x);
+        owner[idx] = static_cast<std::int32_t>(t);
+        for (int k = 0; k < kVertexAttributes; ++k) {
+          float4 out;
+          for (std::size_t comp = 0; comp < 4; ++comp) {
+            out[comp] = static_cast<float>(
+                l0 * a.attributes[static_cast<std::size_t>(k)][comp] +
+                l1 * b.attributes[static_cast<std::size_t>(k)][comp] +
+                l2 * c.attributes[static_cast<std::size_t>(k)][comp]);
+          }
+          covered[idx].attributes[static_cast<std::size_t>(k)] = out;
+        }
+      }
+    }
+  }
+
+  std::vector<Device::GeomFragment> fragments;
+  fragments.reserve(owner.size());
+  for (int y = 0; y < vh; ++y) {
+    for (int x = 0; x < vw; ++x) {
+      const std::size_t idx = static_cast<std::size_t>(y) *
+                                  static_cast<std::size_t>(vw) +
+                              static_cast<std::size_t>(x);
+      if (owner[idx] < 0) continue;
+      Device::GeomFragment f;
+      f.x = viewport.x + x;
+      f.y = viewport.y + y;
+      f.texcoord0 = covered[idx].attributes[0];
+      f.texcoord1 = covered[idx].attributes[1];
+      fragments.push_back(f);
+    }
+  }
+
+  return device.draw_fragments(program, fragments, inputs, constants, outputs);
+}
+
+}  // namespace hs::gpusim

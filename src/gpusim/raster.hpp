@@ -1,0 +1,61 @@
+// Triangle rasterization with attribute interpolation.
+//
+// Section 2 of the paper describes the full programmable pipeline: vertices
+// are transformed, reassembled into triangles, and rasterized into
+// fragments whose attributes (texture coordinates) are interpolated from
+// the vertices. GPGPU code normally draws one screen-aligned quad, which
+// Device::draw special-cases; this module provides the general path --
+// arbitrary triangles, barycentric attribute interpolation, top-left fill
+// rule -- so partial-viewport and non-axis-aligned workloads (e.g.
+// processing a region of interest, or splatting irregular footprints) run
+// on the same simulated hardware with the same counters.
+//
+// The vertex stage is the fixed-function GPGPU subset: clip-space
+// positions are mapped through the viewport; attributes pass through
+// unchanged. (The paper itself notes fragment processors are the useful
+// ones for non-graphics work.)
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "gpusim/gpu_device.hpp"
+
+namespace hs::gpusim {
+
+inline constexpr int kVertexAttributes = 2;
+
+struct Vertex {
+  /// Clip-space position: x, y in [-1, 1] map to the viewport; z, w unused
+  /// (orthographic GPGPU subset).
+  float4 position{0, 0, 0, 1};
+  /// Interpolated into fragment.texcoord[0..kVertexAttributes-1].
+  std::array<float4, kVertexAttributes> attributes{};
+};
+
+/// Viewport mapping clip space onto the render target, in pixels.
+struct Viewport {
+  int x = 0;
+  int y = 0;
+  int width = 0;
+  int height = 0;
+};
+
+/// Rasterizes `vertices` (consecutive triples form triangles) through
+/// `program` into `outputs`, exactly like Device::draw but with coverage
+/// and interpolated texcoords determined by the triangles. Returns the
+/// pass statistics (fragments = covered pixels).
+PassStats draw_triangles(Device& device, const FragmentProgram& program,
+                         std::span<const Vertex> vertices,
+                         const Viewport& viewport,
+                         std::span<const TextureHandle> inputs,
+                         std::span<const float4> constants,
+                         std::span<const TextureHandle> outputs);
+
+/// Two triangles covering the whole viewport, with attribute 0
+/// interpolating to each fragment's own texel-center coordinates -- the
+/// GPGPU full-screen quad. Drawing it reproduces Device::draw exactly.
+std::vector<Vertex> fullscreen_quad(int width, int height);
+
+}  // namespace hs::gpusim

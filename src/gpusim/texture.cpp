@@ -1,0 +1,181 @@
+#include "gpusim/texture.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace hs::gpusim {
+
+std::uint32_t bytes_per_texel(TextureFormat format) {
+  switch (format) {
+    case TextureFormat::RGBA32F: return 16;
+    case TextureFormat::R32F: return 4;
+    case TextureFormat::RGBA16F: return 8;
+    case TextureFormat::R16F: return 2;
+  }
+  return 0;
+}
+
+int channels_of(TextureFormat format) {
+  switch (format) {
+    case TextureFormat::RGBA32F:
+    case TextureFormat::RGBA16F:
+      return 4;
+    case TextureFormat::R32F:
+    case TextureFormat::R16F:
+      return 1;
+  }
+  return 0;
+}
+
+bool is_half_format(TextureFormat format) {
+  return format == TextureFormat::RGBA16F || format == TextureFormat::R16F;
+}
+
+std::uint16_t float_to_half(float value) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &value, sizeof bits);
+  const std::uint32_t sign = (bits >> 16) & 0x8000u;
+  std::uint32_t exponent = (bits >> 23) & 0xFFu;
+  std::uint32_t mantissa = bits & 0x7FFFFFu;
+
+  if (exponent == 0xFF) {  // inf / nan
+    return static_cast<std::uint16_t>(sign | 0x7C00u | (mantissa ? 0x200u : 0));
+  }
+  // Re-bias 127 -> 15.
+  int e = static_cast<int>(exponent) - 127 + 15;
+  if (e >= 0x1F) return static_cast<std::uint16_t>(sign | 0x7C00u);  // overflow -> inf
+  if (e <= 0) {
+    if (e < -10) return static_cast<std::uint16_t>(sign);  // underflow -> 0
+    // Subnormal half: shift in the implicit leading 1.
+    mantissa |= 0x800000u;
+    const int shift = 14 - e;
+    std::uint32_t half_mant = mantissa >> shift;
+    // Round to nearest even.
+    const std::uint32_t rem = mantissa & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_mant & 1))) ++half_mant;
+    return static_cast<std::uint16_t>(sign | half_mant);
+  }
+  // Normal: keep 10 mantissa bits, round to nearest even.
+  std::uint32_t half_mant = mantissa >> 13;
+  const std::uint32_t rem = mantissa & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half_mant & 1))) {
+    ++half_mant;
+    if (half_mant == 0x400u) {  // mantissa overflow bumps the exponent
+      half_mant = 0;
+      ++e;
+      if (e >= 0x1F) return static_cast<std::uint16_t>(sign | 0x7C00u);
+    }
+  }
+  return static_cast<std::uint16_t>(sign | (static_cast<std::uint32_t>(e) << 10) |
+                                    half_mant);
+}
+
+float half_to_float(std::uint16_t half) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(half) & 0x8000u) << 16;
+  std::uint32_t exponent = (half >> 10) & 0x1Fu;
+  std::uint32_t mantissa = half & 0x3FFu;
+
+  std::uint32_t bits;
+  if (exponent == 0) {
+    if (mantissa == 0) {
+      bits = sign;  // zero
+    } else {
+      // Subnormal half: normalize.
+      int e = -1;
+      do {
+        mantissa <<= 1;
+        ++e;
+      } while ((mantissa & 0x400u) == 0);
+      mantissa &= 0x3FFu;
+      bits = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+             (mantissa << 13);
+    }
+  } else if (exponent == 0x1F) {
+    bits = sign | 0x7F800000u | (mantissa << 13);  // inf / nan
+  } else {
+    bits = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+  }
+  float out;
+  std::memcpy(&out, &bits, sizeof out);
+  return out;
+}
+
+float quantize_half(float value) { return half_to_float(float_to_half(value)); }
+
+Texture2D::Texture2D(int width, int height, TextureFormat format,
+                     AddressMode address)
+    : width_(width), height_(height), format_(format), address_(address) {
+  HS_ASSERT_MSG(width > 0 && height > 0, "texture dimensions must be positive");
+  const std::size_t channels = static_cast<std::size_t>(channels_of(format));
+  data_.assign(static_cast<std::size_t>(width) * static_cast<std::size_t>(height) * channels,
+               0.0f);
+}
+
+namespace {
+int wrap_coord(int v, int size, AddressMode mode) {
+  switch (mode) {
+    case AddressMode::ClampToEdge:
+      return v < 0 ? 0 : (v >= size ? size - 1 : v);
+    case AddressMode::Repeat: {
+      int m = v % size;
+      return m < 0 ? m + size : m;
+    }
+    case AddressMode::ClampToBorder:
+      return v;  // caller checks range
+  }
+  return 0;
+}
+}  // namespace
+
+bool Texture2D::resolve(float s, float t, int& x, int& y) const {
+  x = static_cast<int>(std::floor(s));
+  y = static_cast<int>(std::floor(t));
+  if (address_ == AddressMode::ClampToBorder) {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+  x = wrap_coord(x, width_, address_);
+  y = wrap_coord(y, height_, address_);
+  return true;
+}
+
+float4 Texture2D::fetch(float s, float t) const {
+  int x, y;
+  if (!resolve(s, t, x, y)) return border_;
+  return load(x, y);
+}
+
+void Texture2D::store(int x, int y, float4 value) {
+  HS_DEBUG_ASSERT(x >= 0 && x < width_ && y >= 0 && y < height_);
+  const std::size_t idx = static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                          static_cast<std::size_t>(x);
+  // Half formats quantize on store: the backing array keeps floats for the
+  // interpreter's convenience, but only half-representable values.
+  if (is_half_format(format_)) {
+    value = {quantize_half(value.x), quantize_half(value.y),
+             quantize_half(value.z), quantize_half(value.w)};
+  }
+  if (channels_of(format_) == 4) {
+    data_[idx * 4 + 0] = value.x;
+    data_[idx * 4 + 1] = value.y;
+    data_[idx * 4 + 2] = value.z;
+    data_[idx * 4 + 3] = value.w;
+  } else {
+    data_[idx] = value.x;
+  }
+}
+
+float4 Texture2D::load(int x, int y) const {
+  HS_DEBUG_ASSERT(x >= 0 && x < width_ && y >= 0 && y < height_);
+  const std::size_t idx = static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                          static_cast<std::size_t>(x);
+  if (channels_of(format_) == 4) {
+    return {data_[idx * 4 + 0], data_[idx * 4 + 1], data_[idx * 4 + 2],
+            data_[idx * 4 + 3]};
+  }
+  return {data_[idx], 0.f, 0.f, 0.f};
+}
+
+}  // namespace hs::gpusim

@@ -1,0 +1,93 @@
+// 2-D textures, the stream storage of the simulated GPU.
+//
+// GPGPU code of the NV30/G70 era used *texture rectangles*
+// (NV_texture_rectangle): unnormalized integer texel coordinates and
+// nearest-neighbor sampling, which is exactly what multi-pass stream
+// computation wants. fetch() therefore takes texel-space coordinates; the
+// addressing mode decides what happens outside [0,w)x[0,h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/float4.hpp"
+
+namespace hs::gpusim {
+
+enum class TextureFormat : std::uint8_t {
+  RGBA32F,  ///< four float channels; the band-packed stream format
+  R32F,     ///< single float channel (scalar streams: sums, MEI, indices)
+  RGBA16F,  ///< four half-float channels -- half the memory traffic, the
+            ///< NV3x-era precision/speed trade; values are quantized to
+            ///< IEEE half on store
+  R16F,     ///< single half-float channel
+};
+
+/// Bytes per texel as counted against video memory and bandwidth.
+std::uint32_t bytes_per_texel(TextureFormat format);
+
+/// Number of channels stored (4 for RGBA formats, 1 for R formats).
+int channels_of(TextureFormat format);
+
+/// True for the half-float formats.
+bool is_half_format(TextureFormat format);
+
+/// IEEE 754 binary16 conversion (round to nearest even), used to quantize
+/// stores into half-float textures. Exposed for tests.
+std::uint16_t float_to_half(float value);
+float half_to_float(std::uint16_t half);
+/// float -> half -> float round trip.
+float quantize_half(float value);
+
+enum class AddressMode : std::uint8_t {
+  ClampToEdge,   ///< coordinates clamp to the border texel
+  Repeat,        ///< coordinates wrap modulo size
+  ClampToBorder  ///< out-of-range reads return the border color
+};
+
+class Texture2D {
+ public:
+  Texture2D(int width, int height, TextureFormat format,
+            AddressMode address = AddressMode::ClampToEdge);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  TextureFormat format() const { return format_; }
+  AddressMode address_mode() const { return address_; }
+  void set_address_mode(AddressMode m) { address_ = m; }
+  void set_border_color(float4 c) { border_ = c; }
+
+  std::uint64_t size_bytes() const {
+    return static_cast<std::uint64_t>(width_) * static_cast<std::uint64_t>(height_) *
+           bytes_per_texel(format_);
+  }
+
+  /// Nearest-neighbor fetch at unnormalized texel coordinates (s, t):
+  /// texel index = floor(coordinate), then the addressing mode is applied.
+  /// For R32F textures the scalar is broadcast into .x and the remaining
+  /// lanes read 0, matching LUMINANCE-style fetch behaviour.
+  float4 fetch(float s, float t) const;
+
+  /// Direct texel access (in-range indices only); used by upload/download
+  /// and by tests. For R32F textures only .x is stored.
+  void store(int x, int y, float4 value);
+  float4 load(int x, int y) const;
+
+  /// Raw channel data. RGBA32F: 4 floats per texel; R32F: 1 float per texel.
+  std::vector<float>& raw() { return data_; }
+  const std::vector<float>& raw() const { return data_; }
+
+  /// Resolves (s,t) to concrete texel indices per the address mode;
+  /// returns false for ClampToBorder out-of-range (border color case).
+  bool resolve(float s, float t, int& x, int& y) const;
+
+ private:
+  int width_;
+  int height_;
+  TextureFormat format_;
+  AddressMode address_;
+  float4 border_{0.f, 0.f, 0.f, 0.f};
+  std::vector<float> data_;
+};
+
+}  // namespace hs::gpusim

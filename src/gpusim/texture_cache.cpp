@@ -1,0 +1,67 @@
+#include "gpusim/texture_cache.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hs::gpusim {
+
+TextureCache::TextureCache(const TextureCacheConfig& config) : config_(config) {
+  HS_ASSERT(config_.tile_size > 0 && config_.associativity > 0);
+  const std::uint64_t line_bytes =
+      static_cast<std::uint64_t>(config_.tile_size) * config_.tile_size *
+      config_.bytes_per_texel;
+  HS_ASSERT(line_bytes > 0);
+  std::uint64_t sets = config_.total_bytes /
+                       (line_bytes * static_cast<std::uint64_t>(config_.associativity));
+  num_sets_ = static_cast<int>(std::max<std::uint64_t>(1, sets));
+  lines_.assign(static_cast<std::size_t>(num_sets_) *
+                    static_cast<std::size_t>(config_.associativity),
+                Line{});
+}
+
+bool TextureCache::access(std::uint32_t texture_id, int x, int y) {
+  ++stats_.accesses;
+  const std::uint64_t tile_x = static_cast<std::uint64_t>(x / config_.tile_size);
+  const std::uint64_t tile_y = static_cast<std::uint64_t>(y / config_.tile_size);
+  // Pack (texture, tile_y, tile_x) into a tag; widths are generous for any
+  // texture this library creates.
+  const std::uint64_t tag =
+      (static_cast<std::uint64_t>(texture_id) << 48) | (tile_y << 24) | tile_x;
+  // Index hash mixes tile coordinates and texture id so band-stack textures
+  // accessed in lockstep do not all collide in one set.
+  const std::uint64_t h = tag * 0x9E3779B97F4A7C15ULL;
+  const std::size_t set = static_cast<std::size_t>(h >> 32) %
+                          static_cast<std::size_t>(num_sets_);
+
+  Line* base = &lines_[set * static_cast<std::size_t>(config_.associativity)];
+  for (int w = 0; w < config_.associativity; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = ++stamp_;
+      ++stats_.hits;
+      return true;
+    }
+  }
+  ++stats_.misses;
+  // Victim: first invalid way, otherwise least recently used.
+  Line* victim = base;
+  for (int w = 0; w < config_.associativity; ++w) {
+    Line& line = base[w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (line.lru < victim->lru) victim = &line;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = ++stamp_;
+  return false;
+}
+
+void TextureCache::flush() {
+  for (auto& line : lines_) line.valid = false;
+}
+
+}  // namespace hs::gpusim

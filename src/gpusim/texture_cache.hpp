@@ -1,0 +1,73 @@
+// Set-associative texture-cache model in the style of Hakura & Gupta
+// (ISCA'97, the paper's reference [7]): cache lines hold square 2-D tiles
+// of texels so that the rasterization order's spatial locality turns into
+// hits, and misses transfer whole tiles from video memory.
+//
+// Real GPUs of this era had a small L1 per fragment pipe; the simulator
+// instantiates one TextureCache per simulated pipe (so no locking) and the
+// device aggregates the statistics. Only *statistics* flow from here into
+// the timing model -- texel values are always read from the backing
+// texture, so the cache cannot affect functional results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hs::gpusim {
+
+struct TextureCacheConfig {
+  std::uint64_t total_bytes = 8 * 1024;  ///< capacity per pipe
+  int tile_size = 4;                     ///< tile edge, texels (lines are tile x tile)
+  int associativity = 4;                 ///< ways per set
+  std::uint32_t bytes_per_texel = 16;    ///< RGBA32F by default
+};
+
+struct TextureCacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  std::uint64_t miss_bytes(const TextureCacheConfig& cfg) const {
+    return misses * static_cast<std::uint64_t>(cfg.tile_size) *
+           static_cast<std::uint64_t>(cfg.tile_size) * cfg.bytes_per_texel;
+  }
+
+  TextureCacheStats& operator+=(const TextureCacheStats& o) {
+    accesses += o.accesses;
+    hits += o.hits;
+    misses += o.misses;
+    return *this;
+  }
+};
+
+class TextureCache {
+ public:
+  explicit TextureCache(const TextureCacheConfig& config);
+
+  /// Records an access to texel (x, y) of texture `texture_id`.
+  /// Returns true on hit. Tags are (texture_id, tile_x, tile_y).
+  bool access(std::uint32_t texture_id, int x, int y);
+
+  void flush();
+
+  const TextureCacheConfig& config() const { return config_; }
+  const TextureCacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  int num_sets() const { return num_sets_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = ~0ull;  ///< packed (texture_id, tile_x, tile_y)
+    std::uint64_t lru = 0;      ///< last-access stamp
+    bool valid = false;
+  };
+
+  TextureCacheConfig config_;
+  int num_sets_;
+  std::uint64_t stamp_ = 0;
+  std::vector<Line> lines_;  // num_sets_ * associativity
+  TextureCacheStats stats_;
+};
+
+}  // namespace hs::gpusim

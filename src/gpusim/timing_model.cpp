@@ -1,0 +1,63 @@
+#include "gpusim/timing_model.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hs::gpusim {
+
+double model_pass_time(const DeviceProfile& device, const PassCounts& counts) {
+  HS_ASSERT(device.fragment_pipes > 0 && device.core_clock_hz > 0);
+
+  const double alu_rate =
+      device.fragment_pipes * device.core_clock_hz * device.alu_ipc;
+  const double alu_time = static_cast<double>(counts.alu_instructions) / alu_rate;
+
+  const double tex_time =
+      device.tex_fill_rate > 0
+          ? static_cast<double>(counts.tex_fetches) / device.tex_fill_rate
+          : 0.0;
+
+  double l2_time = 0.0;
+  std::uint64_t dram_fetch_bytes;
+  if (counts.cache_enabled) {
+    dram_fetch_bytes = counts.unique_tile_bytes;
+    if (device.l2_bandwidth_bps > 0) {
+      l2_time = static_cast<double>(counts.cache_miss_bytes) /
+                device.l2_bandwidth_bps;
+    }
+  } else {
+    dram_fetch_bytes = counts.tex_fetch_bytes;
+  }
+  const double dram_time =
+      static_cast<double>(dram_fetch_bytes + counts.bytes_written) /
+      device.mem_bandwidth_bps;
+
+  return std::max({alu_time, tex_time, l2_time, dram_time}) +
+         device.pass_overhead_s;
+}
+
+double model_upload_time(const BusProfile& bus, std::uint64_t bytes) {
+  HS_ASSERT(bus.upload_bandwidth_bps > 0);
+  return bus.latency_s + static_cast<double>(bytes) / bus.upload_bandwidth_bps;
+}
+
+double model_download_time(const BusProfile& bus, std::uint64_t bytes) {
+  HS_ASSERT(bus.download_bandwidth_bps > 0);
+  return bus.latency_s + static_cast<double>(bytes) / bus.download_bandwidth_bps;
+}
+
+double model_cpu_time(const CpuProfile& cpu, std::uint64_t flops,
+                      std::uint64_t bytes, bool vectorized) {
+  HS_ASSERT(cpu.clock_hz > 0);
+  const double rate = cpu.clock_hz * (vectorized ? cpu.vector_flops_per_cycle
+                                                 : cpu.scalar_flops_per_cycle);
+  const double compute = static_cast<double>(flops) / rate;
+  const double memory =
+      cpu.mem_bandwidth_bps > 0
+          ? static_cast<double>(bytes) / cpu.mem_bandwidth_bps
+          : 0.0;
+  return std::max(compute, memory);
+}
+
+}  // namespace hs::gpusim

@@ -1,0 +1,55 @@
+// Analytic timing model.
+//
+// The functional simulator counts work (fragments, ALU instructions,
+// texture fetches, cache misses, bytes moved); this model converts those
+// counts into modeled wall time for a given device profile. Keeping the
+// conversion separate from the counting means the model is unit-testable
+// and the ablation benches can evaluate "what if" profiles on recorded
+// counts without re-running passes.
+//
+// Per-pass model (bottleneck formulation):
+//   alu_time  = alu_instructions / (pipes * clock * alu_ipc)
+//   tex_time  = tex_fetches / tex_fill_rate
+//   l2_time   = l1_miss_bytes / l2_bandwidth      (L1 misses hit the shared
+//               L2 texture cache, whose bandwidth exceeds DRAM's)
+//   dram_time = (unique_tile_bytes + bytes_written) / mem_bandwidth
+//               (each tile streams from video memory once per pass --
+//                compulsory traffic; repeats are absorbed by the caches)
+//   pass      = max(alu, tex, l2, dram) + pass_overhead
+// With the texture cache disabled every fetch pays full texel DRAM traffic.
+//
+// CPU model (Table 2 platforms):
+//   time = max(flops / (clock * flops_per_cycle), bytes / mem_bandwidth)
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device_profile.hpp"
+
+namespace hs::gpusim {
+
+struct PassCounts {
+  std::uint64_t fragments = 0;
+  std::uint64_t alu_instructions = 0;
+  std::uint64_t tex_fetches = 0;
+  std::uint64_t tex_fetch_bytes = 0;    ///< bytes if every fetch hit DRAM
+  std::uint64_t cache_miss_bytes = 0;   ///< L1 miss tile traffic (to L2)
+  std::uint64_t unique_tile_bytes = 0;  ///< compulsory DRAM tile traffic
+  std::uint64_t bytes_written = 0;
+  bool cache_enabled = true;
+};
+
+/// Modeled execution time of one rendering pass on `device`.
+double model_pass_time(const DeviceProfile& device, const PassCounts& counts);
+
+/// Modeled host->GPU / GPU->host transfer times.
+double model_upload_time(const BusProfile& bus, std::uint64_t bytes);
+double model_download_time(const BusProfile& bus, std::uint64_t bytes);
+
+/// Modeled CPU time for a kernel doing `flops` arithmetic over `bytes` of
+/// streamed memory traffic. `vectorized` selects the icc-style sustained
+/// flop rate, otherwise the scalar gcc-style rate.
+double model_cpu_time(const CpuProfile& cpu, std::uint64_t flops,
+                      std::uint64_t bytes, bool vectorized);
+
+}  // namespace hs::gpusim

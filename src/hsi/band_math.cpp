@@ -1,0 +1,102 @@
+#include "hsi/band_math.hpp"
+
+#include "hsi/spectral_library.hpp"
+#include "util/assert.hpp"
+
+namespace hs::hsi {
+
+HyperCube select_bands(const HyperCube& cube, const std::vector<int>& bands) {
+  HS_ASSERT(!bands.empty());
+  HyperCube out(cube.width(), cube.height(), static_cast<int>(bands.size()),
+                cube.interleave());
+  for (int y = 0; y < cube.height(); ++y) {
+    for (int x = 0; x < cube.width(); ++x) {
+      for (std::size_t b = 0; b < bands.size(); ++b) {
+        HS_ASSERT(bands[b] >= 0 && bands[b] < cube.bands());
+        out.at(x, y, static_cast<int>(b)) = cube.at(x, y, bands[b]);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int> water_absorption_band_indices(int bands) {
+  std::vector<int> out;
+  for (int b = 0; b < bands; ++b) {
+    const double um = aviris_wavelength_um(b, bands);
+    if ((um >= 1.34 && um <= 1.45) || (um >= 1.79 && um <= 1.97) ||
+        um >= 2.45) {
+      out.push_back(b);
+    }
+  }
+  return out;
+}
+
+std::vector<int> usable_band_indices(int bands) {
+  const std::vector<int> drop = water_absorption_band_indices(bands);
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(bands) - drop.size());
+  std::size_t d = 0;
+  for (int b = 0; b < bands; ++b) {
+    if (d < drop.size() && drop[d] == b) {
+      ++d;
+      continue;
+    }
+    out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<double> band_means(const HyperCube& cube) {
+  const int n = cube.bands();
+  std::vector<double> mean(static_cast<std::size_t>(n), 0.0);
+  std::vector<float> spec(static_cast<std::size_t>(n));
+  for (int y = 0; y < cube.height(); ++y) {
+    for (int x = 0; x < cube.width(); ++x) {
+      cube.pixel(x, y, spec);
+      for (int b = 0; b < n; ++b) {
+        mean[static_cast<std::size_t>(b)] += spec[static_cast<std::size_t>(b)];
+      }
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(cube.pixel_count());
+  for (auto& v : mean) v *= inv;
+  return mean;
+}
+
+linalg::Matrix band_covariance(const HyperCube& cube) {
+  const int n = cube.bands();
+  const auto mean = band_means(cube);
+  linalg::Matrix cov(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  std::vector<float> spec(static_cast<std::size_t>(n));
+  std::vector<double> centered(static_cast<std::size_t>(n));
+  for (int y = 0; y < cube.height(); ++y) {
+    for (int x = 0; x < cube.width(); ++x) {
+      cube.pixel(x, y, spec);
+      for (int b = 0; b < n; ++b) {
+        centered[static_cast<std::size_t>(b)] =
+            static_cast<double>(spec[static_cast<std::size_t>(b)]) -
+            mean[static_cast<std::size_t>(b)];
+      }
+      for (int i = 0; i < n; ++i) {
+        const double ci = centered[static_cast<std::size_t>(i)];
+        if (ci == 0.0) continue;
+        for (int j = i; j < n; ++j) {
+          cov(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) +=
+              ci * centered[static_cast<std::size_t>(j)];
+        }
+      }
+    }
+  }
+  const double inv = 1.0 / std::max<double>(1.0, static_cast<double>(cube.pixel_count()) - 1);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      const double v = cov(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) * inv;
+      cov(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) = v;
+      cov(static_cast<std::size_t>(j), static_cast<std::size_t>(i)) = v;
+    }
+  }
+  return cov;
+}
+
+}  // namespace hs::hsi

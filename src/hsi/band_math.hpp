@@ -1,0 +1,33 @@
+// Band-level utilities: selection, water-band removal, statistics.
+//
+// Real AVIRIS processing drops the bands inside the atmospheric water
+// absorption windows before analysis (the Indian Pines scene's canonical
+// "220 -> 200 bands" preprocessing); these helpers reproduce that flow on
+// any cube whose bands follow the AVIRIS wavelength grid.
+#pragma once
+
+#include <vector>
+
+#include "hsi/cube.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hs::hsi {
+
+/// The sub-cube containing only the given bands (in the given order).
+HyperCube select_bands(const HyperCube& cube, const std::vector<int>& bands);
+
+/// Indices of bands inside the atmospheric water-absorption windows
+/// (1.34-1.45 um, 1.79-1.97 um, beyond 2.45 um) for a cube of `bands`
+/// channels on the AVIRIS 0.4-2.5 um grid.
+std::vector<int> water_absorption_band_indices(int bands);
+
+/// The complement of water_absorption_band_indices: the usable bands.
+std::vector<int> usable_band_indices(int bands);
+
+/// Per-band mean over all pixels.
+std::vector<double> band_means(const HyperCube& cube);
+
+/// Band-by-band covariance matrix (bands x bands) over all pixels.
+linalg::Matrix band_covariance(const HyperCube& cube);
+
+}  // namespace hs::hsi

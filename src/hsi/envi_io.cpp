@@ -1,0 +1,175 @@
+#include "hsi/envi_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+namespace hs::hsi {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::string payload_path_for(const std::string& hdr_path) {
+  std::string base = hdr_path;
+  const std::string suffix = ".hdr";
+  if (base.size() > suffix.size() &&
+      lower(base.substr(base.size() - suffix.size())) == suffix) {
+    base = base.substr(0, base.size() - suffix.size());
+  }
+  if (std::ifstream(base).good()) return base;
+  const std::string dat = base + ".dat";
+  if (std::ifstream(dat).good()) return dat;
+  return base;  // let the open fail with a useful name
+}
+
+}  // namespace
+
+EnviHeader read_envi_header(const std::string& hdr_path) {
+  std::ifstream in(hdr_path);
+  if (!in) throw EnviError("cannot open header: " + hdr_path);
+
+  std::string first;
+  std::getline(in, first);
+  if (trim(lower(first)) != "envi") {
+    throw EnviError("not an ENVI header (missing ENVI magic): " + hdr_path);
+  }
+
+  EnviHeader hdr;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = lower(trim(line.substr(0, eq)));
+    std::string value = trim(line.substr(eq + 1));
+    // Brace-wrapped values may span lines (e.g. description).
+    if (!value.empty() && value.front() == '{') {
+      while (value.find('}') == std::string::npos && std::getline(in, line)) {
+        value += ' ' + trim(line);
+      }
+      const auto open = value.find('{');
+      const auto close = value.rfind('}');
+      value = close != std::string::npos && close > open
+                  ? trim(value.substr(open + 1, close - open - 1))
+                  : trim(value.substr(open + 1));
+    }
+    if (key == "samples") hdr.samples = std::stoi(value);
+    else if (key == "lines") hdr.lines = std::stoi(value);
+    else if (key == "bands") hdr.bands = std::stoi(value);
+    else if (key == "data type") hdr.data_type = std::stoi(value);
+    else if (key == "header offset") hdr.header_offset = std::stoi(value);
+    else if (key == "byte order") hdr.byte_order = std::stoi(value);
+    else if (key == "description") hdr.description = value;
+    else if (key == "interleave") {
+      const std::string v = lower(value);
+      if (v == "bsq") hdr.interleave = Interleave::BSQ;
+      else if (v == "bil") hdr.interleave = Interleave::BIL;
+      else if (v == "bip") hdr.interleave = Interleave::BIP;
+      else throw EnviError("unsupported interleave: " + value);
+    }
+  }
+
+  if (hdr.samples <= 0 || hdr.lines <= 0 || hdr.bands <= 0) {
+    throw EnviError("header missing samples/lines/bands: " + hdr_path);
+  }
+  if (hdr.data_type != 2 && hdr.data_type != 4 && hdr.data_type != 12) {
+    throw EnviError("unsupported data type " + std::to_string(hdr.data_type));
+  }
+  if (hdr.byte_order != 0) {
+    throw EnviError("only little-endian (byte order = 0) is supported");
+  }
+  return hdr;
+}
+
+HyperCube read_envi(const std::string& hdr_path) {
+  const EnviHeader hdr = read_envi_header(hdr_path);
+  const std::string payload = payload_path_for(hdr_path);
+  std::ifstream in(payload, std::ios::binary);
+  if (!in) throw EnviError("cannot open payload: " + payload);
+  in.seekg(hdr.header_offset);
+
+  const std::size_t count = static_cast<std::size_t>(hdr.samples) *
+                            static_cast<std::size_t>(hdr.lines) *
+                            static_cast<std::size_t>(hdr.bands);
+  HyperCube cube(hdr.samples, hdr.lines, hdr.bands, hdr.interleave);
+
+  if (hdr.data_type == 4) {
+    in.read(reinterpret_cast<char*>(cube.raw().data()),
+            static_cast<std::streamsize>(count * sizeof(float)));
+  } else {
+    std::vector<std::int16_t> tmp(count);
+    in.read(reinterpret_cast<char*>(tmp.data()),
+            static_cast<std::streamsize>(count * sizeof(std::int16_t)));
+    float* out = cube.raw().data();
+    if (hdr.data_type == 2) {
+      for (std::size_t i = 0; i < count; ++i) out[i] = static_cast<float>(tmp[i]);
+    } else {  // 12: uint16 stored in the same bits
+      const auto* u = reinterpret_cast<const std::uint16_t*>(tmp.data());
+      for (std::size_t i = 0; i < count; ++i) out[i] = static_cast<float>(u[i]);
+    }
+  }
+  if (!in) throw EnviError("payload truncated: " + payload);
+  return cube;
+}
+
+namespace {
+
+void write_header(const std::string& path, const HyperCube& cube, int data_type,
+                  const std::string& description) {
+  std::ofstream out(path);
+  if (!out) throw EnviError("cannot write header: " + path);
+  out << "ENVI\n";
+  if (!description.empty()) out << "description = {" << description << "}\n";
+  out << "samples = " << cube.width() << "\n";
+  out << "lines = " << cube.height() << "\n";
+  out << "bands = " << cube.bands() << "\n";
+  out << "header offset = 0\n";
+  out << "file type = ENVI Standard\n";
+  out << "data type = " << data_type << "\n";
+  out << "interleave = " << interleave_name(cube.interleave()) << "\n";
+  out << "byte order = 0\n";
+}
+
+}  // namespace
+
+void write_envi(const HyperCube& cube, const std::string& base_path,
+                const std::string& description) {
+  write_header(base_path + ".hdr", cube, 4, description);
+  std::ofstream out(base_path + ".dat", std::ios::binary);
+  if (!out) throw EnviError("cannot write payload: " + base_path + ".dat");
+  out.write(reinterpret_cast<const char*>(cube.raw().data()),
+            static_cast<std::streamsize>(cube.raw().size() * sizeof(float)));
+  if (!out) throw EnviError("short write: " + base_path + ".dat");
+}
+
+void write_envi_int16(const HyperCube& cube, const std::string& base_path,
+                      float scale, const std::string& description) {
+  write_header(base_path + ".hdr", cube, 2, description);
+  std::ofstream out(base_path + ".dat", std::ios::binary);
+  if (!out) throw EnviError("cannot write payload: " + base_path + ".dat");
+  std::vector<std::int16_t> tmp(cube.raw().size());
+  for (std::size_t i = 0; i < tmp.size(); ++i) {
+    const float v = std::round(cube.raw()[i] * scale);
+    tmp[i] = static_cast<std::int16_t>(
+        std::clamp(v, -32768.0f, 32767.0f));
+  }
+  out.write(reinterpret_cast<const char*>(tmp.data()),
+            static_cast<std::streamsize>(tmp.size() * sizeof(std::int16_t)));
+  if (!out) throw EnviError("short write: " + base_path + ".dat");
+}
+
+}  // namespace hs::hsi

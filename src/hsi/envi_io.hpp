@@ -1,0 +1,55 @@
+// ENVI-format I/O.
+//
+// The standard interchange format for hyperspectral scenes (including the
+// public AVIRIS Indian Pines distribution) is an ENVI header (.hdr text
+// file) next to a raw binary payload. Supporting it means a user with the
+// real scene can feed it to this library unchanged; we also use it for the
+// synthetic scenes the benches generate.
+//
+// Supported: data types 2 (int16), 4 (float32), 12 (uint16); interleaves
+// bsq/bil/bip; byte order 0 (little endian, the only one we read/write);
+// header offset.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "hsi/cube.hpp"
+
+namespace hs::hsi {
+
+class EnviError : public std::runtime_error {
+ public:
+  explicit EnviError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct EnviHeader {
+  int samples = 0;  ///< width
+  int lines = 0;    ///< height
+  int bands = 0;
+  int data_type = 4;    ///< 2=int16, 4=float32, 12=uint16
+  int header_offset = 0;
+  int byte_order = 0;   ///< 0 = little endian
+  Interleave interleave = Interleave::BIP;
+  std::string description;
+};
+
+/// Parses a .hdr file. Throws EnviError on malformed or unsupported input.
+EnviHeader read_envi_header(const std::string& hdr_path);
+
+/// Reads a cube given its header path; the payload path is the header path
+/// with ".hdr" stripped (or with the extension replaced by ".dat" if the
+/// stripped file does not exist). Integer payloads are converted to float.
+HyperCube read_envi(const std::string& hdr_path);
+
+/// Writes `cube` as float32 ENVI to `base_path` + ".dat" / ".hdr".
+void write_envi(const HyperCube& cube, const std::string& base_path,
+                const std::string& description = "");
+
+/// Writes `cube` quantized to int16 with the given scale (value * scale,
+/// clamped), matching sensor-style payloads. Reading back divides by scale
+/// only if the caller does so; the header does not carry the scale.
+void write_envi_int16(const HyperCube& cube, const std::string& base_path,
+                      float scale, const std::string& description = "");
+
+}  // namespace hs::hsi

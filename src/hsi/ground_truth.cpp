@@ -1,0 +1,27 @@
+#include "hsi/ground_truth.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hs::hsi {
+
+ClassMap::ClassMap(int width, int height, std::vector<std::string> class_names)
+    : width_(width), height_(height), names_(std::move(class_names)) {
+  HS_ASSERT(width > 0 && height > 0);
+  labels_.assign(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+                 kUnlabeled);
+}
+
+std::size_t ClassMap::labeled_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(labels_.begin(), labels_.end(),
+                    [](std::int16_t v) { return v >= 0; }));
+}
+
+std::size_t ClassMap::class_count(int c) const {
+  return static_cast<std::size_t>(
+      std::count(labels_.begin(), labels_.end(), static_cast<std::int16_t>(c)));
+}
+
+}  // namespace hs::hsi

@@ -1,0 +1,49 @@
+// Ground-truth class maps.
+//
+// A ClassMap labels each pixel with a land-cover class index, or
+// kUnlabeled for pixels outside the survey (real ground-truth campaigns
+// never cover the full scene). Class names travel with the map so the
+// accuracy tables print human-readable rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hs::hsi {
+
+inline constexpr std::int16_t kUnlabeled = -1;
+
+class ClassMap {
+ public:
+  ClassMap() = default;
+  ClassMap(int width, int height, std::vector<std::string> class_names);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int num_classes() const { return static_cast<int>(names_.size()); }
+  const std::vector<std::string>& class_names() const { return names_; }
+
+  std::int16_t at(int x, int y) const { return labels_[index(x, y)]; }
+  std::int16_t& at(int x, int y) { return labels_[index(x, y)]; }
+
+  const std::vector<std::int16_t>& labels() const { return labels_; }
+
+  /// Pixels carrying a real label (>= 0).
+  std::size_t labeled_count() const;
+  /// Pixels labeled with class `c`.
+  std::size_t class_count(int c) const;
+
+ private:
+  std::size_t index(int x, int y) const {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(x);
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::string> names_;
+  std::vector<std::int16_t> labels_;
+};
+
+}  // namespace hs::hsi

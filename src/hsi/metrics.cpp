@@ -1,0 +1,104 @@
+#include "hsi/metrics.hpp"
+
+#include "util/assert.hpp"
+
+namespace hs::hsi {
+
+ConfusionMatrix::ConfusionMatrix(int truth_classes, int predicted_classes)
+    : truth_classes_(truth_classes), predicted_classes_(predicted_classes) {
+  HS_ASSERT(truth_classes > 0 && predicted_classes > 0);
+  cells_.assign(static_cast<std::size_t>(truth_classes) *
+                    static_cast<std::size_t>(predicted_classes),
+                0);
+}
+
+void ConfusionMatrix::add(int truth, int predicted, std::uint64_t count) {
+  HS_ASSERT(truth >= 0 && truth < truth_classes_ && predicted >= 0 &&
+            predicted < predicted_classes_);
+  cells_[static_cast<std::size_t>(truth) * static_cast<std::size_t>(predicted_classes_) +
+         static_cast<std::size_t>(predicted)] += count;
+  total_ += count;
+}
+
+std::uint64_t ConfusionMatrix::at(int truth, int predicted) const {
+  HS_ASSERT(truth >= 0 && truth < truth_classes_ && predicted >= 0 &&
+            predicted < predicted_classes_);
+  return cells_[static_cast<std::size_t>(truth) *
+                    static_cast<std::size_t>(predicted_classes_) +
+                static_cast<std::size_t>(predicted)];
+}
+
+double ConfusionMatrix::overall_accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t diag = 0;
+  const int n = std::min(truth_classes_, predicted_classes_);
+  for (int c = 0; c < n; ++c) diag += at(c, c);
+  return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::class_accuracy(int c) const {
+  std::uint64_t row = 0;
+  for (int p = 0; p < predicted_classes_; ++p) row += at(c, p);
+  if (row == 0) return 0.0;
+  const std::uint64_t correct = c < predicted_classes_ ? at(c, c) : 0;
+  return static_cast<double>(correct) / static_cast<double>(row);
+}
+
+double ConfusionMatrix::kappa() const {
+  if (total_ == 0) return 0.0;
+  const int n = std::min(truth_classes_, predicted_classes_);
+  double po = overall_accuracy();
+  double pe = 0.0;
+  const double t = static_cast<double>(total_);
+  for (int c = 0; c < n; ++c) {
+    std::uint64_t row = 0, col = 0;
+    for (int p = 0; p < predicted_classes_; ++p) row += at(c, p);
+    for (int r = 0; r < truth_classes_; ++r) col += at(r, c);
+    pe += (static_cast<double>(row) / t) * (static_cast<double>(col) / t);
+  }
+  if (pe >= 1.0) return 1.0;
+  return (po - pe) / (1.0 - pe);
+}
+
+std::vector<int> majority_mapping(std::span<const std::int16_t> truth,
+                                  std::span<const int> predicted,
+                                  int truth_classes, int predicted_classes) {
+  HS_ASSERT(truth.size() == predicted.size());
+  ConfusionMatrix cm(truth_classes, predicted_classes);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] < 0) continue;
+    HS_ASSERT(predicted[i] >= 0 && predicted[i] < predicted_classes);
+    cm.add(truth[i], predicted[i]);
+  }
+  std::vector<int> mapping(static_cast<std::size_t>(predicted_classes), -1);
+  for (int p = 0; p < predicted_classes; ++p) {
+    std::uint64_t best = 0;
+    for (int t = 0; t < truth_classes; ++t) {
+      const std::uint64_t v = cm.at(t, p);
+      if (v > best) {
+        best = v;
+        mapping[static_cast<std::size_t>(p)] = t;
+      }
+    }
+  }
+  return mapping;
+}
+
+ConfusionMatrix remapped_confusion(std::span<const std::int16_t> truth,
+                                   std::span<const int> predicted,
+                                   std::span<const int> mapping,
+                                   int truth_classes) {
+  HS_ASSERT(truth.size() == predicted.size());
+  ConfusionMatrix cm(truth_classes, truth_classes + 1);
+  // Column truth_classes collects predictions whose cluster mapped nowhere.
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] < 0) continue;
+    const int p = predicted[i];
+    HS_ASSERT(p >= 0 && p < static_cast<int>(mapping.size()));
+    const int mapped = mapping[static_cast<std::size_t>(p)];
+    cm.add(truth[i], mapped < 0 ? truth_classes : mapped);
+  }
+  return cm;
+}
+
+}  // namespace hs::hsi

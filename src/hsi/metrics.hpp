@@ -1,0 +1,65 @@
+// Classification accuracy assessment.
+//
+// The AMC pipeline is *unsupervised*: its output labels are endmember
+// indices with no a-priori correspondence to ground-truth classes. The
+// standard evaluation protocol (used by the paper's reference [12]) maps
+// each predicted cluster to the ground-truth class it overlaps most, then
+// scores per-class and overall accuracy on labeled pixels. ConfusionMatrix
+// implements the matrix, the mapping, and the derived statistics
+// (overall/per-class accuracy, Cohen's kappa).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hsi/ground_truth.hpp"
+
+namespace hs::hsi {
+
+class ConfusionMatrix {
+ public:
+  /// rows = ground-truth classes, cols = predicted classes.
+  ConfusionMatrix(int truth_classes, int predicted_classes);
+
+  void add(int truth, int predicted, std::uint64_t count = 1);
+
+  std::uint64_t at(int truth, int predicted) const;
+  std::uint64_t total() const { return total_; }
+  int truth_classes() const { return truth_classes_; }
+  int predicted_classes() const { return predicted_classes_; }
+
+  /// Fraction of samples on the diagonal. Only meaningful when
+  /// truth and predicted label spaces coincide (e.g. after remapping).
+  double overall_accuracy() const;
+
+  /// Producer's accuracy of ground-truth class `c`: correct / row total.
+  /// Returns 0 for empty rows.
+  double class_accuracy(int c) const;
+
+  /// Cohen's kappa coefficient.
+  double kappa() const;
+
+ private:
+  int truth_classes_;
+  int predicted_classes_;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> cells_;
+};
+
+/// Majority mapping: predicted cluster -> ground-truth class it overlaps
+/// most (ties to the lower class id; clusters with no labeled overlap map
+/// to -1). `truth` and `predicted` are per-pixel label arrays of equal
+/// length; unlabeled truth pixels are skipped.
+std::vector<int> majority_mapping(std::span<const std::int16_t> truth,
+                                  std::span<const int> predicted,
+                                  int truth_classes, int predicted_classes);
+
+/// Builds the remapped (truth x truth) confusion matrix after applying
+/// `mapping` to the predictions.
+ConfusionMatrix remapped_confusion(std::span<const std::int16_t> truth,
+                                   std::span<const int> predicted,
+                                   std::span<const int> mapping,
+                                   int truth_classes);
+
+}  // namespace hs::hsi

@@ -1,0 +1,89 @@
+#include "hsi/pca.hpp"
+
+#include <numeric>
+
+#include "hsi/band_math.hpp"
+#include "linalg/eigen.hpp"
+#include "util/assert.hpp"
+
+namespace hs::hsi {
+
+double PcaModel::explained_variance() const {
+  const double total = std::accumulate(eigenvalues.begin(), eigenvalues.end(), 0.0);
+  if (total <= 0) return 0;
+  double kept_sum = 0;
+  for (int k = 0; k < kept; ++k) kept_sum += eigenvalues[static_cast<std::size_t>(k)];
+  return kept_sum / total;
+}
+
+PcaModel pca_fit(const HyperCube& cube, int components) {
+  const int n = cube.bands();
+  HS_ASSERT(components >= 1 && components <= n);
+
+  PcaModel model;
+  model.mean = band_means(cube);
+  const linalg::Matrix cov = band_covariance(cube);
+  const linalg::EigenDecomposition eig = linalg::eigen_symmetric(cov);
+  HS_ASSERT_MSG(eig.converged, "eigendecomposition did not converge");
+
+  model.eigenvalues = eig.values;
+  model.kept = components;
+  model.components = linalg::Matrix(static_cast<std::size_t>(n),
+                                    static_cast<std::size_t>(components));
+  for (int k = 0; k < components; ++k) {
+    for (int b = 0; b < n; ++b) {
+      model.components(static_cast<std::size_t>(b), static_cast<std::size_t>(k)) =
+          eig.vectors(static_cast<std::size_t>(b), static_cast<std::size_t>(k));
+    }
+  }
+  return model;
+}
+
+HyperCube pca_transform(const HyperCube& cube, const PcaModel& model) {
+  const int n = cube.bands();
+  HS_ASSERT(static_cast<std::size_t>(n) == model.mean.size());
+  HyperCube out(cube.width(), cube.height(), model.kept, Interleave::BIP);
+  std::vector<float> spec(static_cast<std::size_t>(n));
+  std::vector<float> score(static_cast<std::size_t>(model.kept));
+  for (int y = 0; y < cube.height(); ++y) {
+    for (int x = 0; x < cube.width(); ++x) {
+      cube.pixel(x, y, spec);
+      for (int k = 0; k < model.kept; ++k) {
+        double acc = 0;
+        for (int b = 0; b < n; ++b) {
+          acc += (static_cast<double>(spec[static_cast<std::size_t>(b)]) -
+                  model.mean[static_cast<std::size_t>(b)]) *
+                 model.components(static_cast<std::size_t>(b), static_cast<std::size_t>(k));
+        }
+        score[static_cast<std::size_t>(k)] = static_cast<float>(acc);
+      }
+      out.set_pixel(x, y, score);
+    }
+  }
+  return out;
+}
+
+HyperCube pca_inverse(const HyperCube& scores, const PcaModel& model) {
+  HS_ASSERT(scores.bands() == model.kept);
+  const int n = static_cast<int>(model.mean.size());
+  HyperCube out(scores.width(), scores.height(), n, Interleave::BIP);
+  std::vector<float> score(static_cast<std::size_t>(model.kept));
+  std::vector<float> spec(static_cast<std::size_t>(n));
+  for (int y = 0; y < scores.height(); ++y) {
+    for (int x = 0; x < scores.width(); ++x) {
+      scores.pixel(x, y, score);
+      for (int b = 0; b < n; ++b) {
+        double acc = model.mean[static_cast<std::size_t>(b)];
+        for (int k = 0; k < model.kept; ++k) {
+          acc += static_cast<double>(score[static_cast<std::size_t>(k)]) *
+                 model.components(static_cast<std::size_t>(b), static_cast<std::size_t>(k));
+        }
+        spec[static_cast<std::size_t>(b)] = static_cast<float>(acc);
+      }
+      out.set_pixel(x, y, spec);
+    }
+  }
+  return out;
+}
+
+}  // namespace hs::hsi

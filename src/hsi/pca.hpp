@@ -1,0 +1,39 @@
+// Principal component analysis over the spectral dimension.
+//
+// The classic dimensionality reduction for hyperspectral cubes (and the
+// preprocessing step of many of the algorithms the paper's related work
+// uses): eigendecompose the band covariance, project every pixel onto the
+// leading components. PCA-reduced cubes feed the same AMC pipeline -- the
+// dimensionality-reduction example measures the accuracy/runtime
+// trade-off.
+#pragma once
+
+#include <vector>
+
+#include "hsi/cube.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hs::hsi {
+
+struct PcaModel {
+  std::vector<double> mean;         ///< per-band mean
+  std::vector<double> eigenvalues;  ///< descending, all bands
+  linalg::Matrix components;        ///< bands x k, column = component
+  int kept = 0;
+
+  /// Fraction of total variance captured by the kept components.
+  double explained_variance() const;
+};
+
+/// Fits PCA on `cube` and keeps the top `components` axes.
+PcaModel pca_fit(const HyperCube& cube, int components);
+
+/// Projects the cube onto the model's components; output has `kept` bands.
+/// Component scores can be negative; AMC-style consumers that need
+/// non-negative "spectra" should offset or use the raw cube.
+HyperCube pca_transform(const HyperCube& cube, const PcaModel& model);
+
+/// Reconstructs an approximation of the original cube from scores.
+HyperCube pca_inverse(const HyperCube& scores, const PcaModel& model);
+
+}  // namespace hs::hsi

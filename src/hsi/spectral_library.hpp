@@ -1,0 +1,56 @@
+// Synthetic spectral library.
+//
+// The real Indian Pines scene ships with 220/216-band AVIRIS reflectance
+// spectra; its distribution server is long offline, so we synthesize a
+// library with the same *structure*: physically-shaped archetype spectra
+// (green vegetation, soil, water, impervious surfaces, dry vegetation,
+// forest) over the AVIRIS wavelength grid (0.4-2.5 um), and the 32
+// land-cover classes of the paper's Table 3 derived from them. The corn
+// and grass sub-classes are small perturbations of shared archetypes --
+// that within-group similarity, plus heavy sub-pixel mixing for the
+// early-season crops, is exactly what makes the real scene a hard
+// benchmark and what Table 3's accuracy spread reflects.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hs::hsi {
+
+struct SpectralLibrary {
+  int bands = 0;
+  std::vector<std::string> names;
+  /// signatures[c] has `bands` reflectance values in [0, 1].
+  std::vector<std::vector<float>> signatures;
+
+  int num_classes() const { return static_cast<int>(names.size()); }
+  std::span<const float> signature(int c) const { return signatures[static_cast<std::size_t>(c)]; }
+  /// Index of a class name, or -1.
+  int find(const std::string& name) const;
+};
+
+/// AVIRIS band-center wavelength (micrometres) for band l of `bands`.
+double aviris_wavelength_um(int band, int bands);
+
+/// Material archetype reflectance at wavelength `um` (micrometres).
+/// Exposed for tests and for building custom libraries.
+namespace archetype {
+double green_vegetation(double um);
+double soil(double um);
+double water(double um);
+double concrete(double um);
+double asphalt(double um);
+double dry_vegetation(double um);
+double forest(double um);
+}  // namespace archetype
+
+/// The 32 Table 3 classes over `bands` channels. Deterministic in `seed`
+/// (per-class perturbations are seeded).
+SpectralLibrary indian_pines_library(int bands, std::uint64_t seed);
+
+/// Names of the 32 Table 3 ground-truth classes, in table order.
+const std::vector<std::string>& indian_pines_class_names();
+
+}  // namespace hs::hsi

@@ -1,0 +1,60 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace hs::linalg {
+
+std::optional<Cholesky> Cholesky::factor(const Matrix& spd) {
+  HS_ASSERT(spd.rows() == spd.cols());
+  const std::size_t n = spd.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = spd(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > 0.0)) return std::nullopt;  // also catches NaN
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = spd(i, j);
+      for (std::size_t k = 0; k < j; ++k) v -= l(i, k) * l(j, k);
+      l(i, j) = v / ljj;
+    }
+  }
+  return Cholesky(std::move(l));
+}
+
+std::vector<double> Cholesky::solve(std::span<const double> b) const {
+  const std::size_t n = l_.rows();
+  HS_ASSERT(b.size() == n);
+  std::vector<double> y(n);
+  // Forward substitution L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (std::size_t k = 0; k < i; ++k) v -= l_(i, k) * y[k];
+    y[i] = v / l_(i, i);
+  }
+  // Back substitution L^T x = y.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double v = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) v -= l_(k, ii) * x[k];
+    x[ii] = v / l_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Cholesky::solve(const Matrix& b) const {
+  HS_ASSERT(b.rows() == l_.rows());
+  Matrix out(b.rows(), b.cols());
+  std::vector<double> rhs(b.rows());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < b.rows(); ++r) rhs[r] = b(r, c);
+    const auto x = solve(rhs);
+    for (std::size_t r = 0; r < b.rows(); ++r) out(r, c) = x[r];
+  }
+  return out;
+}
+
+}  // namespace hs::linalg

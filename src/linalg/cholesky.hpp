@@ -1,0 +1,36 @@
+// Cholesky factorization and SPD solves.
+//
+// The unconstrained and sum-to-one-constrained linear unmixing paths solve
+// normal equations (E^T E) a = E^T x once per pixel with a factorization
+// computed once per scene, so a dedicated SPD path matters.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hs::linalg {
+
+/// Lower-triangular Cholesky factor of an SPD matrix. Factorization fails
+/// (returns nullopt) on a non-positive pivot, i.e. the input was not
+/// numerically positive definite.
+class Cholesky {
+ public:
+  static std::optional<Cholesky> factor(const Matrix& spd);
+
+  /// Solves A x = b where A = L L^T. b.size() must equal the dimension.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// Solves for several right-hand sides given as columns of B.
+  Matrix solve(const Matrix& b) const;
+
+  const Matrix& lower() const { return l_; }
+
+ private:
+  explicit Cholesky(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;
+};
+
+}  // namespace hs::linalg

@@ -1,0 +1,92 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace hs::linalg {
+
+EigenDecomposition eigen_symmetric(const Matrix& symmetric, int max_sweeps,
+                                   double tolerance) {
+  HS_ASSERT(symmetric.rows() == symmetric.cols());
+  const std::size_t n = symmetric.rows();
+
+  Matrix a = symmetric;
+  Matrix v = Matrix::identity(n);
+
+  auto off_norm = [&]() {
+    double s = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) s += a(i, j) * a(i, j);
+    }
+    return std::sqrt(2 * s);
+  };
+  double total_norm = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) total_norm += a(i, j) * a(i, j);
+  }
+  total_norm = std::sqrt(total_norm);
+  const double threshold = tolerance * std::max(total_norm, 1e-300);
+
+  EigenDecomposition result;
+  for (result.sweeps = 0; result.sweeps < max_sweeps; ++result.sweeps) {
+    if (off_norm() <= threshold) {
+      result.converged = true;
+      break;
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (apq == 0.0) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        // Rotation angle that annihilates a(p, q).
+        const double theta = (aqq - app) / (2 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (!result.converged && off_norm() <= threshold) result.converged = true;
+
+  // Sort by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return a(x, x) > a(y, y); });
+
+  result.values.resize(n);
+  result.vectors = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    result.values[k] = a(order[k], order[k]);
+    for (std::size_t i = 0; i < n; ++i) {
+      result.vectors(i, k) = v(i, order[k]);
+    }
+  }
+  return result;
+}
+
+}  // namespace hs::linalg

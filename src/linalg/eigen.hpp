@@ -1,0 +1,30 @@
+// Symmetric eigendecomposition (cyclic Jacobi).
+//
+// Sized for band-covariance matrices (a few hundred square): Jacobi is
+// simple, numerically robust, and more than fast enough at that scale.
+// Used by the PCA dimensionality-reduction module.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hs::linalg {
+
+struct EigenDecomposition {
+  /// Eigenvalues in descending order.
+  std::vector<double> values;
+  /// Column k of `vectors` is the unit eigenvector of values[k].
+  Matrix vectors;
+  int sweeps = 0;      ///< Jacobi sweeps used
+  bool converged = false;
+};
+
+/// Decomposes a symmetric matrix. `max_sweeps` caps the cyclic sweeps;
+/// convergence is off-diagonal Frobenius norm below `tolerance` relative
+/// to the matrix norm.
+EigenDecomposition eigen_symmetric(const Matrix& symmetric,
+                                   int max_sweeps = 64,
+                                   double tolerance = 1e-12);
+
+}  // namespace hs::linalg

@@ -1,0 +1,68 @@
+// Dense row-major double matrix, sized for the unmixing problems in this
+// library: systems are (bands x endmembers), i.e. a few hundred by a few
+// dozen at most, so a straightforward cache-friendly implementation without
+// expression templates is the right level of machinery.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace hs::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// Row-major construction from a nested initializer list, used heavily in
+  /// tests: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  std::span<double> row(std::size_t r);
+  std::span<const double> row(std::size_t r) const;
+  std::span<const double> data() const { return data_; }
+  std::span<double> data() { return data_; }
+
+  Matrix transposed() const;
+
+  /// this * other; dimensions must agree.
+  Matrix operator*(const Matrix& other) const;
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix& operator*=(double s);
+
+  /// this * v for a column vector v (v.size() == cols()).
+  std::vector<double> multiply(std::span<const double> v) const;
+
+  /// transpose(this) * v, without materializing the transpose.
+  std::vector<double> multiply_transposed(std::span<const double> v) const;
+
+  /// Gram matrix transpose(this) * this, exploiting symmetry.
+  Matrix gram() const;
+
+  /// Max-abs elementwise difference; matrices must have equal shape.
+  double max_abs_diff(const Matrix& other) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean norm of a vector.
+double norm2(std::span<const double> v);
+
+/// Dot product; spans must have equal length.
+double dot(std::span<const double> a, std::span<const double> b);
+
+}  // namespace hs::linalg

@@ -1,0 +1,121 @@
+#include "linalg/nnls.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/qr.hpp"
+#include "util/assert.hpp"
+
+namespace hs::linalg {
+
+namespace {
+
+/// Solves the unconstrained LS restricted to the columns in `passive`
+/// (indices into a's columns). Returns the solution scattered into a
+/// full-size vector with zeros elsewhere.
+std::vector<double> solve_subproblem(const Matrix& a, std::span<const double> b,
+                                     const std::vector<std::size_t>& passive) {
+  const std::size_t m = a.rows();
+  Matrix sub(m, passive.size());
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < passive.size(); ++c) {
+      sub(r, c) = a(r, passive[c]);
+    }
+  }
+  HouseholderQr qr(std::move(sub));
+  const auto z = qr.solve(b);
+  std::vector<double> full(a.cols(), 0.0);
+  for (std::size_t c = 0; c < passive.size(); ++c) full[passive[c]] = z[c];
+  return full;
+}
+
+}  // namespace
+
+NnlsResult nnls(const Matrix& a, std::span<const double> b, int max_iterations) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  HS_ASSERT(b.size() == m);
+  if (max_iterations <= 0) max_iterations = static_cast<int>(3 * n) + 10;
+
+  std::vector<bool> in_passive(n, false);
+  std::vector<double> x(n, 0.0);
+  NnlsResult result;
+  result.iterations = 0;
+  result.converged = false;
+
+  constexpr double kTol = 1e-10;
+
+  for (; result.iterations < max_iterations; ++result.iterations) {
+    // Gradient of the active (zero) set: w = A^T (b - A x).
+    std::vector<double> residual(m);
+    const auto ax = a.multiply(x);
+    for (std::size_t i = 0; i < m; ++i) residual[i] = b[i] - ax[i];
+    const auto w = a.multiply_transposed(residual);
+
+    // Pick the most violated active constraint.
+    double best = kTol;
+    std::ptrdiff_t pick = -1;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!in_passive[j] && w[j] > best) {
+        best = w[j];
+        pick = static_cast<std::ptrdiff_t>(j);
+      }
+    }
+    if (pick < 0) {
+      result.converged = true;
+      break;  // KKT satisfied
+    }
+    in_passive[static_cast<std::size_t>(pick)] = true;
+
+    // Inner loop: solve on the passive set; walk back along the segment to
+    // keep feasibility, dropping variables that hit zero.
+    for (;;) {
+      std::vector<std::size_t> passive;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (in_passive[j]) passive.push_back(j);
+      }
+      auto z = solve_subproblem(a, b, passive);
+
+      bool all_positive = true;
+      for (std::size_t j : passive) {
+        if (z[j] <= kTol) {
+          all_positive = false;
+          break;
+        }
+      }
+      if (all_positive) {
+        x = std::move(z);
+        break;
+      }
+
+      double alpha = std::numeric_limits<double>::infinity();
+      for (std::size_t j : passive) {
+        if (z[j] <= kTol) {
+          const double denom = x[j] - z[j];
+          if (denom > 0) alpha = std::min(alpha, x[j] / denom);
+        }
+      }
+      if (!std::isfinite(alpha)) alpha = 0.0;
+      for (std::size_t j = 0; j < n; ++j) x[j] += alpha * (z[j] - x[j]);
+      for (std::size_t j : passive) {
+        if (x[j] <= kTol) {
+          x[j] = 0.0;
+          in_passive[j] = false;
+        }
+      }
+    }
+  }
+
+  const auto ax = a.multiply(x);
+  double rss = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double d = b[i] - ax[i];
+    rss += d * d;
+  }
+  result.residual_norm = std::sqrt(rss);
+  result.x = std::move(x);
+  return result;
+}
+
+}  // namespace hs::linalg

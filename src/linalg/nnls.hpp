@@ -1,0 +1,28 @@
+// Non-negative least squares (Lawson–Hanson active-set algorithm).
+//
+// The paper's AMC uses the standard (unconstrained) linear mixture model;
+// NNLS is provided as the physically-constrained extension (abundances are
+// fractions and cannot be negative), used by the extension example and the
+// unmixing ablation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hs::linalg {
+
+struct NnlsResult {
+  std::vector<double> x;   ///< solution, all entries >= 0
+  double residual_norm;    ///< ||A x - b||_2
+  int iterations;          ///< outer-loop iterations used
+  bool converged;          ///< false if the iteration cap was hit
+};
+
+/// Solves min ||A x - b|| subject to x >= 0.
+/// `max_iterations` caps the outer loop (3*n is the classical default).
+NnlsResult nnls(const Matrix& a, std::span<const double> b,
+                int max_iterations = 0);
+
+}  // namespace hs::linalg

@@ -1,0 +1,91 @@
+#include "linalg/qr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace hs::linalg {
+
+HouseholderQr::HouseholderQr(Matrix a) : qr_(std::move(a)) {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  HS_ASSERT_MSG(m >= n, "HouseholderQr requires rows >= cols");
+  beta_.assign(n, 0.0);
+  rkk_.assign(n, 0.0);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Compute the Householder reflector for column k below the diagonal.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += qr_(i, k) * qr_(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) continue;  // column already zero; R(k,k)=0
+    if (qr_(k, k) > 0) norm = -norm;
+    for (std::size_t i = k; i < m; ++i) qr_(i, k) /= norm;
+    qr_(k, k) += 1.0;
+    beta_[k] = qr_(k, k);
+
+    // Apply the reflector to the remaining columns.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t i = k; i < m; ++i) s += qr_(i, k) * qr_(i, j);
+      s = -s / qr_(k, k);
+      for (std::size_t i = k; i < m; ++i) qr_(i, j) += s * qr_(i, k);
+    }
+    // The Householder vector occupies the diagonal slot of qr_, so R's
+    // diagonal entry -norm is kept separately.
+    rkk_[k] = -norm;
+  }
+}
+
+std::vector<double> HouseholderQr::solve(std::span<const double> b) const {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  HS_ASSERT(b.size() == m);
+  std::vector<double> y(b.begin(), b.end());
+
+  // Apply Q^T to b.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (beta_[k] == 0.0) continue;
+    double s = 0.0;
+    for (std::size_t i = k; i < m; ++i) s += qr_(i, k) * y[i];
+    s = -s / qr_(k, k);
+    for (std::size_t i = k; i < m; ++i) y[i] += s * qr_(i, k);
+  }
+
+  // Back substitution with R.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t kk = n; kk-- > 0;) {
+    if (rkk_[kk] == 0.0) {
+      x[kk] = 0.0;  // rank-deficient column: minimum-norm-ish choice
+      continue;
+    }
+    double v = y[kk];
+    for (std::size_t j = kk + 1; j < n; ++j) v -= qr_(kk, j) * x[j];
+    x[kk] = v / rkk_[kk];
+  }
+  return x;
+}
+
+Matrix HouseholderQr::r() const {
+  const std::size_t n = qr_.cols();
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out(i, i) = rkk_[i];
+    for (std::size_t j = i + 1; j < n; ++j) out(i, j) = qr_(i, j);
+  }
+  return out;
+}
+
+double HouseholderQr::min_diag_ratio() const {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  for (double d : rkk_) {
+    lo = std::min(lo, std::fabs(d));
+    hi = std::max(hi, std::fabs(d));
+  }
+  return hi == 0.0 ? 0.0 : lo / hi;
+}
+
+}  // namespace hs::linalg

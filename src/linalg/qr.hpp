@@ -1,0 +1,38 @@
+// Householder QR for least squares.
+//
+// Used as the numerically robust fallback for unmixing when the endmember
+// Gram matrix is ill-conditioned (near-duplicate endmembers), and as the
+// cross-check oracle in tests for the Cholesky path.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace hs::linalg {
+
+/// Thin QR of an m x n matrix with m >= n, held in factored (Householder
+/// vector) form.
+class HouseholderQr {
+ public:
+  explicit HouseholderQr(Matrix a);
+
+  /// Minimum-norm least squares solution of A x ~= b. b.size() == m.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// Upper-triangular factor R (n x n).
+  Matrix r() const;
+
+  /// Estimated rank deficiency indicator: smallest |R(i,i)| relative to the
+  /// largest. Near-zero means A was (numerically) rank deficient.
+  double min_diag_ratio() const;
+
+ private:
+  Matrix qr_;                 // Householder vectors below diag, R strictly above
+  std::vector<double> beta_;  // Householder coefficients
+  std::vector<double> rkk_;   // diagonal of R (the vector part occupies the
+                              // diagonal slot of qr_, so R's diagonal lives here)
+};
+
+}  // namespace hs::linalg

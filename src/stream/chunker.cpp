@@ -1,0 +1,84 @@
+#include "stream/chunker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace hs::stream {
+
+namespace {
+
+ChunkRect make_chunk(int x0, int y0, int w, int h, int halo, int image_w,
+                     int image_h) {
+  ChunkRect c;
+  c.x0 = x0;
+  c.y0 = y0;
+  c.width = w;
+  c.height = h;
+  c.px0 = std::max(0, x0 - halo);
+  c.py0 = std::max(0, y0 - halo);
+  const int px1 = std::min(image_w, x0 + w + halo);
+  const int py1 = std::min(image_h, y0 + h + halo);
+  c.pwidth = px1 - c.px0;
+  c.pheight = py1 - c.py0;
+  return c;
+}
+
+}  // namespace
+
+ChunkPlan plan_chunks(int width, int height, int halo,
+                      std::uint64_t max_padded_texels) {
+  HS_ASSERT(width > 0 && height > 0 && halo >= 0);
+  HS_ASSERT_MSG(max_padded_texels >=
+                    static_cast<std::uint64_t>(2 * halo + 1) *
+                        static_cast<std::uint64_t>(2 * halo + 1),
+                "texel budget cannot fit a single pixel plus halo");
+
+  ChunkPlan plan;
+
+  // Preferred: full-width row bands.
+  const std::uint64_t padded_w = static_cast<std::uint64_t>(width);
+  int tile_w = width;
+  int tile_h = 0;
+  if (padded_w * static_cast<std::uint64_t>(1 + 2 * halo) <= max_padded_texels) {
+    tile_h = static_cast<int>(max_padded_texels / padded_w) - 2 * halo;
+    tile_h = std::min(tile_h, height);
+  } else {
+    // 2-D tiles: aim square on the padded size.
+    const int side = static_cast<int>(std::sqrt(static_cast<double>(max_padded_texels)));
+    tile_w = std::max(1, side - 2 * halo);
+    tile_w = std::min(tile_w, width);
+    // Recompute height from the actual padded width.
+    const std::uint64_t pw = static_cast<std::uint64_t>(tile_w + 2 * halo);
+    tile_h = std::max(1, static_cast<int>(max_padded_texels / pw) - 2 * halo);
+    tile_h = std::min(tile_h, height);
+  }
+  HS_ASSERT(tile_h > 0 && tile_w > 0);
+
+  plan.tile_width = tile_w;
+  plan.tile_height = tile_h;
+  for (int y = 0; y < height; y += tile_h) {
+    const int h = std::min(tile_h, height - y);
+    for (int x = 0; x < width; x += tile_w) {
+      const int w = std::min(tile_w, width - x);
+      plan.chunks.push_back(make_chunk(x, y, w, h, halo, width, height));
+    }
+  }
+  return plan;
+}
+
+std::uint64_t amc_working_set_texels(std::uint64_t texels, int bands,
+                                     bool precompute_log) {
+  const std::uint64_t groups = static_cast<std::uint64_t>((bands + 3) / 4);
+  // Raw stack + normalized stack (+ log stack), RGBA texels.
+  std::uint64_t rgba_texels = texels * groups * (precompute_log ? 3 : 2);
+  // Offsets stream (RGBA).
+  rgba_texels += texels;
+  // Scalar textures (R32F = 1/4 of an RGBA texel): sum, DB and MEI
+  // ping-pongs, two textures each.
+  const std::uint64_t scalar_texels = texels * 6;
+  return rgba_texels + (scalar_texels + 3) / 4;
+}
+
+}  // namespace hs::stream

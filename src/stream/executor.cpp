@@ -1,0 +1,38 @@
+#include "stream/executor.hpp"
+
+namespace hs::stream {
+
+gpusim::PassStats StreamExecutor::run(
+    const std::string& stage_name, const gpusim::FragmentProgram& program,
+    std::span<const gpusim::TextureHandle> inputs,
+    std::span<const gpusim::float4> constants,
+    std::span<const gpusim::TextureHandle> outputs) {
+  const gpusim::PassStats pass = device_->draw(program, inputs, constants, outputs);
+  StageStats& s = stage(stage_name);
+  s.passes += 1;
+  s.fragments += pass.fragments;
+  s.alu_instructions += pass.exec.alu_instructions;
+  s.tex_fetches += pass.exec.tex_fetches;
+  s.cache_miss_bytes += pass.cache_miss_bytes;
+  s.unique_tile_bytes += pass.unique_tile_bytes;
+  s.bytes_written += pass.bytes_written;
+  s.modeled_seconds += pass.modeled_seconds;
+  return pass;
+}
+
+void StreamExecutor::add_stage_time(const std::string& stage_name, double seconds) {
+  stage(stage_name).modeled_seconds += seconds;
+}
+
+void StreamExecutor::reset() {
+  stages_.clear();
+  order_.clear();
+}
+
+StageStats& StreamExecutor::stage(const std::string& name) {
+  auto [it, inserted] = stages_.try_emplace(name);
+  if (inserted) order_.push_back(name);
+  return it->second;
+}
+
+}  // namespace hs::stream

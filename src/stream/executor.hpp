@@ -1,0 +1,60 @@
+// Stage-labeled pass execution.
+//
+// The paper's Figure 4 organizes the GPU algorithm into named stages, each
+// comprising one or more kernels ("every stage ... comprises at least one
+// kernel, although in most cases the stage is implemented using more than
+// one"). StreamExecutor wraps Device::draw with a stage label and keeps a
+// per-stage aggregate, which the stage-breakdown bench prints.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gpusim/gpu_device.hpp"
+
+namespace hs::stream {
+
+struct StageStats {
+  std::uint64_t passes = 0;
+  std::uint64_t fragments = 0;
+  std::uint64_t alu_instructions = 0;
+  std::uint64_t tex_fetches = 0;
+  std::uint64_t cache_miss_bytes = 0;
+  std::uint64_t unique_tile_bytes = 0;
+  std::uint64_t bytes_written = 0;
+  double modeled_seconds = 0;
+};
+
+class StreamExecutor {
+ public:
+  explicit StreamExecutor(gpusim::Device& device) : device_(&device) {}
+
+  gpusim::Device& device() { return *device_; }
+
+  /// Runs one pass attributed to `stage`.
+  gpusim::PassStats run(const std::string& stage,
+                        const gpusim::FragmentProgram& program,
+                        std::span<const gpusim::TextureHandle> inputs,
+                        std::span<const gpusim::float4> constants,
+                        std::span<const gpusim::TextureHandle> outputs);
+
+  /// Attributes host-side (non-pass) modeled time to a stage, e.g. the
+  /// upload/download stages whose cost comes from the bus model.
+  void add_stage_time(const std::string& stage, double seconds);
+
+  const std::map<std::string, StageStats>& stages() const { return stages_; }
+  /// Stage names in first-use order (std::map iteration is alphabetical).
+  const std::vector<std::string>& stage_order() const { return order_; }
+
+  void reset();
+
+ private:
+  StageStats& stage(const std::string& name);
+
+  gpusim::Device* device_;
+  std::map<std::string, StageStats> stages_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace hs::stream

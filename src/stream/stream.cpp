@@ -1,0 +1,75 @@
+#include "stream/stream.hpp"
+
+#include "util/assert.hpp"
+
+namespace hs::stream {
+
+using gpusim::float4;
+
+BandStack::BandStack(gpusim::Device& device, int width, int height, int bands,
+                     gpusim::AddressMode address, gpusim::TextureFormat format)
+    : device_(&device), width_(width), height_(height), bands_(bands), format_(format) {
+  HS_ASSERT(width > 0 && height > 0 && bands > 0);
+  HS_ASSERT_MSG(gpusim::channels_of(format) == 4,
+                "band stacks need a four-channel format");
+  const int groups = band_group_count(bands);
+  textures_.reserve(static_cast<std::size_t>(groups));
+  for (int g = 0; g < groups; ++g) {
+    textures_.push_back(device.create_texture(width, height, format, address));
+  }
+}
+
+BandStack::~BandStack() {
+  if (device_ == nullptr) return;
+  for (auto handle : textures_) device_->destroy_texture(handle);
+}
+
+BandStack::BandStack(BandStack&& other) noexcept
+    : device_(other.device_),
+      width_(other.width_),
+      height_(other.height_),
+      bands_(other.bands_),
+      format_(other.format_),
+      textures_(std::move(other.textures_)) {
+  other.device_ = nullptr;
+  other.textures_.clear();
+}
+
+void BandStack::upload(const std::function<float(int, int, int)>& sample) {
+  std::vector<float4> staging(static_cast<std::size_t>(width_) *
+                              static_cast<std::size_t>(height_));
+  for (int g = 0; g < groups(); ++g) {
+    const int b0 = g * 4;
+    for (int y = 0; y < height_; ++y) {
+      for (int x = 0; x < width_; ++x) {
+        float4 v(0.f);
+        for (int c = 0; c < 4 && b0 + c < bands_; ++c) {
+          v[static_cast<std::size_t>(c)] = sample(x, y, b0 + c);
+        }
+        staging[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                static_cast<std::size_t>(x)] = v;
+      }
+    }
+    device_->upload(textures_[static_cast<std::size_t>(g)],
+                    std::span<const float4>(staging));
+  }
+}
+
+std::uint64_t BandStack::size_bytes() const {
+  return static_cast<std::uint64_t>(groups()) * static_cast<std::uint64_t>(width_) *
+         static_cast<std::uint64_t>(height_) * gpusim::bytes_per_texel(format_);
+}
+
+PingPong::PingPong(gpusim::Device& device, int width, int height,
+                   gpusim::TextureFormat format, gpusim::AddressMode address)
+    : device_(&device),
+      front_(device.create_texture(width, height, format, address)),
+      back_(device.create_texture(width, height, format, address)) {}
+
+PingPong::~PingPong() {
+  if (device_ == nullptr) return;
+  device_->destroy_texture(front_);
+  device_->destroy_texture(back_);
+}
+
+}  // namespace hs::stream

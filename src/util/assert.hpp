@@ -1,0 +1,39 @@
+// Lightweight contract-checking macros.
+//
+// HS_ASSERT is active in all build types: the simulator and the algorithm
+// code use it to guard invariants whose violation would silently corrupt
+// results (texture bounds, register indices, layout arithmetic). The cost is
+// negligible next to the per-fragment interpreter work, so we do not strip
+// it in Release. HS_DEBUG_ASSERT compiles out in NDEBUG builds and is used
+// on the hottest inner loops only.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hs {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "hs: assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace hs
+
+#define HS_ASSERT(expr)                                          \
+  do {                                                           \
+    if (!(expr)) ::hs::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define HS_ASSERT_MSG(expr, msg)                                 \
+  do {                                                           \
+    if (!(expr)) ::hs::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define HS_DEBUG_ASSERT(expr) ((void)0)
+#else
+#define HS_DEBUG_ASSERT(expr) HS_ASSERT(expr)
+#endif

@@ -1,0 +1,46 @@
+// Minimal command-line flag parser for the examples and bench binaries.
+//
+// Supports `--name value`, `--name=value` and boolean `--name` flags.
+// Unknown flags are an error so typos in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hs::util {
+
+class Cli {
+ public:
+  /// Registers a flag with a help string and a default rendered in --help.
+  /// Call before parse().
+  void add_flag(const std::string& name, const std::string& help,
+                const std::string& default_value = "");
+
+  /// Parses argv. Returns false (after printing usage) on error or --help.
+  bool parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  void print_usage(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string default_value;
+  };
+  std::map<std::string, Flag> registered_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hs::util

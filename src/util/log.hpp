@@ -1,0 +1,26 @@
+// Leveled stderr logging with a process-global threshold.
+//
+// The library itself logs nothing at Info by default; the simulator logs
+// pass-level detail at Debug, which the ablation benches enable to show
+// pass counts without recompiling.
+#pragma once
+
+#include <string>
+
+namespace hs::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging; fmt is a printf format string.
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace hs::util
+
+#define HS_LOG_DEBUG(...) ::hs::util::logf(::hs::util::LogLevel::Debug, __VA_ARGS__)
+#define HS_LOG_INFO(...) ::hs::util::logf(::hs::util::LogLevel::Info, __VA_ARGS__)
+#define HS_LOG_WARN(...) ::hs::util::logf(::hs::util::LogLevel::Warn, __VA_ARGS__)
+#define HS_LOG_ERROR(...) ::hs::util::logf(::hs::util::LogLevel::Error, __VA_ARGS__)

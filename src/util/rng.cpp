@@ -1,0 +1,36 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace hs::util {
+
+std::uint64_t Xoshiro256::uniform_int(std::uint64_t n) {
+  HS_ASSERT(n > 0);
+  // Rejection sampling on the top of the range to remove modulo bias.
+  const std::uint64_t limit = max() - max() % n;
+  std::uint64_t v = next();
+  while (v >= limit) v = next();
+  return v % n;
+}
+
+double Xoshiro256::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Marsaglia polar method: draw points in the unit disc, transform.
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double f = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * f;
+  have_cached_normal_ = true;
+  return u * f;
+}
+
+}  // namespace hs::util

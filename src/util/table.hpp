@@ -1,0 +1,34 @@
+// ASCII table rendering for the bench binaries.
+//
+// Every table/figure bench in bench/ prints its data through this class so
+// the regenerated paper exhibits have a uniform, diff-friendly format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hs::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row. Rows shorter than the header are padded with "".
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for numeric rows: formats with the given precision.
+  static std::string num(double v, int precision = 4);
+
+  /// Renders with column-aligned cells, a header separator and an optional
+  /// caption line above.
+  void print(std::ostream& os, const std::string& caption = "") const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hs::util

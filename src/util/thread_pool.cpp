@@ -1,0 +1,91 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "util/assert.hpp"
+
+namespace hs::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  const std::size_t blocks = std::min(n, workers_.size());
+  const std::size_t chunk = (n + blocks - 1) / blocks;
+
+  std::atomic<std::size_t> remaining{blocks};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    HS_ASSERT_MSG(!stop_, "parallel_for on a stopped pool");
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t lo = b * chunk;
+      const std::size_t hi = std::min(n, lo + chunk);
+      tasks_.push([&, lo, hi] {
+        try {
+          for (std::size_t i = lo; i < hi; ++i) fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> elock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        if (remaining.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> dlock(done_mutex);
+          done_cv.notify_one();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  std::unique_lock<std::mutex> dlock(done_mutex);
+  done_cv.wait(dlock, [&] { return remaining.load() == 0; });
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::size_t ThreadPool::clamp_to_hardware(std::size_t requested) {
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  return std::min(requested, hw);
+}
+
+}  // namespace hs::util

@@ -1,0 +1,52 @@
+// Fixed-size thread pool with a blocking parallel_for.
+//
+// The GPU simulator partitions each rendering pass across its simulated
+// fragment pipes; those partitions are executed on this pool. The pool is
+// sized min(requested, hardware_concurrency) so functional results never
+// depend on the host: work is split by *logical* pipe index, and a smaller
+// pool simply multiplexes pipes onto fewer OS threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hs::util {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` worker threads. `threads == 0` means "serial":
+  /// submitted work runs inline on the calling thread, which keeps
+  /// single-core containers and deterministic debugging cheap.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and blocks until all
+  /// iterations finished. Iterations are distributed in contiguous blocks,
+  /// one block per logical worker, so callers can reason about locality.
+  /// Exceptions thrown by fn are rethrown (first one wins) on the caller.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Convenience: clamps `requested` against std::thread::hardware_concurrency.
+  static std::size_t clamp_to_hardware(std::size_t requested);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace hs::util

@@ -1,0 +1,37 @@
+#include "util/timer.hpp"
+
+#include <cstdio>
+
+namespace hs::util {
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  const double abs = seconds < 0 ? -seconds : seconds;
+  if (abs < 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.2f ns", seconds * 1e9);
+  } else if (abs < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.2f us", seconds * 1e6);
+  } else if (abs < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f s", seconds);
+  }
+  return buf;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes < 1000ULL) {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(bytes));
+  } else if (bytes < 1000ULL * 1000) {
+    std::snprintf(buf, sizeof buf, "%.1f KB", b / 1e3);
+  } else if (bytes < 1000ULL * 1000 * 1000) {
+    std::snprintf(buf, sizeof buf, "%.1f MB", b / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f GB", b / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace hs::util

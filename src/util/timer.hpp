@@ -1,0 +1,38 @@
+// Wall-clock timing utilities used by benches and examples.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace hs::util {
+
+/// Monotonic stopwatch. start() is implicit at construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+  double microseconds() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Formats a duration in seconds with an adaptive unit (ns/us/ms/s),
+/// e.g. "12.18 ms". Used by bench table output.
+std::string format_duration(double seconds);
+
+/// Formats a byte count with an adaptive unit (B/KB/MB/GB), decimal units
+/// to match how the paper reports image sizes ("547 MB").
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace hs::util

@@ -1,0 +1,196 @@
+#include "core/amc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hsi/synthetic.hpp"
+
+namespace hs::core {
+namespace {
+
+hsi::SyntheticScene test_scene() {
+  hsi::SceneConfig cfg;
+  cfg.width = 56;
+  cfg.height = 56;
+  cfg.bands = 32;
+  cfg.seed = 21;
+  return hsi::generate_indian_pines_scene(cfg);
+}
+
+AmcConfig base_config() {
+  AmcConfig cfg;
+  cfg.num_classes = 12;
+  cfg.endmember_min_separation = 4;
+  return cfg;
+}
+
+TEST(Amc, ProducesLabelsForEveryPixel) {
+  const auto scene = test_scene();
+  AmcConfig cfg = base_config();
+  const AmcResult result = run_amc(scene.cube, cfg);
+  EXPECT_EQ(result.labels.size(), scene.cube.pixel_count());
+  for (int v : result.labels) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, cfg.num_classes);
+  }
+  EXPECT_EQ(result.endmember_pixels.size(), 12u);
+  EXPECT_EQ(result.endmember_spectra.size(), 12u);
+  EXPECT_GE(result.morphology_wall_seconds, 0.0);
+}
+
+TEST(Amc, UsesMultipleClasses) {
+  const auto scene = test_scene();
+  const AmcResult result = run_amc(scene.cube, base_config());
+  std::set<int> used(result.labels.begin(), result.labels.end());
+  EXPECT_GE(used.size(), 4u);
+}
+
+TEST(Amc, AccuracyBeatsChanceOnSyntheticScene) {
+  const auto scene = test_scene();
+  const AmcResult result = run_amc(scene.cube, base_config());
+  const AccuracyReport acc = evaluate_accuracy(result, scene.truth);
+  // 32 ground-truth classes: chance is ~just picking the biggest class.
+  EXPECT_GT(acc.overall, 0.35);
+  EXPECT_GT(acc.kappa, 0.25);
+}
+
+TEST(Amc, CpuBackendsAgreeAlmostEverywhere) {
+  const auto scene = test_scene();
+  AmcConfig ref_cfg = base_config();
+  ref_cfg.backend = Backend::CpuReference;
+  AmcConfig vec_cfg = base_config();
+  vec_cfg.backend = Backend::CpuVectorized;
+  const AmcResult ref = run_amc(scene.cube, ref_cfg);
+  const AmcResult vec = run_amc(scene.cube, vec_cfg);
+  std::size_t disagreements = 0;
+  for (std::size_t i = 0; i < ref.labels.size(); ++i) {
+    if (ref.labels[i] != vec.labels[i]) ++disagreements;
+  }
+  EXPECT_LT(disagreements, ref.labels.size() / 10);
+}
+
+TEST(Amc, GpuBackendMatchesVectorizedCpuExactly) {
+  hsi::SceneConfig scfg;
+  scfg.width = 28;
+  scfg.height = 28;
+  scfg.bands = 16;
+  scfg.seed = 22;
+  const auto scene = hsi::generate_indian_pines_scene(scfg);
+
+  AmcConfig vec_cfg = base_config();
+  vec_cfg.num_classes = 6;
+  vec_cfg.backend = Backend::CpuVectorized;
+  AmcConfig gpu_cfg = vec_cfg;
+  gpu_cfg.backend = Backend::GpuStream;
+  gpu_cfg.gpu.profile.fragment_pipes = 4;
+
+  const AmcResult vec = run_amc(scene.cube, vec_cfg);
+  const AmcResult gpu = run_amc(scene.cube, gpu_cfg);
+
+  // MEI is bit-identical, so endmembers and labels coincide exactly.
+  EXPECT_EQ(vec.endmember_pixels, gpu.endmember_pixels);
+  EXPECT_EQ(vec.labels, gpu.labels);
+  ASSERT_TRUE(gpu.gpu.has_value());
+  EXPECT_FALSE(vec.gpu.has_value());
+  EXPECT_GT(gpu.gpu->modeled_seconds, 0.0);
+  EXPECT_EQ(gpu.gpu->stages.size(), 6u);
+}
+
+TEST(Amc, EndmembersAreDistinctDilationSelectedPixels) {
+  const auto scene = test_scene();
+  AmcConfig cfg = base_config();
+  const AmcResult result = run_amc(scene.cube, cfg);
+
+  // No duplicate endmember pixels.
+  std::set<std::size_t> unique(result.endmember_pixels.begin(),
+                               result.endmember_pixels.end());
+  EXPECT_EQ(unique.size(), result.endmember_pixels.size());
+
+  // Each endmember is the dilation selection of some pixel: its spectrum
+  // must match the cube at its location.
+  std::vector<float> spec(static_cast<std::size_t>(scene.cube.bands()));
+  for (std::size_t k = 0; k < result.endmember_pixels.size(); ++k) {
+    const std::size_t p = result.endmember_pixels[k];
+    const int x = static_cast<int>(p % static_cast<std::size_t>(scene.cube.width()));
+    const int y = static_cast<int>(p / static_cast<std::size_t>(scene.cube.width()));
+    scene.cube.pixel(x, y, spec);
+    for (int b = 0; b < scene.cube.bands(); ++b) {
+      EXPECT_EQ(result.endmember_spectra[k][static_cast<std::size_t>(b)],
+                spec[static_cast<std::size_t>(b)]);
+    }
+  }
+}
+
+TEST(Amc, UnmixingMethodsProduceValidLabels) {
+  hsi::SceneConfig scfg;
+  scfg.width = 24;
+  scfg.height = 24;
+  scfg.bands = 16;
+  scfg.seed = 23;
+  const auto scene = hsi::generate_indian_pines_scene(scfg);
+  for (UnmixingMethod m : {UnmixingMethod::Unconstrained,
+                           UnmixingMethod::SumToOne, UnmixingMethod::Nnls}) {
+    AmcConfig cfg = base_config();
+    cfg.num_classes = 5;
+    cfg.unmixing = m;
+    const AmcResult result = run_amc(scene.cube, cfg);
+    for (int v : result.labels) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 5);
+    }
+  }
+}
+
+TEST(Amc, BackendNames) {
+  EXPECT_STREQ(backend_name(Backend::CpuReference), "cpu-reference");
+  EXPECT_STREQ(backend_name(Backend::CpuVectorized), "cpu-vectorized");
+  EXPECT_STREQ(backend_name(Backend::GpuStream), "gpu-stream");
+}
+
+TEST(Amc, AccuracyReportShapesMatchTruth) {
+  const auto scene = test_scene();
+  const AmcResult result = run_amc(scene.cube, base_config());
+  const AccuracyReport acc = evaluate_accuracy(result, scene.truth);
+  EXPECT_EQ(acc.per_class.size(),
+            static_cast<std::size_t>(scene.truth.num_classes()));
+  for (double v : acc.per_class) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+
+TEST(Amc, GpuClassificationAgreesWithHostUnmixing) {
+  hsi::SceneConfig scfg;
+  scfg.width = 24;
+  scfg.height = 24;
+  scfg.bands = 16;
+  scfg.seed = 31;
+  const auto scene = hsi::generate_indian_pines_scene(scfg);
+
+  AmcConfig host_cfg = base_config();
+  host_cfg.num_classes = 6;
+  host_cfg.backend = Backend::GpuStream;
+  host_cfg.gpu.profile.fragment_pipes = 4;
+  AmcConfig gpu_cfg = host_cfg;
+  gpu_cfg.gpu_classification = true;
+
+  const AmcResult host = run_amc(scene.cube, host_cfg);
+  const AmcResult gpu = run_amc(scene.cube, gpu_cfg);
+
+  // Endmembers come from the identical MEI map, so they match exactly;
+  // labels may differ only on float-vs-double abundance near-ties.
+  EXPECT_EQ(host.endmember_pixels, gpu.endmember_pixels);
+  std::size_t disagreements = 0;
+  for (std::size_t i = 0; i < host.labels.size(); ++i) {
+    if (host.labels[i] != gpu.labels[i]) ++disagreements;
+  }
+  EXPECT_LE(disagreements, host.labels.size() / 50);
+  ASSERT_TRUE(gpu.gpu.has_value());
+  EXPECT_GT(gpu.gpu->classification_modeled_seconds, 0.0);
+  EXPECT_EQ(host.gpu->classification_modeled_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace hs::core

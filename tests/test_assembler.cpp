@@ -1,0 +1,270 @@
+#include "gpusim/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hs::gpusim {
+namespace {
+
+FragmentProgram ok(const std::string& src) {
+  auto result = assemble("test", src);
+  auto* err = std::get_if<AssembleError>(&result);
+  EXPECT_EQ(err, nullptr) << (err ? err->message : "");
+  return std::get<FragmentProgram>(std::move(result));
+}
+
+std::string err_of(const std::string& src) {
+  auto result = assemble("test", src);
+  auto* err = std::get_if<AssembleError>(&result);
+  EXPECT_NE(err, nullptr) << "expected assembly failure";
+  return err ? err->message : "";
+}
+
+TEST(Assembler, MinimalProgram) {
+  const auto p = ok("!!HSFP1.0\nMOV result.color, {1.0, 2.0, 3.0, 4.0};\nEND\n");
+  ASSERT_EQ(p.code.size(), 1u);
+  EXPECT_EQ(p.code[0].op, Opcode::MOV);
+  EXPECT_EQ(p.code[0].dst.file, RegFile::Output);
+  EXPECT_EQ(p.code[0].src[0].file, RegFile::Literal);
+  EXPECT_EQ(p.code[0].src[0].literal, float4(1, 2, 3, 4));
+}
+
+TEST(Assembler, MissingHeaderFails) {
+  EXPECT_NE(err_of("MOV result.color, {1.0};\nEND\n").find("header"),
+            std::string::npos);
+}
+
+TEST(Assembler, MissingEndFails) {
+  EXPECT_NE(err_of("!!HSFP1.0\nMOV result.color, {1.0};\n").find("END"),
+            std::string::npos);
+}
+
+TEST(Assembler, CommentsAreIgnored) {
+  const auto p = ok(
+      "!!HSFP1.0\n"
+      "# a comment line\n"
+      "MOV result.color, {0.5}; # trailing comment\n"
+      "END\n");
+  EXPECT_EQ(p.code.size(), 1u);
+}
+
+TEST(Assembler, ScalarLiteralBroadcasts) {
+  const auto p = ok("!!HSFP1.0\nMOV result.color, {0.5};\nEND\n");
+  EXPECT_EQ(p.code[0].src[0].literal, float4(0.5f));
+}
+
+TEST(Assembler, ThreeComponentLiteralGetsUnitW) {
+  const auto p = ok("!!HSFP1.0\nMOV result.color, {1.0, 2.0, 3.0};\nEND\n");
+  EXPECT_EQ(p.code[0].src[0].literal, float4(1, 2, 3, 1));
+}
+
+TEST(Assembler, TwoComponentLiteralFails) {
+  EXPECT_NE(err_of("!!HSFP1.0\nMOV result.color, {1.0, 2.0};\nEND\n")
+                .find("literal"),
+            std::string::npos);
+}
+
+TEST(Assembler, TempRegisters) {
+  const auto p = ok(
+      "!!HSFP1.0\n"
+      "MOV R0, {1.0};\n"
+      "MOV R15, R0;\n"
+      "MOV result.color, R15;\n"
+      "END\n");
+  EXPECT_EQ(p.code[1].dst.index, 15);
+  EXPECT_EQ(p.code[1].src[0].file, RegFile::Temp);
+}
+
+TEST(Assembler, ConstantsAndTexcoords) {
+  const auto p = ok(
+      "!!HSFP1.0\n"
+      "ADD R0, fragment.texcoord[2], c[7];\n"
+      "MOV result.color, R0;\n"
+      "END\n");
+  EXPECT_EQ(p.code[0].src[0].file, RegFile::TexCoord);
+  EXPECT_EQ(p.code[0].src[0].index, 2);
+  EXPECT_EQ(p.code[0].src[1].file, RegFile::Const);
+  EXPECT_EQ(p.code[0].src[1].index, 7);
+}
+
+TEST(Assembler, SingleComponentSwizzleBroadcasts) {
+  const auto p = ok(
+      "!!HSFP1.0\n"
+      "MOV R0, {1.0, 2.0, 3.0, 4.0};\n"
+      "MOV result.color, R0.y;\n"
+      "END\n");
+  const Swizzle& s = p.code[1].src[0].swizzle;
+  EXPECT_EQ(s.comp, (std::array<std::uint8_t, 4>{1, 1, 1, 1}));
+}
+
+TEST(Assembler, FullSwizzleAndRgbaAliases) {
+  const auto p = ok(
+      "!!HSFP1.0\n"
+      "MOV R0, {1.0, 2.0, 3.0, 4.0};\n"
+      "MOV result.color, R0.wzyx;\n"
+      "MOV result.color, R0.abgr;\n"
+      "END\n");
+  EXPECT_EQ(p.code[1].src[0].swizzle.comp,
+            (std::array<std::uint8_t, 4>{3, 2, 1, 0}));
+  EXPECT_EQ(p.code[2].src[0].swizzle.comp,
+            (std::array<std::uint8_t, 4>{3, 2, 1, 0}));
+}
+
+TEST(Assembler, BadSwizzleLengthFails) {
+  const std::string msg = err_of(
+      "!!HSFP1.0\n"
+      "MOV R0, {1.0};\n"
+      "MOV result.color, R0.xy;\n"
+      "END\n");
+  EXPECT_NE(msg.find("swizzle"), std::string::npos);
+}
+
+TEST(Assembler, WriteMasks) {
+  const auto p = ok(
+      "!!HSFP1.0\n"
+      "MOV R0.xz, {1.0};\n"
+      "MOV R0.yw, {2.0};\n"
+      "MOV result.color.xyz, R0;\n"
+      "END\n");
+  EXPECT_EQ(p.code[0].dst.write_mask, 0b0101);
+  EXPECT_EQ(p.code[1].dst.write_mask, 0b1010);
+  EXPECT_EQ(p.code[2].dst.write_mask, 0b0111);
+}
+
+TEST(Assembler, OutOfOrderWriteMaskFails) {
+  const std::string msg = err_of(
+      "!!HSFP1.0\n"
+      "MOV R0.zx, {1.0};\n"
+      "MOV result.color, R0;\n"
+      "END\n");
+  EXPECT_NE(msg.find("mask"), std::string::npos);
+}
+
+TEST(Assembler, NegatedSource) {
+  const auto p = ok(
+      "!!HSFP1.0\n"
+      "MOV R0, {1.0};\n"
+      "ADD result.color, R0, -R0;\n"
+      "END\n");
+  EXPECT_TRUE(p.code[1].src[1].negate);
+}
+
+TEST(Assembler, TexInstruction) {
+  const auto p = ok(
+      "!!HSFP1.0\n"
+      "TEX R0, fragment.texcoord[0], texture[3];\n"
+      "MOV result.color, R0;\n"
+      "END\n");
+  EXPECT_EQ(p.code[0].op, Opcode::TEX);
+  EXPECT_EQ(p.code[0].tex_unit, 3);
+  EXPECT_EQ(p.code[0].src_count, 1);
+}
+
+TEST(Assembler, TexWithoutUnitFails) {
+  err_of(
+      "!!HSFP1.0\n"
+      "TEX R0, fragment.texcoord[0];\n"
+      "MOV result.color, R0;\n"
+      "END\n");
+}
+
+TEST(Assembler, UnknownOpcodeFails) {
+  EXPECT_NE(err_of("!!HSFP1.0\nFOO result.color, {1.0};\nEND\n").find("FOO"),
+            std::string::npos);
+}
+
+TEST(Assembler, UnknownRegisterFails) {
+  err_of("!!HSFP1.0\nMOV result.color, bogus;\nEND\n");
+}
+
+TEST(Assembler, MissingSemicolonFails) {
+  err_of("!!HSFP1.0\nMOV result.color, {1.0}\nEND\n");
+}
+
+TEST(Assembler, MrtOutputs) {
+  const auto p = ok(
+      "!!HSFP1.0\n"
+      "MOV result.color[0], {1.0};\n"
+      "MOV result.color[2], {2.0};\n"
+      "END\n");
+  EXPECT_EQ(p.code[0].dst.index, 0);
+  EXPECT_EQ(p.code[1].dst.index, 2);
+  EXPECT_EQ(p.max_output(), 2);
+}
+
+TEST(Assembler, ErrorCarriesLineNumber) {
+  auto result = assemble("test",
+                         "!!HSFP1.0\n"
+                         "MOV R0, {1.0};\n"
+                         "MOV result.color, bogus;\n"
+                         "END\n");
+  auto* err = std::get_if<AssembleError>(&result);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->line, 3);
+}
+
+TEST(Assembler, EveryOpcodeParses) {
+  const auto p = ok(
+      "!!HSFP1.0\n"
+      "MOV R0, {1.0, 2.0, 3.0, 4.0};\n"
+      "ABS R1, R0;\n"
+      "FLR R2, R0;\n"
+      "FRC R3, R0;\n"
+      "RCP R4.x, R0.x;\n"
+      "RSQ R5.x, R0.x;\n"
+      "LG2 R6.x, R0.x;\n"
+      "EX2 R7.x, R0.x;\n"
+      "ADD R8, R0, R1;\n"
+      "SUB R9, R0, R1;\n"
+      "MUL R10, R0, R1;\n"
+      "MIN R11, R0, R1;\n"
+      "MAX R12, R0, R1;\n"
+      "SLT R13, R0, R1;\n"
+      "SGE R14, R0, R1;\n"
+      "DP3 R15.x, R0, R1;\n"
+      "DP4 R16.x, R0, R1;\n"
+      "MAD R17, R0, R1, R2;\n"
+      "CMP R18, R0, R1, R2;\n"
+      "LRP R19, R0, R1, R2;\n"
+      "MOV result.color, R19;\n"
+      "END\n");
+  EXPECT_EQ(p.code.size(), 21u);
+  EXPECT_EQ(p.alu_instruction_count(), 21);
+  EXPECT_EQ(p.tex_instruction_count(), 0);
+}
+
+TEST(Assembler, DisassembleRoundTrips) {
+  const std::string src =
+      "!!HSFP1.0\n"
+      "TEX R0, fragment.texcoord[0], texture[0];\n"
+      "ADD R1.xy, fragment.texcoord[0], c[3];\n"
+      "TEX R2, R1, texture[1];\n"
+      "SUB R3, R0, R2;\n"
+      "DP4 R4.x, R3, R3;\n"
+      "CMP R5.x, R4.x, R0.x, R2.x;\n"
+      "MOV result.color.x, R5.x;\n"
+      "END\n";
+  const auto p1 = ok(src);
+  const std::string dis = disassemble(p1);
+  const auto p2 = ok(dis);
+  ASSERT_EQ(p1.code.size(), p2.code.size());
+  for (std::size_t i = 0; i < p1.code.size(); ++i) {
+    EXPECT_EQ(p1.code[i].op, p2.code[i].op) << i;
+    EXPECT_EQ(p1.code[i].dst.write_mask, p2.code[i].dst.write_mask) << i;
+    EXPECT_EQ(p1.code[i].src_count, p2.code[i].src_count) << i;
+    for (int s = 0; s < p1.code[i].src_count; ++s) {
+      EXPECT_EQ(p1.code[i].src[static_cast<std::size_t>(s)].swizzle.comp,
+                p2.code[i].src[static_cast<std::size_t>(s)].swizzle.comp)
+          << i;
+    }
+  }
+}
+
+TEST(Assembler, AssembleOrDieReturnsProgram) {
+  const auto p =
+      assemble_or_die("clear", "!!HSFP1.0\nMOV result.color, {0.0};\nEND\n");
+  EXPECT_EQ(p.name, "clear");
+  EXPECT_EQ(p.code.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hs::gpusim

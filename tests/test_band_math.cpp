@@ -1,0 +1,94 @@
+#include "hsi/band_math.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hsi/spectral_library.hpp"
+#include "util/rng.hpp"
+
+namespace hs::hsi {
+namespace {
+
+HyperCube random_cube(int w, int h, int n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  HyperCube cube(w, h, n);
+  for (auto& v : cube.raw()) v = static_cast<float>(rng.uniform(0.0, 1.0));
+  return cube;
+}
+
+TEST(BandMath, SelectBandsExtractsAndReorders) {
+  const HyperCube cube = random_cube(3, 2, 6, 1);
+  const HyperCube sub = select_bands(cube, {5, 0, 2});
+  EXPECT_EQ(sub.bands(), 3);
+  for (int y = 0; y < 2; ++y) {
+    for (int x = 0; x < 3; ++x) {
+      EXPECT_EQ(sub.at(x, y, 0), cube.at(x, y, 5));
+      EXPECT_EQ(sub.at(x, y, 1), cube.at(x, y, 0));
+      EXPECT_EQ(sub.at(x, y, 2), cube.at(x, y, 2));
+    }
+  }
+}
+
+TEST(BandMath, WaterBandsFallInAbsorptionWindows) {
+  const auto drop = water_absorption_band_indices(216);
+  EXPECT_FALSE(drop.empty());
+  for (int b : drop) {
+    const double um = aviris_wavelength_um(b, 216);
+    const bool in_window = (um >= 1.34 && um <= 1.45) ||
+                           (um >= 1.79 && um <= 1.97) || um >= 2.45;
+    EXPECT_TRUE(in_window) << "band " << b << " at " << um;
+  }
+}
+
+TEST(BandMath, UsableBandsComplementWaterBands) {
+  const auto drop = water_absorption_band_indices(216);
+  const auto keep = usable_band_indices(216);
+  EXPECT_EQ(drop.size() + keep.size(), 216u);
+  // Canonical AVIRIS preprocessing drops roughly 10% of the bands.
+  EXPECT_GT(drop.size(), 15u);
+  EXPECT_LT(drop.size(), 50u);
+}
+
+TEST(BandMath, BandMeansMatchHandComputation) {
+  HyperCube cube(2, 1, 2);
+  cube.at(0, 0, 0) = 1.f;
+  cube.at(1, 0, 0) = 3.f;
+  cube.at(0, 0, 1) = 10.f;
+  cube.at(1, 0, 1) = 20.f;
+  const auto mean = band_means(cube);
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 15.0);
+}
+
+TEST(BandMath, CovarianceOfConstantCubeIsZero) {
+  HyperCube cube(4, 4, 3);
+  for (auto& v : cube.raw()) v = 0.5f;
+  const auto cov = band_covariance(cube);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(cov(i, j), 0.0, 1e-12);
+  }
+}
+
+TEST(BandMath, CovarianceIsSymmetricPsd) {
+  const HyperCube cube = random_cube(8, 8, 5, 2);
+  const auto cov = band_covariance(cube);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_DOUBLE_EQ(cov(i, j), cov(j, i));
+    }
+    EXPECT_GE(cov(i, i), 0.0);
+  }
+}
+
+TEST(BandMath, PerfectlyCorrelatedBands) {
+  HyperCube cube(4, 1, 2);
+  for (int x = 0; x < 4; ++x) {
+    cube.at(x, 0, 0) = static_cast<float>(x);
+    cube.at(x, 0, 1) = static_cast<float>(2 * x);
+  }
+  const auto cov = band_covariance(cube);
+  // cov(0,1) = 2 * var(band0)
+  EXPECT_NEAR(cov(0, 1), 2.0 * cov(0, 0), 1e-9);
+}
+
+}  // namespace
+}  // namespace hs::hsi

@@ -1,0 +1,94 @@
+#include "linalg/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace hs::linalg {
+namespace {
+
+Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Matrix a(n + 2, n);
+  for (std::size_t r = 0; r < n + 2; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1, 1);
+  }
+  Matrix g = a.gram();
+  for (std::size_t i = 0; i < n; ++i) g(i, i) += 0.5;  // ensure PD
+  return g;
+}
+
+TEST(Cholesky, FactorReconstructsInput) {
+  const Matrix spd = random_spd(5, 1);
+  const auto chol = Cholesky::factor(spd);
+  ASSERT_TRUE(chol.has_value());
+  const Matrix l = chol->lower();
+  const Matrix reconstructed = l * l.transposed();
+  EXPECT_LT(reconstructed.max_abs_diff(spd), 1e-10);
+}
+
+TEST(Cholesky, SolveRecoversKnownSolution) {
+  const Matrix spd = random_spd(6, 2);
+  util::Xoshiro256 rng(3);
+  std::vector<double> x_true(6);
+  for (auto& v : x_true) v = rng.uniform(-2, 2);
+  const auto b = spd.multiply(x_true);
+  const auto chol = Cholesky::factor(spd);
+  ASSERT_TRUE(chol.has_value());
+  const auto x = chol->solve(b);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(Cholesky, IdentitySolveIsIdentity) {
+  const auto chol = Cholesky::factor(Matrix::identity(4));
+  ASSERT_TRUE(chol.has_value());
+  const std::vector<double> b{1, 2, 3, 4};
+  const auto x = chol->solve(b);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(x[i], b[i]);
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  Matrix m{{1, 2}, {2, 1}};  // eigenvalues 3, -1
+  EXPECT_FALSE(Cholesky::factor(m).has_value());
+}
+
+TEST(Cholesky, RejectsNegativeDefinite) {
+  Matrix m{{-1, 0}, {0, -1}};
+  EXPECT_FALSE(Cholesky::factor(m).has_value());
+}
+
+TEST(Cholesky, RejectsSingular) {
+  Matrix m{{1, 1}, {1, 1}};
+  EXPECT_FALSE(Cholesky::factor(m).has_value());
+}
+
+TEST(Cholesky, MultipleRightHandSides) {
+  const Matrix spd = random_spd(4, 5);
+  const auto chol = Cholesky::factor(spd);
+  ASSERT_TRUE(chol.has_value());
+  const Matrix b{{1, 0}, {0, 1}, {2, 2}, {-1, 3}};
+  const Matrix x = chol->solve(b);
+  const Matrix reconstructed = spd * x;
+  EXPECT_LT(reconstructed.max_abs_diff(b), 1e-9);
+}
+
+class CholeskySizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CholeskySizeSweep, SolveResidualIsTiny) {
+  const std::size_t n = GetParam();
+  const Matrix spd = random_spd(n, 10 + n);
+  util::Xoshiro256 rng(20 + n);
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  const auto chol = Cholesky::factor(spd);
+  ASSERT_TRUE(chol.has_value());
+  const auto x = chol->solve(b);
+  const auto ax = spd.multiply(x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySizeSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace hs::linalg

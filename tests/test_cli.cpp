@@ -1,0 +1,82 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hs::util {
+namespace {
+
+Cli make_cli() {
+  Cli cli;
+  cli.add_flag("size", "image size", "64");
+  cli.add_flag("ratio", "a ratio", "0.5");
+  cli.add_flag("verbose", "verbosity");
+  cli.add_flag("name", "a name");
+  return cli;
+}
+
+TEST(Cli, ParsesSpaceSeparatedValues) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--size", "128"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_int("size", 0), 128);
+}
+
+TEST(Cli, ParsesEqualsSeparatedValues) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--size=256", "--ratio=0.25"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_int("size", 0), 256);
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio", 0), 0.25);
+}
+
+TEST(Cli, BooleanFlagWithoutValue) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("size", 64), 64);
+  EXPECT_FALSE(cli.has("size"));
+  EXPECT_EQ(cli.get("name", "dflt"), "dflt");
+}
+
+TEST(Cli, UnknownFlagFailsParse) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_FALSE(cli.parse(3, argv));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, CollectsPositionalArguments) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "input.hdr", "--size", "8", "output.hdr"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.hdr");
+  EXPECT_EQ(cli.positional()[1], "output.hdr");
+}
+
+TEST(Cli, BoolParsingVariants) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--verbose=yes"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+
+  Cli cli2 = make_cli();
+  const char* argv2[] = {"prog", "--verbose=0"};
+  ASSERT_TRUE(cli2.parse(2, argv2));
+  EXPECT_FALSE(cli2.get_bool("verbose", true));
+}
+
+}  // namespace
+}  // namespace hs::util

@@ -1,0 +1,107 @@
+#include "core/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace hs::core {
+namespace {
+
+TEST(CpuCost, ScalesLinearlyInPixels) {
+  const CpuCost a = cpu_morphology_cost(1000, 9, 216);
+  const CpuCost b = cpu_morphology_cost(2000, 9, 216);
+  EXPECT_DOUBLE_EQ(b.flops, 2 * a.flops);
+  EXPECT_DOUBLE_EQ(b.transcendentals, 2 * a.transcendentals);
+  EXPECT_DOUBLE_EQ(b.bytes, 2 * a.bytes);
+}
+
+TEST(CpuCost, DominatedByCumulativeDistance) {
+  const CpuCost c = cpu_morphology_cost(1000, 9, 216);
+  // |B| * N * 4 = 7776 flops/pixel dominate the ~2N normalization terms.
+  EXPECT_GT(c.flops, 1000.0 * 9 * 216 * 4);
+  EXPECT_LT(c.flops, 1000.0 * 9 * 216 * 5);
+}
+
+TEST(CpuCost, GrowsWithSeSize) {
+  EXPECT_GT(cpu_morphology_cost(1000, 25, 216).flops,
+            cpu_morphology_cost(1000, 9, 216).flops);
+}
+
+TEST(CpuModel, VectorizedIsFasterAndGenerationsAreClose) {
+  const CpuCost cost = cpu_morphology_cost(1'000'000, 9, 216);
+  const double p4_gcc = model_cpu_morphology_seconds(
+      gpusim::pentium4_northwood(), cost, /*vectorized=*/false);
+  const double p4_icc = model_cpu_morphology_seconds(
+      gpusim::pentium4_northwood(), cost, /*vectorized=*/true);
+  const double pr_gcc = model_cpu_morphology_seconds(
+      gpusim::pentium4_prescott(), cost, /*vectorized=*/false);
+
+  EXPECT_LT(p4_icc, p4_gcc);
+  // gcc/icc ratio in the paper's Tables 4/5 range (1.5-2x).
+  EXPECT_GT(p4_gcc / p4_icc, 1.3);
+  EXPECT_LT(p4_gcc / p4_icc, 2.2);
+  // CPU generation gain below ~10% (paper Section 4.3).
+  EXPECT_LT(pr_gcc, p4_gcc);
+  EXPECT_GT(pr_gcc / p4_gcc, 0.88);
+}
+
+TEST(AutoBudget, FitsInVideoMemory) {
+  const auto profile = gpusim::geforce_7800_gtx();
+  const std::uint64_t texels = amc_auto_texel_budget(profile, 216, true);
+  // Working-set bytes for that many texels must fit in video memory.
+  const std::uint64_t groups = 54;
+  const std::uint64_t per_texel = groups * 3 * 16 + 16 + 24;
+  EXPECT_LE(texels * per_texel, profile.video_memory_bytes);
+  EXPECT_GT(texels, 10'000u);  // sane magnitude for 256 MB
+}
+
+class ExtrapolationTest : public ::testing::Test {
+ protected:
+  static AmcGpuReport calibrate(int w, int h, int bands,
+                                const AmcGpuOptions& opt) {
+    util::Xoshiro256 rng(31);
+    hsi::HyperCube cube(w, h, bands);
+    for (auto& v : cube.raw()) v = static_cast<float>(rng.uniform(0.05, 1.0));
+    return morphology_gpu(cube, StructuringElement::square(1), opt);
+  }
+};
+
+TEST_F(ExtrapolationTest, SelfExtrapolationReproducesModeledTime) {
+  AmcGpuOptions opt;
+  opt.profile.fragment_pipes = 4;
+  const AmcGpuReport report = calibrate(24, 24, 16, opt);
+  const GpuExtrapolation ext = extrapolate_gpu_morphology(
+      report, opt.profile, 24, 24, 16, 1, opt.precompute_log);
+  // Extrapolating to the calibration's own size must land on the measured
+  // modeled time (small slack for integer truncation in the scaling).
+  EXPECT_NEAR(ext.total_seconds(), report.modeled_seconds,
+              0.05 * report.modeled_seconds);
+  EXPECT_EQ(ext.chunks, report.chunk_count);
+}
+
+TEST_F(ExtrapolationTest, TimeScalesRoughlyLinearlyInPixels) {
+  AmcGpuOptions opt;
+  opt.profile.fragment_pipes = 4;
+  const AmcGpuReport report = calibrate(24, 24, 16, opt);
+  const GpuExtrapolation x1 = extrapolate_gpu_morphology(
+      report, opt.profile, 100, 100, 16, 1, true);
+  const GpuExtrapolation x4 = extrapolate_gpu_morphology(
+      report, opt.profile, 200, 200, 16, 1, true);
+  EXPECT_GT(x4.total_seconds(), 3.2 * x1.total_seconds());
+  EXPECT_LT(x4.total_seconds(), 4.8 * x1.total_seconds());
+}
+
+TEST_F(ExtrapolationTest, FasterDeviceExtrapolatesFaster) {
+  AmcGpuOptions opt;
+  opt.profile = gpusim::geforce_fx5950_ultra();
+  opt.profile.fragment_pipes = 4;
+  const AmcGpuReport report = calibrate(24, 24, 16, opt);
+  const GpuExtrapolation nv38 = extrapolate_gpu_morphology(
+      report, gpusim::geforce_fx5950_ultra(), 500, 500, 16, 1, true);
+  const GpuExtrapolation g70 = extrapolate_gpu_morphology(
+      report, gpusim::geforce_7800_gtx(), 500, 500, 16, 1, true);
+  EXPECT_LT(g70.total_seconds(), nv38.total_seconds());
+}
+
+}  // namespace
+}  // namespace hs::core

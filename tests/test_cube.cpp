@@ -1,0 +1,131 @@
+#include "hsi/cube.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace hs::hsi {
+namespace {
+
+HyperCube random_cube(int w, int h, int n, Interleave il, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  HyperCube cube(w, h, n, il);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      for (int b = 0; b < n; ++b) {
+        cube.at(x, y, b) = static_cast<float>(rng.uniform());
+      }
+    }
+  }
+  return cube;
+}
+
+TEST(HyperCube, DimensionsAndCounts) {
+  HyperCube cube(5, 3, 7);
+  EXPECT_EQ(cube.width(), 5);
+  EXPECT_EQ(cube.height(), 3);
+  EXPECT_EQ(cube.bands(), 7);
+  EXPECT_EQ(cube.pixel_count(), 15u);
+  EXPECT_EQ(cube.raw().size(), 105u);
+  EXPECT_EQ(cube.size_bytes(), 105u * 4);
+  EXPECT_EQ(cube.sensor_size_bytes(), 105u * 2);
+}
+
+class InterleaveSweep : public ::testing::TestWithParam<Interleave> {};
+
+TEST_P(InterleaveSweep, AtIsConsistentWithItself) {
+  HyperCube cube(4, 3, 5, GetParam());
+  cube.at(2, 1, 3) = 42.f;
+  EXPECT_EQ(cube.at(2, 1, 3), 42.f);
+  // No aliasing with neighbors in any dimension.
+  EXPECT_EQ(cube.at(1, 1, 3), 0.f);
+  EXPECT_EQ(cube.at(2, 0, 3), 0.f);
+  EXPECT_EQ(cube.at(2, 1, 2), 0.f);
+}
+
+TEST_P(InterleaveSweep, IndexIsABijection) {
+  HyperCube cube(3, 4, 5, GetParam());
+  std::vector<int> seen(cube.raw().size(), 0);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 3; ++x) {
+      for (int b = 0; b < 5; ++b) {
+        ++seen[cube.index(x, y, b)];
+      }
+    }
+  }
+  for (int v : seen) EXPECT_EQ(v, 1);
+}
+
+TEST_P(InterleaveSweep, PixelGetSetRoundTrips) {
+  HyperCube cube(3, 3, 6, GetParam());
+  std::vector<float> in{1, 2, 3, 4, 5, 6};
+  cube.set_pixel(1, 2, in);
+  std::vector<float> out(6);
+  cube.pixel(1, 2, out);
+  EXPECT_EQ(in, out);
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, InterleaveSweep,
+                         ::testing::Values(Interleave::BSQ, Interleave::BIL,
+                                           Interleave::BIP));
+
+TEST(HyperCube, BsqLayoutIsBandMajor) {
+  HyperCube cube(2, 2, 2, Interleave::BSQ);
+  cube.at(1, 1, 1) = 5.f;
+  // BSQ: band 1 plane starts at offset 4.
+  EXPECT_EQ(cube.raw()[4 + 3], 5.f);
+}
+
+TEST(HyperCube, BipLayoutIsPixelMajor) {
+  HyperCube cube(2, 2, 3, Interleave::BIP);
+  cube.at(1, 0, 2) = 5.f;
+  EXPECT_EQ(cube.raw()[1 * 3 + 2], 5.f);
+}
+
+TEST(HyperCube, ConversionPreservesValues) {
+  const HyperCube bip = random_cube(4, 5, 6, Interleave::BIP, 1);
+  for (Interleave target : {Interleave::BSQ, Interleave::BIL, Interleave::BIP}) {
+    const HyperCube converted = bip.converted(target);
+    EXPECT_EQ(converted.interleave(), target);
+    for (int y = 0; y < 5; ++y) {
+      for (int x = 0; x < 4; ++x) {
+        for (int b = 0; b < 6; ++b) {
+          EXPECT_EQ(converted.at(x, y, b), bip.at(x, y, b));
+        }
+      }
+    }
+  }
+}
+
+TEST(HyperCube, ConversionRoundTripIsExact) {
+  const HyperCube orig = random_cube(3, 3, 8, Interleave::BIP, 2);
+  const HyperCube back = orig.converted(Interleave::BSQ).converted(Interleave::BIP);
+  EXPECT_EQ(orig.raw().size(), back.raw().size());
+  for (std::size_t i = 0; i < orig.raw().size(); ++i) {
+    EXPECT_EQ(orig.raw()[i], back.raw()[i]);
+  }
+}
+
+TEST(HyperCube, CropExtractsSubregion) {
+  const HyperCube cube = random_cube(8, 8, 4, Interleave::BIP, 3);
+  const HyperCube sub = cube.crop(2, 3, 4, 2);
+  EXPECT_EQ(sub.width(), 4);
+  EXPECT_EQ(sub.height(), 2);
+  EXPECT_EQ(sub.bands(), 4);
+  for (int y = 0; y < 2; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      for (int b = 0; b < 4; ++b) {
+        EXPECT_EQ(sub.at(x, y, b), cube.at(2 + x, 3 + y, b));
+      }
+    }
+  }
+}
+
+TEST(HyperCube, InterleaveNames) {
+  EXPECT_STREQ(interleave_name(Interleave::BSQ), "bsq");
+  EXPECT_STREQ(interleave_name(Interleave::BIL), "bil");
+  EXPECT_STREQ(interleave_name(Interleave::BIP), "bip");
+}
+
+}  // namespace
+}  // namespace hs::hsi

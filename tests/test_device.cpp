@@ -1,0 +1,235 @@
+#include "gpusim/gpu_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpusim/assembler.hpp"
+
+namespace hs::gpusim {
+namespace {
+
+DeviceProfile tiny_profile() {
+  DeviceProfile p = geforce_7800_gtx();
+  p.fragment_pipes = 4;
+  p.video_memory_bytes = 1 * 1024 * 1024;
+  return p;
+}
+
+TEST(Device, TextureLifecycleAndMemoryAccounting) {
+  Device dev(tiny_profile());
+  EXPECT_EQ(dev.video_memory_used(), 0u);
+  const TextureHandle t = dev.create_texture(16, 16, TextureFormat::RGBA32F);
+  EXPECT_EQ(dev.video_memory_used(), 16u * 16 * 16);
+  const TextureHandle s = dev.create_texture(16, 16, TextureFormat::R32F);
+  EXPECT_EQ(dev.video_memory_used(), 16u * 16 * 16 + 16u * 16 * 4);
+  dev.destroy_texture(t);
+  EXPECT_EQ(dev.video_memory_used(), 16u * 16 * 4);
+  dev.destroy_texture(s);
+  EXPECT_EQ(dev.video_memory_used(), 0u);
+}
+
+TEST(Device, HandleSlotsAreReused) {
+  Device dev(tiny_profile());
+  const TextureHandle a = dev.create_texture(4, 4, TextureFormat::R32F);
+  dev.destroy_texture(a);
+  const TextureHandle b = dev.create_texture(4, 4, TextureFormat::R32F);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Device, ThrowsOnVideoMemoryExhaustion) {
+  Device dev(tiny_profile());  // 1 MB
+  // 256x256 RGBA32F = 1 MB exactly; a second one must fail.
+  const TextureHandle t = dev.create_texture(256, 256, TextureFormat::RGBA32F);
+  EXPECT_THROW(dev.create_texture(16, 16, TextureFormat::R32F), GpuOutOfMemory);
+  dev.destroy_texture(t);
+  EXPECT_NO_THROW(dev.create_texture(16, 16, TextureFormat::R32F));
+}
+
+TEST(Device, MemoryLimitCanBeDisabled) {
+  SimConfig cfg;
+  cfg.enforce_memory_limit = false;
+  Device dev(tiny_profile(), cfg);
+  EXPECT_NO_THROW(dev.create_texture(512, 512, TextureFormat::RGBA32F));  // 4 MB
+}
+
+TEST(Device, UploadDownloadRoundTripRgba) {
+  Device dev(tiny_profile());
+  const TextureHandle t = dev.create_texture(3, 2, TextureFormat::RGBA32F);
+  std::vector<float4> data(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    data[i] = {static_cast<float>(i), 1, 2, 3};
+  }
+  dev.upload(t, std::span<const float4>(data));
+  const auto back = dev.download(t);
+  ASSERT_EQ(back.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(back[i], data[i]);
+  EXPECT_EQ(dev.totals().transfer.uploads, 1u);
+  EXPECT_EQ(dev.totals().transfer.downloads, 1u);
+  EXPECT_EQ(dev.totals().transfer.upload_bytes, 3u * 2 * 16);
+  EXPECT_GT(dev.totals().transfer.modeled_upload_seconds, 0.0);
+}
+
+TEST(Device, UploadDownloadRoundTripScalar) {
+  Device dev(tiny_profile());
+  const TextureHandle t = dev.create_texture(4, 1, TextureFormat::R32F);
+  const std::vector<float> data{1, 2, 3, 4};
+  dev.upload(t, std::span<const float>(data));
+  EXPECT_EQ(dev.download_scalar(t), data);
+}
+
+TEST(Device, DrawExecutesProgramPerTexel) {
+  Device dev(tiny_profile());
+  const TextureHandle out = dev.create_texture(8, 8, TextureFormat::RGBA32F);
+  // Writes the fragment's own texcoord: texel (x, y) -> (x+0.5, y+0.5).
+  const auto program = assemble_or_die(
+      "coords", "!!HSFP1.0\nMOV result.color, fragment.texcoord[0];\nEND\n");
+  const TextureHandle outs[1] = {out};
+  const PassStats stats = dev.draw(program, {}, {}, outs);
+  EXPECT_EQ(stats.fragments, 64u);
+  EXPECT_EQ(stats.exec.alu_instructions, 64u);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      const float4 v = dev.texture(out).load(x, y);
+      EXPECT_EQ(v.x, static_cast<float>(x) + 0.5f);
+      EXPECT_EQ(v.y, static_cast<float>(y) + 0.5f);
+    }
+  }
+}
+
+TEST(Device, DrawWithInputTextureAndConstants) {
+  Device dev(tiny_profile());
+  const TextureHandle in = dev.create_texture(4, 4, TextureFormat::RGBA32F);
+  const TextureHandle out = dev.create_texture(4, 4, TextureFormat::RGBA32F);
+  std::vector<float4> data(16, float4(2.f));
+  dev.upload(in, std::span<const float4>(data));
+  const auto program = assemble_or_die("scale",
+                                       "!!HSFP1.0\n"
+                                       "TEX R0, fragment.texcoord[0], texture[0];\n"
+                                       "MUL result.color, R0, c[0];\n"
+                                       "END\n");
+  const TextureHandle ins[1] = {in};
+  const TextureHandle outs[1] = {out};
+  const float4 consts[1] = {float4(3.f)};
+  dev.draw(program, ins, consts, outs);
+  EXPECT_EQ(dev.texture(out).load(2, 2), float4(6.f));
+}
+
+TEST(Device, FeedbackBindingIsFatal) {
+  Device dev(tiny_profile());
+  const TextureHandle t = dev.create_texture(4, 4, TextureFormat::RGBA32F);
+  const auto program = assemble_or_die("id",
+                                       "!!HSFP1.0\n"
+                                       "TEX R0, fragment.texcoord[0], texture[0];\n"
+                                       "MOV result.color, R0;\n"
+                                       "END\n");
+  const TextureHandle ins[1] = {t};
+  const TextureHandle outs[1] = {t};
+  EXPECT_DEATH(dev.draw(program, ins, {}, outs), "ping-pong");
+}
+
+TEST(Device, MismatchedTargetSizesAreFatal) {
+  Device dev(tiny_profile());
+  const TextureHandle a = dev.create_texture(4, 4, TextureFormat::R32F);
+  const TextureHandle b = dev.create_texture(8, 8, TextureFormat::R32F);
+  const auto program = assemble_or_die("two",
+                                       "!!HSFP1.0\n"
+                                       "MOV result.color[0], {1.0};\n"
+                                       "MOV result.color[1], {2.0};\n"
+                                       "END\n");
+  const TextureHandle outs[2] = {a, b};
+  EXPECT_DEATH(dev.draw(program, {}, {}, outs), "dimensions");
+}
+
+TEST(Device, UnboundTextureUnitIsFatal) {
+  Device dev(tiny_profile());
+  const TextureHandle out = dev.create_texture(4, 4, TextureFormat::RGBA32F);
+  const auto program = assemble_or_die("tex",
+                                       "!!HSFP1.0\n"
+                                       "TEX R0, fragment.texcoord[0], texture[0];\n"
+                                       "MOV result.color, R0;\n"
+                                       "END\n");
+  const TextureHandle outs[1] = {out};
+  EXPECT_DEATH(dev.draw(program, {}, {}, outs), "texture unit");
+}
+
+TEST(Device, MrtWritesAllTargets) {
+  Device dev(tiny_profile());
+  const TextureHandle a = dev.create_texture(4, 4, TextureFormat::R32F);
+  const TextureHandle b = dev.create_texture(4, 4, TextureFormat::R32F);
+  const auto program = assemble_or_die("mrt",
+                                       "!!HSFP1.0\n"
+                                       "MOV result.color[0], {1.0};\n"
+                                       "MOV result.color[1], {2.0};\n"
+                                       "END\n");
+  const TextureHandle outs[2] = {a, b};
+  const PassStats stats = dev.draw(program, {}, {}, outs);
+  EXPECT_EQ(dev.texture(a).load(3, 3).x, 1.f);
+  EXPECT_EQ(dev.texture(b).load(0, 0).x, 2.f);
+  EXPECT_EQ(stats.bytes_written, 16u * 4 * 2);
+}
+
+TEST(Device, ResultsIndependentOfWorkerThreads) {
+  auto render = [](std::size_t threads) {
+    SimConfig cfg;
+    cfg.worker_threads = threads;
+    Device dev(tiny_profile(), cfg);
+    const TextureHandle in = dev.create_texture(16, 16, TextureFormat::RGBA32F);
+    const TextureHandle out = dev.create_texture(16, 16, TextureFormat::RGBA32F);
+    std::vector<float4> data(256);
+    for (std::size_t i = 0; i < 256; ++i) {
+      data[i] = {static_cast<float>(i), static_cast<float>(i % 7), 0, 1};
+    }
+    dev.upload(in, std::span<const float4>(data));
+    const auto program = assemble_or_die("sq",
+                                         "!!HSFP1.0\n"
+                                         "TEX R0, fragment.texcoord[0], texture[0];\n"
+                                         "MUL result.color, R0, R0;\n"
+                                         "END\n");
+    const TextureHandle ins[1] = {in};
+    const TextureHandle outs[1] = {out};
+    const PassStats stats = dev.draw(program, ins, {}, outs);
+    return std::make_pair(dev.download(out), stats);
+  };
+  const auto [img1, stats1] = render(1);
+  const auto [img4, stats4] = render(4);
+  EXPECT_EQ(img1, img4);
+  // Cache statistics are per *logical pipe*, so they match too.
+  EXPECT_EQ(stats1.cache.misses, stats4.cache.misses);
+  EXPECT_EQ(stats1.exec.alu_instructions, stats4.exec.alu_instructions);
+  EXPECT_DOUBLE_EQ(stats1.modeled_seconds, stats4.modeled_seconds);
+}
+
+TEST(Device, PassStatsAccumulateIntoTotals) {
+  Device dev(tiny_profile());
+  const TextureHandle out = dev.create_texture(8, 8, TextureFormat::R32F);
+  const auto program =
+      assemble_or_die("c", "!!HSFP1.0\nMOV result.color, {0.0};\nEND\n");
+  const TextureHandle outs[1] = {out};
+  dev.draw(program, {}, {}, outs);
+  dev.draw(program, {}, {}, outs);
+  EXPECT_EQ(dev.totals().passes, 2u);
+  EXPECT_EQ(dev.totals().fragments, 128u);
+  EXPECT_GT(dev.totals().modeled_pass_seconds, 0.0);
+  dev.reset_totals();
+  EXPECT_EQ(dev.totals().passes, 0u);
+}
+
+TEST(Device, CacheDisabledStillRenders) {
+  SimConfig cfg;
+  cfg.texture_cache = false;
+  Device dev(tiny_profile(), cfg);
+  const TextureHandle in = dev.create_texture(4, 4, TextureFormat::RGBA32F);
+  const TextureHandle out = dev.create_texture(4, 4, TextureFormat::RGBA32F);
+  const auto program = assemble_or_die("id",
+                                       "!!HSFP1.0\n"
+                                       "TEX R0, fragment.texcoord[0], texture[0];\n"
+                                       "MOV result.color, R0;\n"
+                                       "END\n");
+  const TextureHandle ins[1] = {in};
+  const TextureHandle outs[1] = {out};
+  const PassStats stats = dev.draw(program, ins, {}, outs);
+  EXPECT_EQ(stats.cache.accesses, 0u);
+  EXPECT_GT(stats.modeled_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace hs::gpusim

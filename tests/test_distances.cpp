@@ -1,0 +1,117 @@
+#include "core/distances.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hs::core {
+namespace {
+
+std::vector<float> random_spectrum(int n, util::Xoshiro256& rng) {
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng.uniform(0.01, 1.0));
+  return v;
+}
+
+TEST(Sid, ZeroForIdenticalSpectra) {
+  const std::vector<float> a{0.1f, 0.5f, 0.2f, 0.7f};
+  EXPECT_NEAR(sid(a, a), 0.0, 1e-15);
+}
+
+TEST(Sid, ZeroForScaledSpectra) {
+  // SID compares *normalized* spectra: scaling is invisible (the property
+  // that makes it robust to illumination differences).
+  const std::vector<float> a{0.1f, 0.5f, 0.2f, 0.7f};
+  std::vector<float> b = a;
+  for (auto& v : b) v *= 3.25f;
+  EXPECT_NEAR(sid(a, b), 0.0, 1e-9);
+}
+
+TEST(Sid, PositiveForDistinctSpectra) {
+  const std::vector<float> a{0.9f, 0.1f, 0.1f, 0.1f};
+  const std::vector<float> b{0.1f, 0.1f, 0.1f, 0.9f};
+  EXPECT_GT(sid(a, b), 0.1);
+}
+
+TEST(Sid, HandComputedTwoBandCase) {
+  // p = (0.75, 0.25), q = (0.25, 0.75):
+  // SID = (0.75-0.25)(ln 0.75 - ln 0.25) + (0.25-0.75)(ln 0.25 - ln 0.75)
+  //     = 2 * 0.5 * ln 3
+  const std::vector<float> a{3.f, 1.f};
+  const std::vector<float> b{1.f, 3.f};
+  EXPECT_NEAR(sid(a, b), std::log(3.0), 1e-6);
+}
+
+TEST(Sid, SurvivesZeroBands) {
+  const std::vector<float> a{0.f, 0.5f, 0.5f};
+  const std::vector<float> b{0.5f, 0.5f, 0.f};
+  const double d = sid(a, b);
+  EXPECT_TRUE(std::isfinite(d));
+  EXPECT_GT(d, 0.0);
+}
+
+TEST(Sid, SurvivesAllZeroSpectrum) {
+  const std::vector<float> a{0.f, 0.f, 0.f};
+  const std::vector<float> b{0.3f, 0.3f, 0.4f};
+  EXPECT_TRUE(std::isfinite(sid(a, b)));
+}
+
+class SidPropertySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SidPropertySweep, SymmetricNonNegativeAndScaleInvariant) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = random_spectrum(GetParam(), rng);
+    const auto b = random_spectrum(GetParam(), rng);
+    const double dab = sid(a, b);
+    const double dba = sid(b, a);
+    EXPECT_GE(dab, 0.0);
+    EXPECT_NEAR(dab, dba, 1e-12 + 1e-9 * dab);
+    auto scaled = a;
+    for (auto& v : scaled) v *= 2.f;
+    EXPECT_NEAR(sid(scaled, b), dab, 1e-9 + 1e-6 * dab);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bands, SidPropertySweep,
+                         ::testing::Values(2, 4, 16, 216));
+
+TEST(Sam, ZeroForParallelSpectra) {
+  const std::vector<float> a{1.f, 2.f, 3.f};
+  std::vector<float> b = a;
+  for (auto& v : b) v *= 2.f;
+  EXPECT_NEAR(sam(a, b), 0.0, 1e-6);
+}
+
+TEST(Sam, OrthogonalSpectraAreHalfPi) {
+  const std::vector<float> a{1.f, 0.f};
+  const std::vector<float> b{0.f, 1.f};
+  EXPECT_NEAR(sam(a, b), M_PI / 2, 1e-6);
+}
+
+TEST(Sam, KnownAngle) {
+  const std::vector<float> a{1.f, 0.f};
+  const std::vector<float> b{1.f, 1.f};
+  EXPECT_NEAR(sam(a, b), M_PI / 4, 1e-6);
+}
+
+TEST(Euclidean, MatchesHandComputation) {
+  const std::vector<float> a{1.f, 2.f};
+  const std::vector<float> b{4.f, 6.f};
+  EXPECT_DOUBLE_EQ(euclidean(a, b), 5.0);
+}
+
+TEST(SpectralDistance, DispatchesOnMetric) {
+  const std::vector<float> a{1.f, 2.f};
+  const std::vector<float> b{2.f, 1.f};
+  EXPECT_DOUBLE_EQ(spectral_distance(Distance::Euclidean, a, b),
+                   euclidean(a, b));
+  EXPECT_DOUBLE_EQ(spectral_distance(Distance::Sam, a, b), sam(a, b));
+  EXPECT_DOUBLE_EQ(spectral_distance(Distance::Sid, a, b), sid(a, b));
+}
+
+}  // namespace
+}  // namespace hs::core

@@ -1,0 +1,107 @@
+#include "linalg/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace hs::linalg {
+namespace {
+
+Matrix random_symmetric(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.uniform(-1, 1);
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  return m;
+}
+
+TEST(EigenSymmetric, DiagonalMatrixIsItsOwnDecomposition) {
+  Matrix d{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}};
+  const auto eig = eigen_symmetric(d);
+  ASSERT_TRUE(eig.converged);
+  EXPECT_NEAR(eig.values[0], 3, 1e-12);
+  EXPECT_NEAR(eig.values[1], 2, 1e-12);
+  EXPECT_NEAR(eig.values[2], 1, 1e-12);
+}
+
+TEST(EigenSymmetric, KnownTwoByTwo) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  Matrix m{{2, 1}, {1, 2}};
+  const auto eig = eigen_symmetric(m);
+  ASSERT_TRUE(eig.converged);
+  EXPECT_NEAR(eig.values[0], 3, 1e-12);
+  EXPECT_NEAR(eig.values[1], 1, 1e-12);
+  // Leading eigenvector is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(eig.vectors(0, 0)), std::sqrt(0.5), 1e-10);
+  EXPECT_NEAR(std::fabs(eig.vectors(1, 0)), std::sqrt(0.5), 1e-10);
+}
+
+TEST(EigenSymmetric, ReconstructsTheMatrix) {
+  const Matrix m = random_symmetric(8, 1);
+  const auto eig = eigen_symmetric(m);
+  ASSERT_TRUE(eig.converged);
+  // A = V diag(L) V^T
+  Matrix vl(8, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t k = 0; k < 8; ++k) {
+      vl(i, k) = eig.vectors(i, k) * eig.values[k];
+    }
+  }
+  const Matrix reconstructed = vl * eig.vectors.transposed();
+  EXPECT_LT(reconstructed.max_abs_diff(m), 1e-9);
+}
+
+TEST(EigenSymmetric, VectorsAreOrthonormal) {
+  const Matrix m = random_symmetric(10, 2);
+  const auto eig = eigen_symmetric(m);
+  ASSERT_TRUE(eig.converged);
+  const Matrix vtv = eig.vectors.transposed() * eig.vectors;
+  EXPECT_LT(vtv.max_abs_diff(Matrix::identity(10)), 1e-10);
+}
+
+TEST(EigenSymmetric, ValuesAreDescending) {
+  const Matrix m = random_symmetric(12, 3);
+  const auto eig = eigen_symmetric(m);
+  for (std::size_t i = 1; i < eig.values.size(); ++i) {
+    EXPECT_GE(eig.values[i - 1], eig.values[i]);
+  }
+}
+
+TEST(EigenSymmetric, TraceEqualsEigenvalueSum) {
+  const Matrix m = random_symmetric(9, 4);
+  const auto eig = eigen_symmetric(m);
+  double trace = 0, sum = 0;
+  for (std::size_t i = 0; i < 9; ++i) {
+    trace += m(i, i);
+    sum += eig.values[i];
+  }
+  EXPECT_NEAR(trace, sum, 1e-10);
+}
+
+TEST(EigenSymmetric, PsdMatrixHasNonNegativeValues) {
+  util::Xoshiro256 rng(5);
+  Matrix a(12, 6);
+  for (std::size_t r = 0; r < 12; ++r) {
+    for (std::size_t c = 0; c < 6; ++c) a(r, c) = rng.uniform(-1, 1);
+  }
+  const auto eig = eigen_symmetric(a.gram());
+  for (double v : eig.values) EXPECT_GE(v, -1e-10);
+}
+
+TEST(EigenSymmetric, OneByOne) {
+  Matrix m{{7}};
+  const auto eig = eigen_symmetric(m);
+  ASSERT_TRUE(eig.converged);
+  EXPECT_DOUBLE_EQ(eig.values[0], 7);
+  EXPECT_NEAR(std::fabs(eig.vectors(0, 0)), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hs::linalg

@@ -1,0 +1,87 @@
+#include "core/endmember.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+namespace hs::core {
+namespace {
+
+TEST(Endmembers, PicksHighestScoresInOrder) {
+  const std::vector<float> mei{0.1f, 0.9f, 0.3f, 0.7f};
+  const auto sel = select_endmembers(mei, 4, 1, 2, 0);
+  ASSERT_EQ(sel.pixels.size(), 2u);
+  EXPECT_EQ(sel.pixels[0], 1u);
+  EXPECT_EQ(sel.pixels[1], 3u);
+}
+
+TEST(Endmembers, TiesBreakByPixelIndex) {
+  const std::vector<float> mei{0.5f, 0.5f, 0.5f, 0.5f};
+  const auto sel = select_endmembers(mei, 2, 2, 3, 0);
+  EXPECT_EQ(sel.pixels, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Endmembers, SeparationSkipsNeighbors) {
+  // 4x4 grid, scores descending along the first row: without separation
+  // the top-2 are adjacent; with separation 2 the second pick must jump.
+  std::vector<float> mei(16, 0.f);
+  mei[0] = 1.0f;   // (0, 0)
+  mei[1] = 0.9f;   // (1, 0) -- within Chebyshev 2 of (0, 0)
+  mei[10] = 0.8f;  // (2, 2)
+  const auto unconstrained = select_endmembers(mei, 4, 4, 2, 0);
+  EXPECT_EQ(unconstrained.pixels, (std::vector<std::size_t>{0, 1}));
+  const auto separated = select_endmembers(mei, 4, 4, 2, 2);
+  EXPECT_EQ(separated.pixels, (std::vector<std::size_t>{0, 10}));
+}
+
+TEST(Endmembers, ReturnsFewerWhenSeparationExhaustsCandidates) {
+  std::vector<float> mei(9, 0.f);
+  mei[4] = 1.0f;
+  // Separation larger than the image: only one pick possible.
+  const auto sel = select_endmembers(mei, 3, 3, 5, 10);
+  EXPECT_EQ(sel.pixels.size(), 1u);
+}
+
+TEST(Endmembers, SeparationIsChebyshev) {
+  std::vector<float> mei(25, 0.f);
+  mei[0] = 1.0f;                 // (0, 0)
+  mei[4 * 5 + 4] = 0.9f;         // (4, 4), Chebyshev distance 4
+  mei[3] = 0.8f;                 // (3, 0), Chebyshev distance 3
+  const auto sel = select_endmembers(mei, 5, 5, 2, 4);
+  ASSERT_EQ(sel.pixels.size(), 2u);
+  EXPECT_EQ(sel.pixels[0], 0u);
+  EXPECT_EQ(sel.pixels[1], 24u);  // (3,0) rejected, (4,4) accepted
+}
+
+TEST(Endmembers, SelectionIsDeterministic) {
+  std::vector<float> mei(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    mei[i] = static_cast<float>((i * 37) % 100) / 100.f;
+  }
+  const auto a = select_endmembers(mei, 10, 10, 8, 3);
+  const auto b = select_endmembers(mei, 10, 10, 8, 3);
+  EXPECT_EQ(a.pixels, b.pixels);
+}
+
+TEST(Endmembers, AllSelectedRespectSeparation) {
+  std::vector<float> mei(400);
+  for (std::size_t i = 0; i < 400; ++i) {
+    mei[i] = static_cast<float>((i * 131) % 397) / 397.f;
+  }
+  const int separation = 4;
+  const auto sel = select_endmembers(mei, 20, 20, 12, separation);
+  for (std::size_t i = 0; i < sel.pixels.size(); ++i) {
+    for (std::size_t j = i + 1; j < sel.pixels.size(); ++j) {
+      const int xi = static_cast<int>(sel.pixels[i] % 20);
+      const int yi = static_cast<int>(sel.pixels[i] / 20);
+      const int xj = static_cast<int>(sel.pixels[j] % 20);
+      const int yj = static_cast<int>(sel.pixels[j] / 20);
+      const int cheb = std::max(std::abs(xi - xj), std::abs(yi - yj));
+      EXPECT_GE(cheb, separation);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hs::core

@@ -1,0 +1,124 @@
+#include "hsi/envi_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/rng.hpp"
+
+namespace hs::hsi {
+namespace {
+
+class EnviTest : public ::testing::Test {
+ protected:
+  std::string path(const std::string& name) {
+    return testing::TempDir() + "hs_envi_" + name;
+  }
+};
+
+HyperCube make_cube(Interleave il) {
+  util::Xoshiro256 rng(7);
+  HyperCube cube(5, 4, 6, il);
+  for (auto& v : cube.raw()) v = static_cast<float>(rng.uniform(0.0, 1.0));
+  return cube;
+}
+
+TEST_F(EnviTest, Float32RoundTrip) {
+  const HyperCube cube = make_cube(Interleave::BIP);
+  write_envi(cube, path("f32"), "round trip test");
+  const HyperCube back = read_envi(path("f32") + ".hdr");
+  EXPECT_EQ(back.width(), 5);
+  EXPECT_EQ(back.height(), 4);
+  EXPECT_EQ(back.bands(), 6);
+  EXPECT_EQ(back.interleave(), Interleave::BIP);
+  for (std::size_t i = 0; i < cube.raw().size(); ++i) {
+    EXPECT_EQ(back.raw()[i], cube.raw()[i]);
+  }
+}
+
+TEST_F(EnviTest, AllInterleavesRoundTrip) {
+  for (Interleave il : {Interleave::BSQ, Interleave::BIL, Interleave::BIP}) {
+    const HyperCube cube = make_cube(il);
+    const std::string base = path(std::string("il_") + interleave_name(il));
+    write_envi(cube, base);
+    const HyperCube back = read_envi(base + ".hdr");
+    EXPECT_EQ(back.interleave(), il);
+    for (int y = 0; y < 4; ++y) {
+      for (int x = 0; x < 5; ++x) {
+        for (int b = 0; b < 6; ++b) {
+          EXPECT_EQ(back.at(x, y, b), cube.at(x, y, b));
+        }
+      }
+    }
+  }
+}
+
+TEST_F(EnviTest, Int16RoundTripWithinQuantization) {
+  const HyperCube cube = make_cube(Interleave::BSQ);
+  write_envi_int16(cube, path("i16"), 10000.0f);
+  const HyperCube back = read_envi(path("i16") + ".hdr");
+  for (std::size_t i = 0; i < cube.raw().size(); ++i) {
+    EXPECT_NEAR(back.raw()[i] / 10000.0f, cube.raw()[i], 1.0f / 10000.0f);
+  }
+}
+
+TEST_F(EnviTest, HeaderFieldsParsed) {
+  const HyperCube cube = make_cube(Interleave::BIL);
+  write_envi(cube, path("hdr"), "a description with spaces");
+  const EnviHeader hdr = read_envi_header(path("hdr") + ".hdr");
+  EXPECT_EQ(hdr.samples, 5);
+  EXPECT_EQ(hdr.lines, 4);
+  EXPECT_EQ(hdr.bands, 6);
+  EXPECT_EQ(hdr.data_type, 4);
+  EXPECT_EQ(hdr.interleave, Interleave::BIL);
+  EXPECT_EQ(hdr.description, "a description with spaces");
+}
+
+TEST_F(EnviTest, MissingFileThrows) {
+  EXPECT_THROW(read_envi_header(path("nonexistent") + ".hdr"), EnviError);
+}
+
+TEST_F(EnviTest, MissingMagicThrows) {
+  const std::string p = path("nomagic") + ".hdr";
+  std::ofstream(p) << "samples = 4\nlines = 4\nbands = 2\n";
+  EXPECT_THROW(read_envi_header(p), EnviError);
+}
+
+TEST_F(EnviTest, MissingDimensionsThrows) {
+  const std::string p = path("nodims") + ".hdr";
+  std::ofstream(p) << "ENVI\nsamples = 4\n";
+  EXPECT_THROW(read_envi_header(p), EnviError);
+}
+
+TEST_F(EnviTest, UnsupportedDataTypeThrows) {
+  const std::string p = path("badtype") + ".hdr";
+  std::ofstream(p) << "ENVI\nsamples = 2\nlines = 2\nbands = 1\ndata type = 5\n";
+  EXPECT_THROW(read_envi_header(p), EnviError);
+}
+
+TEST_F(EnviTest, BigEndianRejected) {
+  const std::string p = path("bigendian") + ".hdr";
+  std::ofstream(p) << "ENVI\nsamples = 2\nlines = 2\nbands = 1\n"
+                   << "data type = 4\nbyte order = 1\n";
+  EXPECT_THROW(read_envi_header(p), EnviError);
+}
+
+TEST_F(EnviTest, UnknownInterleaveRejected) {
+  const std::string p = path("badil") + ".hdr";
+  std::ofstream(p) << "ENVI\nsamples = 2\nlines = 2\nbands = 1\n"
+                   << "data type = 4\ninterleave = xyz\n";
+  EXPECT_THROW(read_envi_header(p), EnviError);
+}
+
+TEST_F(EnviTest, TruncatedPayloadThrows) {
+  const HyperCube cube = make_cube(Interleave::BIP);
+  write_envi(cube, path("trunc"));
+  // Truncate the payload.
+  std::ofstream(path("trunc") + ".dat", std::ios::binary | std::ios::trunc)
+      << "short";
+  EXPECT_THROW(read_envi(path("trunc") + ".hdr"), EnviError);
+}
+
+}  // namespace
+}  // namespace hs::hsi

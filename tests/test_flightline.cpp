@@ -1,0 +1,148 @@
+#include "core/flightline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/morphology.hpp"
+#include "util/rng.hpp"
+
+namespace hs::core {
+namespace {
+
+hsi::HyperCube random_cube(int w, int h, int n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  hsi::HyperCube cube(w, h, n);
+  for (auto& v : cube.raw()) v = static_cast<float>(rng.uniform(0.05, 1.0));
+  return cube;
+}
+
+FlightlineConfig fast_config(int block_rows) {
+  FlightlineConfig cfg;
+  cfg.block_rows = block_rows;
+  cfg.gpu.profile.fragment_pipes = 4;
+  return cfg;
+}
+
+/// Streams `cube` row by row and collects the emitted rows.
+std::vector<FlightlineRow> stream_cube(const hsi::HyperCube& cube,
+                                       FlightlineConfig cfg,
+                                       FlightlineProcessor** out = nullptr) {
+  std::vector<FlightlineRow> rows;
+  FlightlineProcessor proc(cube.width(), cube.bands(), std::move(cfg),
+                           [&](FlightlineRow&& r) { rows.push_back(std::move(r)); });
+  std::vector<float> row(static_cast<std::size_t>(cube.width()) *
+                         static_cast<std::size_t>(cube.bands()));
+  std::vector<float> spec(static_cast<std::size_t>(cube.bands()));
+  for (int y = 0; y < cube.height(); ++y) {
+    for (int x = 0; x < cube.width(); ++x) {
+      cube.pixel(x, y, spec);
+      std::copy(spec.begin(), spec.end(),
+                row.begin() + static_cast<std::ptrdiff_t>(
+                                  static_cast<std::size_t>(x) *
+                                  static_cast<std::size_t>(cube.bands())));
+    }
+    proc.push_row(row);
+  }
+  proc.finish();
+  if (out) *out = nullptr;  // proc is local; expose stats via captures below
+  return rows;
+}
+
+TEST(Flightline, EmitsEveryRowExactlyOnceInOrder) {
+  const auto cube = random_cube(10, 37, 8, 1);
+  const auto rows = stream_cube(cube, fast_config(8));
+  ASSERT_EQ(rows.size(), 37u);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].row, static_cast<std::int64_t>(i));
+    EXPECT_EQ(rows[i].mei.size(), 10u);
+  }
+}
+
+TEST(Flightline, BitIdenticalToWholeImageRun) {
+  const auto cube = random_cube(12, 29, 8, 2);
+  const MorphOutputs full = morphology_vectorized(cube, StructuringElement::square(1));
+  const auto rows = stream_cube(cube, fast_config(7));
+  ASSERT_EQ(rows.size(), 29u);
+  for (int y = 0; y < 29; ++y) {
+    for (int x = 0; x < 12; ++x) {
+      const std::size_t idx = static_cast<std::size_t>(y) * 12u + static_cast<std::size_t>(x);
+      EXPECT_EQ(rows[static_cast<std::size_t>(y)].mei[static_cast<std::size_t>(x)],
+                full.mei[idx])
+          << x << "," << y;
+      EXPECT_EQ(rows[static_cast<std::size_t>(y)].db[static_cast<std::size_t>(x)],
+                full.db[idx]);
+      EXPECT_EQ(rows[static_cast<std::size_t>(y)].erosion_index[static_cast<std::size_t>(x)],
+                full.erosion_index[idx]);
+      EXPECT_EQ(rows[static_cast<std::size_t>(y)].dilation_index[static_cast<std::size_t>(x)],
+                full.dilation_index[idx]);
+    }
+  }
+}
+
+class FlightlineBlockSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlightlineBlockSweep, BlockSizeDoesNotChangeResults) {
+  const auto cube = random_cube(9, 23, 8, 3);
+  const auto base = stream_cube(cube, fast_config(23));  // one block
+  const auto rows = stream_cube(cube, fast_config(GetParam()));
+  ASSERT_EQ(rows.size(), base.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].mei, base[i].mei) << "row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, FlightlineBlockSweep,
+                         ::testing::Values(1, 3, 5, 8, 16, 22));
+
+TEST(Flightline, BufferStaysBounded) {
+  const auto cube = random_cube(8, 64, 8, 4);
+  std::size_t max_buffered = 0;
+  FlightlineProcessor proc(8, 8, fast_config(8), [](FlightlineRow&&) {});
+  std::vector<float> row(8 * 8);
+  std::vector<float> spec(8);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      cube.pixel(x, y, spec);
+      std::copy(spec.begin(), spec.end(), row.begin() + x * 8);
+    }
+    proc.push_row(row);
+    max_buffered = std::max(max_buffered, proc.buffered_rows());
+  }
+  proc.finish();
+  EXPECT_EQ(proc.rows_emitted(), 64);
+  // Block (8) + both halos (2+2) rows is the steady-state bound.
+  EXPECT_LE(max_buffered, 8u + 4u + 1u);
+  EXPECT_GT(proc.blocks_launched(), 4u);
+  EXPECT_GT(proc.modeled_gpu_seconds(), 0.0);
+}
+
+TEST(Flightline, ShortFlightlineSmallerThanOneBlock) {
+  const auto cube = random_cube(6, 3, 8, 5);
+  const auto rows = stream_cube(cube, fast_config(16));
+  ASSERT_EQ(rows.size(), 3u);
+  const MorphOutputs full = morphology_vectorized(cube, StructuringElement::square(1));
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 6; ++x) {
+      EXPECT_EQ(rows[static_cast<std::size_t>(y)].mei[static_cast<std::size_t>(x)],
+                full.mei[static_cast<std::size_t>(y) * 6u + static_cast<std::size_t>(x)]);
+    }
+  }
+}
+
+TEST(Flightline, LargerSeUsesWiderHalo) {
+  const auto cube = random_cube(10, 25, 8, 6);
+  FlightlineConfig cfg = fast_config(6);
+  cfg.se = StructuringElement::square(2);
+  const auto rows = stream_cube(cube, cfg);
+  const MorphOutputs full = morphology_vectorized(cube, StructuringElement::square(2));
+  ASSERT_EQ(rows.size(), 25u);
+  for (int y = 0; y < 25; ++y) {
+    for (int x = 0; x < 10; ++x) {
+      EXPECT_EQ(rows[static_cast<std::size_t>(y)].mei[static_cast<std::size_t>(x)],
+                full.mei[static_cast<std::size_t>(y) * 10u + static_cast<std::size_t>(x)])
+          << x << "," << y;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hs::core

@@ -1,0 +1,55 @@
+#include "gpusim/float4.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hs::gpusim {
+namespace {
+
+TEST(Float4, BroadcastConstructor) {
+  const float4 v(2.5f);
+  EXPECT_EQ(v, float4(2.5f, 2.5f, 2.5f, 2.5f));
+}
+
+TEST(Float4, IndexingMatchesMembers) {
+  float4 v{1, 2, 3, 4};
+  EXPECT_EQ(v[0], 1.f);
+  EXPECT_EQ(v[1], 2.f);
+  EXPECT_EQ(v[2], 3.f);
+  EXPECT_EQ(v[3], 4.f);
+  v[2] = 9.f;
+  EXPECT_EQ(v.z, 9.f);
+}
+
+TEST(Float4, Arithmetic) {
+  const float4 a{1, 2, 3, 4};
+  const float4 b{4, 3, 2, 1};
+  EXPECT_EQ(a + b, float4(5, 5, 5, 5));
+  EXPECT_EQ(a - b, float4(-3, -1, 1, 3));
+  EXPECT_EQ(a * b, float4(4, 6, 6, 4));
+  EXPECT_EQ(a * 2.f, float4(2, 4, 6, 8));
+  EXPECT_EQ(-a, float4(-1, -2, -3, -4));
+}
+
+TEST(Float4, CompoundAdd) {
+  float4 a{1, 1, 1, 1};
+  a += float4{1, 2, 3, 4};
+  EXPECT_EQ(a, float4(2, 3, 4, 5));
+}
+
+TEST(Float4, Dots) {
+  const float4 a{1, 2, 3, 4};
+  const float4 b{2, 2, 2, 2};
+  EXPECT_EQ(dot3(a, b), 12.f);
+  EXPECT_EQ(dot4(a, b), 20.f);
+}
+
+TEST(Float4, MinMaxAbs) {
+  const float4 a{1, -5, 3, -1};
+  const float4 b{2, -6, 2, 0};
+  EXPECT_EQ(min4(a, b), float4(1, -6, 2, -1));
+  EXPECT_EQ(max4(a, b), float4(2, -5, 3, 0));
+  EXPECT_EQ(abs4(a), float4(1, 5, 3, 1));
+}
+
+}  // namespace
+}  // namespace hs::gpusim

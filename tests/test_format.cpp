@@ -1,0 +1,35 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hs::util {
+namespace {
+
+TEST(FormatDuration, PicksAdaptiveUnits) {
+  EXPECT_EQ(format_duration(1.5e-9), "1.50 ns");
+  EXPECT_EQ(format_duration(2.5e-6), "2.50 us");
+  EXPECT_EQ(format_duration(12.1771e-3), "12.18 ms");
+  EXPECT_EQ(format_duration(3.25), "3.25 s");
+}
+
+TEST(FormatBytes, PicksAdaptiveUnits) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(68 * 1000 * 1000ull), "68.0 MB");
+  EXPECT_EQ(format_bytes(547 * 1000 * 1000ull), "547.0 MB");
+  EXPECT_EQ(format_bytes(2'100'000'000ull), "2.10 GB");
+}
+
+TEST(Timer, MeasuresMonotonicallyNonNegative) {
+  Timer t;
+  EXPECT_GE(t.seconds(), 0.0);
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(b, a);
+  t.reset();
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(t.milliseconds(), 0.0);
+  EXPECT_GE(t.microseconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace hs::util

@@ -1,0 +1,129 @@
+#include "core/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace hs::core {
+namespace {
+
+hsi::HyperCube random_cube(int w, int h, int n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  hsi::HyperCube cube(w, h, n);
+  for (auto& v : cube.raw()) v = static_cast<float>(rng.uniform(0.05, 1.0));
+  return cube;
+}
+
+HybridOptions fast_options(double fraction) {
+  HybridOptions opt;
+  opt.cpu_fraction = fraction;
+  opt.gpu.profile.fragment_pipes = 4;
+  return opt;
+}
+
+TEST(Hybrid, StitchedResultMatchesFullVectorizedRun) {
+  const auto cube = random_cube(16, 20, 10, 1);
+  const StructuringElement se = StructuringElement::square(1);
+  const MorphOutputs full = morphology_vectorized(cube, se);
+  for (double fraction : {0.0, 0.3, 0.5, 0.8, 1.0}) {
+    const HybridReport hybrid = morphology_hybrid(cube, se, fast_options(fraction));
+    ASSERT_EQ(hybrid.morph.mei.size(), full.mei.size());
+    for (std::size_t i = 0; i < full.mei.size(); ++i) {
+      EXPECT_EQ(hybrid.morph.mei[i], full.mei[i]) << "fraction " << fraction << " px " << i;
+      EXPECT_EQ(hybrid.morph.db[i], full.db[i]) << i;
+      EXPECT_EQ(hybrid.morph.erosion_index[i], full.erosion_index[i]) << i;
+      EXPECT_EQ(hybrid.morph.dilation_index[i], full.dilation_index[i]) << i;
+    }
+  }
+}
+
+TEST(Hybrid, RowSplitMatchesFraction) {
+  const auto cube = random_cube(10, 40, 8, 2);
+  const HybridReport r =
+      morphology_hybrid(cube, StructuringElement::square(1), fast_options(0.25));
+  EXPECT_EQ(r.cpu_rows, 10);
+  EXPECT_EQ(r.gpu_rows, 30);
+  EXPECT_DOUBLE_EQ(r.cpu_fraction, 0.25);
+  EXPECT_GT(r.cpu_seconds, 0.0);
+  EXPECT_GT(r.gpu_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.makespan_seconds,
+                   std::max(r.cpu_seconds, r.gpu_seconds));
+}
+
+TEST(Hybrid, AllCpuAndAllGpuDegenerateCleanly) {
+  const auto cube = random_cube(12, 12, 8, 3);
+  const HybridReport cpu_only =
+      morphology_hybrid(cube, StructuringElement::square(1), fast_options(1.0));
+  EXPECT_EQ(cpu_only.gpu_rows, 0);
+  EXPECT_DOUBLE_EQ(cpu_only.gpu_seconds, 0.0);
+  const HybridReport gpu_only =
+      morphology_hybrid(cube, StructuringElement::square(1), fast_options(0.0));
+  EXPECT_EQ(gpu_only.cpu_rows, 0);
+  EXPECT_DOUBLE_EQ(gpu_only.cpu_seconds, 0.0);
+  EXPECT_GT(gpu_only.gpu_chunks, 0u);
+}
+
+TEST(Hybrid, AutoFractionIsBalanced) {
+  const auto cube = random_cube(24, 24, 16, 4);
+  HybridOptions opt = fast_options(-1.0);
+  const HybridReport r = morphology_hybrid(cube, StructuringElement::square(1), opt);
+  EXPECT_GE(r.cpu_fraction, 0.0);
+  EXPECT_LE(r.cpu_fraction, 1.0);
+  // The balanced split should not be worse than giving everything to one
+  // side (under the same models).
+  const double all_cpu = analytic_cpu_morphology_seconds(
+      opt.cpu, opt.cpu_vectorized, cube.pixel_count(),
+      StructuringElement::square(1), cube.bands());
+  const double all_gpu = analytic_gpu_morphology_seconds(
+      opt.gpu.profile, cube.width(), cube.height(), cube.bands(),
+      StructuringElement::square(1));
+  EXPECT_LE(r.makespan_seconds, std::max(all_cpu, all_gpu) * 1.25);
+}
+
+TEST(Hybrid, BalancedFractionFavorsFasterSide) {
+  const StructuringElement se = StructuringElement::square(1);
+  // A huge GPU gets most of the work -> small CPU fraction.
+  gpusim::DeviceProfile big_gpu = gpusim::geforce_7800_gtx();
+  const double f_big = balanced_cpu_fraction(
+      gpusim::pentium4_northwood(), false, big_gpu, 200, 200, 64, se);
+  // A tiny GPU pushes work to the CPU.
+  gpusim::DeviceProfile small_gpu = big_gpu;
+  small_gpu.fragment_pipes = 1;
+  small_gpu.core_clock_hz /= 8;
+  small_gpu.mem_bandwidth_bps /= 8;
+  small_gpu.tex_fill_rate /= 8;
+  const double f_small = balanced_cpu_fraction(
+      gpusim::pentium4_northwood(), false, small_gpu, 200, 200, 64, se);
+  EXPECT_LT(f_big, 0.5);
+  EXPECT_GT(f_small, f_big);
+}
+
+TEST(AnalyticGpuModel, TracksTheSimulatorWithinFactorTwo) {
+  // The analytic estimate skips L1 simulation; it must still land within
+  // 2x of the full simulator's modeled time.
+  const auto cube = random_cube(32, 32, 32, 5);
+  AmcGpuOptions opt;
+  const AmcGpuReport sim = morphology_gpu(cube, StructuringElement::square(1), opt);
+  const double analytic = analytic_gpu_morphology_seconds(
+      opt.profile, 32, 32, 32, StructuringElement::square(1));
+  EXPECT_GT(analytic, sim.modeled_seconds / 2);
+  EXPECT_LT(analytic, sim.modeled_seconds * 2);
+}
+
+TEST(AnalyticGpuModel, ScalesWithImageAndSe) {
+  // Sizes large enough that per-pass overhead is amortized; at small sizes
+  // the fixed ~270 passes/chunk dominate and scaling is sublinear.
+  const auto profile = gpusim::geforce_7800_gtx();
+  const double small = analytic_gpu_morphology_seconds(
+      profile, 512, 512, 64, StructuringElement::square(1));
+  const double big = analytic_gpu_morphology_seconds(
+      profile, 1024, 1024, 64, StructuringElement::square(1));
+  EXPECT_GT(big, 3 * small);
+  EXPECT_LT(big, 5 * small);
+  const double big_se = analytic_gpu_morphology_seconds(
+      profile, 512, 512, 64, StructuringElement::square(2));
+  EXPECT_GT(big_se, small);
+}
+
+}  // namespace
+}  // namespace hs::core

@@ -1,0 +1,160 @@
+#include "gpusim/kernel_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpusim/interpreter.hpp"
+
+namespace hs::gpusim {
+namespace {
+
+FragmentResult run(const FragmentProgram& program, const FragmentContext& ctx) {
+  ExecCounters counters;
+  return execute_fragment(program, ctx, counters);
+}
+
+TEST(KernelBuilder, ArithmeticExpression) {
+  KernelBuilder kb("arith");
+  auto a = kb.literal({1, 2, 3, 4});
+  auto b = kb.literal({10, 20, 30, 40});
+  kb.output(a + b * kb.literal(2.f));
+  const auto program = kb.build();
+  const auto result = run(program, {});
+  EXPECT_EQ(result.color[0], float4(21, 42, 63, 84));
+}
+
+TEST(KernelBuilder, SubtractNegateAndSwizzle) {
+  KernelBuilder kb("swz");
+  auto v = kb.literal({1, 2, 3, 4});
+  auto neg = -v;
+  auto diff = v - neg;  // 2v
+  kb.output(diff.swizzle("wzyx"));
+  const auto result = run(kb.build(), {});
+  EXPECT_EQ(result.color[0], float4(8, 6, 4, 2));
+}
+
+TEST(KernelBuilder, ComponentAccessorsBroadcast) {
+  KernelBuilder kb("bcast");
+  auto v = kb.literal({1, 2, 3, 4});
+  kb.output(v.y() + v.w());
+  const auto result = run(kb.build(), {});
+  EXPECT_EQ(result.color[0], float4(6.f));
+}
+
+TEST(KernelBuilder, DotProductsAndScalarOps) {
+  KernelBuilder kb("dots");
+  auto v = kb.literal({1, 2, 3, 4});
+  auto d = kb.dot4(v, v);          // 30
+  kb.output(kb.rcp(d) * kb.literal(30.f));
+  const auto result = run(kb.build(), {});
+  EXPECT_FLOAT_EQ(result.color[0].x, 1.f);
+}
+
+TEST(KernelBuilder, TexcoordAndConstants) {
+  KernelBuilder kb("inputs");
+  kb.output(kb.texcoord(1) + kb.constant(2));
+  const auto program = kb.build();
+  FragmentContext ctx;
+  ctx.texcoord[1] = {1, 2, 3, 4};
+  const float4 constants[3] = {{}, {}, {10, 20, 30, 40}};
+  ctx.constants = constants;
+  const auto result = run(program, ctx);
+  EXPECT_EQ(result.color[0], float4(11, 22, 33, 44));
+}
+
+TEST(KernelBuilder, TextureFetch) {
+  Texture2D tex(4, 4, TextureFormat::RGBA32F);
+  tex.store(2, 1, {5, 6, 7, 8});
+  KernelBuilder kb("fetch");
+  kb.output(kb.tex(0, kb.texcoord(0)));
+  const auto program = kb.build();
+  const Texture2D* textures[1] = {&tex};
+  FragmentContext ctx;
+  ctx.texcoord[0] = {2.5f, 1.5f, 0, 1};
+  ctx.textures = textures;
+  const auto result = run(program, ctx);
+  EXPECT_EQ(result.color[0], float4(5, 6, 7, 8));
+}
+
+TEST(KernelBuilder, DependentFetchWithOffset) {
+  Texture2D tex(4, 4, TextureFormat::R32F);
+  tex.store(3, 2, float4(9.f));
+  KernelBuilder kb("dep");
+  auto coord = kb.texcoord(0) + kb.constant(0);
+  kb.output(kb.tex(0, coord));
+  const auto program = kb.build();
+  const Texture2D* textures[1] = {&tex};
+  const float4 constants[1] = {{1, 1, 0, 0}};
+  FragmentContext ctx;
+  ctx.texcoord[0] = {2.5f, 1.5f, 0, 1};
+  ctx.constants = constants;
+  ctx.textures = textures;
+  const auto result = run(program, ctx);
+  EXPECT_EQ(result.color[0].x, 9.f);
+}
+
+TEST(KernelBuilder, CmpMinMaxLerp) {
+  KernelBuilder kb("select");
+  auto cond = kb.literal({-1, 1, -1, 1});
+  auto sel = kb.cmp(cond, kb.literal(10.f), kb.literal(20.f));
+  auto clamped = kb.min(kb.max(sel, kb.literal(12.f)), kb.literal(18.f));
+  kb.output(kb.lerp(kb.literal(0.5f), clamped, kb.literal(0.f)));
+  const auto result = run(kb.build(), {});
+  EXPECT_EQ(result.color[0], float4(6, 9, 6, 9));
+}
+
+TEST(KernelBuilder, MadAbsFloorFract) {
+  KernelBuilder kb("misc");
+  auto v = kb.literal({-1.5f, 2.25f, 0.f, 3.75f});
+  auto combined = kb.mad(kb.abs(v), kb.literal(2.f), kb.floor(v));
+  kb.output(combined + kb.fract(v));
+  const auto result = run(kb.build(), {});
+  // abs*2 + floor + fract = (3-2+0.5, 4.5+2+0.25, 0, 7.5+3+0.75)
+  EXPECT_EQ(result.color[0], float4(1.5f, 6.75f, 0.f, 11.25f));
+}
+
+TEST(KernelBuilder, Log2Exp2RoundTrip) {
+  KernelBuilder kb("logexp");
+  auto v = kb.literal(8.f);
+  kb.output(kb.exp2(kb.log2(v)));
+  const auto result = run(kb.build(), {});
+  EXPECT_FLOAT_EQ(result.color[0].x, 8.f);
+}
+
+TEST(KernelBuilder, MultipleRenderTargets) {
+  KernelBuilder kb("mrt");
+  kb.output(kb.literal(1.f), 0);
+  kb.output(kb.literal(2.f), 2);
+  const auto program = kb.build();
+  EXPECT_EQ(program.max_output(), 2);
+  const auto result = run(program, {});
+  EXPECT_EQ(result.color[0], float4(1.f));
+  EXPECT_EQ(result.color[2], float4(2.f));
+}
+
+TEST(KernelBuilder, BuildValidatesProgram) {
+  // SID-style kernel: its structure must pass the validator and count ops.
+  KernelBuilder kb("sid_group");
+  auto coord = kb.texcoord(0);
+  auto p = kb.tex(0, coord);
+  auto lp = kb.tex(1, coord);
+  auto q = kb.tex(0, coord + kb.constant(0));
+  auto lq = kb.tex(1, coord + kb.constant(0));
+  auto contribution = kb.dot4(p - q, lp - lq);
+  auto accum = kb.tex(2, coord);
+  kb.output(accum.x() + contribution.x());
+  const auto program = kb.build();
+  EXPECT_TRUE(validate(program).empty());
+  EXPECT_EQ(program.tex_instruction_count(), 5);
+  EXPECT_EQ(program.max_tex_unit(), 2);
+}
+
+TEST(KernelBuilder, SwizzleComposes) {
+  KernelBuilder kb("compose");
+  auto v = kb.literal({1, 2, 3, 4});
+  kb.output(v.swizzle("wzyx").swizzle("wzyx"));  // identity
+  const auto result = run(kb.build(), {});
+  EXPECT_EQ(result.color[0], float4(1, 2, 3, 4));
+}
+
+}  // namespace
+}  // namespace hs::gpusim

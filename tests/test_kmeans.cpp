@@ -1,0 +1,130 @@
+#include "core/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hsi/metrics.hpp"
+#include "hsi/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace hs::core {
+namespace {
+
+/// Cube with `k` well-separated spectral blobs.
+hsi::HyperCube blob_cube(int w, int h, int bands, int k, std::uint64_t seed,
+                         std::vector<int>* truth = nullptr) {
+  util::Xoshiro256 rng(seed);
+  hsi::HyperCube cube(w, h, bands);
+  if (truth) truth->assign(cube.pixel_count(), 0);
+  std::vector<std::vector<float>> centers(static_cast<std::size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    centers[static_cast<std::size_t>(c)].resize(static_cast<std::size_t>(bands));
+    for (int b = 0; b < bands; ++b) {
+      centers[static_cast<std::size_t>(c)][static_cast<std::size_t>(b)] =
+          static_cast<float>(0.2 + 0.6 * rng.uniform());
+    }
+  }
+  std::vector<float> spec(static_cast<std::size_t>(bands));
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int c = static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(k)));
+      for (int b = 0; b < bands; ++b) {
+        spec[static_cast<std::size_t>(b)] = static_cast<float>(
+            centers[static_cast<std::size_t>(c)][static_cast<std::size_t>(b)] +
+            0.01 * rng.normal());
+      }
+      cube.set_pixel(x, y, spec);
+      if (truth) {
+        (*truth)[static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+                 static_cast<std::size_t>(x)] = c;
+      }
+    }
+  }
+  return cube;
+}
+
+TEST(KMeans, RecoversWellSeparatedBlobs) {
+  std::vector<int> truth;
+  const auto cube = blob_cube(20, 20, 12, 4, 1, &truth);
+  KMeansConfig cfg;
+  cfg.clusters = 4;
+  const KMeansResult result = kmeans_spectral(cube, cfg);
+  EXPECT_TRUE(result.converged);
+
+  // Majority-map clusters to blobs; accuracy must be near-perfect.
+  std::vector<std::int16_t> t16(truth.begin(), truth.end());
+  const auto mapping = hsi::majority_mapping(t16, result.labels, 4, 4);
+  const auto cm = hsi::remapped_confusion(t16, result.labels, mapping, 4);
+  EXPECT_GT(cm.overall_accuracy(), 0.98);
+}
+
+TEST(KMeans, DistortionDecreasesToConvergence) {
+  const auto cube = blob_cube(16, 16, 8, 3, 2);
+  KMeansConfig a;
+  a.clusters = 3;
+  a.max_iterations = 1;
+  KMeansConfig b = a;
+  b.max_iterations = 20;
+  const double d1 = kmeans_spectral(cube, a).distortion;
+  const double d20 = kmeans_spectral(cube, b).distortion;
+  EXPECT_LE(d20, d1 + 1e-9);
+}
+
+TEST(KMeans, DeterministicInSeed) {
+  const auto cube = blob_cube(12, 12, 8, 3, 3);
+  const KMeansResult a = kmeans_spectral(cube, {});
+  const KMeansResult b = kmeans_spectral(cube, {});
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(KMeans, LabelsInRangeAndAllClustersExist) {
+  const auto cube = blob_cube(24, 24, 8, 6, 4);
+  KMeansConfig cfg;
+  cfg.clusters = 6;
+  const KMeansResult result = kmeans_spectral(cube, cfg);
+  std::set<int> used;
+  for (int v : result.labels) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 6);
+    used.insert(v);
+  }
+  EXPECT_GE(used.size(), 5u);  // seeding may rarely strand one cluster
+  EXPECT_EQ(result.centroids.size(), 6u);
+}
+
+TEST(KMeans, SamMetricClustersByShapeNotBrightness) {
+  // Two spectral shapes, each at two brightness levels: SAM k-means with
+  // k=2 must group by shape.
+  hsi::HyperCube cube(4, 1, 8);
+  std::vector<float> up{0.1f, 0.2f, 0.3f, 0.4f, 0.5f, 0.6f, 0.7f, 0.8f};
+  std::vector<float> down{0.8f, 0.7f, 0.6f, 0.5f, 0.4f, 0.3f, 0.2f, 0.1f};
+  auto scaled = [](const std::vector<float>& v, float s) {
+    std::vector<float> out = v;
+    for (auto& x : out) x *= s;
+    return out;
+  };
+  cube.set_pixel(0, 0, up);
+  cube.set_pixel(1, 0, scaled(up, 0.3f));
+  cube.set_pixel(2, 0, down);
+  cube.set_pixel(3, 0, scaled(down, 0.3f));
+
+  KMeansConfig cfg;
+  cfg.clusters = 2;
+  cfg.metric = Distance::Sam;
+  const KMeansResult result = kmeans_spectral(cube, cfg);
+  EXPECT_EQ(result.labels[0], result.labels[1]);
+  EXPECT_EQ(result.labels[2], result.labels[3]);
+  EXPECT_NE(result.labels[0], result.labels[2]);
+}
+
+TEST(KMeans, SingleClusterDegenerates) {
+  const auto cube = blob_cube(8, 8, 4, 2, 5);
+  KMeansConfig cfg;
+  cfg.clusters = 1;
+  const KMeansResult result = kmeans_spectral(cube, cfg);
+  for (int v : result.labels) EXPECT_EQ(v, 0);
+}
+
+}  // namespace
+}  // namespace hs::core

@@ -1,0 +1,124 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace hs::linalg {
+namespace {
+
+TEST(Matrix, InitializerListConstruction) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6);
+}
+
+TEST(Matrix, IdentityHasOnesOnDiagonal) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, MultiplicationMatchesHandComputation) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(Matrix, MultiplyByIdentityIsNoop) {
+  Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  const Matrix r = a * Matrix::identity(2);
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(r), 0.0);
+}
+
+TEST(Matrix, TransposeRoundTrips) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6);
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(t.transposed()), 0.0);
+}
+
+TEST(Matrix, AdditionAndSubtraction) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{4, 3}, {2, 1}};
+  const Matrix s = a + b;
+  EXPECT_DOUBLE_EQ(s(0, 0), 5);
+  EXPECT_DOUBLE_EQ(s(1, 1), 5);
+  const Matrix d = s - b;
+  EXPECT_DOUBLE_EQ(d.max_abs_diff(a), 0.0);
+}
+
+TEST(Matrix, ScalarScaling) {
+  Matrix a{{1, 2}, {3, 4}};
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a(1, 1), 8);
+}
+
+TEST(Matrix, MatVecMatchesMatMat) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  const std::vector<double> v{1, 0, -1};
+  const auto r = a.multiply(v);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r[0], -2);
+  EXPECT_DOUBLE_EQ(r[1], -2);
+}
+
+TEST(Matrix, MultiplyTransposedAvoidsMaterialization) {
+  util::Xoshiro256 rng(1);
+  Matrix a(5, 3);
+  std::vector<double> v(5);
+  for (std::size_t r = 0; r < 5; ++r) {
+    v[r] = rng.uniform(-1, 1);
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = rng.uniform(-1, 1);
+  }
+  const auto fast = a.multiply_transposed(v);
+  const auto slow = a.transposed().multiply(v);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], slow[i], 1e-12);
+  }
+}
+
+TEST(Matrix, GramMatchesExplicitProduct) {
+  util::Xoshiro256 rng(2);
+  Matrix a(6, 4);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) a(r, c) = rng.uniform(-1, 1);
+  }
+  const Matrix g = a.gram();
+  const Matrix explicit_g = a.transposed() * a;
+  EXPECT_LT(g.max_abs_diff(explicit_g), 1e-12);
+}
+
+TEST(Matrix, GramIsSymmetric) {
+  util::Xoshiro256 rng(3);
+  Matrix a(8, 5);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) a(r, c) = rng.uniform(-1, 1);
+  }
+  const Matrix g = a.gram();
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+  }
+}
+
+TEST(VectorOps, DotAndNorm) {
+  const std::vector<double> a{3, 4};
+  const std::vector<double> b{1, 2};
+  EXPECT_DOUBLE_EQ(dot(a, b), 11);
+  EXPECT_DOUBLE_EQ(norm2(a), 5);
+}
+
+}  // namespace
+}  // namespace hs::linalg

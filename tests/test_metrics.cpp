@@ -1,0 +1,124 @@
+#include "hsi/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hs::hsi {
+namespace {
+
+TEST(ConfusionMatrix, AccumulatesCells) {
+  ConfusionMatrix cm(3, 3);
+  cm.add(0, 0, 5);
+  cm.add(0, 1, 2);
+  cm.add(2, 2);
+  EXPECT_EQ(cm.at(0, 0), 5u);
+  EXPECT_EQ(cm.at(0, 1), 2u);
+  EXPECT_EQ(cm.at(2, 2), 1u);
+  EXPECT_EQ(cm.total(), 8u);
+}
+
+TEST(ConfusionMatrix, PerfectClassifierScoresOne) {
+  ConfusionMatrix cm(3, 3);
+  for (int c = 0; c < 3; ++c) cm.add(c, c, 10);
+  EXPECT_DOUBLE_EQ(cm.overall_accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.kappa(), 1.0);
+  for (int c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(cm.class_accuracy(c), 1.0);
+}
+
+TEST(ConfusionMatrix, OverallAccuracyIsDiagonalFraction) {
+  ConfusionMatrix cm(2, 2);
+  cm.add(0, 0, 6);
+  cm.add(0, 1, 2);
+  cm.add(1, 0, 2);
+  cm.add(1, 1, 10);
+  EXPECT_DOUBLE_EQ(cm.overall_accuracy(), 16.0 / 20.0);
+  EXPECT_DOUBLE_EQ(cm.class_accuracy(0), 6.0 / 8.0);
+  EXPECT_DOUBLE_EQ(cm.class_accuracy(1), 10.0 / 12.0);
+}
+
+TEST(ConfusionMatrix, KappaMatchesHandComputation) {
+  // Classic example: po = 0.7, pe = (0.5*0.6 + 0.5*0.4) = 0.5 -> kappa 0.4.
+  ConfusionMatrix cm(2, 2);
+  cm.add(0, 0, 40);
+  cm.add(0, 1, 10);
+  cm.add(1, 0, 20);
+  cm.add(1, 1, 30);
+  EXPECT_NEAR(cm.kappa(), (0.7 - 0.5) / 0.5, 1e-12);
+}
+
+TEST(ConfusionMatrix, RandomAssignmentHasNearZeroKappa) {
+  // Exactly proportional rows: po == pe -> kappa 0.
+  ConfusionMatrix cm(2, 2);
+  cm.add(0, 0, 25);
+  cm.add(0, 1, 25);
+  cm.add(1, 0, 25);
+  cm.add(1, 1, 25);
+  EXPECT_NEAR(cm.kappa(), 0.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, EmptyClassAccuracyIsZero) {
+  ConfusionMatrix cm(3, 3);
+  cm.add(0, 0, 5);
+  EXPECT_DOUBLE_EQ(cm.class_accuracy(1), 0.0);
+}
+
+TEST(ConfusionMatrix, EmptyMatrixIsZero) {
+  ConfusionMatrix cm(2, 2);
+  EXPECT_DOUBLE_EQ(cm.overall_accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.kappa(), 0.0);
+}
+
+TEST(MajorityMapping, MapsClustersToDominantClass) {
+  // Truth:      0 0 0 1 1 1
+  // Predicted:  2 2 2 0 0 2
+  const std::vector<std::int16_t> truth{0, 0, 0, 1, 1, 1};
+  const std::vector<int> pred{2, 2, 2, 0, 0, 2};
+  const auto mapping = majority_mapping(truth, pred, 2, 3);
+  ASSERT_EQ(mapping.size(), 3u);
+  EXPECT_EQ(mapping[0], 1);   // cluster 0 mostly truth 1
+  EXPECT_EQ(mapping[1], -1);  // cluster 1 unused
+  EXPECT_EQ(mapping[2], 0);   // cluster 2 mostly truth 0
+}
+
+TEST(MajorityMapping, SkipsUnlabeledPixels) {
+  const std::vector<std::int16_t> truth{kUnlabeled, 0, kUnlabeled, 1};
+  const std::vector<int> pred{0, 0, 0, 1};
+  const auto mapping = majority_mapping(truth, pred, 2, 2);
+  EXPECT_EQ(mapping[0], 0);
+  EXPECT_EQ(mapping[1], 1);
+}
+
+TEST(RemappedConfusion, ScoresAfterMapping) {
+  const std::vector<std::int16_t> truth{0, 0, 0, 1, 1, 1};
+  const std::vector<int> pred{2, 2, 2, 0, 0, 2};
+  const auto mapping = majority_mapping(truth, pred, 2, 3);
+  const ConfusionMatrix cm = remapped_confusion(truth, pred, mapping, 2);
+  // Cluster 2 -> class 0, cluster 0 -> class 1: five of six correct.
+  EXPECT_DOUBLE_EQ(cm.overall_accuracy(), 5.0 / 6.0);
+  EXPECT_DOUBLE_EQ(cm.class_accuracy(0), 1.0);
+  EXPECT_DOUBLE_EQ(cm.class_accuracy(1), 2.0 / 3.0);
+}
+
+TEST(RemappedConfusion, UnmappedClustersGoToOverflowColumn) {
+  const std::vector<std::int16_t> truth{0, 0};
+  const std::vector<int> pred{0, 1};
+  const std::vector<int> mapping{0, -1};  // cluster 1 maps nowhere
+  const ConfusionMatrix cm = remapped_confusion(truth, pred, mapping, 2);
+  EXPECT_EQ(cm.at(0, 0), 1u);
+  EXPECT_EQ(cm.at(0, 2), 1u);  // overflow column
+  EXPECT_DOUBLE_EQ(cm.overall_accuracy(), 0.5);
+}
+
+TEST(ClassMap, CountsLabels) {
+  ClassMap map(4, 3, {"a", "b"});
+  EXPECT_EQ(map.labeled_count(), 0u);
+  map.at(0, 0) = 0;
+  map.at(1, 0) = 1;
+  map.at(2, 2) = 1;
+  EXPECT_EQ(map.labeled_count(), 3u);
+  EXPECT_EQ(map.class_count(0), 1u);
+  EXPECT_EQ(map.class_count(1), 2u);
+  EXPECT_EQ(map.num_classes(), 2);
+}
+
+}  // namespace
+}  // namespace hs::hsi

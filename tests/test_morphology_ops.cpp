@@ -1,0 +1,141 @@
+#include "core/morphology_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/distances.hpp"
+#include "util/rng.hpp"
+
+namespace hs::core {
+namespace {
+
+hsi::HyperCube random_cube(int w, int h, int n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  hsi::HyperCube cube(w, h, n);
+  for (auto& v : cube.raw()) v = static_cast<float>(rng.uniform(0.05, 1.0));
+  return cube;
+}
+
+/// Cube with one anomalous pixel in a flat background.
+hsi::HyperCube anomaly_cube(int w, int h, int n) {
+  hsi::HyperCube cube(w, h, n);
+  for (auto& v : cube.raw()) v = 0.5f;
+  for (int b = 0; b < n; ++b) {
+    cube.at(w / 2, h / 2, b) =
+        0.05f + 0.9f * static_cast<float>(b) / static_cast<float>(n - 1);
+  }
+  return cube;
+}
+
+TEST(MorphologyOps, ConstantImageIsFixedPoint) {
+  hsi::HyperCube cube(5, 5, 6);
+  for (auto& v : cube.raw()) v = 0.3f;
+  const StructuringElement se = StructuringElement::square(1);
+  for (const auto& out : {extended_erode(cube, se), extended_dilate(cube, se),
+                          extended_open(cube, se), extended_close(cube, se)}) {
+    for (std::size_t i = 0; i < cube.raw().size(); ++i) {
+      EXPECT_EQ(out.raw()[i], cube.raw()[i]);
+    }
+  }
+}
+
+TEST(MorphologyOps, OutputPixelsComeFromTheInput) {
+  // Every output pixel vector must be one of the input neighborhood's
+  // vectors (these are selection operators, not averages).
+  const auto cube = random_cube(6, 6, 8, 1);
+  const StructuringElement se = StructuringElement::square(1);
+  const auto eroded = extended_erode(cube, se);
+  std::vector<float> out_spec(8), in_spec(8);
+  for (int y = 0; y < 6; ++y) {
+    for (int x = 0; x < 6; ++x) {
+      eroded.pixel(x, y, out_spec);
+      bool found = false;
+      for (const auto& [dx, dy] : se.offsets) {
+        const int nx = std::clamp(x + dx, 0, 5);
+        const int ny = std::clamp(y + dy, 0, 5);
+        cube.pixel(nx, ny, in_spec);
+        if (in_spec == out_spec) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << x << "," << y;
+    }
+  }
+}
+
+TEST(MorphologyOps, ErosionRemovesTheAnomaly) {
+  const auto cube = anomaly_cube(9, 9, 12);
+  const auto eroded = extended_erode(cube, StructuringElement::square(1));
+  // The anomalous vector is spectrally extreme, so erosion (argmin of
+  // cumulative SID) never selects it: the anomaly disappears.
+  std::vector<float> spec(12);
+  for (int y = 0; y < 9; ++y) {
+    for (int x = 0; x < 9; ++x) {
+      eroded.pixel(x, y, spec);
+      for (float v : spec) EXPECT_EQ(v, 0.5f) << x << "," << y;
+    }
+  }
+}
+
+TEST(MorphologyOps, DilationGrowsTheAnomaly) {
+  const auto cube = anomaly_cube(9, 9, 12);
+  const auto dilated = extended_dilate(cube, StructuringElement::square(1));
+  // Every pixel whose 3x3 window contains the anomaly now carries it.
+  std::vector<float> spec(12), anom(12);
+  cube.pixel(4, 4, anom);
+  int grown = 0;
+  for (int y = 3; y <= 5; ++y) {
+    for (int x = 3; x <= 5; ++x) {
+      dilated.pixel(x, y, spec);
+      if (spec == anom) ++grown;
+    }
+  }
+  EXPECT_EQ(grown, 9);
+}
+
+TEST(MorphologyOps, OpeningRemovesSmallAnomalyPermanently) {
+  const auto cube = anomaly_cube(9, 9, 12);
+  const auto opened = extended_open(cube, StructuringElement::square(1));
+  std::vector<float> spec(12);
+  for (int y = 0; y < 9; ++y) {
+    for (int x = 0; x < 9; ++x) {
+      opened.pixel(x, y, spec);
+      for (float v : spec) EXPECT_EQ(v, 0.5f);
+    }
+  }
+}
+
+TEST(MorphologyOps, ProfileShapeAndAnomalyResponse) {
+  const auto cube = anomaly_cube(9, 9, 12);
+  const auto profile = morphological_profile(cube, 2);
+  ASSERT_EQ(profile.size(), 4u);  // 2 openings + 2 closings
+  for (const auto& level : profile) {
+    EXPECT_EQ(level.size(), 81u);
+    for (float v : level) EXPECT_GE(v, -1e-6f);
+  }
+  // The opening profile peaks at the anomaly (it was removed there).
+  const std::size_t center = 4u * 9u + 4u;
+  float max_level0 = 0;
+  std::size_t argmax = 0;
+  for (std::size_t i = 0; i < 81; ++i) {
+    if (profile[0][i] > max_level0) {
+      max_level0 = profile[0][i];
+      argmax = i;
+    }
+  }
+  EXPECT_EQ(argmax, center);
+  EXPECT_GT(max_level0, 0.01f);
+}
+
+TEST(MorphologyOps, RandomImageDeterminism) {
+  const auto cube = random_cube(7, 7, 6, 2);
+  const StructuringElement se = StructuringElement::square(1);
+  const auto a = extended_open(cube, se);
+  const auto b = extended_open(cube, se);
+  for (std::size_t i = 0; i < a.raw().size(); ++i) {
+    EXPECT_EQ(a.raw()[i], b.raw()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace hs::core

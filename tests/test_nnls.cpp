@@ -1,0 +1,97 @@
+#include "linalg/nnls.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/cholesky.hpp"
+#include "util/rng.hpp"
+
+namespace hs::linalg {
+namespace {
+
+TEST(Nnls, RecoversNonNegativeExactSolution) {
+  Matrix a{{1, 0}, {0, 1}, {1, 1}};
+  const std::vector<double> x_true{2.0, 3.0};
+  const auto b = a.multiply(x_true);
+  const auto result = nnls(a, b);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(result.x[1], 3.0, 1e-9);
+  EXPECT_NEAR(result.residual_norm, 0.0, 1e-9);
+}
+
+TEST(Nnls, ClampsNegativeComponent) {
+  // Unconstrained solution has a negative coefficient; NNLS must zero it.
+  Matrix a{{1, 0}, {0, 1}};
+  const std::vector<double> b{-1.0, 2.0};
+  const auto result = nnls(a, b);
+  EXPECT_DOUBLE_EQ(result.x[0], 0.0);
+  EXPECT_NEAR(result.x[1], 2.0, 1e-12);
+  EXPECT_NEAR(result.residual_norm, 1.0, 1e-12);
+}
+
+TEST(Nnls, AllComponentsNonNegativeOnRandomProblems) {
+  util::Xoshiro256 rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    Matrix a(8, 4);
+    std::vector<double> b(8);
+    for (std::size_t r = 0; r < 8; ++r) {
+      b[r] = rng.uniform(-1, 1);
+      for (std::size_t c = 0; c < 4; ++c) a(r, c) = rng.uniform(-1, 1);
+    }
+    const auto result = nnls(a, b);
+    for (double v : result.x) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(Nnls, MatchesUnconstrainedWhenInterior) {
+  // Construct b = A x with strictly positive x; NNLS should match the
+  // unconstrained least squares solution.
+  util::Xoshiro256 rng(2);
+  Matrix a(10, 3);
+  for (std::size_t r = 0; r < 10; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = rng.uniform(0.1, 1.0);
+  }
+  const std::vector<double> x_true{0.5, 1.5, 0.7};
+  const auto b = a.multiply(x_true);
+  const auto result = nnls(a, b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(result.x[i], x_true[i], 1e-7);
+}
+
+TEST(Nnls, KktConditionsHold) {
+  util::Xoshiro256 rng(3);
+  Matrix a(12, 5);
+  std::vector<double> b(12);
+  for (std::size_t r = 0; r < 12; ++r) {
+    b[r] = rng.uniform(-1, 1);
+    for (std::size_t c = 0; c < 5; ++c) a(r, c) = rng.uniform(-1, 1);
+  }
+  const auto result = nnls(a, b);
+  ASSERT_TRUE(result.converged);
+  // Gradient w = A^T (b - A x): w <= 0 on the active set, ~0 on passive.
+  const auto ax = a.multiply(result.x);
+  std::vector<double> r(12);
+  for (std::size_t i = 0; i < 12; ++i) r[i] = b[i] - ax[i];
+  const auto w = a.multiply_transposed(r);
+  for (std::size_t j = 0; j < 5; ++j) {
+    if (result.x[j] > 1e-9) {
+      EXPECT_NEAR(w[j], 0.0, 1e-7) << "passive component gradient";
+    } else {
+      EXPECT_LE(w[j], 1e-7) << "active component gradient must be <= 0";
+    }
+  }
+}
+
+TEST(Nnls, ResidualNeverWorseThanZeroVector) {
+  util::Xoshiro256 rng(4);
+  Matrix a(6, 3);
+  std::vector<double> b(6);
+  for (std::size_t r = 0; r < 6; ++r) {
+    b[r] = rng.uniform(-1, 1);
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = rng.uniform(-1, 1);
+  }
+  const auto result = nnls(a, b);
+  EXPECT_LE(result.residual_norm, norm2(b) + 1e-12);
+}
+
+}  // namespace
+}  // namespace hs::linalg

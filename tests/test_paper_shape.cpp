@@ -1,0 +1,132 @@
+// Integration tests pinning the *shape* of the paper's evaluation -- the
+// relations EXPERIMENTS.md reports. If a profile or model change breaks
+// one of these, the reproduction's headline claims silently drift; these
+// tests make that loud.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/cost_model.hpp"
+#include "core/morphology.hpp"
+#include "util/rng.hpp"
+
+namespace hs::core {
+namespace {
+
+class PaperShape : public ::testing::Test {
+ protected:
+  static constexpr int kBands = 216;
+  static constexpr int kSe = 9;  // 3x3
+
+  static const AmcGpuReport& calibration(const gpusim::DeviceProfile& profile) {
+    // One functional run per device, shared across tests.
+    static std::map<std::string, AmcGpuReport> cache;
+    auto it = cache.find(profile.name);
+    if (it == cache.end()) {
+      util::Xoshiro256 rng(71);
+      hsi::HyperCube cube(32, 32, kBands);
+      for (auto& v : cube.raw()) v = static_cast<float>(rng.uniform(0.05, 1.0));
+      AmcGpuOptions opt;
+      opt.profile = profile;
+      it = cache.emplace(profile.name,
+                         morphology_gpu(cube, StructuringElement::square(1), opt))
+               .first;
+    }
+    return it->second;
+  }
+
+  static double gpu_seconds(const gpusim::DeviceProfile& profile, int w, int h) {
+    return extrapolate_gpu_morphology(calibration(profile), profile, w, h,
+                                      kBands, 1, true)
+        .total_seconds();
+  }
+
+  static double cpu_seconds(const gpusim::CpuProfile& cpu, bool vectorized,
+                            std::uint64_t px) {
+    return model_cpu_morphology_seconds(cpu, cpu_morphology_cost(px, kSe, kBands),
+                                        vectorized);
+  }
+};
+
+TEST_F(PaperShape, CpuGenerationGainMatchesTables45) {
+  // Table 4: Prescott/Northwood = 0.914 (gcc); Table 5: 0.839 (icc).
+  const std::uint64_t px = 1'000'000;
+  const double gcc_ratio =
+      cpu_seconds(gpusim::pentium4_prescott(), false, px) /
+      cpu_seconds(gpusim::pentium4_northwood(), false, px);
+  EXPECT_NEAR(gcc_ratio, 0.914, 0.01);
+  const double icc_ratio =
+      cpu_seconds(gpusim::pentium4_prescott(), true, px) /
+      cpu_seconds(gpusim::pentium4_northwood(), true, px);
+  EXPECT_NEAR(icc_ratio, 0.839, 0.01);
+}
+
+TEST_F(PaperShape, GccIccRatioMatchesTables45) {
+  // Paper: 734/444 = 1.65 on Northwood, 671/373 = 1.80 on Prescott.
+  const std::uint64_t px = 1'000'000;
+  const double northwood =
+      cpu_seconds(gpusim::pentium4_northwood(), false, px) /
+      cpu_seconds(gpusim::pentium4_northwood(), true, px);
+  EXPECT_GT(northwood, 1.5);
+  EXPECT_LT(northwood, 2.0);
+}
+
+TEST_F(PaperShape, ModeledTimeIsLinearInImageSize) {
+  // "doubling the size doubles the execution time" -- within chunking slop.
+  const auto g70 = gpusim::geforce_7800_gtx();
+  const double t1 = gpu_seconds(g70, 700, 200);
+  const double t2 = gpu_seconds(g70, 1400, 200);
+  EXPECT_GT(t2 / t1, 1.85);
+  EXPECT_LT(t2 / t1, 2.25);
+
+  const double c1 = cpu_seconds(gpusim::pentium4_northwood(), false, 140'000);
+  const double c2 = cpu_seconds(gpusim::pentium4_northwood(), false, 280'000);
+  EXPECT_DOUBLE_EQ(c2 / c1, 2.0);
+}
+
+TEST_F(PaperShape, GpuGenerationGapInPaperRegime) {
+  // Paper: FX5950 / 7800 GTX = 4.4x. Accept the 3-6x band end-to-end.
+  const double nv38 = gpu_seconds(gpusim::geforce_fx5950_ultra(), 2166, 614);
+  const double g70 = gpu_seconds(gpusim::geforce_7800_gtx(), 2166, 614);
+  EXPECT_GT(nv38 / g70, 3.0);
+  EXPECT_LT(nv38 / g70, 6.0);
+}
+
+TEST_F(PaperShape, GpusBeatCpusByOrderOfMagnitude) {
+  // Full Indian Pines scene: 2166 x 614.
+  const std::uint64_t px = 2166ull * 614ull;
+  const double p4_gcc = cpu_seconds(gpusim::pentium4_northwood(), false, px);
+  const double p4_icc = cpu_seconds(gpusim::pentium4_northwood(), true, px);
+  const double g70 = gpu_seconds(gpusim::geforce_7800_gtx(), 2166, 614);
+  const double nv38 = gpu_seconds(gpusim::geforce_fx5950_ultra(), 2166, 614);
+
+  // Ordering: scalar CPU slowest, 7800 GTX fastest.
+  EXPECT_GT(p4_gcc, p4_icc);
+  EXPECT_GT(p4_icc, nv38);
+  EXPECT_GT(nv38, g70);
+
+  // Magnitudes: >10x for the newer GPU vs both CPU builds (paper: 55/20x).
+  EXPECT_GT(p4_gcc / g70, 15.0);
+  EXPECT_GT(p4_icc / g70, 9.0);
+}
+
+TEST_F(PaperShape, CpuEvolutionFlatGpuEvolutionSteep) {
+  // Figure 6: CPU generation <10% gain; GPU generation several-fold.
+  const std::uint64_t px = 2166ull * 614ull;
+  const double cpu_gain =
+      cpu_seconds(gpusim::pentium4_northwood(), false, px) /
+          cpu_seconds(gpusim::pentium4_prescott(), false, px) -
+      1.0;
+  EXPECT_GT(cpu_gain, 0.0);
+  EXPECT_LT(cpu_gain, 0.10);
+
+  const double gpu_gain =
+      gpu_seconds(gpusim::geforce_fx5950_ultra(), 2166, 614) /
+          gpu_seconds(gpusim::geforce_7800_gtx(), 2166, 614) -
+      1.0;
+  EXPECT_GT(gpu_gain, 2.0);  // several hundred percent
+}
+
+}  // namespace
+}  // namespace hs::core

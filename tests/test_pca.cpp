@@ -1,0 +1,124 @@
+#include "hsi/pca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hsi/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace hs::hsi {
+namespace {
+
+/// Cube whose spectra live on a 2-D affine subspace plus small noise.
+HyperCube low_rank_cube(int w, int h, int n, std::uint64_t seed, double noise) {
+  util::Xoshiro256 rng(seed);
+  std::vector<double> base(static_cast<std::size_t>(n)), dir1(base.size()),
+      dir2(base.size());
+  for (int b = 0; b < n; ++b) {
+    base[static_cast<std::size_t>(b)] = 0.5 + 0.1 * std::sin(0.2 * b);
+    dir1[static_cast<std::size_t>(b)] = std::cos(0.15 * b);
+    dir2[static_cast<std::size_t>(b)] = std::sin(0.4 * b);
+  }
+  HyperCube cube(w, h, n);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double a = rng.uniform(-1, 1);
+      const double b2 = rng.uniform(-1, 1);
+      for (int b = 0; b < n; ++b) {
+        cube.at(x, y, b) = static_cast<float>(
+            base[static_cast<std::size_t>(b)] + a * 0.1 * dir1[static_cast<std::size_t>(b)] +
+            b2 * 0.05 * dir2[static_cast<std::size_t>(b)] + noise * rng.normal());
+      }
+    }
+  }
+  return cube;
+}
+
+TEST(Pca, TwoComponentsExplainLowRankData) {
+  const HyperCube cube = low_rank_cube(12, 12, 24, 1, 1e-4);
+  const PcaModel model = pca_fit(cube, 2);
+  EXPECT_EQ(model.kept, 2);
+  EXPECT_GT(model.explained_variance(), 0.999);
+}
+
+TEST(Pca, EigenvaluesDescending) {
+  const HyperCube cube = low_rank_cube(10, 10, 16, 2, 0.01);
+  const PcaModel model = pca_fit(cube, 4);
+  for (std::size_t i = 1; i < model.eigenvalues.size(); ++i) {
+    EXPECT_GE(model.eigenvalues[i - 1], model.eigenvalues[i] - 1e-12);
+  }
+}
+
+TEST(Pca, TransformShapesAndCentering) {
+  const HyperCube cube = low_rank_cube(8, 6, 12, 3, 0.01);
+  const PcaModel model = pca_fit(cube, 3);
+  const HyperCube scores = pca_transform(cube, model);
+  EXPECT_EQ(scores.width(), 8);
+  EXPECT_EQ(scores.height(), 6);
+  EXPECT_EQ(scores.bands(), 3);
+  // Scores are centered: mean ~ 0 per component.
+  for (int k = 0; k < 3; ++k) {
+    double sum = 0;
+    for (int y = 0; y < 6; ++y) {
+      for (int x = 0; x < 8; ++x) sum += scores.at(x, y, k);
+    }
+    EXPECT_NEAR(sum / 48.0, 0.0, 1e-4);
+  }
+}
+
+TEST(Pca, ScoresAreDecorrelated) {
+  const HyperCube cube = low_rank_cube(16, 16, 20, 4, 0.02);
+  const PcaModel model = pca_fit(cube, 3);
+  const HyperCube scores = pca_transform(cube, model);
+  // Empirical cross-correlation of distinct components is ~0.
+  double c01 = 0, c0 = 0, c1 = 0;
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      const double a = scores.at(x, y, 0);
+      const double b = scores.at(x, y, 1);
+      c01 += a * b;
+      c0 += a * a;
+      c1 += b * b;
+    }
+  }
+  EXPECT_LT(std::fabs(c01) / std::sqrt(c0 * c1 + 1e-30), 0.02);
+}
+
+TEST(Pca, InverseReconstructsLowRankDataClosely) {
+  const HyperCube cube = low_rank_cube(10, 10, 18, 5, 1e-5);
+  const PcaModel model = pca_fit(cube, 2);
+  const HyperCube scores = pca_transform(cube, model);
+  const HyperCube back = pca_inverse(scores, model);
+  double max_err = 0;
+  for (std::size_t i = 0; i < cube.raw().size(); ++i) {
+    max_err = std::max(max_err,
+                       std::fabs(static_cast<double>(cube.raw()[i]) -
+                                 static_cast<double>(back.raw()[i])));
+  }
+  EXPECT_LT(max_err, 1e-2);
+}
+
+TEST(Pca, FullRankReconstructionIsNearExact) {
+  const HyperCube cube = low_rank_cube(6, 6, 8, 6, 0.05);
+  const PcaModel model = pca_fit(cube, 8);
+  const HyperCube back = pca_inverse(pca_transform(cube, model), model);
+  for (std::size_t i = 0; i < cube.raw().size(); ++i) {
+    EXPECT_NEAR(back.raw()[i], cube.raw()[i], 1e-3f);
+  }
+}
+
+TEST(Pca, SyntheticSceneCompressesWell) {
+  SceneConfig cfg;
+  cfg.width = 32;
+  cfg.height = 32;
+  cfg.bands = 64;
+  const SyntheticScene scene = generate_indian_pines_scene(cfg);
+  const PcaModel model = pca_fit(scene.cube, 8);
+  // A mosaic of ~10 materials plus noise: 8 components capture nearly all
+  // variance.
+  EXPECT_GT(model.explained_variance(), 0.98);
+}
+
+}  // namespace
+}  // namespace hs::hsi

@@ -1,0 +1,193 @@
+// Property tests over randomly generated (valid) fragment programs:
+//   * the disassemble -> assemble round trip preserves the IR;
+//   * the interpreter executes any valid program without faulting and its
+//     counters always reconcile with the program's static instruction mix;
+//   * device passes never write outside their render targets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpusim/assembler.hpp"
+#include "gpusim/gpu_device.hpp"
+#include "gpusim/interpreter.hpp"
+#include "util/rng.hpp"
+
+namespace hs::gpusim {
+namespace {
+
+/// Builds a random but always-valid program: every temp is fully written
+/// before any read, sources draw from initialized temps / constants /
+/// texcoords / literals, and the last instruction writes the output.
+FragmentProgram random_program(util::Xoshiro256& rng, int max_ops,
+                               int bound_textures) {
+  FragmentProgram program;
+  program.name = "fuzz";
+  int live_temps = 0;
+
+  auto random_source = [&](bool allow_temp) {
+    SrcOperand src;
+    const std::uint64_t kind = rng.uniform_int(allow_temp && live_temps > 0 ? 4 : 3);
+    switch (kind) {
+      case 0:
+        src.file = RegFile::Literal;
+        src.literal = {static_cast<float>(rng.uniform(-2, 2)),
+                       static_cast<float>(rng.uniform(-2, 2)),
+                       static_cast<float>(rng.uniform(0.1, 2)),
+                       static_cast<float>(rng.uniform(0.1, 2))};
+        break;
+      case 1:
+        src.file = RegFile::Const;
+        src.index = static_cast<std::uint8_t>(rng.uniform_int(4));
+        break;
+      case 2:
+        src.file = RegFile::TexCoord;
+        src.index = static_cast<std::uint8_t>(rng.uniform_int(2));
+        break;
+      default:
+        src.file = RegFile::Temp;
+        src.index = static_cast<std::uint8_t>(rng.uniform_int(
+            static_cast<std::uint64_t>(live_temps)));
+        break;
+    }
+    if (rng.uniform() < 0.3) {
+      for (auto& c : src.swizzle.comp) {
+        c = static_cast<std::uint8_t>(rng.uniform_int(4));
+      }
+    }
+    if (rng.uniform() < 0.2) src.negate = true;
+    return src;
+  };
+
+  const Opcode ops[] = {Opcode::MOV, Opcode::ABS, Opcode::FLR, Opcode::FRC,
+                        Opcode::RCP, Opcode::RSQ, Opcode::LG2, Opcode::EX2,
+                        Opcode::ADD, Opcode::SUB, Opcode::MUL, Opcode::MIN,
+                        Opcode::MAX, Opcode::SLT, Opcode::SGE, Opcode::DP3,
+                        Opcode::DP4, Opcode::MAD, Opcode::CMP, Opcode::LRP,
+                        Opcode::TEX};
+  const int n_ops = static_cast<int>(1 + rng.uniform_int(static_cast<std::uint64_t>(max_ops)));
+  for (int i = 0; i < n_ops && live_temps < kMaxTemps; ++i) {
+    Instruction ins;
+    ins.op = ops[rng.uniform_int(bound_textures > 0 ? 21 : 20)];
+    ins.dst.file = RegFile::Temp;
+    ins.dst.index = static_cast<std::uint8_t>(live_temps);
+    ins.dst.write_mask = 0xF;  // full writes keep init tracking trivial
+    if (ins.op == Opcode::TEX) {
+      ins.src[0] = random_source(true);
+      ins.src_count = 1;
+      ins.tex_unit = static_cast<std::uint8_t>(
+          rng.uniform_int(static_cast<std::uint64_t>(bound_textures)));
+    } else {
+      const int arity = opcode_arity(ins.op);
+      for (int s = 0; s < arity; ++s) {
+        ins.src[static_cast<std::size_t>(s)] = random_source(true);
+      }
+      ins.src_count = static_cast<std::uint8_t>(arity);
+    }
+    program.code.push_back(ins);
+    ++live_temps;
+  }
+
+  Instruction out;
+  out.op = Opcode::MOV;
+  out.dst.file = RegFile::Output;
+  out.dst.index = 0;
+  out.src[0] = random_source(true);
+  out.src_count = 1;
+  program.code.push_back(out);
+  return program;
+}
+
+class ProgramFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProgramFuzz, GeneratedProgramsAreValid) {
+  util::Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const FragmentProgram p = random_program(rng, 24, 2);
+    const auto errors = validate(p);
+    EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+  }
+}
+
+TEST_P(ProgramFuzz, DisassembleAssembleRoundTrips) {
+  util::Xoshiro256 rng(GetParam() ^ 0xD15A55ULL);
+  for (int trial = 0; trial < 20; ++trial) {
+    const FragmentProgram p = random_program(rng, 16, 2);
+    auto reassembled = assemble("fuzz", disassemble(p));
+    auto* err = std::get_if<AssembleError>(&reassembled);
+    ASSERT_EQ(err, nullptr) << err->message << "\n" << disassemble(p);
+    const FragmentProgram& q = std::get<FragmentProgram>(reassembled);
+    ASSERT_EQ(p.code.size(), q.code.size());
+    for (std::size_t i = 0; i < p.code.size(); ++i) {
+      EXPECT_EQ(p.code[i].op, q.code[i].op) << i;
+      EXPECT_EQ(p.code[i].dst.file, q.code[i].dst.file) << i;
+      EXPECT_EQ(p.code[i].dst.index, q.code[i].dst.index) << i;
+      EXPECT_EQ(p.code[i].dst.write_mask, q.code[i].dst.write_mask) << i;
+      EXPECT_EQ(p.code[i].src_count, q.code[i].src_count) << i;
+      EXPECT_EQ(p.code[i].tex_unit, q.code[i].tex_unit) << i;
+      for (int s = 0; s < p.code[i].src_count; ++s) {
+        const auto& ps = p.code[i].src[static_cast<std::size_t>(s)];
+        const auto& qs = q.code[i].src[static_cast<std::size_t>(s)];
+        EXPECT_EQ(ps.file, qs.file) << i << ":" << s;
+        EXPECT_EQ(ps.negate, qs.negate) << i << ":" << s;
+        if (ps.file == RegFile::Literal) {
+          for (std::size_t c = 0; c < 4; ++c) {
+            EXPECT_FLOAT_EQ(ps.literal[c], qs.literal[c]) << i << ":" << s;
+          }
+        } else {
+          EXPECT_EQ(ps.index, qs.index) << i << ":" << s;
+        }
+        EXPECT_EQ(ps.swizzle.comp, qs.swizzle.comp) << i << ":" << s;
+      }
+    }
+  }
+}
+
+TEST_P(ProgramFuzz, InterpreterCountersMatchStaticMix) {
+  util::Xoshiro256 rng(GetParam() ^ 0xC0FFEEULL);
+  Texture2D tex_a(8, 8, TextureFormat::RGBA32F);
+  Texture2D tex_b(8, 8, TextureFormat::R32F);
+  const Texture2D* textures[2] = {&tex_a, &tex_b};
+  for (int trial = 0; trial < 20; ++trial) {
+    const FragmentProgram p = random_program(rng, 24, 2);
+    FragmentContext ctx;
+    ctx.texcoord[0] = {1.5f, 2.5f, 0, 1};
+    ctx.texcoord[1] = {0.5f, 0.5f, 0, 1};
+    const float4 constants[4] = {{1, 2, 3, 4}, {0.5, 0.5, 0.5, 0.5},
+                                 {-1, 0, 1, 2}, {4, 3, 2, 1}};
+    ctx.constants = constants;
+    ctx.textures = textures;
+    ExecCounters counters;
+    const FragmentResult result = execute_fragment(p, ctx, counters);
+    EXPECT_TRUE(result.outputs_written & 1u);
+    EXPECT_EQ(counters.alu_instructions,
+              static_cast<std::uint64_t>(p.alu_instruction_count()));
+    EXPECT_EQ(counters.tex_fetches,
+              static_cast<std::uint64_t>(p.tex_instruction_count()));
+  }
+}
+
+TEST_P(ProgramFuzz, DevicePassesRunToCompletion) {
+  util::Xoshiro256 rng(GetParam() ^ 0xBEEFULL);
+  DeviceProfile profile = geforce_7800_gtx();
+  profile.fragment_pipes = 2;
+  Device dev(profile);
+  const TextureHandle in_a = dev.create_texture(8, 8, TextureFormat::RGBA32F);
+  const TextureHandle in_b = dev.create_texture(8, 8, TextureFormat::R32F);
+  const TextureHandle out = dev.create_texture(8, 8, TextureFormat::RGBA32F);
+  const TextureHandle ins[2] = {in_a, in_b};
+  const TextureHandle outs[1] = {out};
+  const float4 constants[4] = {{1, 1, 0, 0}, {2, 2, 2, 2}, {}, {}};
+  for (int trial = 0; trial < 10; ++trial) {
+    const FragmentProgram p = random_program(rng, 16, 2);
+    const PassStats stats = dev.draw(p, ins, constants, outs);
+    EXPECT_EQ(stats.fragments, 64u);
+    EXPECT_EQ(stats.exec.alu_instructions,
+              64u * static_cast<std::uint64_t>(p.alu_instruction_count()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProgramFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace hs::gpusim

@@ -1,0 +1,102 @@
+#include "linalg/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "util/rng.hpp"
+
+namespace hs::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Matrix a(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) a(r, c) = rng.uniform(-1, 1);
+  }
+  return a;
+}
+
+TEST(HouseholderQr, ExactSolveForSquareSystem) {
+  Matrix a{{2, 1}, {1, 3}};
+  const std::vector<double> x_true{1.0, -2.0};
+  const auto b = a.multiply(x_true);
+  HouseholderQr qr(a);
+  const auto x = qr.solve(b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], -2.0, 1e-12);
+}
+
+TEST(HouseholderQr, LeastSquaresMatchesNormalEquations) {
+  const Matrix a = random_matrix(12, 5, 1);
+  util::Xoshiro256 rng(2);
+  std::vector<double> b(12);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+
+  HouseholderQr qr(a);
+  const auto x_qr = qr.solve(b);
+
+  const auto chol = Cholesky::factor(a.gram());
+  ASSERT_TRUE(chol.has_value());
+  const auto x_ne = chol->solve(a.multiply_transposed(b));
+
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(x_qr[i], x_ne[i], 1e-9);
+}
+
+TEST(HouseholderQr, ResidualOrthogonalToColumnSpace) {
+  const Matrix a = random_matrix(10, 4, 3);
+  util::Xoshiro256 rng(4);
+  std::vector<double> b(10);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  HouseholderQr qr(a);
+  const auto x = qr.solve(b);
+  const auto ax = a.multiply(x);
+  std::vector<double> r(10);
+  for (std::size_t i = 0; i < 10; ++i) r[i] = b[i] - ax[i];
+  const auto atr = a.multiply_transposed(r);
+  for (double v : atr) EXPECT_NEAR(v, 0.0, 1e-10);
+}
+
+TEST(HouseholderQr, RFactorIsUpperTriangular) {
+  const Matrix a = random_matrix(8, 4, 5);
+  HouseholderQr qr(a);
+  const Matrix r = qr.r();
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < i; ++j) EXPECT_DOUBLE_EQ(r(i, j), 0.0);
+  }
+}
+
+TEST(HouseholderQr, RTransposeRReconstructsGram) {
+  const Matrix a = random_matrix(9, 3, 6);
+  HouseholderQr qr(a);
+  const Matrix r = qr.r();
+  const Matrix rtr = r.transposed() * r;
+  EXPECT_LT(rtr.max_abs_diff(a.gram()), 1e-10);
+}
+
+TEST(HouseholderQr, RankDeficientColumnsYieldZeroCoefficient) {
+  // Third column is a copy of the first: rank 2.
+  Matrix a(6, 3);
+  util::Xoshiro256 rng(7);
+  for (std::size_t r = 0; r < 6; ++r) {
+    a(r, 0) = rng.uniform(-1, 1);
+    a(r, 1) = rng.uniform(-1, 1);
+    a(r, 2) = a(r, 0);
+  }
+  HouseholderQr qr(a);
+  EXPECT_LT(qr.min_diag_ratio(), 1e-12);
+  std::vector<double> b(6);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  const auto x = qr.solve(b);  // must not blow up
+  for (double v : x) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(HouseholderQr, WellConditionedDiagRatioIsHealthy) {
+  HouseholderQr qr(Matrix::identity(4));
+  EXPECT_NEAR(qr.min_diag_ratio(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hs::linalg

@@ -1,0 +1,178 @@
+#include "gpusim/raster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpusim/assembler.hpp"
+
+namespace hs::gpusim {
+namespace {
+
+DeviceProfile tiny_profile() {
+  DeviceProfile p = geforce_7800_gtx();
+  p.fragment_pipes = 4;
+  p.video_memory_bytes = 8 * 1024 * 1024;
+  return p;
+}
+
+FragmentProgram coord_program() {
+  return assemble_or_die(
+      "coords", "!!HSFP1.0\nMOV result.color, fragment.texcoord[0];\nEND\n");
+}
+
+TEST(Raster, FullscreenQuadReproducesDrawExactly) {
+  Device dev(tiny_profile());
+  const TextureHandle in = dev.create_texture(16, 12, TextureFormat::RGBA32F);
+  for (int y = 0; y < 12; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      dev.texture(in).store(x, y, {static_cast<float>(x * y), 1, 2, 3});
+    }
+  }
+  const TextureHandle out_a = dev.create_texture(16, 12, TextureFormat::RGBA32F);
+  const TextureHandle out_b = dev.create_texture(16, 12, TextureFormat::RGBA32F);
+  const auto program = assemble_or_die("copy",
+                                       "!!HSFP1.0\n"
+                                       "TEX R0, fragment.texcoord[0], texture[0];\n"
+                                       "MUL result.color, R0, R0;\n"
+                                       "END\n");
+  const TextureHandle ins[1] = {in};
+  const TextureHandle outs_a[1] = {out_a};
+  const TextureHandle outs_b[1] = {out_b};
+
+  const PassStats full = dev.draw(program, ins, {}, outs_a);
+  const auto quad = fullscreen_quad(16, 12);
+  const PassStats raster =
+      draw_triangles(dev, program, quad, Viewport{0, 0, 16, 12}, ins, {}, outs_b);
+
+  EXPECT_EQ(raster.fragments, full.fragments);
+  EXPECT_EQ(raster.exec.alu_instructions, full.exec.alu_instructions);
+  for (int y = 0; y < 12; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      EXPECT_EQ(dev.texture(out_b).load(x, y), dev.texture(out_a).load(x, y))
+          << x << "," << y;
+    }
+  }
+}
+
+TEST(Raster, FullscreenQuadInterpolatesTexelCenters) {
+  Device dev(tiny_profile());
+  const TextureHandle out = dev.create_texture(8, 8, TextureFormat::RGBA32F);
+  const TextureHandle outs[1] = {out};
+  const auto quad = fullscreen_quad(8, 8);
+  draw_triangles(dev, coord_program(), quad, Viewport{0, 0, 8, 8}, {}, {}, outs);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      const float4 v = dev.texture(out).load(x, y);
+      EXPECT_FLOAT_EQ(v.x, static_cast<float>(x) + 0.5f);
+      EXPECT_FLOAT_EQ(v.y, static_cast<float>(y) + 0.5f);
+    }
+  }
+}
+
+TEST(Raster, HalfViewportTriangleCoversHalfThePixels) {
+  Device dev(tiny_profile());
+  const TextureHandle out = dev.create_texture(16, 16, TextureFormat::R32F);
+  const TextureHandle outs[1] = {out};
+  const auto program =
+      assemble_or_die("one", "!!HSFP1.0\nMOV result.color, {1.0};\nEND\n");
+  // One triangle = half the fullscreen quad.
+  const auto quad = fullscreen_quad(16, 16);
+  const std::vector<Vertex> tri(quad.begin(), quad.begin() + 3);
+  const PassStats stats =
+      draw_triangles(dev, program, tri, Viewport{0, 0, 16, 16}, {}, {}, outs);
+  EXPECT_GT(stats.fragments, 16u * 16u / 2 - 16);
+  EXPECT_LT(stats.fragments, 16u * 16u / 2 + 17);
+}
+
+TEST(Raster, UncoveredPixelsAreUntouched) {
+  Device dev(tiny_profile());
+  const TextureHandle out = dev.create_texture(8, 8, TextureFormat::R32F);
+  dev.texture(out).store(7, 7, float4(42.f));
+  const TextureHandle outs[1] = {out};
+  const auto program =
+      assemble_or_die("one", "!!HSFP1.0\nMOV result.color, {1.0};\nEND\n");
+  // A tiny triangle near the origin.
+  Vertex a, b, c;
+  a.position = {-1.f, -1.f, 0, 1};
+  b.position = {-0.5f, -1.f, 0, 1};
+  c.position = {-1.f, -0.5f, 0, 1};
+  const std::vector<Vertex> tri{a, b, c};
+  draw_triangles(dev, program, tri, Viewport{0, 0, 8, 8}, {}, {}, outs);
+  EXPECT_EQ(dev.texture(out).load(7, 7).x, 42.f);
+  EXPECT_EQ(dev.texture(out).load(0, 0).x, 1.f);
+}
+
+TEST(Raster, WindingDoesNotAffectCoverage) {
+  Device dev(tiny_profile());
+  const TextureHandle out_ccw = dev.create_texture(8, 8, TextureFormat::R32F);
+  const TextureHandle out_cw = dev.create_texture(8, 8, TextureFormat::R32F);
+  const auto program =
+      assemble_or_die("one", "!!HSFP1.0\nMOV result.color, {1.0};\nEND\n");
+  Vertex a, b, c;
+  a.position = {-1.f, -1.f, 0, 1};
+  b.position = {1.f, -1.f, 0, 1};
+  c.position = {0.f, 1.f, 0, 1};
+  const std::vector<Vertex> ccw{a, b, c};
+  const std::vector<Vertex> cw{a, c, b};
+  const TextureHandle outs1[1] = {out_ccw};
+  const TextureHandle outs2[1] = {out_cw};
+  const PassStats s1 =
+      draw_triangles(dev, program, ccw, Viewport{0, 0, 8, 8}, {}, {}, outs1);
+  const PassStats s2 =
+      draw_triangles(dev, program, cw, Viewport{0, 0, 8, 8}, {}, {}, outs2);
+  EXPECT_EQ(s1.fragments, s2.fragments);
+}
+
+TEST(Raster, DegenerateTriangleDrawsNothing) {
+  Device dev(tiny_profile());
+  const TextureHandle out = dev.create_texture(8, 8, TextureFormat::R32F);
+  const TextureHandle outs[1] = {out};
+  const auto program =
+      assemble_or_die("one", "!!HSFP1.0\nMOV result.color, {1.0};\nEND\n");
+  Vertex a;
+  a.position = {0.f, 0.f, 0, 1};
+  const std::vector<Vertex> tri{a, a, a};
+  const PassStats stats =
+      draw_triangles(dev, program, tri, Viewport{0, 0, 8, 8}, {}, {}, outs);
+  EXPECT_EQ(stats.fragments, 0u);
+}
+
+TEST(Raster, AttributeGradientInterpolatesLinearly) {
+  Device dev(tiny_profile());
+  const TextureHandle out = dev.create_texture(16, 16, TextureFormat::RGBA32F);
+  const TextureHandle outs[1] = {out};
+  // Attribute 1 ramps 0..1 left to right; the program emits texcoord[1].
+  const auto program = assemble_or_die(
+      "attr", "!!HSFP1.0\nMOV result.color, fragment.texcoord[1];\nEND\n");
+  auto quad = fullscreen_quad(16, 16);
+  for (auto& v : quad) {
+    const float ramp = (v.position.x * 0.5f + 0.5f);
+    v.attributes[1] = {ramp, 0, 0, 1};
+  }
+  draw_triangles(dev, program, quad, Viewport{0, 0, 16, 16}, {}, {}, outs);
+  for (int x = 0; x < 16; ++x) {
+    const float expected = (static_cast<float>(x) + 0.5f) / 16.f;
+    EXPECT_NEAR(dev.texture(out).load(x, 5).x, expected, 1e-5f) << x;
+  }
+}
+
+TEST(Raster, LaterTriangleWinsOverlap) {
+  Device dev(tiny_profile());
+  const TextureHandle out = dev.create_texture(8, 8, TextureFormat::R32F);
+  const TextureHandle outs[1] = {out};
+  const auto program = assemble_or_die(
+      "attr", "!!HSFP1.0\nMOV result.color, fragment.texcoord[1];\nEND\n");
+  auto first = fullscreen_quad(8, 8);
+  for (auto& v : first) v.attributes[1] = float4(1.f);
+  auto second = fullscreen_quad(8, 8);
+  for (auto& v : second) v.attributes[1] = float4(2.f);
+  std::vector<Vertex> both = first;
+  both.insert(both.end(), second.begin(), second.end());
+  const PassStats stats =
+      draw_triangles(dev, program, both, Viewport{0, 0, 8, 8}, {}, {}, outs);
+  // Overdraw resolves before shading: 64 fragments, all from the second quad.
+  EXPECT_EQ(stats.fragments, 64u);
+  EXPECT_EQ(dev.texture(out).load(3, 3).x, 2.f);
+}
+
+}  // namespace
+}  // namespace hs::gpusim

@@ -1,0 +1,102 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace hs::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, IsDeterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(Xoshiro256, UniformMeanIsCentered) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, UniformIntStaysBelowBound) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_int(7), 7u);
+  }
+}
+
+TEST(Xoshiro256, UniformIntCoversAllResidues) {
+  Xoshiro256 rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Xoshiro256, UniformIntOfOneIsZero) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(1), 0u);
+}
+
+TEST(Xoshiro256, NormalMomentsMatchStandardNormal) {
+  Xoshiro256 rng(13);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Xoshiro256, NormalWithParametersScales) {
+  Xoshiro256 rng(13);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~0ULL);
+  Xoshiro256 rng;
+  (void)rng();  // callable
+}
+
+}  // namespace
+}  // namespace hs::util

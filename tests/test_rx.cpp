@@ -1,0 +1,112 @@
+#include "core/rx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace hs::core {
+namespace {
+
+/// Background of correlated Gaussian spectra with `anomalies` implanted
+/// pixels drawn from a very different distribution.
+hsi::HyperCube scene_with_anomalies(int w, int h, int n,
+                                    const std::vector<std::pair<int, int>>& anomalies,
+                                    std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  hsi::HyperCube cube(w, h, n);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double base = 0.4 + 0.05 * rng.normal();
+      for (int b = 0; b < n; ++b) {
+        cube.at(x, y, b) = static_cast<float>(
+            base + 0.01 * std::sin(0.3 * b) + 0.005 * rng.normal());
+      }
+    }
+  }
+  for (const auto& [ax, ay] : anomalies) {
+    for (int b = 0; b < n; ++b) {
+      cube.at(ax, ay, b) =
+          static_cast<float>(0.1 + 0.8 * (b % 2));  // sawtooth: very unusual
+    }
+  }
+  return cube;
+}
+
+TEST(Rx, ScoresAreNonNegative) {
+  const auto cube = scene_with_anomalies(16, 16, 12, {}, 1);
+  const RxResult result = rx_detect(cube);
+  for (float s : result.scores) EXPECT_GE(s, -1e-4f);
+}
+
+TEST(Rx, ImplantedAnomaliesScoreHighest) {
+  const std::vector<std::pair<int, int>> anomalies{{3, 4}, {12, 9}};
+  const auto cube = scene_with_anomalies(16, 16, 12, anomalies, 2);
+  const RxResult result = rx_detect(cube);
+  // The two implants must carry the two largest scores.
+  std::vector<float> sorted = result.scores;
+  std::sort(sorted.begin(), sorted.end(), std::greater<float>());
+  for (const auto& [ax, ay] : anomalies) {
+    const float s = result.scores[static_cast<std::size_t>(ay) * 16 + static_cast<std::size_t>(ax)];
+    EXPECT_GE(s, sorted[1]);
+  }
+}
+
+TEST(Rx, DetectionsRespectFalseAlarmRate) {
+  const auto cube = scene_with_anomalies(32, 32, 8, {{5, 5}}, 3);
+  RxConfig cfg;
+  cfg.false_alarm_rate = 0.01;
+  const RxResult result = rx_detect(cube, cfg);
+  // ~1% of 1024 pixels.
+  EXPECT_LE(result.detections.size(), 16u);
+  EXPECT_GE(result.detections.size(), 1u);
+  // Detections are sorted by descending score and above threshold.
+  for (std::size_t i = 1; i < result.detections.size(); ++i) {
+    EXPECT_GE(result.scores[result.detections[i - 1]],
+              result.scores[result.detections[i]]);
+  }
+  for (std::size_t idx : result.detections) {
+    EXPECT_GT(result.scores[idx], result.threshold);
+  }
+}
+
+TEST(Rx, TopDetectionIsTheImplant) {
+  const auto cube = scene_with_anomalies(24, 24, 16, {{10, 7}}, 4);
+  RxConfig cfg;
+  // 576 pixels: the default 1e-3 quantile would sit above every score.
+  cfg.false_alarm_rate = 0.005;
+  const RxResult result = rx_detect(cube, cfg);
+  ASSERT_FALSE(result.detections.empty());
+  EXPECT_EQ(result.detections.front(), 7u * 24u + 10u);
+}
+
+TEST(Rx, MeanScoreNearBandCount) {
+  // For Gaussian data, E[RX] = number of bands (Mahalanobis distance is
+  // chi-squared with n degrees of freedom).
+  const auto cube = scene_with_anomalies(32, 32, 10, {}, 5);
+  const RxResult result = rx_detect(cube);
+  double mean = 0;
+  for (float s : result.scores) mean += s;
+  mean /= static_cast<double>(result.scores.size());
+  EXPECT_NEAR(mean, 10.0, 2.0);
+}
+
+TEST(Rx, HandlesRankDeficientBands) {
+  // Two identical bands: covariance is singular without the ridge.
+  hsi::HyperCube cube(8, 8, 3);
+  util::Xoshiro256 rng(6);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      const float v = static_cast<float>(rng.uniform(0.2, 0.8));
+      cube.at(x, y, 0) = v;
+      cube.at(x, y, 1) = v;  // duplicate band
+      cube.at(x, y, 2) = static_cast<float>(rng.uniform(0.2, 0.8));
+    }
+  }
+  EXPECT_NO_FATAL_FAILURE({ rx_detect(cube); });
+}
+
+}  // namespace
+}  // namespace hs::core

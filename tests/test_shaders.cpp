@@ -1,0 +1,99 @@
+#include "core/shaders.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpusim/assembler.hpp"
+
+namespace hs::core {
+namespace {
+
+using gpusim::assemble;
+using gpusim::AssembleError;
+using gpusim::FragmentProgram;
+
+FragmentProgram must_assemble(const std::string& name, const std::string& src) {
+  auto result = assemble(name, src);
+  auto* err = std::get_if<AssembleError>(&result);
+  EXPECT_EQ(err, nullptr) << name << ": " << (err ? err->message : "");
+  return std::get<FragmentProgram>(std::move(result));
+}
+
+TEST(Shaders, FixedKernelsAssemble) {
+  must_assemble("clear", shaders::clear_source());
+  must_assemble("band_sum", shaders::band_sum_source());
+  must_assemble("normalize", shaders::normalize_source());
+  must_assemble("log", shaders::log_source());
+  must_assemble("cumdist_single", shaders::cumulative_distance_single_source());
+  must_assemble("mei", shaders::mei_source());
+}
+
+class NeighborSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NeighborSweep, GeneratedKernelsAssembleForAnySeSize) {
+  const int nb = GetParam();
+  must_assemble("cumdist_fused", shaders::cumulative_distance_fused_source(nb));
+  must_assemble("cumdist_inline",
+                shaders::cumulative_distance_inline_log_source(nb));
+  must_assemble("minmax_off", shaders::minmax_offsets_source(nb));
+  must_assemble("minmax_idx", shaders::minmax_indices_source(nb));
+}
+
+INSTANTIATE_TEST_SUITE_P(SeSizes, NeighborSweep,
+                         ::testing::Values(1, 5, 9, 13, 25, 49));
+
+TEST(Shaders, InstructionBudgetsFitNv30Limits) {
+  // Even a 7x7 SE must fit the era's 1024-instruction limit.
+  const auto fused = must_assemble("f", shaders::cumulative_distance_fused_source(49));
+  EXPECT_LE(fused.code.size(), 1024u);
+  const auto inln =
+      must_assemble("i", shaders::cumulative_distance_inline_log_source(49));
+  EXPECT_LE(inln.code.size(), 1024u);
+  const auto mm = must_assemble("m", shaders::minmax_offsets_source(49));
+  EXPECT_LE(mm.code.size(), 1024u);
+}
+
+TEST(Shaders, FusedKernelCostScalesWithNeighbors) {
+  const auto small = must_assemble("s", shaders::cumulative_distance_fused_source(9));
+  const auto large = must_assemble("l", shaders::cumulative_distance_fused_source(25));
+  EXPECT_GT(large.alu_instruction_count(), small.alu_instruction_count());
+  // Two fetches per neighbor plus three fixed fetches.
+  EXPECT_EQ(small.tex_instruction_count(), 2 * 9 + 3);
+  EXPECT_EQ(large.tex_instruction_count(), 2 * 25 + 3);
+}
+
+TEST(Shaders, InlineLogTradesAluForFetches) {
+  const auto fused = must_assemble("f", shaders::cumulative_distance_fused_source(9));
+  const auto inln =
+      must_assemble("i", shaders::cumulative_distance_inline_log_source(9));
+  EXPECT_GT(inln.alu_instruction_count(), fused.alu_instruction_count());
+  EXPECT_LT(inln.tex_instruction_count(), fused.tex_instruction_count());
+}
+
+TEST(Shaders, MinMaxReadsOnlyTheDbTexture) {
+  const auto mm = must_assemble("m", shaders::minmax_offsets_source(9));
+  EXPECT_EQ(mm.max_tex_unit(), 0);
+  EXPECT_EQ(mm.tex_instruction_count(), 9);
+  EXPECT_EQ(mm.max_constant(), 8);
+}
+
+TEST(Shaders, MeiUsesFourTextureUnits) {
+  const auto mei = must_assemble("mei", shaders::mei_source());
+  EXPECT_EQ(mei.max_tex_unit(), 3);
+  // Five fetches: offsets, p/lp at both selected coordinates, accumulator.
+  EXPECT_EQ(mei.tex_instruction_count(), 6);
+}
+
+TEST(Shaders, SingleOutputEverywhere) {
+  // The AMC pipeline never relies on MRT, so it runs on NV3x-class parts.
+  for (const auto& src :
+       {shaders::clear_source(), shaders::band_sum_source(),
+        shaders::normalize_source(), shaders::log_source(),
+        shaders::cumulative_distance_fused_source(9),
+        shaders::minmax_offsets_source(9), shaders::mei_source()}) {
+    const auto p = must_assemble("p", src);
+    EXPECT_EQ(p.max_output(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace hs::core

@@ -1,0 +1,127 @@
+#include "hsi/spectral_library.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/distances.hpp"
+
+namespace hs::hsi {
+namespace {
+
+TEST(Wavelength, CoversAvirisRange) {
+  EXPECT_DOUBLE_EQ(aviris_wavelength_um(0, 216), 0.4);
+  EXPECT_DOUBLE_EQ(aviris_wavelength_um(215, 216), 2.5);
+  EXPECT_GT(aviris_wavelength_um(100, 216), aviris_wavelength_um(99, 216));
+}
+
+TEST(Archetypes, VegetationHasRedEdge) {
+  // NIR reflectance (0.85 um) far above red (0.67 um) for green vegetation.
+  EXPECT_GT(archetype::green_vegetation(0.85),
+            3.0 * archetype::green_vegetation(0.67));
+}
+
+TEST(Archetypes, VegetationHasWaterAbsorptionDips) {
+  EXPECT_LT(archetype::green_vegetation(1.4), archetype::green_vegetation(1.25));
+  EXPECT_LT(archetype::green_vegetation(1.9), archetype::green_vegetation(1.75));
+}
+
+TEST(Archetypes, WaterIsDarkInInfrared) {
+  EXPECT_LT(archetype::water(1.5), 0.03);
+  EXPECT_GT(archetype::water(0.45), archetype::water(1.5));
+}
+
+TEST(Archetypes, SoilRisesGently) {
+  EXPECT_GT(archetype::soil(2.0), archetype::soil(0.5));
+}
+
+TEST(Archetypes, ConcreteBrighterThanAsphalt) {
+  for (double um : {0.5, 1.0, 1.5, 2.0}) {
+    EXPECT_GT(archetype::concrete(um), archetype::asphalt(um)) << um;
+  }
+}
+
+TEST(Archetypes, AllBoundedToReflectanceRange) {
+  for (int i = 0; i <= 100; ++i) {
+    const double um = 0.4 + 2.1 * i / 100.0;
+    for (double v : {archetype::green_vegetation(um), archetype::soil(um),
+                     archetype::water(um), archetype::concrete(um),
+                     archetype::asphalt(um), archetype::dry_vegetation(um),
+                     archetype::forest(um)}) {
+      EXPECT_GT(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(IndianPinesLibrary, Has32Table3Classes) {
+  const SpectralLibrary lib = indian_pines_library(216, 1);
+  EXPECT_EQ(lib.num_classes(), 32);
+  EXPECT_EQ(lib.bands, 216);
+  EXPECT_GE(lib.find("BareSoil"), 0);
+  EXPECT_GE(lib.find("Corn-NoTill"), 0);
+  EXPECT_GE(lib.find("Woods"), 0);
+  EXPECT_EQ(lib.find("NotAClass"), -1);
+  for (const auto& sig : lib.signatures) {
+    EXPECT_EQ(sig.size(), 216u);
+    for (float v : sig) {
+      EXPECT_GT(v, 0.f);
+      EXPECT_LE(v, 1.f);
+    }
+  }
+}
+
+TEST(IndianPinesLibrary, DeterministicInSeed) {
+  const SpectralLibrary a = indian_pines_library(64, 9);
+  const SpectralLibrary b = indian_pines_library(64, 9);
+  for (int c = 0; c < a.num_classes(); ++c) {
+    for (int l = 0; l < 64; ++l) {
+      EXPECT_EQ(a.signatures[static_cast<std::size_t>(c)][static_cast<std::size_t>(l)],
+                b.signatures[static_cast<std::size_t>(c)][static_cast<std::size_t>(l)]);
+    }
+  }
+}
+
+TEST(IndianPinesLibrary, SeedsChangePerturbations) {
+  const SpectralLibrary a = indian_pines_library(64, 1);
+  const SpectralLibrary b = indian_pines_library(64, 2);
+  bool any_diff = false;
+  for (int l = 0; l < 64 && !any_diff; ++l) {
+    any_diff = a.signatures[0][static_cast<std::size_t>(l)] !=
+               b.signatures[0][static_cast<std::size_t>(l)];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(IndianPinesLibrary, CornVariantsAreSpectrallyEntangled) {
+  // The within-group SID between corn variants must be far smaller than
+  // the SID between corn and lake/woods -- the structure behind Table 3's
+  // low corn accuracies.
+  const SpectralLibrary lib = indian_pines_library(216, 1);
+  const int corn_a = lib.find("Corn-NoTill");
+  const int corn_b = lib.find("Corn-MinTill");
+  const int lake = lib.find("Lake");
+  ASSERT_GE(corn_a, 0);
+  ASSERT_GE(corn_b, 0);
+  ASSERT_GE(lake, 0);
+  const double within =
+      core::sid(lib.signature(corn_a), lib.signature(corn_b));
+  const double across = core::sid(lib.signature(corn_a), lib.signature(lake));
+  EXPECT_LT(within * 10, across);
+}
+
+TEST(IndianPinesLibrary, PureClassesAreDistinct) {
+  const SpectralLibrary lib = indian_pines_library(216, 1);
+  const char* pure[] = {"BareSoil", "Lake", "Woods", "Concrete/Asphalt"};
+  for (const char* a : pure) {
+    for (const char* b : pure) {
+      if (std::string(a) == b) continue;
+      EXPECT_GT(core::sid(lib.signature(lib.find(a)), lib.signature(lib.find(b))),
+                0.01)
+          << a << " vs " << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hs::hsi

@@ -1,0 +1,121 @@
+#include "stream/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpusim/assembler.hpp"
+#include "stream/executor.hpp"
+
+namespace hs::stream {
+namespace {
+
+using gpusim::Device;
+using gpusim::DeviceProfile;
+using gpusim::float4;
+using gpusim::TextureFormat;
+using gpusim::TextureHandle;
+
+DeviceProfile test_profile() {
+  DeviceProfile p = gpusim::geforce_7800_gtx();
+  p.fragment_pipes = 2;
+  return p;
+}
+
+TEST(BandStack, GroupCountRoundsUp) {
+  EXPECT_EQ(band_group_count(1), 1);
+  EXPECT_EQ(band_group_count(4), 1);
+  EXPECT_EQ(band_group_count(5), 2);
+  EXPECT_EQ(band_group_count(216), 54);
+}
+
+TEST(BandStack, PacksFourBandsPerTexel) {
+  Device dev(test_profile());
+  BandStack stack(dev, 2, 2, 6);
+  EXPECT_EQ(stack.groups(), 2);
+  stack.upload([](int x, int y, int b) {
+    return static_cast<float>(100 * b + 10 * y + x);
+  });
+  // Band group 0 holds bands 0-3.
+  const float4 t0 = dev.texture(stack.group(0)).load(1, 0);
+  EXPECT_EQ(t0, float4(1, 101, 201, 301));
+  // Band group 1 holds bands 4-5 and zero padding.
+  const float4 t1 = dev.texture(stack.group(1)).load(0, 1);
+  EXPECT_EQ(t1, float4(410, 510, 0, 0));
+}
+
+TEST(BandStack, ReleasesVideoMemoryOnDestruction) {
+  Device dev(test_profile());
+  {
+    BandStack stack(dev, 8, 8, 16);
+    EXPECT_EQ(dev.video_memory_used(), 4u * 8 * 8 * 16);
+  }
+  EXPECT_EQ(dev.video_memory_used(), 0u);
+}
+
+TEST(BandStack, MoveTransfersOwnership) {
+  Device dev(test_profile());
+  BandStack a(dev, 4, 4, 8);
+  const std::uint64_t used = dev.video_memory_used();
+  BandStack b(std::move(a));
+  EXPECT_EQ(dev.video_memory_used(), used);
+  EXPECT_EQ(b.groups(), 2);
+}
+
+TEST(BandStack, UploadCountsBusTransfersPerGroup) {
+  Device dev(test_profile());
+  BandStack stack(dev, 4, 4, 12);
+  stack.upload([](int, int, int) { return 1.0f; });
+  EXPECT_EQ(dev.totals().transfer.uploads, 3u);
+}
+
+TEST(PingPong, SwapAlternatesRoles) {
+  Device dev(test_profile());
+  PingPong pp(dev, 4, 4, TextureFormat::R32F);
+  const TextureHandle f = pp.front();
+  const TextureHandle b = pp.back();
+  EXPECT_NE(f, b);
+  pp.swap();
+  EXPECT_EQ(pp.front(), b);
+  EXPECT_EQ(pp.back(), f);
+}
+
+TEST(StreamExecutor, AggregatesByStage) {
+  Device dev(test_profile());
+  StreamExecutor exec(dev);
+  const TextureHandle out = dev.create_texture(8, 8, TextureFormat::R32F);
+  const auto clear =
+      gpusim::assemble_or_die("clear", "!!HSFP1.0\nMOV result.color, {0.0};\nEND\n");
+  const TextureHandle outs[1] = {out};
+  exec.run("stage_a", clear, {}, {}, outs);
+  exec.run("stage_a", clear, {}, {}, outs);
+  exec.run("stage_b", clear, {}, {}, outs);
+
+  ASSERT_EQ(exec.stages().size(), 2u);
+  EXPECT_EQ(exec.stages().at("stage_a").passes, 2u);
+  EXPECT_EQ(exec.stages().at("stage_a").fragments, 128u);
+  EXPECT_EQ(exec.stages().at("stage_b").passes, 1u);
+  EXPECT_GT(exec.stages().at("stage_a").modeled_seconds, 0.0);
+}
+
+TEST(StreamExecutor, StageOrderIsFirstUse) {
+  Device dev(test_profile());
+  StreamExecutor exec(dev);
+  exec.add_stage_time("zz_first", 0.1);
+  exec.add_stage_time("aa_second", 0.2);
+  exec.add_stage_time("zz_first", 0.3);
+  ASSERT_EQ(exec.stage_order().size(), 2u);
+  EXPECT_EQ(exec.stage_order()[0], "zz_first");
+  EXPECT_EQ(exec.stage_order()[1], "aa_second");
+  EXPECT_DOUBLE_EQ(exec.stages().at("zz_first").modeled_seconds, 0.4);
+}
+
+TEST(StreamExecutor, ResetClearsEverything) {
+  Device dev(test_profile());
+  StreamExecutor exec(dev);
+  exec.add_stage_time("s", 1.0);
+  exec.reset();
+  EXPECT_TRUE(exec.stages().empty());
+  EXPECT_TRUE(exec.stage_order().empty());
+}
+
+}  // namespace
+}  // namespace hs::stream

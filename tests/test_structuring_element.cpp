@@ -1,0 +1,60 @@
+#include "core/structuring_element.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hs::core {
+namespace {
+
+TEST(StructuringElement, Square1IsThePapersThreeByThree) {
+  const StructuringElement se = StructuringElement::square(1);
+  EXPECT_EQ(se.size(), 9);
+  EXPECT_EQ(se.radius, 1);
+  // Fixed row-major scan order; (0,0) is offset index 4.
+  EXPECT_EQ(se.offsets[0], std::make_pair(-1, -1));
+  EXPECT_EQ(se.offsets[4], std::make_pair(0, 0));
+  EXPECT_EQ(se.offsets[8], std::make_pair(1, 1));
+}
+
+TEST(StructuringElement, SquareSizesScaleQuadratically) {
+  EXPECT_EQ(StructuringElement::square(0).size(), 1);
+  EXPECT_EQ(StructuringElement::square(2).size(), 25);
+  EXPECT_EQ(StructuringElement::square(3).size(), 49);
+}
+
+TEST(StructuringElement, CrossHasArmsOnly) {
+  const StructuringElement se = StructuringElement::cross(2);
+  EXPECT_EQ(se.size(), 9);  // 2*2*radius + 1
+  for (const auto& [dx, dy] : se.offsets) {
+    EXPECT_TRUE(dx == 0 || dy == 0);
+  }
+}
+
+TEST(StructuringElement, DiskExcludesCorners) {
+  const StructuringElement se = StructuringElement::disk(2);
+  EXPECT_EQ(se.size(), 13);
+  for (const auto& [dx, dy] : se.offsets) {
+    EXPECT_LE(dx * dx + dy * dy, 4);
+  }
+}
+
+TEST(StructuringElement, AllContainOrigin) {
+  for (const auto& se :
+       {StructuringElement::square(2), StructuringElement::cross(3),
+        StructuringElement::disk(2)}) {
+    EXPECT_NE(std::find(se.offsets.begin(), se.offsets.end(),
+                        std::make_pair(0, 0)),
+              se.offsets.end());
+  }
+}
+
+TEST(StructuringElement, OffsetsAreUnique) {
+  const StructuringElement se = StructuringElement::square(2);
+  auto sorted = se.offsets;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+}  // namespace
+}  // namespace hs::core

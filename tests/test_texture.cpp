@@ -1,0 +1,162 @@
+#include "gpusim/texture.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace hs::gpusim {
+namespace {
+
+TEST(Texture, BytesPerTexel) {
+  EXPECT_EQ(bytes_per_texel(TextureFormat::RGBA32F), 16u);
+  EXPECT_EQ(bytes_per_texel(TextureFormat::R32F), 4u);
+}
+
+TEST(Texture, SizeBytes) {
+  Texture2D t(8, 4, TextureFormat::RGBA32F);
+  EXPECT_EQ(t.size_bytes(), 8u * 4u * 16u);
+  Texture2D s(8, 4, TextureFormat::R32F);
+  EXPECT_EQ(s.size_bytes(), 8u * 4u * 4u);
+}
+
+TEST(Texture, StoreLoadRoundTripRgba) {
+  Texture2D t(4, 4, TextureFormat::RGBA32F);
+  t.store(2, 3, {1, 2, 3, 4});
+  EXPECT_EQ(t.load(2, 3), float4(1, 2, 3, 4));
+  EXPECT_EQ(t.load(0, 0), float4(0, 0, 0, 0));
+}
+
+TEST(Texture, ScalarFormatKeepsOnlyX) {
+  Texture2D t(4, 4, TextureFormat::R32F);
+  t.store(1, 1, {7, 8, 9, 10});
+  EXPECT_EQ(t.load(1, 1), float4(7, 0, 0, 0));
+}
+
+TEST(Texture, FetchUsesFloorOfCoordinate) {
+  Texture2D t(4, 4, TextureFormat::R32F);
+  t.store(2, 1, float4(5.f));
+  // Texel centers are at x + 0.5; any coordinate in [2,3)x[1,2) hits (2,1).
+  EXPECT_EQ(t.fetch(2.0f, 1.0f).x, 5.f);
+  EXPECT_EQ(t.fetch(2.5f, 1.5f).x, 5.f);
+  EXPECT_EQ(t.fetch(2.999f, 1.999f).x, 5.f);
+  EXPECT_EQ(t.fetch(3.0f, 1.5f).x, 0.f);
+}
+
+TEST(Texture, ClampToEdgeAddressing) {
+  Texture2D t(3, 3, TextureFormat::R32F, AddressMode::ClampToEdge);
+  t.store(0, 0, float4(1.f));
+  t.store(2, 2, float4(9.f));
+  EXPECT_EQ(t.fetch(-5.f, -5.f).x, 1.f);
+  EXPECT_EQ(t.fetch(10.f, 10.f).x, 9.f);
+  EXPECT_EQ(t.fetch(-0.5f, 1.5f).x, t.load(0, 1).x);
+}
+
+TEST(Texture, RepeatAddressing) {
+  Texture2D t(4, 2, TextureFormat::R32F, AddressMode::Repeat);
+  t.store(1, 0, float4(3.f));
+  EXPECT_EQ(t.fetch(5.5f, 2.5f).x, 3.f);   // (5 mod 4, 2 mod 2) = (1, 0)
+  EXPECT_EQ(t.fetch(-2.5f, 0.5f).x, 3.f);  // floor(-2.5) = -3 -> mod 4 = 1
+}
+
+TEST(Texture, RepeatAddressingNegativeWrapsPositive) {
+  Texture2D t(4, 4, TextureFormat::R32F, AddressMode::Repeat);
+  t.store(3, 3, float4(2.f));
+  EXPECT_EQ(t.fetch(-0.5f, -0.5f).x, 2.f);  // floor(-0.5) = -1 -> 3
+}
+
+TEST(Texture, ClampToBorderReturnsBorderColor) {
+  Texture2D t(2, 2, TextureFormat::RGBA32F, AddressMode::ClampToBorder);
+  t.set_border_color({9, 9, 9, 9});
+  t.store(0, 0, {1, 1, 1, 1});
+  EXPECT_EQ(t.fetch(-1.f, 0.5f), float4(9, 9, 9, 9));
+  EXPECT_EQ(t.fetch(0.5f, 0.5f), float4(1, 1, 1, 1));
+  EXPECT_EQ(t.fetch(2.5f, 0.5f), float4(9, 9, 9, 9));
+}
+
+TEST(Texture, ResolveReportsBorderMisses) {
+  Texture2D t(2, 2, TextureFormat::R32F, AddressMode::ClampToBorder);
+  int x, y;
+  EXPECT_FALSE(t.resolve(-1.f, 0.f, x, y));
+  EXPECT_TRUE(t.resolve(1.5f, 1.5f, x, y));
+  EXPECT_EQ(x, 1);
+  EXPECT_EQ(y, 1);
+}
+
+TEST(Texture, RawLayoutIsRowMajor) {
+  Texture2D t(2, 2, TextureFormat::R32F);
+  t.store(1, 0, float4(5.f));
+  t.store(0, 1, float4(7.f));
+  EXPECT_EQ(t.raw()[1], 5.f);
+  EXPECT_EQ(t.raw()[2], 7.f);
+}
+
+
+TEST(HalfFloat, ExactValuesRoundTrip) {
+  for (float v : {0.f, 1.f, -1.f, 0.5f, 2.f, 1024.f, -0.25f, 65504.f}) {
+    EXPECT_EQ(quantize_half(v), v) << v;
+  }
+}
+
+TEST(HalfFloat, QuantizesToElevenBitsOfMantissa) {
+  // 1 + 2^-11 is exactly representable in float but not in half.
+  const float v = 1.0f + 1.0f / 2048.0f;
+  const float q = quantize_half(v);
+  EXPECT_NE(q, v);
+  EXPECT_NEAR(q, v, 1.0f / 1024.0f);
+}
+
+TEST(HalfFloat, RoundsToNearestEven) {
+  // Halfway between 1.0 and 1.0 + 2^-10 rounds to even (1.0).
+  EXPECT_EQ(quantize_half(1.0f + 1.0f / 2048.0f), 1.0f);
+  // Halfway between 1+2^-10 and 1+2^-9 rounds to even (1+2^-9).
+  EXPECT_EQ(quantize_half(1.0f + 3.0f / 2048.0f), 1.0f + 2.0f / 1024.0f);
+}
+
+TEST(HalfFloat, OverflowsToInfinity) {
+  EXPECT_TRUE(std::isinf(quantize_half(1e6f)));
+  EXPECT_TRUE(std::isinf(quantize_half(-1e6f)));
+  EXPECT_LT(quantize_half(-1e6f), 0.f);
+}
+
+TEST(HalfFloat, SubnormalsSurvive) {
+  // Smallest positive half subnormal is 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(quantize_half(tiny), tiny);
+  // Below half's subnormal range flushes to zero.
+  EXPECT_EQ(quantize_half(std::ldexp(1.0f, -26)), 0.0f);
+}
+
+TEST(HalfFloat, InfAndNanPropagate) {
+  EXPECT_TRUE(std::isinf(quantize_half(std::numeric_limits<float>::infinity())));
+  EXPECT_TRUE(std::isnan(quantize_half(std::numeric_limits<float>::quiet_NaN())));
+}
+
+TEST(Texture, HalfFormatQuantizesOnStore) {
+  Texture2D t(2, 2, TextureFormat::RGBA16F);
+  const float v = 1.0f + 1.0f / 2048.0f;  // not half-representable
+  t.store(0, 0, {v, 1.f, 2.f, 3.f});
+  EXPECT_NE(t.load(0, 0).x, v);
+  EXPECT_EQ(t.load(0, 0).y, 1.f);
+  EXPECT_EQ(t.size_bytes(), 2u * 2 * 8);
+}
+
+TEST(Texture, R16FStoresScalarHalf) {
+  Texture2D t(2, 1, TextureFormat::R16F);
+  t.store(1, 0, float4(0.333333f));
+  EXPECT_NEAR(t.load(1, 0).x, 0.333333f, 1e-3f);
+  EXPECT_EQ(t.size_bytes(), 2u * 1 * 2);
+}
+
+TEST(Texture, FormatMetadata) {
+  EXPECT_EQ(channels_of(TextureFormat::RGBA16F), 4);
+  EXPECT_EQ(channels_of(TextureFormat::R16F), 1);
+  EXPECT_TRUE(is_half_format(TextureFormat::RGBA16F));
+  EXPECT_TRUE(is_half_format(TextureFormat::R16F));
+  EXPECT_FALSE(is_half_format(TextureFormat::RGBA32F));
+  EXPECT_EQ(bytes_per_texel(TextureFormat::RGBA16F), 8u);
+  EXPECT_EQ(bytes_per_texel(TextureFormat::R16F), 2u);
+}
+
+}  // namespace
+}  // namespace hs::gpusim

@@ -1,0 +1,135 @@
+#include "gpusim/timing_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hs::gpusim {
+namespace {
+
+DeviceProfile flat_profile() {
+  DeviceProfile d;
+  d.name = "test";
+  d.fragment_pipes = 10;
+  d.core_clock_hz = 1e9;
+  d.alu_ipc = 1.0;
+  d.tex_fill_rate = 1e9;
+  d.mem_bandwidth_bps = 1e9;
+  d.pass_overhead_s = 0.0;
+  return d;
+}
+
+TEST(TimingModel, AluBoundPass) {
+  PassCounts c;
+  c.alu_instructions = 10'000'000'000ull;  // 10 G instr / 10 Ginstr/s = 1 s
+  EXPECT_DOUBLE_EQ(model_pass_time(flat_profile(), c), 1.0);
+}
+
+TEST(TimingModel, TexBoundPass) {
+  PassCounts c;
+  c.tex_fetches = 2'000'000'000ull;  // 2 G fetches / 1 G/s = 2 s
+  c.alu_instructions = 1000;
+  EXPECT_DOUBLE_EQ(model_pass_time(flat_profile(), c), 2.0);
+}
+
+TEST(TimingModel, MemoryBoundPassUsesUniqueTileBytes) {
+  PassCounts c;
+  c.unique_tile_bytes = 3'000'000'000ull;
+  c.cache_miss_bytes = 100;  // absorbed by L2 (flat profile has no L2 term)
+  c.cache_enabled = true;
+  EXPECT_DOUBLE_EQ(model_pass_time(flat_profile(), c), 3.0);
+}
+
+TEST(TimingModel, L2BandwidthBindsWhenMissesAreHeavy) {
+  DeviceProfile d = flat_profile();
+  d.l2_bandwidth_bps = 2e9;
+  PassCounts c;
+  c.cache_miss_bytes = 8'000'000'000ull;   // 4 s through L2
+  c.unique_tile_bytes = 1'000'000'000ull;  // 1 s of DRAM
+  c.cache_enabled = true;
+  EXPECT_DOUBLE_EQ(model_pass_time(d, c), 4.0);
+}
+
+TEST(TimingModel, CacheDisabledUsesRawFetchBytes) {
+  PassCounts c;
+  c.tex_fetch_bytes = 4'000'000'000ull;
+  c.cache_miss_bytes = 1;  // would be cheaper; must be ignored
+  c.cache_enabled = false;
+  EXPECT_DOUBLE_EQ(model_pass_time(flat_profile(), c), 4.0);
+}
+
+TEST(TimingModel, BottleneckIsMaxNotSum) {
+  PassCounts c;
+  c.alu_instructions = 10'000'000'000ull;  // 1 s
+  c.tex_fetches = 500'000'000ull;          // 0.5 s
+  c.bytes_written = 100'000'000ull;        // 0.1 s
+  EXPECT_DOUBLE_EQ(model_pass_time(flat_profile(), c), 1.0);
+}
+
+TEST(TimingModel, PassOverheadAdds) {
+  DeviceProfile d = flat_profile();
+  d.pass_overhead_s = 0.25;
+  PassCounts c;
+  c.alu_instructions = 10'000'000'000ull;
+  EXPECT_DOUBLE_EQ(model_pass_time(d, c), 1.25);
+}
+
+TEST(TimingModel, MorePipesScaleAluRate) {
+  DeviceProfile d = flat_profile();
+  PassCounts c;
+  c.alu_instructions = 10'000'000'000ull;
+  const double t10 = model_pass_time(d, c);
+  d.fragment_pipes = 20;
+  EXPECT_DOUBLE_EQ(model_pass_time(d, c), t10 / 2);
+}
+
+TEST(TimingModel, UploadAndDownloadUseBusDirections) {
+  BusProfile bus;
+  bus.upload_bandwidth_bps = 2e9;
+  bus.download_bandwidth_bps = 1e9;
+  bus.latency_s = 0.001;
+  EXPECT_DOUBLE_EQ(model_upload_time(bus, 2'000'000'000ull), 1.001);
+  EXPECT_DOUBLE_EQ(model_download_time(bus, 2'000'000'000ull), 2.001);
+}
+
+TEST(TimingModel, CpuComputeBound) {
+  CpuProfile cpu;
+  cpu.clock_hz = 2e9;
+  cpu.scalar_flops_per_cycle = 0.5;  // 1 Gflops
+  cpu.vector_flops_per_cycle = 2.0;  // 4 Gflops
+  cpu.mem_bandwidth_bps = 1e12;      // effectively unbounded
+  EXPECT_DOUBLE_EQ(model_cpu_time(cpu, 2'000'000'000ull, 0, false), 2.0);
+  EXPECT_DOUBLE_EQ(model_cpu_time(cpu, 2'000'000'000ull, 0, true), 0.5);
+}
+
+TEST(TimingModel, CpuMemoryBound) {
+  CpuProfile cpu;
+  cpu.clock_hz = 2e9;
+  cpu.scalar_flops_per_cycle = 1000;  // compute is free
+  cpu.vector_flops_per_cycle = 1000;
+  cpu.mem_bandwidth_bps = 1e9;
+  EXPECT_DOUBLE_EQ(model_cpu_time(cpu, 1000, 3'000'000'000ull, false), 3.0);
+}
+
+TEST(TimingModel, PaperProfilesAreOrdered) {
+  // Sanity on the Table 1 / Table 2 data: the 2005 parts outrun the 2003
+  // parts, and the GPUs outrun the CPUs on raw vec4 throughput.
+  const DeviceProfile nv38 = geforce_fx5950_ultra();
+  const DeviceProfile g70 = geforce_7800_gtx();
+  EXPECT_GT(g70.fragment_pipes, nv38.fragment_pipes);
+  EXPECT_GT(g70.mem_bandwidth_bps, nv38.mem_bandwidth_bps);
+  EXPECT_GT(g70.tex_fill_rate, nv38.tex_fill_rate);
+
+  PassCounts c;
+  c.alu_instructions = 1'000'000'000ull;
+  EXPECT_LT(model_pass_time(g70, c), model_pass_time(nv38, c));
+
+  const CpuProfile p4 = pentium4_northwood();
+  const CpuProfile prescott = pentium4_prescott();
+  const double t_p4 = model_cpu_time(p4, 1'000'000'000ull, 0, false);
+  const double t_pr = model_cpu_time(prescott, 1'000'000'000ull, 0, false);
+  EXPECT_LT(t_pr, t_p4);
+  // Generation gain below 10%, as in the paper's Tables 4/5.
+  EXPECT_GT(t_pr / t_p4, 0.90);
+}
+
+}  // namespace
+}  // namespace hs::gpusim

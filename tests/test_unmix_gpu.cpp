@@ -1,0 +1,135 @@
+#include "core/unmix_gpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/unmixing.hpp"
+#include "util/rng.hpp"
+
+namespace hs::core {
+namespace {
+
+std::vector<std::vector<float>> random_endmembers(int count, int bands,
+                                                  std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::vector<float>> e(static_cast<std::size_t>(count));
+  for (auto& sig : e) {
+    sig.resize(static_cast<std::size_t>(bands));
+    for (auto& v : sig) v = static_cast<float>(rng.uniform(0.05, 1.0));
+  }
+  return e;
+}
+
+hsi::HyperCube mixture_cube(const std::vector<std::vector<float>>& e, int w,
+                            int h, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const int bands = static_cast<int>(e[0].size());
+  hsi::HyperCube cube(w, h, bands);
+  std::vector<float> spec(static_cast<std::size_t>(bands));
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      // Random positive abundances summing to ~1, plus a dominant one.
+      std::vector<double> a(e.size());
+      double sum = 0;
+      for (auto& v : a) {
+        v = rng.uniform(0.0, 0.3);
+        sum += v;
+      }
+      a[rng.uniform_int(e.size())] += 1.0;
+      sum += 1.0;
+      std::fill(spec.begin(), spec.end(), 0.f);
+      for (std::size_t k = 0; k < e.size(); ++k) {
+        for (int b = 0; b < bands; ++b) {
+          spec[static_cast<std::size_t>(b)] += static_cast<float>(
+              a[k] / sum * static_cast<double>(e[k][static_cast<std::size_t>(b)]));
+        }
+      }
+      cube.set_pixel(x, y, spec);
+    }
+  }
+  return cube;
+}
+
+AmcGpuOptions fast_options() {
+  AmcGpuOptions opt;
+  opt.profile.fragment_pipes = 4;
+  return opt;
+}
+
+TEST(UnmixGpu, LabelsMatchHostUnmixer) {
+  const auto e = random_endmembers(6, 16, 1);
+  const auto cube = mixture_cube(e, 12, 10, 2);
+  const GpuUnmixReport gpu = unmix_gpu(cube, e, fast_options());
+  const Unmixer host(e, UnmixingMethod::Unconstrained);
+  const auto host_labels = host.classify_cube(cube);
+  ASSERT_EQ(gpu.labels.size(), host_labels.size());
+  std::size_t disagreements = 0;
+  for (std::size_t i = 0; i < host_labels.size(); ++i) {
+    if (gpu.labels[i] != host_labels[i]) ++disagreements;
+  }
+  // float (GPU) vs double (host) can flip near-ties only.
+  EXPECT_LE(disagreements, host_labels.size() / 50);
+}
+
+TEST(UnmixGpu, AbundancesMatchHostWithinFloatTolerance) {
+  const auto e = random_endmembers(5, 12, 3);
+  const auto cube = mixture_cube(e, 8, 8, 4);
+  const GpuUnmixReport gpu =
+      unmix_gpu(cube, e, fast_options(), /*download_abundances=*/true);
+  ASSERT_EQ(gpu.abundances.size(), cube.pixel_count() * 5);
+  const Unmixer host(e, UnmixingMethod::Unconstrained);
+  std::vector<float> spec(12);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      cube.pixel(x, y, spec);
+      const auto a = host.abundances(spec);
+      for (int k = 0; k < 5; ++k) {
+        const float gpu_a =
+            gpu.abundances[(static_cast<std::size_t>(y) * 8 + static_cast<std::size_t>(x)) * 5 +
+                           static_cast<std::size_t>(k)];
+        EXPECT_NEAR(gpu_a, a[static_cast<std::size_t>(k)],
+                    1e-3 * std::max(1.0, std::fabs(a[static_cast<std::size_t>(k)])));
+      }
+    }
+  }
+}
+
+TEST(UnmixGpu, PureEndmemberPixelsClassifyAsThemselves) {
+  const auto e = random_endmembers(7, 20, 5);
+  hsi::HyperCube cube(7, 1, 20);
+  for (int k = 0; k < 7; ++k) cube.set_pixel(k, 0, e[static_cast<std::size_t>(k)]);
+  const GpuUnmixReport gpu = unmix_gpu(cube, e, fast_options());
+  for (int k = 0; k < 7; ++k) EXPECT_EQ(gpu.labels[static_cast<std::size_t>(k)], k);
+}
+
+TEST(UnmixGpu, ChunkedMatchesUnchunked) {
+  const auto e = random_endmembers(5, 8, 6);
+  const auto cube = mixture_cube(e, 16, 16, 7);
+  const GpuUnmixReport whole = unmix_gpu(cube, e, fast_options());
+  AmcGpuOptions chunked = fast_options();
+  chunked.chunk_texel_budget = 16 * 4;
+  const GpuUnmixReport parts = unmix_gpu(cube, e, chunked);
+  EXPECT_GT(parts.chunk_count, 1u);
+  EXPECT_EQ(whole.labels, parts.labels);
+}
+
+TEST(UnmixGpu, MoreThanFourEndmembersUseSeveralPackedTextures) {
+  const auto e = random_endmembers(9, 16, 8);  // 3 packed textures
+  const auto cube = mixture_cube(e, 6, 6, 9);
+  const GpuUnmixReport gpu = unmix_gpu(cube, e, fast_options());
+  for (int v : gpu.labels) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 9);
+  }
+  EXPECT_GT(gpu.modeled_seconds, 0.0);
+}
+
+TEST(UnmixGpu, PassCountMatchesStructure) {
+  const auto e = random_endmembers(4, 8, 10);  // 2 groups, 1 packed texture
+  const auto cube = mixture_cube(e, 8, 8, 11);
+  const GpuUnmixReport gpu = unmix_gpu(cube, e, fast_options());
+  // Per endmember: clear + 2 group passes + 1 pack; plus 1 argmax.
+  EXPECT_EQ(gpu.totals.passes, 4u * (1 + 2 + 1) + 1u);
+}
+
+}  // namespace
+}  // namespace hs::core

@@ -1,0 +1,136 @@
+#include "core/unmixing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace hs::core {
+namespace {
+
+std::vector<std::vector<float>> random_endmembers(int count, int bands,
+                                                  std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::vector<float>> e(static_cast<std::size_t>(count));
+  for (auto& sig : e) {
+    sig.resize(static_cast<std::size_t>(bands));
+    for (auto& v : sig) v = static_cast<float>(rng.uniform(0.05, 1.0));
+  }
+  return e;
+}
+
+std::vector<float> mix(const std::vector<std::vector<float>>& e,
+                       const std::vector<double>& a) {
+  std::vector<float> x(e[0].size(), 0.f);
+  for (std::size_t k = 0; k < e.size(); ++k) {
+    for (std::size_t b = 0; b < x.size(); ++b) {
+      x[b] += static_cast<float>(a[k] * static_cast<double>(e[k][b]));
+    }
+  }
+  return x;
+}
+
+TEST(Unmixer, RecoversExactAbundances) {
+  const auto e = random_endmembers(4, 32, 1);
+  const std::vector<double> a_true{0.4, 0.3, 0.2, 0.1};
+  const auto x = mix(e, a_true);
+  const Unmixer unmixer(e, UnmixingMethod::Unconstrained);
+  const auto a = unmixer.abundances(x);
+  for (std::size_t k = 0; k < 4; ++k) EXPECT_NEAR(a[k], a_true[k], 1e-4);
+}
+
+TEST(Unmixer, ClassifyPicksDominantEndmember) {
+  const auto e = random_endmembers(5, 24, 2);
+  const std::vector<double> a_true{0.1, 0.1, 0.6, 0.1, 0.1};
+  const auto x = mix(e, a_true);
+  const Unmixer unmixer(e, UnmixingMethod::Unconstrained);
+  EXPECT_EQ(unmixer.classify(x), 2);
+}
+
+TEST(Unmixer, PureEndmemberClassifiesAsItself) {
+  const auto e = random_endmembers(6, 20, 3);
+  const Unmixer unmixer(e, UnmixingMethod::Unconstrained);
+  for (int k = 0; k < 6; ++k) {
+    EXPECT_EQ(unmixer.classify(e[static_cast<std::size_t>(k)]), k);
+  }
+}
+
+TEST(Unmixer, SumToOneConstraintHolds) {
+  const auto e = random_endmembers(4, 16, 4);
+  const Unmixer unmixer(e, UnmixingMethod::SumToOne);
+  util::Xoshiro256 rng(5);
+  std::vector<float> x(16);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(0.1, 1.0));
+  const auto a = unmixer.abundances(x);
+  double sum = 0;
+  for (double v : a) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Unmixer, SumToOnePreservesExactMixtures) {
+  const auto e = random_endmembers(3, 16, 6);
+  const std::vector<double> a_true{0.5, 0.3, 0.2};  // already sums to 1
+  const auto x = mix(e, a_true);
+  const Unmixer unmixer(e, UnmixingMethod::SumToOne);
+  const auto a = unmixer.abundances(x);
+  for (std::size_t k = 0; k < 3; ++k) EXPECT_NEAR(a[k], a_true[k], 1e-4);
+}
+
+TEST(Unmixer, NnlsProducesNonNegativeAbundances) {
+  const auto e = random_endmembers(4, 16, 7);
+  const Unmixer unmixer(e, UnmixingMethod::Nnls);
+  util::Xoshiro256 rng(8);
+  std::vector<float> x(16);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-0.2, 1.0));
+  const auto a = unmixer.abundances(x);
+  for (double v : a) EXPECT_GE(v, 0.0);
+}
+
+TEST(Unmixer, NnlsMatchesUnconstrainedOnInteriorMixture) {
+  const auto e = random_endmembers(3, 24, 9);
+  const std::vector<double> a_true{0.5, 0.25, 0.25};
+  const auto x = mix(e, a_true);
+  const Unmixer nnls_solver(e, UnmixingMethod::Nnls);
+  const auto a = nnls_solver.abundances(x);
+  for (std::size_t k = 0; k < 3; ++k) EXPECT_NEAR(a[k], a_true[k], 1e-5);
+}
+
+TEST(Unmixer, NearDuplicateEndmembersDoNotCrash) {
+  auto e = random_endmembers(3, 16, 10);
+  e.push_back(e[0]);  // exact duplicate -> singular Gram
+  const Unmixer unmixer(e, UnmixingMethod::Unconstrained);
+  const auto a = unmixer.abundances(e[1]);
+  for (double v : a) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Unmixer, ClassifyCubeLabelsEveryPixel) {
+  const auto e = random_endmembers(3, 8, 11);
+  hsi::HyperCube cube(4, 3, 8);
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      const std::size_t k = static_cast<std::size_t>((x + y) % 3);
+      cube.set_pixel(x, y, e[k]);
+    }
+  }
+  const Unmixer unmixer(e, UnmixingMethod::Unconstrained);
+  std::vector<double> abundances;
+  const auto labels = unmixer.classify_cube(cube, &abundances);
+  ASSERT_EQ(labels.size(), 12u);
+  EXPECT_EQ(abundances.size(), 12u * 3u);
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      EXPECT_EQ(labels[static_cast<std::size_t>(y * 4 + x)], (x + y) % 3);
+    }
+  }
+}
+
+TEST(Unmixer, MethodNames) {
+  EXPECT_STREQ(unmixing_method_name(UnmixingMethod::Unconstrained),
+               "unconstrained");
+  EXPECT_STREQ(unmixing_method_name(UnmixingMethod::SumToOne), "sum-to-one");
+  EXPECT_STREQ(unmixing_method_name(UnmixingMethod::Nnls), "nnls");
+}
+
+}  // namespace
+}  // namespace hs::core

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "gpusim/assembler.hpp"
+#include "gpusim/fragment_ir.hpp"
+
+namespace hs::gpusim {
+namespace {
+
+// The assembler runs validate() internally; these tests build IR directly
+// to hit the checks the parser cannot produce, plus parser-reachable ones.
+
+Instruction mov_out_from_temp(std::uint8_t temp) {
+  Instruction ins;
+  ins.op = Opcode::MOV;
+  ins.dst.file = RegFile::Output;
+  ins.dst.index = 0;
+  ins.src[0].file = RegFile::Temp;
+  ins.src[0].index = temp;
+  ins.src_count = 1;
+  return ins;
+}
+
+Instruction mov_temp_from_literal(std::uint8_t temp, std::uint8_t mask = 0xF) {
+  Instruction ins;
+  ins.op = Opcode::MOV;
+  ins.dst.file = RegFile::Temp;
+  ins.dst.index = temp;
+  ins.dst.write_mask = mask;
+  ins.src[0].file = RegFile::Literal;
+  ins.src[0].literal = float4(1.f);
+  ins.src_count = 1;
+  return ins;
+}
+
+TEST(Validator, EmptyProgramRejected) {
+  FragmentProgram p;
+  const auto errors = validate(p);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("no instructions"), std::string::npos);
+}
+
+TEST(Validator, AcceptsWellFormedProgram) {
+  FragmentProgram p;
+  p.code.push_back(mov_temp_from_literal(0));
+  p.code.push_back(mov_out_from_temp(0));
+  EXPECT_TRUE(validate(p).empty());
+}
+
+TEST(Validator, UninitializedTempRead) {
+  FragmentProgram p;
+  p.code.push_back(mov_out_from_temp(3));
+  const auto errors = validate(p);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("uninitialized"), std::string::npos);
+}
+
+TEST(Validator, PartialWriteTracksComponents) {
+  // Write only .x, then read all four components.
+  FragmentProgram p;
+  p.code.push_back(mov_temp_from_literal(0, 0b0001));
+  p.code.push_back(mov_out_from_temp(0));
+  const auto errors = validate(p);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("uninitialized"), std::string::npos);
+}
+
+TEST(Validator, PartialWriteReadOfWrittenLaneIsFine) {
+  FragmentProgram p;
+  p.code.push_back(mov_temp_from_literal(0, 0b0001));
+  Instruction out = mov_out_from_temp(0);
+  out.src[0].swizzle.comp = {0, 0, 0, 0};  // .x broadcast
+  p.code.push_back(out);
+  EXPECT_TRUE(validate(p).empty());
+}
+
+TEST(Validator, MissingOutputRejected) {
+  FragmentProgram p;
+  p.code.push_back(mov_temp_from_literal(0));
+  const auto errors = validate(p);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("result.color"), std::string::npos);
+}
+
+TEST(Validator, TempIndexOutOfRange) {
+  FragmentProgram p;
+  p.code.push_back(mov_temp_from_literal(static_cast<std::uint8_t>(kMaxTemps)));
+  p.code.push_back(mov_out_from_temp(0));
+  EXPECT_FALSE(validate(p).empty());
+}
+
+TEST(Validator, OutputIndexOutOfRange) {
+  FragmentProgram p;
+  Instruction ins = mov_temp_from_literal(0);
+  ins.dst.file = RegFile::Output;
+  ins.dst.index = kMaxOutputs;
+  p.code.push_back(ins);
+  EXPECT_FALSE(validate(p).empty());
+}
+
+TEST(Validator, EmptyWriteMaskRejected) {
+  FragmentProgram p;
+  p.code.push_back(mov_temp_from_literal(0, 0));
+  p.code.push_back(mov_out_from_temp(0));
+  EXPECT_FALSE(validate(p).empty());
+}
+
+TEST(Validator, OutputReadRejected) {
+  FragmentProgram p;
+  Instruction ins = mov_temp_from_literal(0);
+  p.code.push_back(ins);
+  Instruction bad = mov_out_from_temp(0);
+  bad.src[0].file = RegFile::Output;
+  p.code.push_back(bad);
+  const auto errors = validate(p);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("write-only"), std::string::npos);
+}
+
+TEST(Validator, ArityMismatchRejected) {
+  FragmentProgram p;
+  Instruction ins = mov_temp_from_literal(0);
+  ins.op = Opcode::ADD;  // needs two sources, has one
+  p.code.push_back(ins);
+  p.code.push_back(mov_out_from_temp(0));
+  EXPECT_FALSE(validate(p).empty());
+}
+
+TEST(Validator, TexUnitOutOfRange) {
+  FragmentProgram p;
+  Instruction tex;
+  tex.op = Opcode::TEX;
+  tex.dst.file = RegFile::Temp;
+  tex.dst.index = 0;
+  tex.src[0].file = RegFile::TexCoord;
+  tex.src[0].index = 0;
+  tex.src_count = 1;
+  tex.tex_unit = kMaxTexUnits;
+  p.code.push_back(tex);
+  p.code.push_back(mov_out_from_temp(0));
+  EXPECT_FALSE(validate(p).empty());
+}
+
+TEST(Validator, DestinationMustBeTempOrOutput) {
+  FragmentProgram p;
+  Instruction ins = mov_temp_from_literal(0);
+  ins.dst.file = RegFile::Const;
+  p.code.push_back(ins);
+  EXPECT_FALSE(validate(p).empty());
+}
+
+TEST(Validator, ProgramMetrics) {
+  const auto p = assemble_or_die("metrics",
+                                 "!!HSFP1.0\n"
+                                 "TEX R0, fragment.texcoord[2], texture[5];\n"
+                                 "ADD R1, R0, c[9];\n"
+                                 "MOV result.color[1], R1;\n"
+                                 "END\n");
+  EXPECT_EQ(p.alu_instruction_count(), 2);
+  EXPECT_EQ(p.tex_instruction_count(), 1);
+  EXPECT_EQ(p.max_tex_unit(), 5);
+  EXPECT_EQ(p.max_texcoord(), 2);
+  EXPECT_EQ(p.max_constant(), 9);
+  EXPECT_EQ(p.max_output(), 1);
+}
+
+
+TEST(Validator, MaskedComponentwiseOpsOnlyNeedMaskedLanes) {
+  // Write only .xy of R0, then ABS R1.xy, R0 -- legal: the op never
+  // evaluates the z/w lanes.
+  const auto p = assemble_or_die("masked",
+                                 "!!HSFP1.0\n"
+                                 "MOV R0.xy, {1.0};\n"
+                                 "ABS R1.xy, R0;\n"
+                                 "MOV result.color.xy, R1;\n"
+                                 "END\n");
+  EXPECT_TRUE(validate(p).empty());
+}
+
+TEST(Validator, MaskedOpStillCatchesUninitializedSwizzledLane) {
+  // .x write, then a .y-masked op whose swizzle routes lane y from
+  // uninitialized R0.y.
+  FragmentProgram p;
+  Instruction init;
+  init.op = Opcode::MOV;
+  init.dst.file = RegFile::Temp;
+  init.dst.index = 0;
+  init.dst.write_mask = 0b0001;
+  init.src[0].file = RegFile::Literal;
+  init.src[0].literal = float4(1.f);
+  init.src_count = 1;
+  p.code.push_back(init);
+
+  Instruction use;
+  use.op = Opcode::ABS;
+  use.dst.file = RegFile::Temp;
+  use.dst.index = 1;
+  use.dst.write_mask = 0b0010;  // writes .y, reads swizzled lane y
+  use.src[0].file = RegFile::Temp;
+  use.src[0].index = 0;
+  use.src_count = 1;
+  p.code.push_back(use);
+
+  Instruction out;
+  out.op = Opcode::MOV;
+  out.dst.file = RegFile::Output;
+  out.dst.index = 0;
+  out.src[0].file = RegFile::Literal;
+  out.src[0].literal = float4(0.f);
+  out.src_count = 1;
+  p.code.push_back(out);
+
+  EXPECT_FALSE(validate(p).empty());
+}
+
+}  // namespace
+}  // namespace hs::gpusim
