@@ -1,11 +1,69 @@
 #include "bench_common.hpp"
 
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace hs::bench {
+
+void JsonReport::add(const std::string& bench, const std::string& key,
+                     double value) {
+  for (Row& row : rows_) {
+    if (row.bench == bench) {
+      row.values.emplace_back(key, value);
+      return;
+    }
+  }
+  rows_.push_back(Row{bench, {{key, value}}});
+}
+
+bool JsonReport::write(const std::string& path) const {
+  if (path.empty()) return false;
+  std::string file = path;
+  const std::string suffix = ".json";
+  if (file.size() < suffix.size() ||
+      file.compare(file.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    if (!file.empty() && file.back() != '/') file += '/';
+    file += "BENCH_" + name_ + ".json";
+  }
+  std::ofstream os(file);
+  if (!os) {
+    std::cerr << "warning: cannot write " << file << "\n";
+    return false;
+  }
+  auto num = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return std::string(buf);
+  };
+  os << "{\n  \"name\": \"" << name_ << "\",\n  \"results\": [\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << "    {\"bench\": \"" << rows_[r].bench << "\"";
+    for (const auto& [key, value] : rows_[r].values) {
+      os << ", \"" << key << "\": " << num(value);
+    }
+    os << "}" << (r + 1 < rows_.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::cerr << "wrote " << file << "\n";
+  return true;
+}
+
+std::string json_output_path(int& argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      const std::string path = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      return path;
+    }
+  }
+  return {};
+}
 
 std::vector<ModelRow> modeled_exec_rows(bool vectorized) {
   const auto p4 = gpusim::pentium4_northwood();
@@ -42,9 +100,13 @@ std::vector<ModelRow> modeled_exec_rows(bool vectorized) {
   return rows;
 }
 
-void print_exec_time_tables(const std::string& caption, bool vectorized,
-                            const std::vector<PaperRow>& paper) {
+void print_exec_time_tables(const std::string& name, const std::string& caption,
+                            bool vectorized,
+                            const std::vector<PaperRow>& paper,
+                            const std::string& json_path) {
+  util::Timer wall;
   const std::vector<ModelRow> rows = modeled_exec_rows(vectorized);
+  const double wall_seconds = wall.seconds();
 
   util::Table table({"Size (MB)", "P4 C", "Prescott", "FX5950 U", "7800 GTX",
                      "FX5950 (compute)", "7800 (compute)"});
@@ -89,6 +151,20 @@ void print_exec_time_tables(const std::string& caption, bool vectorized,
                  util::Table::num(plast.gtx7800 / paper.front().gtx7800, 2) + "x"});
   std::cout << "\n";
   shape.print(std::cout, "Shape comparison (largest size)");
+
+  if (!json_path.empty()) {
+    JsonReport report(name);
+    report.add("calibration", "wall_seconds", wall_seconds);
+    for (const ModelRow& r : rows) {
+      const std::string bench = "mb" + std::to_string(r.mb);
+      report.add(bench, "modeled_p4_seconds", r.p4);
+      report.add(bench, "modeled_prescott_seconds", r.prescott);
+      report.add(bench, "modeled_fx5950_seconds", r.fx5950);
+      report.add(bench, "modeled_7800gtx_seconds", r.gtx7800);
+      report.add(bench, "modeled_7800gtx_compute_seconds", r.gtx7800_compute);
+    }
+    report.write(json_path);
+  }
 }
 
 }  // namespace hs::bench

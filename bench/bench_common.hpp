@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/amc.hpp"
@@ -104,8 +105,47 @@ struct ModelRow {
 /// vectorized build) plus calibrated GPU extrapolation for both devices.
 std::vector<ModelRow> modeled_exec_rows(bool vectorized);
 
+/// Machine-readable benchmark results. Each named benchmark accumulates
+/// (key, value) pairs; write() serializes everything as
+/// `BENCH_<name>.json` so sweep scripts can diff runs without scraping
+/// table output.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  /// Records `key = value` under the row named `bench` (created on first
+  /// use; insertion order is preserved in the output).
+  void add(const std::string& bench, const std::string& key, double value);
+
+  /// Writes the report. `path` is either a directory (the file becomes
+  /// `<path>/BENCH_<name>.json`) or an exact destination when it already
+  /// ends in ".json". An empty path is a no-op. Returns true when a file
+  /// was written.
+  bool write(const std::string& path) const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Row {
+    std::string bench;
+    std::vector<std::pair<std::string, double>> values;
+  };
+  std::string name_;
+  std::vector<Row> rows_;
+};
+
+/// Extracts the `--json <path>` flag, removing it (and its argument) from
+/// argv so downstream parsers never see it. Returns the path, or an empty
+/// string when the flag is absent.
+std::string json_output_path(int& argc, char** argv);
+
 /// Prints a regenerated Table 4/5 next to the paper's published values.
-void print_exec_time_tables(const std::string& caption, bool vectorized,
-                            const std::vector<PaperRow>& paper);
+/// `name` keys the optional JSON emission (BENCH_<name>.json under
+/// `json_path`, empty = table output only) with per-size modeled times and
+/// the calibration wall time.
+void print_exec_time_tables(const std::string& name, const std::string& caption,
+                            bool vectorized,
+                            const std::vector<PaperRow>& paper,
+                            const std::string& json_path = {});
 
 }  // namespace hs::bench

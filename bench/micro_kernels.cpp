@@ -2,10 +2,21 @@
 // distance, the two CPU morphology engines, the fragment-program
 // interpreter, texture fetches, and the cache model. These quantify the
 // host-side cost of simulation, not the modeled GPU time.
+//
+// The custom main() additionally times the two device execution engines
+// head to head on the pipeline's heaviest shaders (the fused SID
+// cumulative-distance kernel and the MEI kernel) and, with `--json <path>`,
+// writes wall and modeled times plus the speedup to BENCH_micro_kernels.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <limits>
+#include <iostream>
+#include <span>
+#include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/distances.hpp"
 #include "core/morphology.hpp"
 #include "core/rx.hpp"
@@ -16,6 +27,8 @@
 #include "gpusim/raster.hpp"
 #include "linalg/eigen.hpp"
 #include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -136,7 +149,10 @@ BENCHMARK(BM_AssembleCumdistKernel);
 void BM_DevicePass(benchmark::State& state) {
   gpusim::DeviceProfile profile = gpusim::geforce_7800_gtx();
   profile.fragment_pipes = 4;
-  gpusim::Device dev(profile);
+  gpusim::SimConfig config;
+  config.exec_engine = state.range(0) == 0 ? gpusim::ExecEngine::Interpreter
+                                           : gpusim::ExecEngine::Compiled;
+  gpusim::Device dev(profile, config);
   const auto in = dev.create_texture(64, 64, gpusim::TextureFormat::RGBA32F);
   const auto out = dev.create_texture(64, 64, gpusim::TextureFormat::RGBA32F);
   const auto program = gpusim::assemble_or_die("sq",
@@ -150,8 +166,9 @@ void BM_DevicePass(benchmark::State& state) {
     benchmark::DoNotOptimize(dev.draw(program, ins, {}, outs));
   }
   state.SetItemsProcessed(state.iterations() * 64 * 64);
+  state.SetLabel(state.range(0) == 0 ? "interpreter" : "compiled");
 }
-BENCHMARK(BM_DevicePass);
+BENCHMARK(BM_DevicePass)->Arg(0)->Arg(1);
 
 
 void BM_EigenSymmetric(benchmark::State& state) {
@@ -206,4 +223,137 @@ void BM_HalfQuantize(benchmark::State& state) {
 }
 BENCHMARK(BM_HalfQuantize);
 
+// ---- execution-engine head-to-head -----------------------------------------
+//
+// Times the interpreter and the compiled engine on the pipeline's two
+// heaviest shaders over a 256x256 viewport (the scale of one AMC chunk
+// slice). Both engines produce bit-identical results; this measures pure
+// host-side simulation throughput.
+
+struct EngineTiming {
+  double interp_seconds = 0;
+  double compiled_seconds = 0;
+  double modeled_seconds = 0;  ///< identical for both engines
+
+  double speedup() const {
+    return compiled_seconds > 0 ? interp_seconds / compiled_seconds : 0;
+  }
+};
+
+EngineTiming time_engines(const gpusim::FragmentProgram& program,
+                          const std::vector<gpusim::TextureFormat>& in_formats,
+                          std::span<const gpusim::float4> constants, int size,
+                          int reps) {
+  EngineTiming timing;
+  for (int engine = 0; engine < 2; ++engine) {
+    gpusim::DeviceProfile profile = gpusim::geforce_7800_gtx();
+    profile.fragment_pipes = 4;
+    gpusim::SimConfig config;
+    config.exec_engine = engine == 0 ? gpusim::ExecEngine::Interpreter
+                                     : gpusim::ExecEngine::Compiled;
+    gpusim::Device dev(profile, config);
+
+    util::Xoshiro256 rng(11);
+    std::vector<gpusim::TextureHandle> ins;
+    for (gpusim::TextureFormat fmt : in_formats) {
+      const auto h = dev.create_texture(size, size, fmt);
+      if (gpusim::channels_of(fmt) == 4) {
+        std::vector<gpusim::float4> data(static_cast<std::size_t>(size) * size);
+        for (auto& v : data) {
+          v = {static_cast<float>(rng.uniform(0.05, 1.0)),
+               static_cast<float>(rng.uniform(0.05, 1.0)),
+               static_cast<float>(rng.uniform(0.05, 1.0)),
+               static_cast<float>(rng.uniform(0.05, 1.0))};
+        }
+        dev.upload(h, data);
+      } else {
+        std::vector<float> data(static_cast<std::size_t>(size) * size);
+        for (auto& v : data) v = static_cast<float>(rng.uniform(0.05, 1.0));
+        dev.upload(h, data);
+      }
+      ins.push_back(h);
+    }
+    const auto out = dev.create_texture(size, size, gpusim::TextureFormat::R32F);
+    const gpusim::TextureHandle outs[1] = {out};
+
+    double modeled = 0;
+    (void)dev.draw(program, ins, constants, outs);  // warm-up (and compile)
+    // Best-of-reps: a loaded machine only ever inflates a wall-clock
+    // sample, so the minimum is the most repeatable throughput estimate
+    // (and treats both engines alike).
+    double seconds = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < reps; ++r) {
+      util::Timer wall;
+      modeled += dev.draw(program, ins, constants, outs).modeled_seconds;
+      seconds = std::min(seconds, wall.seconds());
+    }
+    if (engine == 0) {
+      timing.interp_seconds = seconds;
+    } else {
+      timing.compiled_seconds = seconds;
+      timing.modeled_seconds = modeled / reps;
+    }
+  }
+  return timing;
+}
+
+void run_engine_comparison(const std::string& json_path) {
+  constexpr int kSize = 256;
+  constexpr int kReps = 10;
+  constexpr int kNeighbors = 9;
+
+  std::vector<gpusim::float4> offsets;
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      offsets.push_back({static_cast<float>(dx), static_cast<float>(dy), 0, 0});
+    }
+  }
+  const auto sid = gpusim::assemble_or_die(
+      "cumdist_fused",
+      core::shaders::cumulative_distance_fused_source(kNeighbors));
+  const auto mei =
+      gpusim::assemble_or_die("mei", core::shaders::mei_source());
+
+  using TF = gpusim::TextureFormat;
+  const EngineTiming t_sid = time_engines(
+      sid, {TF::RGBA32F, TF::RGBA32F, TF::R32F}, offsets, kSize, kReps);
+  const EngineTiming t_mei = time_engines(
+      mei, {TF::RGBA32F, TF::RGBA32F, TF::RGBA32F, TF::R32F}, {}, kSize, kReps);
+
+  util::Table table({"Shader", "interpreter", "compiled", "speedup"});
+  table.add_row({"SID cumdist (9 nbrs)", util::format_duration(t_sid.interp_seconds),
+                 util::format_duration(t_sid.compiled_seconds),
+                 util::Table::num(t_sid.speedup(), 2) + "x"});
+  table.add_row({"MEI", util::format_duration(t_mei.interp_seconds),
+                 util::format_duration(t_mei.compiled_seconds),
+                 util::Table::num(t_mei.speedup(), 2) + "x"});
+  std::cout << "\n";
+  table.print(std::cout,
+              "Execution engines, 256x256 pass wall time (bit-identical "
+              "results)");
+
+  if (!json_path.empty()) {
+    bench::JsonReport report("micro_kernels");
+    auto emit = [&report](const std::string& bench, const EngineTiming& t) {
+      report.add(bench, "wall_seconds_interpreter", t.interp_seconds);
+      report.add(bench, "wall_seconds_compiled", t.compiled_seconds);
+      report.add(bench, "speedup", t.speedup());
+      report.add(bench, "modeled_seconds", t.modeled_seconds);
+    };
+    emit("device_pass_sid", t_sid);
+    emit("device_pass_mei", t_mei);
+    report.write(json_path);
+  }
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = hs::bench::json_output_path(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_engine_comparison(json_path);
+  return 0;
+}

@@ -12,9 +12,11 @@
 // printed milliseconds.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json = hs::bench::json_output_path(argc, argv);
   hs::bench::print_exec_time_tables(
+      "table4_exec_time_gcc",
       "Table 4. Execution time, scalar (gcc-style) CPU baselines", false,
-      hs::bench::paper_table4_gcc());
+      hs::bench::paper_table4_gcc(), json);
   return 0;
 }

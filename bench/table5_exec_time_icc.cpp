@@ -3,9 +3,11 @@
 // are identical to Table 4's, as in the paper.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json = hs::bench::json_output_path(argc, argv);
   hs::bench::print_exec_time_tables(
+      "table5_exec_time_icc",
       "Table 5. Execution time, vectorized (icc-style) CPU baselines", true,
-      hs::bench::paper_table5_icc());
+      hs::bench::paper_table5_icc(), json);
   return 0;
 }

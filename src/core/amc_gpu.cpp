@@ -1,5 +1,6 @@
 #include "core/amc_gpu.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <optional>
@@ -73,7 +74,14 @@ AmcGpuReport morphology_gpu(const hsi::HyperCube& cube,
   const int nb = se.size();
   HS_ASSERT(nb >= 1);
 
-  gpusim::Device device(options.profile, options.sim);
+  // The cumulative-distance shader is specialized per (dx, dy) constant
+  // pair under the compiled engine, so the device's program cache must
+  // hold the fixed programs plus one entry per SE neighbor or the
+  // per-chunk redraw loop would thrash it.
+  gpusim::SimConfig sim = options.sim;
+  sim.program_cache_capacity = std::max(
+      sim.program_cache_capacity, static_cast<std::size_t>(16 + nb));
+  gpusim::Device device(options.profile, sim);
   stream::StreamExecutor exec(device);
 
   // ---- programs (assembled once; constants arrive per draw) ---------------

@@ -22,6 +22,9 @@ namespace hs::core {
 
 struct AmcGpuOptions {
   gpusim::DeviceProfile profile = gpusim::geforce_7800_gtx();
+  /// Simulator knobs. `sim.exec_engine` picks the fragment engine
+  /// (interpreter reference or compiled fast path); results, counters and
+  /// modeled times are bit-identical either way.
   gpusim::SimConfig sim;
 
   /// true: one cumulative-distance pass per band group covering all SE

@@ -1,0 +1,178 @@
+// Pre-decoded, tile-batched execution engine for fragment programs.
+//
+// The interpreter (interpreter.hpp) re-decodes every instruction's operands
+// -- register-file switch, swizzle selection, negation -- once per fragment.
+// A pass over an Indian-Pines-scale chunk executes the same few dozen
+// instructions millions of times, so this engine lowers each bound
+// (program, constants, texture-shape) combination ONCE into a pre-decoded
+// form and runs it over row tiles of fragments with structure-of-arrays
+// temporaries, letting the host compiler vectorize across fragments -- the
+// same specialization step a stream compiler (Brook) or a shader JIT
+// performs before launching a kernel.
+//
+// Compilation performs:
+//   * constant materialization: Const/Literal operands become immediates
+//     with their swizzle and negation folded into the value;
+//   * swizzle pre-resolution: in SoA layout a swizzled read is just a
+//     different component row, so swizzles cost nothing at run time;
+//   * dead-write elimination: ALU writes whose lanes are never consumed
+//     (including output writes fully overwritten later) are dropped;
+//   * per-texture specialization: formats/shapes are part of the cache key
+//     and the dominant fullscreen-quad fetch (texcoord = pixel center)
+//     becomes a direct texel-row copy with no float->int resolve per lane.
+//
+// Exactness guarantee: for any validated program the compiled engine
+// produces bit-identical FragmentResults, ExecCounters, texture-cache
+// statistics and tile-touch bitmaps to the interpreter. ALU/TEX counters
+// are charged analytically from the *original* instruction mix (eliminated
+// dead writes still cost what the interpreter would have charged), TEX
+// instructions are never dropped or reordered (they drive the cache
+// model), and per-fetch cache/tracker accesses are replayed in the
+// interpreter's fragment-major order after each tile.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gpusim/fragment_ir.hpp"
+#include "gpusim/interpreter.hpp"
+#include "gpusim/texture.hpp"
+#include "gpusim/texture_cache.hpp"
+
+namespace hs::gpusim {
+
+/// Fragments per execution tile (one tile = one row segment in a
+/// fullscreen pass). Sized so the whole SoA working set stays in L1/L2.
+inline constexpr int kExecTileWidth = 64;
+
+struct CompiledSrc {
+  enum class Kind : std::uint8_t {
+    Temp,      ///< component rows of a temp register
+    TexCoord,  ///< component rows of an interpolated attribute
+    Imm,       ///< pass-uniform immediate (folded Const or Literal)
+  };
+  Kind kind = Kind::Imm;
+  std::uint8_t index = 0;
+  std::array<std::uint8_t, 4> swz{0, 1, 2, 3};
+  bool negate = false;         ///< Temp/TexCoord only; folded for Imm
+  std::uint16_t imm_slot = 0;  ///< row group in the broadcast pool
+  float4 imm{};                ///< swizzled/negated immediate value
+};
+
+struct CompiledIns {
+  Opcode op = Opcode::MOV;
+  std::uint8_t dst_index = 0;
+  bool dst_is_output = false;
+  /// Component-wise op whose destination register is also a source with a
+  /// non-identity swizzle: results are staged so later components still
+  /// read the pre-instruction register state.
+  bool alias_hazard = false;
+  std::uint8_t write_mask = 0xF;  ///< shrunk to the live lanes by DCE
+  std::uint8_t src_count = 0;
+  std::uint8_t tex_unit = 0;
+  std::int16_t tex_slot = -1;  ///< fetch-record row for TEX, program order
+  /// Fetch slot of an earlier TEX with the same (unclobbered) coordinate
+  /// source and identical texture geometry: its resolved texel indices are
+  /// reused instead of re-running floor/wrap per lane. -1 when none.
+  std::int16_t resolve_reuse = -1;
+  std::array<CompiledSrc, 3> src{};
+};
+
+struct CompiledProgram {
+  std::string name;
+  std::vector<CompiledIns> code;
+  std::uint8_t outputs_written = 0;  ///< bitmask over result.color[i]
+  /// Per output: components written by some surviving instruction. The
+  /// complement stays zero, matching the interpreter's zeroed registers.
+  std::array<std::uint8_t, kMaxOutputs> output_comp_mask{};
+  std::uint8_t texcoords_used = 0;  ///< bitmask over texcoord attributes
+  std::uint16_t imm_count = 0;
+  // Analytic per-fragment counters, from the *original* program (DCE'd
+  // instructions still cost what the interpreter would have charged).
+  std::uint32_t alu_per_fragment = 0;
+  std::uint32_t tex_per_fragment = 0;
+  std::uint64_t tex_bytes_per_fragment = 0;
+  /// Texture unit of every TEX instruction, in program order; index i is
+  /// the fetch record slot of the TEX with tex_slot == i.
+  std::vector<std::uint8_t> tex_unit_of_fetch;
+  /// Per fetch slot: the earlier slot whose resolved records it shares
+  /// (the instruction's resolve_reuse), or -1 when it owns its records.
+  std::vector<std::int16_t> tex_reuse_of_fetch;
+  int dce_removed = 0;  ///< ALU instructions eliminated as dead
+};
+
+/// Lowers a validated program against its bound constants and textures.
+/// `textures[u]` must be non-null for every unit the program samples.
+CompiledProgram compile_program(const FragmentProgram& program,
+                                std::span<const float4> constants,
+                                std::span<const Texture2D* const> textures);
+
+/// LRU cache of compiled programs, keyed by the exact specialization
+/// inputs: the instruction stream, the values of every referenced
+/// constant, and the shape/format/addressing of every sampled texture
+/// unit. The ping-pong loops of the AMC pipeline re-draw a handful of
+/// programs hundreds of times; each compiles once per device.
+class ProgramCache {
+ public:
+  explicit ProgramCache(std::size_t capacity);
+
+  const CompiledProgram& get(const FragmentProgram& program,
+                             std::span<const float4> constants,
+                             std::span<const Texture2D* const> textures);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::vector<std::uint8_t> key;
+    std::uint64_t stamp = 0;
+    std::unique_ptr<CompiledProgram> program;  ///< stable across eviction
+  };
+
+  std::size_t capacity_;
+  std::uint64_t stamp_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::vector<Entry> entries_;
+};
+
+/// A rasterized fragment for geometry passes (see gpusim/raster.hpp):
+/// target pixel plus the interpolated texcoord attributes. Aliased as
+/// Device::GeomFragment.
+struct GeomFragment {
+  int x = 0;
+  int y = 0;
+  float4 texcoord0{};
+  float4 texcoord1{};
+};
+
+/// Everything one simulated pipe needs to run a compiled pass slice.
+struct CompiledBindings {
+  std::span<const Texture2D* const> textures;
+  std::span<const std::uint32_t> texture_ids;
+  std::span<Texture2D* const> targets;
+  TextureCache* cache = nullptr;      ///< per-pipe; null disables stats
+  TileTouchTracker* tiles = nullptr;  ///< per-pipe; null disables tracking
+};
+
+/// Executes rows [y_begin, y_end) of a full-viewport pass (texcoord[0] =
+/// texel center) and accumulates the analytic counters.
+void run_compiled_rows(const CompiledProgram& program,
+                       const CompiledBindings& bindings, int width,
+                       int y_begin, int y_end, ExecCounters& counters);
+
+/// Executes an explicit fragment list slice (geometry passes).
+void run_compiled_fragments(const CompiledProgram& program,
+                            const CompiledBindings& bindings,
+                            std::span<const GeomFragment> fragments,
+                            ExecCounters& counters);
+
+}  // namespace hs::gpusim

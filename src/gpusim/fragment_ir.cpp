@@ -117,6 +117,31 @@ int FragmentProgram::max_output() const {
   return m;
 }
 
+std::uint8_t consumed_source_lanes(Opcode op, const Swizzle& swizzle,
+                                   std::uint8_t dst_write_mask) {
+  std::uint8_t needed = 0;
+  if (opcode_is_scalar(op) || op == Opcode::TEX) {
+    needed = static_cast<std::uint8_t>(1u << swizzle.comp[0]);
+    if (op == Opcode::TEX) {
+      needed = static_cast<std::uint8_t>(needed | (1u << swizzle.comp[1]));
+    }
+  } else if (op == Opcode::DP3 || op == Opcode::DP4) {
+    const int lanes = op == Opcode::DP3 ? 3 : 4;
+    for (int lane = 0; lane < lanes; ++lane) {
+      needed = static_cast<std::uint8_t>(
+          needed | (1u << swizzle.comp[static_cast<std::size_t>(lane)]));
+    }
+  } else {
+    for (int lane = 0; lane < 4; ++lane) {
+      if (dst_write_mask & (1u << lane)) {
+        needed = static_cast<std::uint8_t>(
+            needed | (1u << swizzle.comp[static_cast<std::size_t>(lane)]));
+      }
+    }
+  }
+  return needed;
+}
+
 namespace {
 std::string errf(std::size_t pc, const char* fmt, int a = 0, int b = 0) {
   char buf[160];
@@ -160,29 +185,8 @@ std::vector<std::string> validate(const FragmentProgram& program) {
             break;
           }
           // Which source lanes are actually consumed?
-          std::uint8_t needed = 0;
-          if (opcode_is_scalar(ins.op) || (ins.op == Opcode::TEX)) {
-            // scalar ops read lane swizzle[0]; TEX reads lanes swizzle[0..1]
-            needed = static_cast<std::uint8_t>(1u << src.swizzle.comp[0]);
-            if (ins.op == Opcode::TEX) {
-              needed = static_cast<std::uint8_t>(needed | (1u << src.swizzle.comp[1]));
-            }
-          } else if (ins.op == Opcode::DP3 || ins.op == Opcode::DP4) {
-            const int lanes = ins.op == Opcode::DP3 ? 3 : 4;
-            for (int lane = 0; lane < lanes; ++lane) {
-              needed = static_cast<std::uint8_t>(
-                  needed | (1u << src.swizzle.comp[static_cast<std::size_t>(lane)]));
-            }
-          } else {
-            // Component-wise ops consume only the lanes the write mask
-            // selects (ARB semantics: unmasked lanes are never evaluated).
-            for (int lane = 0; lane < 4; ++lane) {
-              if (ins.dst.write_mask & (1u << lane)) {
-                needed = static_cast<std::uint8_t>(
-                    needed | (1u << src.swizzle.comp[static_cast<std::size_t>(lane)]));
-              }
-            }
-          }
+          const std::uint8_t needed =
+              consumed_source_lanes(ins.op, src.swizzle, ins.dst.write_mask);
           if ((init[src.index] & needed) != needed) {
             errors.push_back(
                 errf(pc, "read of uninitialized temp R%d component(s)", src.index));

@@ -109,6 +109,18 @@ struct FragmentProgram {
   int max_output() const;
 };
 
+/// Which lanes of the source *register* (pre-swizzle) an instruction
+/// actually consumes, given the destination write mask:
+///   * scalar ops read lane swizzle[0];
+///   * TEX reads lanes swizzle[0..1] (the s/t coordinates);
+///   * DP3/DP4 read lanes swizzle[0..2] / swizzle[0..3];
+///   * component-wise ops read swizzle[i] for every write-enabled lane i
+///     (ARB semantics: unmasked lanes are never evaluated).
+/// Shared by the validator (initialized-before-read checking) and the
+/// compiled engine's dead-write elimination so both agree exactly.
+std::uint8_t consumed_source_lanes(Opcode op, const Swizzle& swizzle,
+                                   std::uint8_t dst_write_mask);
+
 /// Static validation. Returns a list of human-readable problems; an empty
 /// list means the program is well-formed. Checks: register indices within
 /// limits, nonzero write masks, at least one output written, no read of a

@@ -1,6 +1,7 @@
 #include "gpusim/gpu_device.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/assert.hpp"
 #include "util/log.hpp"
@@ -17,6 +18,7 @@ std::size_t resolve_threads(const SimConfig& config, int pipes) {
 Device::Device(DeviceProfile profile, SimConfig config)
     : profile_(std::move(profile)),
       config_(config),
+      program_cache_(config.program_cache_capacity),
       pool_(resolve_threads(config, profile_.fragment_pipes)) {
   HS_ASSERT(profile_.fragment_pipes > 0);
   TextureCacheConfig cache_config;
@@ -78,18 +80,19 @@ void Device::upload(TextureHandle handle, std::span<const float4> texels) {
   HS_ASSERT(channels_of(tex.format()) == 4);
   HS_ASSERT(texels.size() == static_cast<std::size_t>(tex.width()) *
                                  static_cast<std::size_t>(tex.height()));
-  const bool half = is_half_format(tex.format());
   float* out = tex.raw().data();
-  for (std::size_t i = 0; i < texels.size(); ++i) {
-    float4 v = texels[i];
-    if (half) {
-      v = {quantize_half(v.x), quantize_half(v.y), quantize_half(v.z),
-           quantize_half(v.w)};
+  if (is_half_format(tex.format())) {
+    for (std::size_t i = 0; i < texels.size(); ++i) {
+      const float4 v = texels[i];
+      out[i * 4 + 0] = quantize_half(v.x);
+      out[i * 4 + 1] = quantize_half(v.y);
+      out[i * 4 + 2] = quantize_half(v.z);
+      out[i * 4 + 3] = quantize_half(v.w);
     }
-    out[i * 4 + 0] = v.x;
-    out[i * 4 + 1] = v.y;
-    out[i * 4 + 2] = v.z;
-    out[i * 4 + 3] = v.w;
+  } else {
+    // float4 is four contiguous floats; full-precision upload is one copy.
+    static_assert(sizeof(float4) == 4 * sizeof(float));
+    std::memcpy(out, texels.data(), texels.size() * sizeof(float4));
   }
   const std::uint64_t bytes = tex.size_bytes();
   totals_.transfer.upload_bytes += bytes;
@@ -123,10 +126,9 @@ std::vector<float4> Device::download(TextureHandle handle) {
   const std::size_t n = static_cast<std::size_t>(tex.width()) *
                         static_cast<std::size_t>(tex.height());
   std::vector<float4> out(n);
-  const float* in = tex.raw().data();
-  for (std::size_t i = 0; i < n; ++i) {
-    out[i] = {in[i * 4 + 0], in[i * 4 + 1], in[i * 4 + 2], in[i * 4 + 3]};
-  }
+  static_assert(sizeof(float4) == 4 * sizeof(float));
+  std::memcpy(static_cast<void*>(out.data()), tex.raw().data(),
+              n * sizeof(float4));
   const std::uint64_t bytes = tex.size_bytes();
   totals_.transfer.download_bytes += bytes;
   totals_.transfer.downloads += 1;
@@ -242,16 +244,15 @@ PassStats Device::finalize_pass(const FragmentProgram& program,
       const std::uint64_t tile_bytes =
           static_cast<std::uint64_t>(kTrackerTile) * kTrackerTile *
           bytes_per_texel(bound.inputs[u]->format());
-      const std::size_t bits = pipe_tiles.front().units[u].size();
-      std::uint64_t touched = 0;
-      for (std::size_t i = 0; i < bits; ++i) {
-        for (int p = 0; p < pipes; ++p) {
-          if (pipe_tiles[static_cast<std::size_t>(p)].units[u][i]) {
-            ++touched;
-            break;
-          }
-        }
+      // OR the bitmaps one pipe at a time (contiguous byte streams the
+      // compiler vectorizes) instead of probing every pipe per tile.
+      std::vector<std::uint8_t> merged = pipe_tiles.front().units[u];
+      for (int p = 1; p < pipes; ++p) {
+        const auto& bits = pipe_tiles[static_cast<std::size_t>(p)].units[u];
+        for (std::size_t i = 0; i < merged.size(); ++i) merged[i] |= bits[i];
       }
+      const std::uint64_t touched = static_cast<std::uint64_t>(
+          std::count(merged.begin(), merged.end(), std::uint8_t{1}));
       stats.unique_tile_bytes += touched * tile_bytes;
     }
   }
@@ -296,6 +297,12 @@ PassStats Device::draw(const FragmentProgram& program,
   std::vector<TileTouchTracker> pipe_tiles = make_tile_trackers(bound);
   for (auto& cache : pipe_caches_) cache.flush();
 
+  // Lower (or fetch from the cache) once per pass, outside the pipe loop.
+  const CompiledProgram* compiled =
+      config_.exec_engine == ExecEngine::Compiled
+          ? &program_cache_.get(program, constants, bound.inputs)
+          : nullptr;
+
   // Contiguous row blocks per logical pipe: deterministic partitioning that
   // is independent of the host thread count, so cache statistics and
   // modeled times are reproducible everywhere. Blocks are aligned to the
@@ -308,6 +315,17 @@ PassStats Device::draw(const FragmentProgram& program,
         height, kTrackerTile * (static_cast<int>(pipe) * tile_rows / pipes));
     const int y_end = std::min(
         height, kTrackerTile * (static_cast<int>(pipe + 1) * tile_rows / pipes));
+    if (compiled != nullptr) {
+      CompiledBindings cb;
+      cb.textures = bound.inputs;
+      cb.texture_ids = bound.input_ids;
+      cb.targets = bound.targets;
+      cb.cache = config_.texture_cache ? &pipe_caches_[pipe] : nullptr;
+      cb.tiles = config_.texture_cache ? &pipe_tiles[pipe] : nullptr;
+      run_compiled_rows(*compiled, cb, width, y_begin, y_end,
+                        pipe_counters[pipe]);
+      return;
+    }
     FragmentContext ctx;
     ctx.constants = constants;
     ctx.textures = bound.inputs;
@@ -348,12 +366,28 @@ PassStats Device::draw_fragments(const FragmentProgram& program,
   std::vector<TileTouchTracker> pipe_tiles = make_tile_trackers(bound);
   for (auto& cache : pipe_caches_) cache.flush();
 
+  const CompiledProgram* compiled =
+      config_.exec_engine == ExecEngine::Compiled
+          ? &program_cache_.get(program, constants, bound.inputs)
+          : nullptr;
+
   // Contiguous fragment ranges per logical pipe: raster order preserves
   // the triangles' spatial locality, and the partition is deterministic.
   const std::size_t n = fragments.size();
   auto run_pipe = [&](std::size_t pipe) {
     const std::size_t begin = pipe * n / static_cast<std::size_t>(pipes);
     const std::size_t end = (pipe + 1) * n / static_cast<std::size_t>(pipes);
+    if (compiled != nullptr) {
+      CompiledBindings cb;
+      cb.textures = bound.inputs;
+      cb.texture_ids = bound.input_ids;
+      cb.targets = bound.targets;
+      cb.cache = config_.texture_cache ? &pipe_caches_[pipe] : nullptr;
+      cb.tiles = config_.texture_cache ? &pipe_tiles[pipe] : nullptr;
+      run_compiled_fragments(*compiled, cb, fragments.subspan(begin, end - begin),
+                             pipe_counters[pipe]);
+      return;
+    }
     FragmentContext ctx;
     ctx.constants = constants;
     ctx.textures = bound.inputs;

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "gpusim/compiled_program.hpp"
 #include "gpusim/device_profile.hpp"
 #include "gpusim/fragment_ir.hpp"
 #include "gpusim/interpreter.hpp"
@@ -40,6 +41,15 @@ class GpuOutOfMemory : public std::runtime_error {
 /// Opaque texture identifier. 0 is never a valid handle.
 using TextureHandle = std::uint32_t;
 
+/// Fragment-program execution engine. Both engines produce bit-identical
+/// outputs, counters, cache statistics and modeled times (see
+/// compiled_program.hpp for the exactness guarantee); the interpreter is
+/// the simple reference, the compiled engine the fast default.
+enum class ExecEngine : std::uint8_t {
+  Interpreter,  ///< decode every operand per fragment (reference)
+  Compiled,     ///< pre-decoded, tile-batched SoA execution
+};
+
 struct SimConfig {
   /// OS worker threads executing simulated pipes. 0 = auto
   /// (min(hardware_concurrency, fragment_pipes)). Functional results and
@@ -51,6 +61,12 @@ struct SimConfig {
   bool texture_cache = true;
   /// Enforce the profile's video-memory capacity on texture creation.
   bool enforce_memory_limit = true;
+  /// Engine used by draw()/draw_fragments().
+  ExecEngine exec_engine = ExecEngine::Compiled;
+  /// Entries in the device's compiled-program LRU cache (clamped to >= 1).
+  /// Size it to the working set of distinct (program, constants,
+  /// texture-shape) combinations the workload re-draws.
+  std::size_t program_cache_capacity = 32;
 };
 
 struct PassStats {
@@ -131,14 +147,8 @@ class Device {
                  std::span<const float4> constants,
                  std::span<const TextureHandle> outputs);
 
-  /// A rasterized fragment for geometry passes (see gpusim/raster.hpp):
-  /// target pixel plus the interpolated texcoord attributes.
-  struct GeomFragment {
-    int x = 0;
-    int y = 0;
-    float4 texcoord0{};
-    float4 texcoord1{};
-  };
+  /// A rasterized fragment for geometry passes (see gpusim/raster.hpp).
+  using GeomFragment = gpusim::GeomFragment;
 
   /// Executes one pass over an explicit fragment list (produced by a
   /// rasterizer) instead of the full viewport. Fragments must lie inside
@@ -151,6 +161,9 @@ class Device {
 
   const DeviceTotals& totals() const { return totals_; }
   void reset_totals() { totals_ = {}; }
+
+  /// The compiled-program cache (hit/miss statistics for tests and tools).
+  const ProgramCache& program_cache() const { return program_cache_; }
 
  private:
   struct Slot {
@@ -183,6 +196,7 @@ class Device {
   std::vector<Slot> slots_;  // index = handle - 1
   std::uint64_t memory_used_ = 0;
   std::vector<TextureCache> pipe_caches_;  // one per logical pipe
+  ProgramCache program_cache_;
   util::ThreadPool pool_;
   DeviceTotals totals_;
 };

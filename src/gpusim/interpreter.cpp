@@ -46,14 +46,6 @@ inline void write_masked(float4& dst, float4 value, std::uint8_t mask) {
   if (mask & 8u) dst.w = value.w;
 }
 
-// Approximations of the hardware special-function unit. NV30-class RCP was
-// good to ~23 mantissa bits, close enough to IEEE that we just use the host
-// operations; LG2/EX2 likewise.
-inline float hw_rcp(float x) { return 1.0f / x; }
-inline float hw_rsq(float x) { return 1.0f / std::sqrt(x); }
-inline float hw_lg2(float x) { return std::log2(x); }
-inline float hw_ex2(float x) { return std::exp2(x); }
-
 }  // namespace
 
 FragmentResult execute_fragment(const FragmentProgram& program,

@@ -7,6 +7,7 @@
 // matching the fp32 pipelines of the simulated hardware.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -16,6 +17,15 @@
 #include "gpusim/texture_cache.hpp"
 
 namespace hs::gpusim {
+
+// Approximations of the hardware special-function unit. NV30-class RCP was
+// good to ~23 mantissa bits, close enough to IEEE that we just use the host
+// operations; LG2/EX2 likewise. Shared (inline, single definition) by the
+// interpreter and the compiled engine so both produce bit-identical values.
+inline float hw_rcp(float x) { return 1.0f / x; }
+inline float hw_rsq(float x) { return 1.0f / std::sqrt(x); }
+inline float hw_lg2(float x) { return std::log2(x); }
+inline float hw_ex2(float x) { return std::exp2(x); }
 
 struct ExecCounters {
   std::uint64_t alu_instructions = 0;
@@ -43,11 +53,17 @@ struct TileTouchTracker {
 
   void touch(std::size_t unit, int x, int y) {
     if (unit >= units.size() || units[unit].empty()) return;
-    const std::size_t idx =
-        static_cast<std::size_t>(y / tile_size) *
-            static_cast<std::size_t>(tiles_x[unit]) +
-        static_cast<std::size_t>(x / tile_size);
-    units[unit][idx] = 1;
+    std::size_t tx, ty;
+    if (tile_size == 4) {
+      // Hot path for the device's fixed tracker tile; resolved texel
+      // coordinates are non-negative, so the shift matches the division.
+      tx = static_cast<std::uint32_t>(x) >> 2;
+      ty = static_cast<std::uint32_t>(y) >> 2;
+    } else {
+      tx = static_cast<std::size_t>(x / tile_size);
+      ty = static_cast<std::size_t>(y / tile_size);
+    }
+    units[unit][ty * static_cast<std::size_t>(tiles_x[unit]) + tx] = 1;
   }
 };
 

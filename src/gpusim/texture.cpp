@@ -7,32 +7,6 @@
 
 namespace hs::gpusim {
 
-std::uint32_t bytes_per_texel(TextureFormat format) {
-  switch (format) {
-    case TextureFormat::RGBA32F: return 16;
-    case TextureFormat::R32F: return 4;
-    case TextureFormat::RGBA16F: return 8;
-    case TextureFormat::R16F: return 2;
-  }
-  return 0;
-}
-
-int channels_of(TextureFormat format) {
-  switch (format) {
-    case TextureFormat::RGBA32F:
-    case TextureFormat::RGBA16F:
-      return 4;
-    case TextureFormat::R32F:
-    case TextureFormat::R16F:
-      return 1;
-  }
-  return 0;
-}
-
-bool is_half_format(TextureFormat format) {
-  return format == TextureFormat::RGBA16F || format == TextureFormat::R16F;
-}
-
 std::uint16_t float_to_half(float value) {
   std::uint32_t bits;
   std::memcpy(&bits, &value, sizeof bits);
@@ -114,68 +88,9 @@ Texture2D::Texture2D(int width, int height, TextureFormat format,
                0.0f);
 }
 
-namespace {
-int wrap_coord(int v, int size, AddressMode mode) {
-  switch (mode) {
-    case AddressMode::ClampToEdge:
-      return v < 0 ? 0 : (v >= size ? size - 1 : v);
-    case AddressMode::Repeat: {
-      int m = v % size;
-      return m < 0 ? m + size : m;
-    }
-    case AddressMode::ClampToBorder:
-      return v;  // caller checks range
-  }
-  return 0;
-}
-}  // namespace
-
-bool Texture2D::resolve(float s, float t, int& x, int& y) const {
-  x = static_cast<int>(std::floor(s));
-  y = static_cast<int>(std::floor(t));
-  if (address_ == AddressMode::ClampToBorder) {
-    return x >= 0 && x < width_ && y >= 0 && y < height_;
-  }
-  x = wrap_coord(x, width_, address_);
-  y = wrap_coord(y, height_, address_);
-  return true;
-}
-
-float4 Texture2D::fetch(float s, float t) const {
-  int x, y;
-  if (!resolve(s, t, x, y)) return border_;
-  return load(x, y);
-}
-
-void Texture2D::store(int x, int y, float4 value) {
-  HS_DEBUG_ASSERT(x >= 0 && x < width_ && y >= 0 && y < height_);
-  const std::size_t idx = static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
-                          static_cast<std::size_t>(x);
-  // Half formats quantize on store: the backing array keeps floats for the
-  // interpreter's convenience, but only half-representable values.
-  if (is_half_format(format_)) {
-    value = {quantize_half(value.x), quantize_half(value.y),
-             quantize_half(value.z), quantize_half(value.w)};
-  }
-  if (channels_of(format_) == 4) {
-    data_[idx * 4 + 0] = value.x;
-    data_[idx * 4 + 1] = value.y;
-    data_[idx * 4 + 2] = value.z;
-    data_[idx * 4 + 3] = value.w;
-  } else {
-    data_[idx] = value.x;
-  }
-}
-
-float4 Texture2D::load(int x, int y) const {
-  HS_DEBUG_ASSERT(x >= 0 && x < width_ && y >= 0 && y < height_);
-  const std::size_t idx = static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
-                          static_cast<std::size_t>(x);
-  if (channels_of(format_) == 4) {
-    return {data_[idx * 4 + 0], data_[idx * 4 + 1], data_[idx * 4 + 2],
-            data_[idx * 4 + 3]};
-  }
-  return {data_[idx], 0.f, 0.f, 0.f};
+float4 Texture2D::quantize_store(float4 value) const {
+  return {quantize_half(value.x), quantize_half(value.y),
+          quantize_half(value.z), quantize_half(value.w)};
 }
 
 }  // namespace hs::gpusim

@@ -6,6 +6,18 @@
 
 namespace hs::gpusim {
 
+namespace {
+
+/// Returns log2(v) when v is a power of two, -1 otherwise.
+int pow2_shift(std::uint64_t v) {
+  if (v == 0 || (v & (v - 1)) != 0) return -1;
+  int s = 0;
+  while ((v >> s) != 1) ++s;
+  return s;
+}
+
+}  // namespace
+
 TextureCache::TextureCache(const TextureCacheConfig& config) : config_(config) {
   HS_ASSERT(config_.tile_size > 0 && config_.associativity > 0);
   const std::uint64_t line_bytes =
@@ -15,53 +27,65 @@ TextureCache::TextureCache(const TextureCacheConfig& config) : config_(config) {
   std::uint64_t sets = config_.total_bytes /
                        (line_bytes * static_cast<std::uint64_t>(config_.associativity));
   num_sets_ = static_cast<int>(std::max<std::uint64_t>(1, sets));
-  lines_.assign(static_cast<std::size_t>(num_sets_) *
-                    static_cast<std::size_t>(config_.associativity),
-                Line{});
+  tile_shift_ = pow2_shift(static_cast<std::uint64_t>(config_.tile_size));
+  ways4_ = config_.associativity == 4;
+  if (pow2_shift(static_cast<std::uint64_t>(num_sets_)) >= 0) {
+    set_mask_ = static_cast<std::uint64_t>(num_sets_) - 1;
+  }
+  const std::size_t n = static_cast<std::size_t>(num_sets_) *
+                        static_cast<std::size_t>(config_.associativity);
+  lines_.assign(n, Line{kInvalidTag, 0});
 }
 
-bool TextureCache::access(std::uint32_t texture_id, int x, int y) {
-  ++stats_.accesses;
-  const std::uint64_t tile_x = static_cast<std::uint64_t>(x / config_.tile_size);
-  const std::uint64_t tile_y = static_cast<std::uint64_t>(y / config_.tile_size);
-  // Pack (texture, tile_y, tile_x) into a tag; widths are generous for any
-  // texture this library creates.
-  const std::uint64_t tag =
-      (static_cast<std::uint64_t>(texture_id) << 48) | (tile_y << 24) | tile_x;
-  // Index hash mixes tile coordinates and texture id so band-stack textures
-  // accessed in lockstep do not all collide in one set.
-  const std::uint64_t h = tag * 0x9E3779B97F4A7C15ULL;
-  const std::size_t set = static_cast<std::size_t>(h >> 32) %
-                          static_cast<std::size_t>(num_sets_);
-
-  Line* base = &lines_[set * static_cast<std::size_t>(config_.associativity)];
-  for (int w = 0; w < config_.associativity; ++w) {
-    Line& line = base[w];
-    if (line.valid && line.tag == tag) {
-      line.lru = ++stamp_;
-      ++stats_.hits;
-      return true;
-    }
-  }
-  ++stats_.misses;
-  // Victim: first invalid way, otherwise least recently used.
+void TextureCache::insert(Line* base, std::uint64_t tag) {
+  // Victim: least recently used, which prefers invalid lines (lru 0) and,
+  // on ties among them, the first way -- the classic first-invalid-way
+  // choice expressed through the stamp order.
   Line* victim = base;
-  for (int w = 0; w < config_.associativity; ++w) {
-    Line& line = base[w];
-    if (!line.valid) {
-      victim = &line;
-      break;
-    }
-    if (line.lru < victim->lru) victim = &line;
+  for (int w = 1; w < config_.associativity; ++w) {
+    if (base[w].lru < victim->lru) victim = base + w;
   }
-  victim->valid = true;
   victim->tag = tag;
   victim->lru = ++stamp_;
-  return false;
+}
+
+std::uint64_t TextureCache::access_tags(const std::uint64_t* tags,
+                                        std::size_t n) {
+  std::uint64_t hits = 0;
+  if (ways4_ && set_mask_ != 0) {
+    // Default geometry: everything mutable lives in registers for the run.
+    // Probe order, lru updates and victim choice are exactly those of
+    // access_tag_quiet(), so the eviction sequence is identical.
+    Line* const lines = lines_.data();
+    const std::uint64_t mask = set_mask_;
+    std::uint64_t stamp = stamp_;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t tag = tags[i];
+      const std::uint64_t h = tag * 0x9E3779B97F4A7C15ULL;
+      Line* const p = lines + ((h >> 32) & mask) * 4;
+      if (p[0].tag == tag) { p[0].lru = ++stamp; ++hits; continue; }
+      if (p[1].tag == tag) { p[1].lru = ++stamp; ++hits; continue; }
+      if (p[2].tag == tag) { p[2].lru = ++stamp; ++hits; continue; }
+      if (p[3].tag == tag) { p[3].lru = ++stamp; ++hits; continue; }
+      Line* v = p;
+      if (p[1].lru < v->lru) v = p + 1;
+      if (p[2].lru < v->lru) v = p + 2;
+      if (p[3].lru < v->lru) v = p + 3;
+      v->tag = tag;
+      v->lru = ++stamp;
+    }
+    stamp_ = stamp;
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      hits += access_tag_quiet(tags[i]) ? 1u : 0u;
+    }
+  }
+  add_accesses(n, hits);
+  return hits;
 }
 
 void TextureCache::flush() {
-  for (auto& line : lines_) line.valid = false;
+  std::fill(lines_.begin(), lines_.end(), Line{kInvalidTag, 0});
 }
 
 }  // namespace hs::gpusim

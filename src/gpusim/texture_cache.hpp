@@ -46,7 +46,100 @@ class TextureCache {
 
   /// Records an access to texel (x, y) of texture `texture_id`.
   /// Returns true on hit. Tags are (texture_id, tile_x, tile_y).
-  bool access(std::uint32_t texture_id, int x, int y);
+  ///
+  /// Inline (and with shift/mask fast paths for the common power-of-two
+  /// tile size and set count) because both execution engines call this
+  /// once per texel fetch; it dominates cache-model overhead otherwise.
+  bool access(std::uint32_t texture_id, int x, int y) {
+    const bool hit = access_quiet(texture_id, x, y);
+    ++stats_.accesses;
+    if (hit) {
+      ++stats_.hits;
+    } else {
+      ++stats_.misses;
+    }
+    return hit;
+  }
+
+  /// access() without the statistics updates: same tag/set/LRU behaviour,
+  /// same eviction sequence. Batch callers (the compiled engine's fetch
+  /// replay) count hits themselves and settle once via add_accesses(),
+  /// keeping per-pass statistics identical to per-call access().
+  bool access_quiet(std::uint32_t texture_id, int x, int y) {
+    return access_tag_quiet(make_tag(texture_id, x, y));
+  }
+
+  /// The packed (texture, tile_y, tile_x) line tag of texel (x, y); widths
+  /// are generous for any texture this library creates. Callers with the
+  /// texture id pre-shifted can build tags themselves via tile_shift().
+  std::uint64_t make_tag(std::uint32_t texture_id, int x, int y) const {
+    std::uint64_t tile_x, tile_y;
+    if (tile_shift_ >= 0) {
+      // Texel coordinates are wrap-resolved and therefore non-negative, so
+      // the shift matches the division below exactly.
+      tile_x = static_cast<std::uint32_t>(x) >> tile_shift_;
+      tile_y = static_cast<std::uint32_t>(y) >> tile_shift_;
+    } else {
+      tile_x = static_cast<std::uint64_t>(x / config_.tile_size);
+      tile_y = static_cast<std::uint64_t>(y / config_.tile_size);
+    }
+    return (static_cast<std::uint64_t>(texture_id) << 48) | (tile_y << 24) |
+           tile_x;
+  }
+
+  /// access_quiet() on a tag built by make_tag() (or equivalently, by the
+  /// caller from tile_shift() and the id shifted into bits 48+).
+  bool access_tag_quiet(std::uint64_t tag) {
+    // Index hash mixes tile coordinates and texture id so band-stack textures
+    // accessed in lockstep do not all collide in one set.
+    const std::uint64_t h = tag * 0x9E3779B97F4A7C15ULL;
+    const std::size_t set =
+        set_mask_ != 0
+            ? static_cast<std::size_t>((h >> 32) & set_mask_)
+            : static_cast<std::size_t>(h >> 32) % static_cast<std::size_t>(num_sets_);
+
+    Line* const p =
+        lines_.data() + set * static_cast<std::size_t>(config_.associativity);
+    if (ways4_) {
+      // Unrolled default geometry: a 4-way set of 16-byte lines is exactly
+      // one 64-byte host cache line. Victim choice below is min-lru with
+      // first-way-wins ties (strict <), identical to the generic insert().
+      if (p[0].tag == tag) { p[0].lru = ++stamp_; return true; }
+      if (p[1].tag == tag) { p[1].lru = ++stamp_; return true; }
+      if (p[2].tag == tag) { p[2].lru = ++stamp_; return true; }
+      if (p[3].tag == tag) { p[3].lru = ++stamp_; return true; }
+      Line* v = p;
+      if (p[1].lru < v->lru) v = p + 1;
+      if (p[2].lru < v->lru) v = p + 2;
+      if (p[3].lru < v->lru) v = p + 3;
+      v->tag = tag;
+      v->lru = ++stamp_;
+      return false;
+    }
+    for (int w = 0; w < config_.associativity; ++w) {
+      if (p[w].tag == tag) {
+        p[w].lru = ++stamp_;
+        return true;
+      }
+    }
+    insert(p, tag);
+    return false;
+  }
+
+  /// Settles statistics for `count` access_quiet() calls of which `hits`
+  /// hit; access() == access_quiet() + add_accesses(1, hit).
+  void add_accesses(std::uint64_t count, std::uint64_t hits) {
+    stats_.accesses += count;
+    stats_.hits += hits;
+    stats_.misses += count - hits;
+  }
+
+  /// Probes `n` pre-built tags in order and settles statistics once;
+  /// equivalent to n access_tag_quiet() calls + add_accesses(). The batch
+  /// form keeps the recency stamp and line array in registers across the
+  /// whole run (per-call, the lru stores force the member to be reloaded).
+  /// Returns the number of hits.
+  std::uint64_t access_tags(const std::uint64_t* tags, std::size_t n);
 
   void flush();
 
@@ -56,15 +149,31 @@ class TextureCache {
 
   int num_sets() const { return num_sets_; }
 
+  /// log2(tile_size) when the tile size is a power of two, -1 otherwise.
+  int tile_shift() const { return tile_shift_; }
+
  private:
+  /// Tag value no reachable access can produce: it would need texture id
+  /// 0xFFFF.. and ~16M-tile coordinates simultaneously, far beyond any
+  /// texture this simulator creates. Lines holding it are invalid; their
+  /// lru stamp is 0, below every stamped line, so the LRU victim scan
+  /// prefers them exactly like an explicit first-invalid-way search.
+  static constexpr std::uint64_t kInvalidTag = ~0ull;
+
+  /// Tag and recency stamp interleaved so a probe touches one cache line
+  /// per way group instead of two parallel arrays. lru 0 = never used.
   struct Line {
-    std::uint64_t tag = ~0ull;  ///< packed (texture_id, tile_x, tile_y)
-    std::uint64_t lru = 0;      ///< last-access stamp
-    bool valid = false;
+    std::uint64_t tag;
+    std::uint64_t lru;
   };
+
+  void insert(Line* base, std::uint64_t tag);
 
   TextureCacheConfig config_;
   int num_sets_;
+  int tile_shift_ = -1;        ///< log2(tile_size), or -1 if not a power of two
+  bool ways4_ = false;         ///< associativity == 4 (the default geometry)
+  std::uint64_t set_mask_ = 0;  ///< num_sets_ - 1 if a power of two, else 0
   std::uint64_t stamp_ = 0;
   std::vector<Line> lines_;  // num_sets_ * associativity
   TextureCacheStats stats_;

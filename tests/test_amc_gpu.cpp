@@ -57,6 +57,38 @@ TEST(AmcGpu, ChunkedRunMatchesUnchunked) {
   }
 }
 
+TEST(AmcGpu, ExecutionEnginesAreBitIdentical) {
+  // The full pipeline -- every shader, chunking, ping-pong loops -- must
+  // produce identical outputs AND identical modeled statistics under the
+  // interpreter and the compiled engine.
+  const auto cube = random_cube(14, 11, 10, 6);
+  const StructuringElement se = StructuringElement::square(1);
+  AmcGpuOptions interp = fast_options();
+  interp.sim.exec_engine = gpusim::ExecEngine::Interpreter;
+  AmcGpuOptions compiled = fast_options();
+  compiled.sim.exec_engine = gpusim::ExecEngine::Compiled;
+  const AmcGpuReport a = morphology_gpu(cube, se, interp);
+  const AmcGpuReport b = morphology_gpu(cube, se, compiled);
+
+  ASSERT_EQ(a.morph.mei.size(), b.morph.mei.size());
+  for (std::size_t i = 0; i < a.morph.mei.size(); ++i) {
+    EXPECT_EQ(a.morph.mei[i], b.morph.mei[i]) << i;
+    EXPECT_EQ(a.morph.db[i], b.morph.db[i]) << i;
+    EXPECT_EQ(a.morph.erosion_index[i], b.morph.erosion_index[i]) << i;
+    EXPECT_EQ(a.morph.dilation_index[i], b.morph.dilation_index[i]) << i;
+  }
+  EXPECT_EQ(a.totals.passes, b.totals.passes);
+  EXPECT_EQ(a.totals.fragments, b.totals.fragments);
+  EXPECT_EQ(a.totals.exec.alu_instructions, b.totals.exec.alu_instructions);
+  EXPECT_EQ(a.totals.exec.tex_fetches, b.totals.exec.tex_fetches);
+  EXPECT_EQ(a.totals.exec.tex_fetch_bytes, b.totals.exec.tex_fetch_bytes);
+  EXPECT_EQ(a.totals.cache.accesses, b.totals.cache.accesses);
+  EXPECT_EQ(a.totals.cache.hits, b.totals.cache.hits);
+  EXPECT_EQ(a.totals.cache.misses, b.totals.cache.misses);
+  EXPECT_EQ(a.totals.modeled_pass_seconds, b.totals.modeled_pass_seconds);
+  EXPECT_EQ(a.modeled_seconds, b.modeled_seconds);
+}
+
 TEST(AmcGpu, InlineLogVariantIsBitIdentical) {
   const auto cube = random_cube(10, 10, 9, 3);
   const StructuringElement se = StructuringElement::square(1);

@@ -2,10 +2,15 @@
 //   * the disassemble -> assemble round trip preserves the IR;
 //   * the interpreter executes any valid program without faulting and its
 //     counters always reconcile with the program's static instruction mix;
-//   * device passes never write outside their render targets.
+//   * device passes never write outside their render targets;
+//   * differential: the compiled engine reproduces the interpreter
+//     bit-for-bit -- outputs, counters, cache statistics, modeled time --
+//     on fullscreen and geometry passes alike.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <utility>
 
 #include "gpusim/assembler.hpp"
 #include "gpusim/gpu_device.hpp"
@@ -18,8 +23,13 @@ namespace {
 /// Builds a random but always-valid program: every temp is fully written
 /// before any read, sources draw from initialized temps / constants /
 /// texcoords / literals, and the last instruction writes the output.
+/// With `partial_masks`, extra partially-masked overwrites of live temps
+/// and of the output are interleaved (always valid: the overwritten temp
+/// is already fully initialized) -- these exercise the compiled engine's
+/// write-mask handling and dead-write elimination.
 FragmentProgram random_program(util::Xoshiro256& rng, int max_ops,
-                               int bound_textures) {
+                               int bound_textures,
+                               bool partial_masks = false) {
   FragmentProgram program;
   program.name = "fuzz";
   int live_temps = 0;
@@ -85,6 +95,27 @@ FragmentProgram random_program(util::Xoshiro256& rng, int max_ops,
     }
     program.code.push_back(ins);
     ++live_temps;
+
+    if (partial_masks && rng.uniform() < 0.35) {
+      Instruction extra;
+      extra.op = rng.uniform() < 0.5 ? Opcode::MOV : Opcode::ADD;
+      if (rng.uniform() < 0.3) {
+        extra.dst.file = RegFile::Output;
+        extra.dst.index = 0;
+      } else {
+        extra.dst.file = RegFile::Temp;
+        extra.dst.index = static_cast<std::uint8_t>(
+            rng.uniform_int(static_cast<std::uint64_t>(live_temps)));
+      }
+      extra.dst.write_mask =
+          static_cast<std::uint8_t>(1 + rng.uniform_int(15));  // nonzero
+      const int arity = opcode_arity(extra.op);
+      for (int s = 0; s < arity; ++s) {
+        extra.src[static_cast<std::size_t>(s)] = random_source(true);
+      }
+      extra.src_count = static_cast<std::uint8_t>(arity);
+      program.code.push_back(extra);
+    }
   }
 
   Instruction out;
@@ -183,6 +214,162 @@ TEST_P(ProgramFuzz, DevicePassesRunToCompletion) {
     EXPECT_EQ(stats.fragments, 64u);
     EXPECT_EQ(stats.exec.alu_instructions,
               64u * static_cast<std::uint64_t>(p.alu_instruction_count()));
+  }
+}
+
+// ---- engine differential --------------------------------------------------
+//
+// Two devices, identical in everything but the execution engine, are fed
+// identical programs, constants and texture contents. The compiled engine
+// must reproduce the interpreter *bit for bit*: raw output texels (memcmp,
+// so NaNs compare too), execution counters, texture-cache hit/miss
+// statistics (LRU-order sensitive), unique-tile traffic and modeled time.
+
+struct EnginePair {
+  Device interp;
+  Device compiled;
+
+  explicit EnginePair(int pipes)
+      : interp(profile_for(pipes), config_for(ExecEngine::Interpreter)),
+        compiled(profile_for(pipes), config_for(ExecEngine::Compiled)) {}
+
+  static DeviceProfile profile_for(int pipes) {
+    DeviceProfile profile = geforce_7800_gtx();
+    profile.fragment_pipes = pipes;
+    return profile;
+  }
+  static SimConfig config_for(ExecEngine engine) {
+    SimConfig config;
+    config.exec_engine = engine;
+    return config;
+  }
+};
+
+void expect_identical_stats(const PassStats& a, const PassStats& b) {
+  EXPECT_EQ(a.fragments, b.fragments);
+  EXPECT_EQ(a.exec.alu_instructions, b.exec.alu_instructions);
+  EXPECT_EQ(a.exec.tex_fetches, b.exec.tex_fetches);
+  EXPECT_EQ(a.exec.tex_fetch_bytes, b.exec.tex_fetch_bytes);
+  EXPECT_EQ(a.cache.accesses, b.cache.accesses);
+  EXPECT_EQ(a.cache.hits, b.cache.hits);
+  EXPECT_EQ(a.cache.misses, b.cache.misses);
+  EXPECT_EQ(a.cache_miss_bytes, b.cache_miss_bytes);
+  EXPECT_EQ(a.unique_tile_bytes, b.unique_tile_bytes);
+  EXPECT_EQ(a.bytes_written, b.bytes_written);
+  EXPECT_EQ(a.modeled_seconds, b.modeled_seconds);
+}
+
+void expect_identical_texels(Device& da, TextureHandle ha, Device& db,
+                             TextureHandle hb) {
+  const auto& ra = da.texture(ha).raw();
+  const auto& rb = db.texture(hb).raw();
+  ASSERT_EQ(ra.size(), rb.size());
+  EXPECT_EQ(0, std::memcmp(ra.data(), rb.data(), ra.size() * sizeof(float)));
+}
+
+TEST_P(ProgramFuzz, EnginesBitIdenticalOnFullscreenPasses) {
+  util::Xoshiro256 rng(GetParam() ^ 0xD1FFULL);
+  const AddressMode modes[] = {AddressMode::ClampToEdge, AddressMode::Repeat,
+                               AddressMode::ClampToBorder};
+  // Widths beyond kExecTileWidth exercise multi-tile rows; odd shapes
+  // exercise the partial final tile and uneven pipe partitions.
+  const std::pair<int, int> shapes[] = {{8, 8}, {70, 9}, {5, 3}, {64, 4}};
+  for (int trial = 0; trial < 8; ++trial) {
+    const int pipes = 1 + static_cast<int>(rng.uniform_int(4));
+    EnginePair pair(pipes);
+    const auto [w, h] = shapes[trial % 4];
+    const AddressMode mode_a = modes[rng.uniform_int(3)];
+    const AddressMode mode_b = modes[rng.uniform_int(3)];
+
+    std::vector<float4> data_a(static_cast<std::size_t>(w) * h);
+    std::vector<float> data_b(static_cast<std::size_t>(w) * h);
+    for (auto& v : data_a) {
+      v = {static_cast<float>(rng.uniform(-4, 4)),
+           static_cast<float>(rng.uniform(-4, 4)),
+           static_cast<float>(rng.uniform(-4, 4)),
+           static_cast<float>(rng.uniform(-4, 4))};
+    }
+    for (auto& v : data_b) v = static_cast<float>(rng.uniform(-4, 4));
+
+    TextureHandle in_a[2], in_b[2], out[2];
+    Device* devs[2] = {&pair.interp, &pair.compiled};
+    for (int d = 0; d < 2; ++d) {
+      in_a[d] = devs[d]->create_texture(w, h, TextureFormat::RGBA32F, mode_a);
+      in_b[d] = devs[d]->create_texture(w, h, TextureFormat::R32F, mode_b);
+      out[d] = devs[d]->create_texture(w, h, TextureFormat::RGBA32F);
+      if (mode_a == AddressMode::ClampToBorder) {
+        devs[d]->texture(in_a[d]).set_border_color({0.25f, -1.f, 2.f, 0.f});
+      }
+      devs[d]->upload(in_a[d], data_a);
+      devs[d]->upload(in_b[d], data_b);
+    }
+
+    const FragmentProgram p =
+        random_program(rng, 20, 2, /*partial_masks=*/true);
+    const float4 constants[4] = {{1, 2, 3, 4}, {0.5, -0.5, 0.5, -0.5},
+                                 {-1, 0, 1, 2}, {4, 3, 2, 1}};
+    for (int repeat = 0; repeat < 2; ++repeat) {  // second draw hits the cache
+      const TextureHandle ins_i[2] = {in_a[0], in_b[0]};
+      const TextureHandle ins_c[2] = {in_a[1], in_b[1]};
+      const TextureHandle outs_i[1] = {out[0]};
+      const TextureHandle outs_c[1] = {out[1]};
+      const PassStats si = pair.interp.draw(p, ins_i, constants, outs_i);
+      const PassStats sc = pair.compiled.draw(p, ins_c, constants, outs_c);
+      expect_identical_stats(si, sc);
+      expect_identical_texels(pair.interp, out[0], pair.compiled, out[1]);
+    }
+    EXPECT_GE(pair.compiled.program_cache().hits(), 1u);
+  }
+}
+
+TEST_P(ProgramFuzz, EnginesBitIdenticalOnGeometryPasses) {
+  util::Xoshiro256 rng(GetParam() ^ 0x6E0ULL);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int pipes = 1 + static_cast<int>(rng.uniform_int(4));
+    EnginePair pair(pipes);
+    const int w = 17, h = 11;
+
+    std::vector<float4> data(static_cast<std::size_t>(w) * h);
+    for (auto& v : data) {
+      v = {static_cast<float>(rng.uniform(-4, 4)),
+           static_cast<float>(rng.uniform(-4, 4)),
+           static_cast<float>(rng.uniform(-4, 4)),
+           static_cast<float>(rng.uniform(-4, 4))};
+    }
+
+    TextureHandle in[2], out[2];
+    Device* devs[2] = {&pair.interp, &pair.compiled};
+    for (int d = 0; d < 2; ++d) {
+      in[d] = devs[d]->create_texture(w, h, TextureFormat::RGBA32F,
+                                      AddressMode::Repeat);
+      out[d] = devs[d]->create_texture(w, h, TextureFormat::RGBA32F);
+      devs[d]->upload(in[d], data);
+    }
+
+    std::vector<Device::GeomFragment> frags(37);
+    for (auto& f : frags) {
+      f.x = static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(w)));
+      f.y = static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(h)));
+      f.texcoord0 = {static_cast<float>(rng.uniform(-2, w + 2)),
+                     static_cast<float>(rng.uniform(-2, h + 2)), 0.f, 1.f};
+      f.texcoord1 = {static_cast<float>(rng.uniform(0, 1)),
+                     static_cast<float>(rng.uniform(0, 1)), 0.f, 0.f};
+    }
+
+    const FragmentProgram p =
+        random_program(rng, 16, 1, /*partial_masks=*/true);
+    const float4 constants[4] = {{1, 2, 3, 4}, {0.5, -0.5, 0.5, -0.5},
+                                 {-1, 0, 1, 2}, {4, 3, 2, 1}};
+    const TextureHandle ins_i[1] = {in[0]};
+    const TextureHandle ins_c[1] = {in[1]};
+    const TextureHandle outs_i[1] = {out[0]};
+    const TextureHandle outs_c[1] = {out[1]};
+    const PassStats si =
+        pair.interp.draw_fragments(p, frags, ins_i, constants, outs_i);
+    const PassStats sc =
+        pair.compiled.draw_fragments(p, frags, ins_c, constants, outs_c);
+    expect_identical_stats(si, sc);
+    expect_identical_texels(pair.interp, out[0], pair.compiled, out[1]);
   }
 }
 

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build and test the Release configuration and an
+# ASan/UBSan-instrumented configuration.
+#
+# Usage: tools/check.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_config() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j
+  ctest --test-dir "$dir" --output-on-failure -j "${CTEST_ARGS[@]}"
+}
+
+CTEST_ARGS=("$@")
+
+echo "==> Release"
+run_config build-release -DCMAKE_BUILD_TYPE=Release
+
+echo "==> Sanitizers (address,undefined)"
+run_config build-sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHS_SANITIZE=address,undefined
+
+echo "==> All checks passed"
