@@ -16,6 +16,8 @@
 int main(int argc, char** argv) {
   using namespace hs;
 
+  const std::string json_path = bench::json_output_path(argc, argv);
+
   util::Cli cli;
   cli.add_flag("size", "scene edge length", "48");
   cli.add_flag("bands", "spectral bands", "64");
@@ -25,6 +27,8 @@ int main(int argc, char** argv) {
 
   const auto cube = bench::calibration_cube(size, size, bands);
   const std::uint64_t full = static_cast<std::uint64_t>(size) * static_cast<std::uint64_t>(size);
+
+  bench::JsonReport json("ablate_chunk_size");
 
   util::Table table({"Budget (texels)", "Chunks", "Padded texels", "Overlap",
                      "Passes", "Upload", "Compute", "Download", "Total"});
@@ -53,9 +57,19 @@ int main(int argc, char** argv) {
                    util::format_duration(upload), util::format_duration(compute),
                    util::format_duration(download),
                    util::format_duration(report.modeled_seconds)});
+
+    const std::string row = "budget_" + std::to_string(budget);
+    json.add(row, "chunks", static_cast<double>(report.chunk_count));
+    json.add(row, "padded_texels", static_cast<double>(padded));
+    json.add(row, "passes", static_cast<double>(report.totals.passes));
+    json.add(row, "upload_s", upload);
+    json.add(row, "compute_s", compute);
+    json.add(row, "download_s", download);
+    json.add(row, "total_s", report.modeled_seconds);
   }
   table.print(std::cout, "Ablation: chunk size sweep (" + std::to_string(size) +
                              "x" + std::to_string(size) + "x" +
                              std::to_string(bands) + ", 3x3 SE, 7800 GTX)");
+  json.write(json_path);
   return 0;
 }

@@ -14,8 +14,11 @@
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hs;
+
+  const std::string json_path = bench::json_output_path(argc, argv);
+  bench::JsonReport json("ablate_gpu_classification");
 
   hsi::SceneConfig scfg;
   scfg.width = 48;
@@ -51,10 +54,18 @@ int main() {
                    util::Table::num(100.0 * static_cast<double>(agree) /
                                         static_cast<double>(host_labels.size()),
                                     2) + "%"});
+
+    const std::string row = "endmembers_" + std::to_string(c);
+    json.add(row, "gpu_modeled_s", gpu.modeled_seconds);
+    json.add(row, "gpu_passes", static_cast<double>(gpu.totals.passes));
+    json.add(row, "host_wall_s", host_wall);
+    json.add(row, "label_agreement",
+             static_cast<double>(agree) / static_cast<double>(host_labels.size()));
   }
   table.print(std::cout,
               "Ablation: GPU-resident classification (48x48x64 scene, "
               "7800 GTX model; host wall times are this machine's, shown "
               "for agreement context only)");
+  json.write(json_path);
   return 0;
 }

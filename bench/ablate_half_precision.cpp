@@ -13,8 +13,10 @@
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hs;
+
+  const std::string json_path = bench::json_output_path(argc, argv);
 
   const auto cube = bench::calibration_cube(48, 48, 64);
   const auto se = core::StructuringElement::square(1);
@@ -83,5 +85,19 @@ int main() {
   std::cout << "\nSpeedup from halved traffic: "
             << util::Table::num(a.modeled_seconds / b.modeled_seconds, 2)
             << "x modeled end-to-end\n";
+
+  bench::JsonReport json("ablate_half_precision");
+  json.add("fp32", "modeled_s", a.modeled_seconds);
+  json.add("fp32", "upload_bytes", static_cast<double>(a.totals.transfer.upload_bytes));
+  json.add("fp16", "modeled_s", b.modeled_seconds);
+  json.add("fp16", "upload_bytes", static_cast<double>(b.totals.transfer.upload_bytes));
+  json.add("fp16", "mei_mean_abs_error", mean_abs);
+  json.add("fp16", "mei_max_abs_error", max_abs);
+  json.add("fp16", "mei_max_rel_error", max_rel);
+  json.add("fp16", "top32_overlap", overlap);
+  json.add("fp16", "index_flip_rate",
+           static_cast<double>(index_flips) /
+               (2.0 * static_cast<double>(a.morph.mei.size())));
+  json.write(json_path);
   return 0;
 }

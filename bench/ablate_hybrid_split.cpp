@@ -15,8 +15,11 @@
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hs;
+
+  const std::string json_path = bench::json_output_path(argc, argv);
+  bench::JsonReport json("ablate_hybrid_split");
 
   const auto cube = bench::calibration_cube(64, 64, 64);
   const auto se = core::StructuringElement::square(1);
@@ -37,6 +40,14 @@ int main() {
                    util::format_duration(r.cpu_seconds),
                    util::format_duration(r.gpu_seconds),
                    util::format_duration(r.makespan_seconds)});
+    const std::string row =
+        tag.empty() ? "fraction_" + util::Table::num(fraction, 3) : "balanced";
+    json.add(row, "cpu_fraction", r.cpu_fraction);
+    json.add(row, "cpu_rows", static_cast<double>(r.cpu_rows));
+    json.add(row, "gpu_rows", static_cast<double>(r.gpu_rows));
+    json.add(row, "cpu_s", r.cpu_seconds);
+    json.add(row, "gpu_s", r.gpu_seconds);
+    json.add(row, "makespan_s", r.makespan_seconds);
   };
   for (double f : {0.0, 0.05, 0.10, 0.20, 0.40, 0.70, 1.0}) run(f, "");
   run(auto_fraction, "  <- balanced");
@@ -46,5 +57,6 @@ int main() {
               "modeled concurrent timeline)");
   std::cout << "\nBalanced fraction from the analytic models: "
             << util::Table::num(auto_fraction, 3) << "\n";
+  json.write(json_path);
   return 0;
 }

@@ -15,8 +15,11 @@
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hs;
+
+  const std::string json_path = bench::json_output_path(argc, argv);
+  bench::JsonReport json("ablate_kernel_fusion");
 
   const auto cube = bench::calibration_cube(40, 40, 64);
 
@@ -45,9 +48,21 @@ int main() {
                    std::to_string(report.totals.exec.tex_fetches),
                    util::format_duration(report.totals.modeled_pass_seconds),
                    util::format_duration(report.modeled_seconds)});
+    std::string row = c.name;
+    for (char& ch : row) {
+      if (ch == ' ' || ch == ',') ch = '_';
+    }
+    json.add(row, "passes", static_cast<double>(report.totals.passes));
+    json.add(row, "alu_instructions",
+             static_cast<double>(report.totals.exec.alu_instructions));
+    json.add(row, "tex_fetches",
+             static_cast<double>(report.totals.exec.tex_fetches));
+    json.add(row, "compute_s", report.totals.modeled_pass_seconds);
+    json.add(row, "total_s", report.modeled_seconds);
   }
   table.print(std::cout,
               "Ablation: cumulative-distance kernel organization "
               "(40x40x64, 3x3 SE, 7800 GTX)");
+  json.write(json_path);
   return 0;
 }

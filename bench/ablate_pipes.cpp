@@ -11,8 +11,11 @@
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hs;
+
+  const std::string json_path = bench::json_output_path(argc, argv);
+  bench::JsonReport json("ablate_pipes");
 
   const auto cube = bench::calibration_cube(40, 40, 64);
 
@@ -31,11 +34,16 @@ int main() {
     table.add_row({std::to_string(pipes), util::format_duration(t),
                    util::Table::num(speedup, 2) + "x",
                    util::Table::num(100.0 * speedup / ideal, 1) + "%"});
+    const std::string row = "pipes_" + std::to_string(pipes);
+    json.add(row, "compute_s", t);
+    json.add(row, "speedup", speedup);
+    json.add(row, "efficiency", speedup / ideal);
   }
   table.print(std::cout,
               "Ablation: fragment pipe scaling (40x40x64, 3x3 SE, other "
               "parameters fixed at 7800 GTX values)");
   std::cout << "\nEfficiency falls once passes stop being ALU-bound "
                "(bandwidth and per-pass overhead do not scale with pipes).\n";
+  json.write(json_path);
   return 0;
 }

@@ -14,6 +14,9 @@
 int main(int argc, char** argv) {
   using namespace hs;
 
+  const std::string json_path = bench::json_output_path(argc, argv);
+  bench::JsonReport json("ablate_se_size");
+
   util::Cli cli;
   cli.add_flag("size", "scene edge length", "40");
   cli.add_flag("bands", "spectral bands", "64");
@@ -54,11 +57,23 @@ int main(int argc, char** argv) {
                    std::to_string(report.totals.exec.tex_fetches),
                    util::format_duration(compute),
                    util::format_duration(report.modeled_seconds)});
+    std::string row = c.name;
+    for (char& ch : row) {
+      if (ch == ' ' || ch == '(' || ch == ')' || ch == '=') ch = '_';
+    }
+    json.add(row, "se_pixels", c.se.size());
+    json.add(row, "alu_instructions",
+             static_cast<double>(report.totals.exec.alu_instructions));
+    json.add(row, "tex_fetches",
+             static_cast<double>(report.totals.exec.tex_fetches));
+    json.add(row, "compute_s", compute);
+    json.add(row, "total_s", report.modeled_seconds);
   }
   table.print(std::cout, "Ablation: structuring element sweep (" +
                              std::to_string(size) + "x" + std::to_string(size) +
                              "x" + std::to_string(bands) + ", 7800 GTX)");
   std::cout << "\nExpected: ALU work scales ~|B| (the O(p_f x p_B x N) law of"
                " the paper's Section 3.1).\n";
+  json.write(json_path);
   return 0;
 }

@@ -13,8 +13,11 @@
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hs;
+
+  const std::string json_path = bench::json_output_path(argc, argv);
+  bench::JsonReport json("ablate_spatial_vs_spectral");
 
   hsi::SceneConfig scfg;
   scfg.width = 96;
@@ -46,6 +49,10 @@ int main() {
       table.add_row({"AMC (spatial+spectral)", std::to_string(k),
                      util::Table::num(100.0 * oa, 2) + "%",
                      util::Table::num(kappa, 3), util::format_duration(t.seconds())});
+      const std::string row = "amc_k" + std::to_string(k);
+      json.add(row, "overall_accuracy", oa);
+      json.add(row, "kappa", kappa);
+      json.add(row, "wall_s", t.seconds());
     }
     {
       util::Timer t;
@@ -56,6 +63,10 @@ int main() {
       table.add_row({"k-means (spectral only)", std::to_string(k),
                      util::Table::num(100.0 * oa, 2) + "%",
                      util::Table::num(kappa, 3), util::format_duration(t.seconds())});
+      const std::string row = "kmeans_k" + std::to_string(k);
+      json.add(row, "overall_accuracy", oa);
+      json.add(row, "kappa", kappa);
+      json.add(row, "wall_s", t.seconds());
     }
   }
 
@@ -64,5 +75,6 @@ int main() {
               "(96x96x96 synthetic Indian Pines)");
   std::cout << "\n(Host wall times on this machine, for context only; the "
                "accuracy columns are the point.)\n";
+  json.write(json_path);
   return 0;
 }

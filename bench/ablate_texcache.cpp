@@ -14,6 +14,9 @@
 int main(int argc, char** argv) {
   using namespace hs;
 
+  const std::string json_path = bench::json_output_path(argc, argv);
+  bench::JsonReport json("ablate_texcache");
+
   util::Cli cli;
   cli.add_flag("size", "scene edge length", "40");
   cli.add_flag("bands", "spectral bands", "64");
@@ -32,6 +35,9 @@ int main(int argc, char** argv) {
         core::morphology_gpu(cube, core::StructuringElement::square(1), opt);
     table.add_row({"off", "-", util::format_bytes(report.totals.exec.tex_fetch_bytes),
                    util::format_duration(report.totals.modeled_pass_seconds)});
+    json.add("cache_off", "miss_bytes",
+             static_cast<double>(report.totals.exec.tex_fetch_bytes));
+    json.add("cache_off", "compute_s", report.totals.modeled_pass_seconds);
   }
   for (std::uint64_t kb : {1, 2, 4, 8, 16, 64}) {
     core::AmcGpuOptions opt;
@@ -47,9 +53,15 @@ int main(int argc, char** argv) {
                                     1) + "%",
                    util::format_bytes(miss_bytes),
                    util::format_duration(report.totals.modeled_pass_seconds)});
+    const std::string row = "cache_" + std::to_string(kb) + "kb";
+    json.add(row, "hit_rate",
+             static_cast<double>(c.hits) / static_cast<double>(c.accesses));
+    json.add(row, "miss_bytes", static_cast<double>(miss_bytes));
+    json.add(row, "compute_s", report.totals.modeled_pass_seconds);
   }
   table.print(std::cout, "Ablation: texture cache capacity (" +
                              std::to_string(size) + "x" + std::to_string(size) +
                              "x" + std::to_string(bands) + ", 3x3 SE, 7800 GTX)");
+  json.write(json_path);
   return 0;
 }

@@ -9,8 +9,11 @@
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hs;
+
+  const std::string json_path = bench::json_output_path(argc, argv);
+  bench::JsonReport json("ablate_unmixing");
 
   hsi::SceneConfig scfg;
   scfg.width = 72;
@@ -34,8 +37,13 @@ int main() {
                    util::Table::num(100.0 * acc.overall, 2) + "%",
                    util::Table::num(acc.kappa, 3),
                    util::format_duration(result.postprocess_wall_seconds)});
+    const std::string row = core::unmixing_method_name(m);
+    json.add(row, "overall_accuracy", acc.overall);
+    json.add(row, "kappa", acc.kappa);
+    json.add(row, "postprocess_s", result.postprocess_wall_seconds);
   }
   table.print(std::cout,
               "Ablation: abundance solver (72x72x64 synthetic scene, c=16)");
+  json.write(json_path);
   return 0;
 }

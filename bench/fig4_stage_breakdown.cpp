@@ -16,6 +16,8 @@
 int main(int argc, char** argv) {
   using namespace hs;
 
+  const std::string json_path = bench::json_output_path(argc, argv);
+
   util::Cli cli;
   cli.add_flag("size", "scene edge length", "64");
   cli.add_flag("bands", "spectral bands", "216");
@@ -34,6 +36,7 @@ int main(int argc, char** argv) {
   double total = 0;
   for (const auto& [name, stats] : report.stages) total += stats.modeled_seconds;
 
+  bench::JsonReport json("fig4_stage_breakdown");
   util::Table table({"Stage", "Passes", "Fragments", "ALU instr", "Tex fetches",
                      "Modeled time", "Share"});
   for (const auto& [name, stats] : report.stages) {
@@ -43,6 +46,12 @@ int main(int argc, char** argv) {
                    std::to_string(stats.tex_fetches),
                    util::format_duration(stats.modeled_seconds),
                    util::Table::num(100.0 * stats.modeled_seconds / total, 1) + "%"});
+    json.add(name, "passes", static_cast<double>(stats.passes));
+    json.add(name, "fragments", static_cast<double>(stats.fragments));
+    json.add(name, "alu_instructions", static_cast<double>(stats.alu_instructions));
+    json.add(name, "tex_fetches", static_cast<double>(stats.tex_fetches));
+    json.add(name, "modeled_s", stats.modeled_seconds);
+    json.add(name, "share", stats.modeled_seconds / total);
   }
   table.print(std::cout,
               "Figure 4 companion: stream AMC stage breakdown (7800 GTX, " +
@@ -62,5 +71,9 @@ int main(int argc, char** argv) {
                      1)
               << "% over " << cache.accesses << " fetches\n";
   }
+  json.add("totals", "chunks", static_cast<double>(report.chunk_count));
+  json.add("totals", "passes", static_cast<double>(report.totals.passes));
+  json.add("totals", "modeled_s", report.modeled_seconds);
+  json.write(json_path);
   return 0;
 }

@@ -10,9 +10,12 @@
 #include "bench_common.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hs;
   using namespace hs::bench;
+
+  const std::string json_path = json_output_path(argc, argv);
+  JsonReport json("fig6_evolution");
 
   const std::vector<ModelRow> rows = modeled_exec_rows(/*vectorized=*/false);
 
@@ -24,6 +27,10 @@ int main() {
                     util::Table::num(r.p4 / r.prescott, 2),
                     util::Table::num(r.p4 / r.fx5950, 2),
                     util::Table::num(r.p4 / r.gtx7800, 2)});
+    const std::string row = "size_" + std::to_string(r.mb) + "mb";
+    json.add(row, "prescott_rel", r.p4 / r.prescott);
+    json.add(row, "fx5950_rel", r.p4 / r.fx5950);
+    json.add(row, "gtx7800_rel", r.p4 / r.gtx7800);
   }
   series.print(std::cout,
                "Figure 6. Relative performance (higher is better, normalized "
@@ -43,5 +50,11 @@ int main() {
                  "-"});
   std::cout << "\n";
   gains.print(std::cout, "Generational evolution at the full-scene size");
+
+  json.add("generation_gain", "cpu", last.p4 / last.prescott - 1.0);
+  json.add("generation_gain", "gpu", last.fx5950 / last.gtx7800 - 1.0);
+  json.add("generation_gain", "gpu_compute_only",
+           last.fx5950_compute / last.gtx7800_compute - 1.0);
+  json.write(json_path);
   return 0;
 }

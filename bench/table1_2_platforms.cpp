@@ -5,13 +5,16 @@
 // they feed the timing model that regenerates Tables 4/5 and Figure 6.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "gpusim/device_profile.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hs;
   using gpusim::DeviceProfile;
+
+  const std::string json_path = bench::json_output_path(argc, argv);
 
   const DeviceProfile nv38 = gpusim::geforce_fx5950_ultra();
   const DeviceProfile g70 = gpusim::geforce_7800_gtx();
@@ -58,5 +61,37 @@ int main() {
   cpu.add_row({"[model] vector flops/cycle", util::Table::num(p4.vector_flops_per_cycle, 3),
                util::Table::num(prescott.vector_flops_per_cycle, 3)});
   cpu.print(std::cout, "Table 2. Experimental CPU features");
+
+  bench::JsonReport json("table1_2_platforms");
+  for (const DeviceProfile* d : {&nv38, &g70}) {
+    std::string key = d->name;
+    for (char& ch : key) {
+      if (ch == ' ') ch = '_';
+    }
+    json.add(key, "year", d->year);
+    json.add(key, "video_memory_bytes", static_cast<double>(d->video_memory_bytes));
+    json.add(key, "core_clock_hz", d->core_clock_hz);
+    json.add(key, "mem_bandwidth_bps", d->mem_bandwidth_bps);
+    json.add(key, "fragment_pipes", d->fragment_pipes);
+    json.add(key, "tex_fill_rate", d->tex_fill_rate);
+    json.add(key, "alu_ipc", d->alu_ipc);
+    json.add(key, "pass_overhead_s", d->pass_overhead_s);
+    json.add(key, "tex_cache_bytes_per_pipe",
+             static_cast<double>(d->tex_cache_bytes_per_pipe));
+    json.add(key, "bus_upload_bps", d->bus.upload_bandwidth_bps);
+    json.add(key, "bus_download_bps", d->bus.download_bandwidth_bps);
+  }
+  for (const gpusim::CpuProfile* c : {&p4, &prescott}) {
+    std::string key = c->name;
+    for (char& ch : key) {
+      if (ch == ' ') ch = '_';
+    }
+    json.add(key, "year", c->year);
+    json.add(key, "clock_hz", c->clock_hz);
+    json.add(key, "mem_bandwidth_bps", c->mem_bandwidth_bps);
+    json.add(key, "scalar_flops_per_cycle", c->scalar_flops_per_cycle);
+    json.add(key, "vector_flops_per_cycle", c->vector_flops_per_cycle);
+  }
+  json.write(json_path);
   return 0;
 }

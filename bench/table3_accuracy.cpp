@@ -21,6 +21,8 @@
 int main(int argc, char** argv) {
   using namespace hs;
 
+  const std::string json_path = bench::json_output_path(argc, argv);
+
   util::Cli cli;
   cli.add_flag("size", "scene edge length in pixels", "144");
   cli.add_flag("bands", "spectral bands", "216");
@@ -62,6 +64,7 @@ int main(int argc, char** argv) {
   const core::AmcResult result = core::run_amc(scene.cube, amc_cfg);
   const core::AccuracyReport acc = core::evaluate_accuracy(result, scene.truth);
 
+  bench::JsonReport json("table3_accuracy");
   util::Table table({"Class", "Accuracy (%)", "Pixels"});
   for (int c = 0; c < scene.truth.num_classes(); ++c) {
     const std::size_t n = scene.truth.class_count(c);
@@ -69,7 +72,14 @@ int main(int argc, char** argv) {
     table.add_row({scene.truth.class_names()[static_cast<std::size_t>(c)],
                    util::Table::num(100.0 * acc.per_class[static_cast<std::size_t>(c)], 2),
                    std::to_string(n)});
+    const std::string& cls = scene.truth.class_names()[static_cast<std::size_t>(c)];
+    json.add(cls, "accuracy", acc.per_class[static_cast<std::size_t>(c)]);
+    json.add(cls, "pixels", static_cast<double>(n));
   }
+  json.add("overall", "accuracy", acc.overall);
+  json.add("overall", "kappa", acc.kappa);
+  json.add("overall", "morphology_wall_s", result.morphology_wall_seconds);
+  json.add("overall", "postprocess_wall_s", result.postprocess_wall_seconds);
   table.add_row({"Overall:", util::Table::num(100.0 * acc.overall, 2),
                  std::to_string(scene.truth.labeled_count())});
   table.add_row({"Kappa:", util::Table::num(acc.kappa, 4), ""});
@@ -82,5 +92,6 @@ int main(int argc, char** argv) {
             << util::format_duration(result.morphology_wall_seconds)
             << ", post-processing: "
             << util::format_duration(result.postprocess_wall_seconds) << "\n";
+  json.write(json_path);
   return 0;
 }

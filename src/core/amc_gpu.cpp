@@ -10,6 +10,7 @@
 #include "gpusim/assembler.hpp"
 #include "stream/chunker.hpp"
 #include "stream/stream.hpp"
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 
 namespace hs::core {
@@ -73,6 +74,14 @@ AmcGpuReport morphology_gpu(const hsi::HyperCube& cube,
   const int groups = stream::band_group_count(bands);
   const int nb = se.size();
   HS_ASSERT(nb >= 1);
+
+  trace::Span pipeline_span("amc_gpu", "pipeline");
+  if (pipeline_span.active()) {
+    pipeline_span.arg("width", w);
+    pipeline_span.arg("height", h);
+    pipeline_span.arg("bands", bands);
+    pipeline_span.arg("se_size", nb);
+  }
 
   // The cumulative-distance shader is specialized per (dx, dy) constant
   // pair under the compiled engine, so the device's program cache must
@@ -153,21 +162,37 @@ AmcGpuReport morphology_gpu(const hsi::HyperCube& cube,
   const TextureFormat scalar_fmt =
       options.half_precision ? TextureFormat::R16F : TextureFormat::R32F;
 
+  std::size_t chunk_index = 0;
   for (const stream::ChunkRect& chunk : plan.chunks) {
     const int cw = chunk.pwidth;
     const int ch = chunk.pheight;
     const double chunk_pass_mark = device.totals().modeled_pass_seconds;
 
+    trace::Span chunk_span("chunk", "chunk");
+    if (chunk_span.active()) {
+      chunk_span.arg("index", static_cast<double>(chunk_index));
+      chunk_span.arg("x0", chunk.x0);
+      chunk_span.arg("y0", chunk.y0);
+      chunk_span.arg("width", chunk.width);
+      chunk_span.arg("height", chunk.height);
+      chunk_span.arg("padded_width", cw);
+      chunk_span.arg("padded_height", ch);
+    }
+    ++chunk_index;
+
     // -- stage 1: stream uploading ------------------------------------------
+    trace::Span upload_span(kStageUpload, "stage");
     TransferMark upload_mark(device);
     stream::BandStack raw(device, cw, ch, bands,
                           gpusim::AddressMode::ClampToEdge, stack_fmt);
     raw.upload([&](int x, int y, int b) {
       return cube.at(chunk.px0 + x, chunk.py0 + y, b);
     });
-    exec.add_stage_time(kStageUpload,
-                        device.totals().transfer.modeled_upload_seconds -
-                            upload_mark.upload_s);
+    const double upload_delta =
+        device.totals().transfer.modeled_upload_seconds - upload_mark.upload_s;
+    exec.add_stage_time(kStageUpload, upload_delta);
+    upload_span.arg("modeled_us", upload_delta * 1e6);
+    upload_span.end();
 
     stream::BandStack norm(device, cw, ch, bands,
                            gpusim::AddressMode::ClampToEdge, stack_fmt);
@@ -194,6 +219,7 @@ AmcGpuReport morphology_gpu(const hsi::HyperCube& cube,
     };
 
     // -- stage 2: normalization (band sum, then divide) -----------------------
+    trace::Span norm_span(kStageNormalization, "stage");
     draw(kStageNormalization, prog_clear, {}, {}, sum.front());
     for (int g = 0; g < groups; ++g) {
       draw(kStageNormalization, prog_sum, {raw.group(g), sum.front()}, {},
@@ -211,7 +237,10 @@ AmcGpuReport morphology_gpu(const hsi::HyperCube& cube,
       }
     }
 
+    norm_span.end();
+
     // -- stage 3: cumulative distance -----------------------------------------
+    trace::Span cumdist_span(kStageCumulativeDistance, "stage");
     draw(kStageCumulativeDistance, prog_clear, {}, {}, db.front());
     if (options.fuse_neighbors) {
       for (int g = 0; g < groups; ++g) {
@@ -242,7 +271,10 @@ AmcGpuReport morphology_gpu(const hsi::HyperCube& cube,
       }
     }
 
+    cumdist_span.end();
+
     // -- stage 4: maximum and minimum (erosion/dilation selection) -----------
+    trace::Span maxmin_span(kStageMaxMin, "stage");
     draw(kStageMaxMin, prog_minmax, {db.front()}, minmax_consts, offsets);
     gpusim::TextureHandle index_tex = 0;
     if (options.emit_index_stream) {
@@ -251,7 +283,10 @@ AmcGpuReport morphology_gpu(const hsi::HyperCube& cube,
            index_tex);
     }
 
+    maxmin_span.end();
+
     // -- stage 5: compute SID (MEI) -------------------------------------------
+    trace::Span sid_span(kStageSid, "stage");
     draw(kStageSid, prog_clear, {}, {}, mei.front());
     for (int g = 0; g < groups; ++g) {
       if (options.precompute_log) {
@@ -274,7 +309,10 @@ AmcGpuReport morphology_gpu(const hsi::HyperCube& cube,
       mei.swap();
     }
 
+    sid_span.end();
+
     // -- stage 6: stream downloading ------------------------------------------
+    trace::Span download_span(kStageDownload, "stage");
     TransferMark download_mark(device);
     const std::vector<float> db_host = device.download_scalar(db.front());
     const std::vector<float4> off_host = device.download(offsets);
@@ -284,9 +322,12 @@ AmcGpuReport morphology_gpu(const hsi::HyperCube& cube,
       idx_host = device.download(index_tex);
       device.destroy_texture(index_tex);
     }
-    exec.add_stage_time(kStageDownload,
-                        device.totals().transfer.modeled_download_seconds -
-                            download_mark.download_s);
+    const double download_delta =
+        device.totals().transfer.modeled_download_seconds -
+        download_mark.download_s;
+    exec.add_stage_time(kStageDownload, download_delta);
+    download_span.arg("modeled_us", download_delta * 1e6);
+    download_span.end();
 
     ChunkCost cost;
     cost.upload_seconds = device.totals().transfer.modeled_upload_seconds -

@@ -9,6 +9,7 @@
 #include "linalg/matrix.hpp"
 #include "stream/chunker.hpp"
 #include "stream/stream.hpp"
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 
 namespace hs::core {
@@ -157,14 +158,35 @@ GpuUnmixReport unmix_gpu(const hsi::HyperCube& cube,
     report.abundances.assign(cube.pixel_count() * static_cast<std::size_t>(c), 0.f);
   }
 
+  trace::Span pipeline_span("unmix_gpu", "pipeline");
+  if (pipeline_span.active()) {
+    pipeline_span.arg("width", cube.width());
+    pipeline_span.arg("height", cube.height());
+    pipeline_span.arg("bands", bands);
+    pipeline_span.arg("endmembers", c);
+  }
+
+  std::size_t chunk_index = 0;
   for (const stream::ChunkRect& chunk : plan.chunks) {
     const int cw = chunk.pwidth;
     const int ch = chunk.pheight;
 
+    trace::Span chunk_span("chunk", "chunk");
+    if (chunk_span.active()) {
+      chunk_span.arg("index", static_cast<double>(chunk_index));
+      chunk_span.arg("x0", chunk.x0);
+      chunk_span.arg("y0", chunk.y0);
+      chunk_span.arg("width", chunk.width);
+      chunk_span.arg("height", chunk.height);
+    }
+    ++chunk_index;
+
+    trace::Span upload_span("stream_upload", "stage");
     stream::BandStack raw(device, cw, ch, bands);
     raw.upload([&](int x, int y, int b) {
       return cube.at(chunk.px0 + x, chunk.py0 + y, b);
     });
+    upload_span.end();
 
     stream::PingPong accum(device, cw, ch, TextureFormat::R32F);
     std::vector<stream::PingPong> packed_tex;
@@ -185,6 +207,7 @@ GpuUnmixReport unmix_gpu(const hsi::HyperCube& cube,
 
     // Abundance stage: per endmember, accumulate dot(W_k, f) over groups,
     // then pack into lane k%4 of packed texture k/4.
+    trace::Span abundance_span("abundance_estimation", "stage");
     for (int k = 0; k < c; ++k) {
       draw1(prog_clear, {}, {}, accum.front());
       for (int g = 0; g < groups; ++g) {
@@ -198,18 +221,24 @@ GpuUnmixReport unmix_gpu(const hsi::HyperCube& cube,
       target.swap();
     }
 
+    abundance_span.end();
+
     // Argmax stage.
+    trace::Span argmax_span("argmax_labeling", "stage");
     std::vector<TextureHandle> packed_inputs;
     for (auto& t : packed_tex) packed_inputs.push_back(t.front());
     const TextureHandle outs[1] = {labels_tex};
     device.draw(prog_argmax, packed_inputs, {}, outs);
+    argmax_span.end();
 
     // Downloads + scatter.
+    trace::Span download_span("stream_download", "stage");
     const std::vector<float> labels_host = device.download_scalar(labels_tex);
     std::vector<std::vector<float4>> abundance_host;
     if (download_abundances) {
       for (auto& t : packed_tex) abundance_host.push_back(device.download(t.front()));
     }
+    download_span.end();
     for (int y = 0; y < chunk.height; ++y) {
       for (int x = 0; x < chunk.width; ++x) {
         const std::size_t local = static_cast<std::size_t>(y) * static_cast<std::size_t>(cw) +

@@ -291,7 +291,10 @@ CompiledProgram compile_program(const FragmentProgram& program,
 // ---- program cache ---------------------------------------------------------
 
 ProgramCache::ProgramCache(std::size_t capacity)
-    : capacity_(std::max<std::size_t>(1, capacity)) {}
+    : capacity_(std::max<std::size_t>(1, capacity)),
+      trace_hits_(&trace::counter("gpusim.program_cache.hit")),
+      trace_misses_(&trace::counter("gpusim.program_cache.miss")),
+      trace_evictions_(&trace::counter("gpusim.program_cache.evict")) {}
 
 const CompiledProgram& ProgramCache::get(
     const FragmentProgram& program, std::span<const float4> constants,
@@ -301,16 +304,20 @@ const CompiledProgram& ProgramCache::get(
   for (Entry& e : entries_) {
     if (e.hash == hash && e.key == key) {
       ++hits_;
+      trace_hits_->increment();
       e.stamp = ++stamp_;
       return *e.program;
     }
   }
   ++misses_;
+  trace_misses_->increment();
   if (entries_.size() >= capacity_) {
     const auto lru = std::min_element(
         entries_.begin(), entries_.end(),
         [](const Entry& a, const Entry& b) { return a.stamp < b.stamp; });
     entries_.erase(lru);
+    ++evictions_;
+    trace_evictions_->increment();
   }
   Entry e;
   e.hash = hash;

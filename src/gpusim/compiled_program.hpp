@@ -42,6 +42,7 @@
 #include "gpusim/interpreter.hpp"
 #include "gpusim/texture.hpp"
 #include "gpusim/texture_cache.hpp"
+#include "trace/trace.hpp"
 
 namespace hs::gpusim {
 
@@ -128,6 +129,7 @@ class ProgramCache {
   std::size_t capacity() const { return capacity_; }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
 
  private:
   struct Entry {
@@ -141,7 +143,13 @@ class ProgramCache {
   std::uint64_t stamp_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
   std::vector<Entry> entries_;
+  // Process-global trace counters (all devices' caches aggregate); the
+  // per-cache totals above stay exact per instance.
+  trace::Counter* trace_hits_;
+  trace::Counter* trace_misses_;
+  trace::Counter* trace_evictions_;
 };
 
 /// A rasterized fragment for geometry passes (see gpusim/raster.hpp):

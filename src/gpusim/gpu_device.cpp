@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
@@ -12,6 +13,24 @@ namespace {
 std::size_t resolve_threads(const SimConfig& config, int pipes) {
   if (config.worker_threads > 0) return config.worker_threads;
   return util::ThreadPool::clamp_to_hardware(static_cast<std::size_t>(pipes));
+}
+
+/// Attaches the pass statistics to its trace span: the modeled time next
+/// to the span's own wall duration, the work counters, and both DRAM
+/// traffic estimates (cache-miss bytes and compulsory unique-tile bytes).
+void annotate_pass_span(trace::Span& span, const PassStats& stats) {
+  if (!span.active()) return;
+  span.arg("width", stats.width);
+  span.arg("height", stats.height);
+  span.arg("fragments", static_cast<double>(stats.fragments));
+  span.arg("alu_instructions", static_cast<double>(stats.exec.alu_instructions));
+  span.arg("tex_fetches", static_cast<double>(stats.exec.tex_fetches));
+  span.arg("cache_hits", static_cast<double>(stats.cache.hits));
+  span.arg("cache_misses", static_cast<double>(stats.cache.misses));
+  span.arg("cache_miss_bytes", static_cast<double>(stats.cache_miss_bytes));
+  span.arg("dram_tile_bytes", static_cast<double>(stats.unique_tile_bytes));
+  span.arg("bytes_written", static_cast<double>(stats.bytes_written));
+  span.arg("modeled_us", stats.modeled_seconds * 1e6);
 }
 }  // namespace
 
@@ -76,6 +95,7 @@ std::uint64_t Device::video_memory_free() const {
 }
 
 void Device::upload(TextureHandle handle, std::span<const float4> texels) {
+  trace::Span span("upload", "xfer");
   Texture2D& tex = slot(handle);
   HS_ASSERT(channels_of(tex.format()) == 4);
   HS_ASSERT(texels.size() == static_cast<std::size_t>(tex.width()) *
@@ -95,13 +115,16 @@ void Device::upload(TextureHandle handle, std::span<const float4> texels) {
     std::memcpy(out, texels.data(), texels.size() * sizeof(float4));
   }
   const std::uint64_t bytes = tex.size_bytes();
+  const double modeled = model_upload_time(profile_.bus, bytes);
   totals_.transfer.upload_bytes += bytes;
   totals_.transfer.uploads += 1;
-  totals_.transfer.modeled_upload_seconds +=
-      model_upload_time(profile_.bus, bytes);
+  totals_.transfer.modeled_upload_seconds += modeled;
+  span.arg("bytes", static_cast<double>(bytes));
+  span.arg("modeled_us", modeled * 1e6);
 }
 
 void Device::upload(TextureHandle handle, std::span<const float> scalars) {
+  trace::Span span("upload", "xfer");
   Texture2D& tex = slot(handle);
   HS_ASSERT(channels_of(tex.format()) == 1);
   HS_ASSERT(scalars.size() == static_cast<std::size_t>(tex.width()) *
@@ -114,13 +137,16 @@ void Device::upload(TextureHandle handle, std::span<const float> scalars) {
     std::copy(scalars.begin(), scalars.end(), tex.raw().begin());
   }
   const std::uint64_t bytes = tex.size_bytes();
+  const double modeled = model_upload_time(profile_.bus, bytes);
   totals_.transfer.upload_bytes += bytes;
   totals_.transfer.uploads += 1;
-  totals_.transfer.modeled_upload_seconds +=
-      model_upload_time(profile_.bus, bytes);
+  totals_.transfer.modeled_upload_seconds += modeled;
+  span.arg("bytes", static_cast<double>(bytes));
+  span.arg("modeled_us", modeled * 1e6);
 }
 
 std::vector<float4> Device::download(TextureHandle handle) {
+  trace::Span span("download", "xfer");
   Texture2D& tex = slot(handle);
   HS_ASSERT(channels_of(tex.format()) == 4);
   const std::size_t n = static_cast<std::size_t>(tex.width()) *
@@ -130,22 +156,27 @@ std::vector<float4> Device::download(TextureHandle handle) {
   std::memcpy(static_cast<void*>(out.data()), tex.raw().data(),
               n * sizeof(float4));
   const std::uint64_t bytes = tex.size_bytes();
+  const double modeled = model_download_time(profile_.bus, bytes);
   totals_.transfer.download_bytes += bytes;
   totals_.transfer.downloads += 1;
-  totals_.transfer.modeled_download_seconds +=
-      model_download_time(profile_.bus, bytes);
+  totals_.transfer.modeled_download_seconds += modeled;
+  span.arg("bytes", static_cast<double>(bytes));
+  span.arg("modeled_us", modeled * 1e6);
   return out;
 }
 
 std::vector<float> Device::download_scalar(TextureHandle handle) {
+  trace::Span span("download", "xfer");
   Texture2D& tex = slot(handle);
   HS_ASSERT(channels_of(tex.format()) == 1);
   std::vector<float> out(tex.raw().begin(), tex.raw().end());
   const std::uint64_t bytes = tex.size_bytes();
+  const double modeled = model_download_time(profile_.bus, bytes);
   totals_.transfer.download_bytes += bytes;
   totals_.transfer.downloads += 1;
-  totals_.transfer.modeled_download_seconds +=
-      model_download_time(profile_.bus, bytes);
+  totals_.transfer.modeled_download_seconds += modeled;
+  span.arg("bytes", static_cast<double>(bytes));
+  span.arg("modeled_us", modeled * 1e6);
   return out;
 }
 
@@ -288,6 +319,7 @@ PassStats Device::draw(const FragmentProgram& program,
                        std::span<const TextureHandle> inputs,
                        std::span<const float4> constants,
                        std::span<const TextureHandle> outputs) {
+  trace::Span span(program.name, "pass");
   const BoundPass bound = bind_pass(program, inputs, constants, outputs);
   const int width = bound.width;
   const int height = bound.height;
@@ -348,10 +380,12 @@ PassStats Device::draw(const FragmentProgram& program,
   };
   pool_.parallel_for(static_cast<std::size_t>(pipes), run_pipe);
 
-  return finalize_pass(
+  const PassStats stats = finalize_pass(
       program, bound,
       static_cast<std::uint64_t>(width) * static_cast<std::uint64_t>(height),
       pipe_counters, pipe_tiles);
+  annotate_pass_span(span, stats);
+  return stats;
 }
 
 PassStats Device::draw_fragments(const FragmentProgram& program,
@@ -359,6 +393,7 @@ PassStats Device::draw_fragments(const FragmentProgram& program,
                                  std::span<const TextureHandle> inputs,
                                  std::span<const float4> constants,
                                  std::span<const TextureHandle> outputs) {
+  trace::Span span(program.name, "pass");
   const BoundPass bound = bind_pass(program, inputs, constants, outputs);
   const int pipes = profile_.fragment_pipes;
 
@@ -411,7 +446,9 @@ PassStats Device::draw_fragments(const FragmentProgram& program,
   };
   pool_.parallel_for(static_cast<std::size_t>(pipes), run_pipe);
 
-  return finalize_pass(program, bound, n, pipe_counters, pipe_tiles);
+  const PassStats stats = finalize_pass(program, bound, n, pipe_counters, pipe_tiles);
+  annotate_pass_span(span, stats);
+  return stats;
 }
 
 }  // namespace hs::gpusim

@@ -8,10 +8,12 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "gpusim/gpu_device.hpp"
+#include "trace/trace.hpp"
 
 namespace hs::stream {
 
@@ -26,13 +28,22 @@ struct StageStats {
   double modeled_seconds = 0;
 };
 
+/// Stage accounting is thread-safe: run() and add_stage_time() may be
+/// called for the same (or different) stage names from multiple threads
+/// concurrently -- the per-stage aggregate is guarded, so no update is
+/// lost. Note the underlying Device is NOT itself thread-safe; concurrent
+/// callers must target distinct devices or serialize draws themselves.
 class StreamExecutor {
  public:
-  explicit StreamExecutor(gpusim::Device& device) : device_(&device) {}
+  explicit StreamExecutor(gpusim::Device& device)
+      : device_(&device),
+        passes_counter_(&trace::counter("stream.executor.passes")),
+        stage_seconds_gauge_(&trace::gauge("stream.executor.stage_seconds")) {}
 
   gpusim::Device& device() { return *device_; }
 
-  /// Runs one pass attributed to `stage`.
+  /// Runs one pass attributed to `stage`. Emits a `stage_pass` trace span
+  /// wrapping the device draw, carrying the stage attribution.
   gpusim::PassStats run(const std::string& stage,
                         const gpusim::FragmentProgram& program,
                         std::span<const gpusim::TextureHandle> inputs,
@@ -43,18 +54,25 @@ class StreamExecutor {
   /// upload/download stages whose cost comes from the bus model.
   void add_stage_time(const std::string& stage, double seconds);
 
+  /// Snapshot accessors. Do not call concurrently with run() /
+  /// add_stage_time(): the returned references alias guarded state.
   const std::map<std::string, StageStats>& stages() const { return stages_; }
   /// Stage names in first-use order (std::map iteration is alphabetical).
   const std::vector<std::string>& stage_order() const { return order_; }
 
+  /// Clears the per-stage aggregates and zeroes the trace counters this
+  /// executor registered (process-global, shared by all executors).
   void reset();
 
  private:
-  StageStats& stage(const std::string& name);
+  StageStats& stage_locked(const std::string& name);
 
   gpusim::Device* device_;
+  mutable std::mutex mutex_;  ///< guards stages_ and order_
   std::map<std::string, StageStats> stages_;
   std::vector<std::string> order_;
+  trace::Counter* passes_counter_;
+  trace::Gauge* stage_seconds_gauge_;
 };
 
 }  // namespace hs::stream

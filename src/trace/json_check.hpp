@@ -1,0 +1,53 @@
+// Minimal JSON parser for validating the trace sinks' output.
+//
+// The Chrome-trace and metrics exporters hand-serialize JSON; this parser
+// closes the loop so tests and the hsi-profile CLI can parse the files
+// back and check both syntactic validity and the expected schema without
+// an external dependency. It is a strict RFC-8259 subset parser (no
+// comments, no trailing commas) sized for trace files, not a general
+// library: numbers become doubles, objects keep insertion order.
+//
+// This header is compiled unconditionally (independent of HS_TRACE) so an
+// HS_TRACE=OFF build can still validate the empty documents it writes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hs::trace::json {
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is(Kind k) const { return kind == k; }
+
+  /// First member with `key`, or nullptr (objects only).
+  const Value* find(std::string_view key) const;
+};
+
+/// Parses a complete JSON document (one value plus trailing whitespace).
+/// On failure returns nullopt and, when `error` is non-null, a message
+/// with the byte offset of the problem.
+std::optional<Value> parse(std::string_view text, std::string* error = nullptr);
+
+/// Schema check for an exported Chrome trace: a top-level object with a
+/// `traceEvents` array whose entries carry name/ph/ts (and dur for "X"
+/// complete events).
+bool validate_chrome_trace(std::string_view text, std::string* error = nullptr);
+
+/// Schema check for the BENCH_*.json metrics shape: a top-level object
+/// with a string `name` and a `results` array of objects, each with a
+/// string `bench` and numeric values otherwise.
+bool validate_metrics_json(std::string_view text, std::string* error = nullptr);
+
+}  // namespace hs::trace::json

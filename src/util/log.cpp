@@ -1,13 +1,32 @@
 #include "util/log.hpp"
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
 
 namespace hs::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+LogLevel initial_level() {
+  if (const char* env = std::getenv("HS_LOG_LEVEL")) {
+    if (const auto parsed = parse_log_level(env)) return *parsed;
+  }
+  return LogLevel::Warn;
+}
+
+std::atomic<LogLevel>& level_ref() {
+  static std::atomic<LogLevel> level{initial_level()};
+  return level;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,19 +38,84 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// Small sequential per-thread ordinal; stable for the thread's lifetime
+/// and much easier to read than the platform thread id.
+unsigned thread_ordinal() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned ordinal = next.fetch_add(1);
+  return ordinal;
+}
+
+/// "2026-08-06T12:34:56.789Z" into buf; returns chars written.
+int format_timestamp(char* buf, std::size_t size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  return std::snprintf(buf, size, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                       tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday,
+                       tm.tm_hour, tm.tm_min, tm.tm_sec,
+                       static_cast<int>(ms));
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+void set_log_level(LogLevel level) { level_ref().store(level); }
+LogLevel log_level() { return level_ref().load(); }
+
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  std::string lower(text);
+  for (char& ch : lower) {
+    ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  }
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off" || lower == "none") return LogLevel::Off;
+  return std::nullopt;
+}
 
 void logf(LogLevel level, const char* fmt, ...) {
-  if (level < g_level.load()) return;
-  std::fprintf(stderr, "[hs %s] ", level_name(level));
+  if (level < level_ref().load()) return;
+
+  char header[64];
+  int head = format_timestamp(header + 1, sizeof(header) - 1);
+  header[0] = '[';
+  head += 1;
+  head += std::snprintf(header + head, sizeof(header) - static_cast<std::size_t>(head),
+                        " %s t%02u] ", level_name(level), thread_ordinal());
+
+  // Measure the body, then format header + body + '\n' into one buffer so
+  // the message reaches stderr in a single write() and lines from
+  // concurrent threads never interleave.
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int body = std::vsnprintf(nullptr, 0, fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (body < 0) {
+    va_end(args_copy);
+    return;
+  }
+
+  std::string line(static_cast<std::size_t>(head + body) + 1, '\0');
+  std::memcpy(line.data(), header, static_cast<std::size_t>(head));
+  std::vsnprintf(line.data() + head, static_cast<std::size_t>(body) + 1, fmt,
+                 args_copy);
+  va_end(args_copy);
+  line[static_cast<std::size_t>(head + body)] = '\n';
+
+  // stderr is unbuffered by default, but bypass stdio entirely: one
+  // write() per message is the atomicity guarantee.
+  ssize_t unused = ::write(STDERR_FILENO, line.data(), line.size());
+  (void)unused;
 }
 
 }  // namespace hs::util

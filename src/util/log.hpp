@@ -3,9 +3,20 @@
 // The library itself logs nothing at Info by default; the simulator logs
 // pass-level detail at Debug, which the ablation benches enable to show
 // pass counts without recompiling.
+//
+// Safe for concurrent use: each message is formatted into one buffer and
+// written with a single write() call, so lines from different threads
+// never interleave. Every line carries an ISO-8601 UTC timestamp and a
+// small per-thread ordinal:
+//
+//   [2026-08-06T12:34:56.789Z warn t03] message
+//
+// The initial threshold is Warn, overridable at startup with the
+// HS_LOG_LEVEL environment variable (debug|info|warn|error|off).
 #pragma once
 
-#include <string>
+#include <optional>
+#include <string_view>
 
 namespace hs::util {
 
@@ -13,6 +24,10 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Parses a level name (case-insensitive: "debug", "info", "warn"/"warning",
+/// "error", "off"/"none") as used by HS_LOG_LEVEL.
+std::optional<LogLevel> parse_log_level(std::string_view text);
 
 /// printf-style logging; fmt is a printf format string.
 void logf(LogLevel level, const char* fmt, ...)

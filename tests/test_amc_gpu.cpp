@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+
+#include "trace/trace.hpp"
 #include "util/rng.hpp"
 
 namespace hs::core {
@@ -279,6 +283,40 @@ TEST(AmcGpu, SingleChunkOverlapEqualsSerial) {
   EXPECT_NEAR(report.modeled_overlapped_seconds(), report.modeled_seconds, 1e-12);
 }
 
+
+#if HS_TRACE_ENABLED
+TEST(AmcGpu, TraceEmitsSixStageSpansOncePerChunk) {
+  trace::reset();
+  trace::set_enabled(true);
+  const auto cube = random_cube(20, 16, 8, 40);
+  AmcGpuOptions opt = fast_options();
+  opt.chunk_texel_budget = 20 * 8;  // force several chunks
+  const AmcGpuReport report =
+      morphology_gpu(cube, StructuringElement::square(1), opt);
+  trace::set_enabled(false);
+  ASSERT_GT(report.chunk_count, 1u);
+
+  std::map<std::string, std::size_t> stage_spans;
+  std::size_t chunk_spans = 0, pipeline_spans = 0;
+  for (const auto& e : trace::snapshot()) {
+    EXPECT_GE(e.dur_ns, 0) << e.name;
+    if (e.cat == "stage") ++stage_spans[e.name];
+    if (e.cat == "chunk") ++chunk_spans;
+    if (e.cat == "pipeline") ++pipeline_spans;
+  }
+
+  EXPECT_EQ(pipeline_spans, 1u);
+  EXPECT_EQ(chunk_spans, report.chunk_count);
+  const char* const kStages[] = {kStageUpload,  kStageNormalization,
+                                 kStageCumulativeDistance, kStageMaxMin,
+                                 kStageSid,     kStageDownload};
+  ASSERT_EQ(stage_spans.size(), 6u);
+  for (const char* stage : kStages) {
+    EXPECT_EQ(stage_spans[stage], report.chunk_count)
+        << "stage span count for " << stage;
+  }
+}
+#endif  // HS_TRACE_ENABLED
 
 TEST(AmcGpu, HalfPrecisionCloseToFp32AndCheaper) {
   const auto cube = random_cube(16, 16, 12, 30);

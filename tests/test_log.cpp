@@ -1,0 +1,103 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hs::util {
+namespace {
+
+TEST(Log, ParseLogLevel) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::Off);
+  EXPECT_FALSE(parse_log_level("verbose").has_value());
+  EXPECT_FALSE(parse_log_level("").has_value());
+}
+
+TEST(Log, LineFormatHasTimestampLevelAndThread) {
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::Info);
+  testing::internal::CaptureStderr();
+  HS_LOG_INFO("hello %d", 42);
+  const std::string out = testing::internal::GetCapturedStderr();
+  set_log_level(prev);
+
+  // "[2026-08-06T12:34:56.789Z info tNN] hello 42\n"
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), '\n');
+  EXPECT_NE(out.find(" info t"), std::string::npos);
+  EXPECT_NE(out.find("] hello 42\n"), std::string::npos);
+  // ISO-8601 shape: YYYY-MM-DDTHH:MM:SS.mmmZ right after the bracket.
+  ASSERT_GE(out.size(), 25u);
+  EXPECT_EQ(out[5], '-');
+  EXPECT_EQ(out[8], '-');
+  EXPECT_EQ(out[11], 'T');
+  EXPECT_EQ(out[14], ':');
+  EXPECT_EQ(out[17], ':');
+  EXPECT_EQ(out[20], '.');
+  EXPECT_EQ(out[24], 'Z');
+  // Exactly one line per message.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 1);
+}
+
+TEST(Log, ThresholdSuppresses) {
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::Error);
+  testing::internal::CaptureStderr();
+  HS_LOG_DEBUG("dropped");
+  HS_LOG_WARN("dropped too");
+  HS_LOG_ERROR("kept");
+  const std::string out = testing::internal::GetCapturedStderr();
+  set_log_level(prev);
+
+  EXPECT_EQ(out.find("dropped"), std::string::npos);
+  EXPECT_NE(out.find("kept"), std::string::npos);
+}
+
+TEST(Log, ConcurrentMessagesDoNotInterleave) {
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::Info);
+  testing::internal::CaptureStderr();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        HS_LOG_INFO("thread-%d-message-%d-payload-payload-payload", t, i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const std::string out = testing::internal::GetCapturedStderr();
+  set_log_level(prev);
+
+  // Every line is a complete, well-formed message: starts with '[',
+  // contains exactly one payload marker.
+  int lines = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t nl = out.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos);
+    const std::string line = out.substr(pos, nl - pos);
+    EXPECT_EQ(line.front(), '[') << line;
+    EXPECT_NE(line.find("-payload-payload-payload"), std::string::npos) << line;
+    // A torn write would leave a second '[' mid-line.
+    EXPECT_EQ(line.find('[', 1), std::string::npos) << line;
+    ++lines;
+    pos = nl + 1;
+  }
+  EXPECT_EQ(lines, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace hs::util

@@ -1,0 +1,304 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "trace/json_check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hs::trace {
+namespace {
+
+// gtest_discover_tests runs every TEST in its own process, so enabling /
+// resetting the process-global recorder here cannot leak into other tests.
+
+#if HS_TRACE_ENABLED
+
+TEST(Trace, DisabledByDefaultRecordsNothing) {
+  reset();
+  ASSERT_FALSE(enabled());
+  {
+    Span span("outer", "test");
+    EXPECT_FALSE(span.active());
+    span.arg("k", 1.0);
+  }
+  EXPECT_EQ(event_count(), 0u);
+}
+
+TEST(Trace, SpanNestingDepths) {
+  reset();
+  set_enabled(true);
+  {
+    Span outer("outer", "test");
+    {
+      Span mid("mid", "test");
+      Span inner("inner", "test");
+      inner.end();
+      mid.end();
+    }
+    outer.end();
+  }
+  set_enabled(false);
+
+  const auto events = snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  // snapshot() is sorted by start time: outer began first.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].name, "mid");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].name, "inner");
+  EXPECT_EQ(events[2].depth, 2);
+  for (const auto& e : events) {
+    EXPECT_GE(e.dur_ns, 0);
+    EXPECT_GE(e.start_ns, 0);
+    // Children are contained in the outer span's interval.
+    EXPECT_GE(e.start_ns, events[0].start_ns);
+    EXPECT_LE(e.start_ns + e.dur_ns, events[0].start_ns + events[0].dur_ns);
+  }
+}
+
+TEST(Trace, SpanArgsAreRecorded) {
+  reset();
+  set_enabled(true);
+  {
+    Span span("pass", "test");
+    span.arg("fragments", 4096.0);
+    span.arg("program", "band_sum");
+  }
+  set_enabled(false);
+
+  const auto events = snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_EQ(events[0].arg_count, 2);
+  EXPECT_STREQ(events[0].args[0].key, "fragments");
+  EXPECT_TRUE(events[0].args[0].is_num);
+  EXPECT_EQ(events[0].args[0].num, 4096.0);
+  EXPECT_STREQ(events[0].args[1].key, "program");
+  EXPECT_FALSE(events[0].args[1].is_num);
+  EXPECT_EQ(events[0].args[1].str, "band_sum");
+}
+
+TEST(Trace, RuntimeDisableIsNoOp) {
+  reset();
+  set_enabled(true);
+  { Span span("recorded", "test"); }
+  set_enabled(false);
+  { Span span("dropped", "test"); }
+  EXPECT_EQ(event_count(), 1u);
+}
+
+TEST(Trace, ThreadSafetyUnderThreadPool) {
+  reset();
+  set_enabled(true);
+  constexpr std::size_t kIters = 256;
+  util::ThreadPool pool(4);
+  pool.parallel_for(kIters, [](std::size_t) {
+    Span outer("work", "mt");
+    Span inner("inner", "mt");
+    inner.arg("x", 1.0);
+  });
+  set_enabled(false);
+
+  const auto events = snapshot();
+  EXPECT_EQ(events.size(), 2 * kIters);
+  std::size_t inner_count = 0;
+  for (const auto& e : events) {
+    if (e.name == "inner") {
+      ++inner_count;
+      EXPECT_EQ(e.depth, 1);
+    } else {
+      EXPECT_EQ(e.name, "work");
+      EXPECT_EQ(e.depth, 0);
+    }
+  }
+  EXPECT_EQ(inner_count, kIters);
+}
+
+TEST(Trace, CounterAndGaugeRegistry) {
+  reset();
+  Counter& c = counter("test.counter");
+  Gauge& g = gauge("test.gauge");
+  c.increment();
+  c.add(41);
+  g.set(2.5);
+  EXPECT_EQ(c.value(), 42);
+  EXPECT_EQ(g.value(), 2.5);
+  // Same name returns the same instance.
+  EXPECT_EQ(&counter("test.counter"), &c);
+  EXPECT_EQ(&gauge("test.gauge"), &g);
+
+  const auto metrics = metrics_snapshot();
+  const auto find = [&](const std::string& name) {
+    const auto it = std::find_if(metrics.begin(), metrics.end(),
+                                 [&](const auto& m) { return m.first == name; });
+    return it == metrics.end() ? -1.0 : it->second;
+  };
+  EXPECT_EQ(find("test.counter"), 42.0);
+  EXPECT_EQ(find("test.gauge"), 2.5);
+
+  reset();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(Trace, ResetClearsEventsAndRestartsClock) {
+  reset();
+  set_enabled(true);
+  { Span span("before", "test"); }
+  ASSERT_EQ(event_count(), 1u);
+  reset();
+  EXPECT_EQ(event_count(), 0u);
+  { Span span("after", "test"); }
+  set_enabled(false);
+  const auto events = snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "after");
+}
+
+TEST(Trace, ChromeTraceRoundTripsThroughParser) {
+  reset();
+  set_enabled(true);
+  counter("rt.counter").add(7);
+  {
+    Span outer("pipeline", "pipeline");
+    Span stage("normalization", "stage");
+    stage.arg("modeled_us", 12.5);
+    stage.arg("label", "with \"quotes\" and \\ backslash\nnewline");
+  }
+  set_enabled(false);
+
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const std::string text = os.str();
+
+  std::string error;
+  const auto doc = json::parse(text, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_TRUE(json::validate_chrome_trace(text, &error)) << error;
+
+  const json::Value* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is(json::Value::Kind::Array));
+  // 2 span events + at least one counter sample.
+  ASSERT_GE(events->array.size(), 3u);
+
+  std::size_t spans = 0;
+  bool saw_stage = false;
+  for (const auto& e : events->array) {
+    const json::Value* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "X") {
+      ++spans;
+      const json::Value* name = e.find("name");
+      ASSERT_NE(name, nullptr);
+      if (name->string == "normalization") {
+        saw_stage = true;
+        const json::Value* args = e.find("args");
+        ASSERT_NE(args, nullptr);
+        const json::Value* us = args->find("modeled_us");
+        ASSERT_NE(us, nullptr);
+        EXPECT_EQ(us->number, 12.5);
+        const json::Value* label = args->find("label");
+        ASSERT_NE(label, nullptr);
+        EXPECT_EQ(label->string, "with \"quotes\" and \\ backslash\nnewline");
+      }
+    }
+  }
+  EXPECT_EQ(spans, 2u);
+  EXPECT_TRUE(saw_stage);
+}
+
+TEST(Trace, MetricsJsonMatchesBenchSchema) {
+  reset();
+  set_enabled(true);
+  counter("m.hits").add(3);
+  { Span span("stage_a", "stage"); }
+  { Span span("stage_a", "stage"); }
+  set_enabled(false);
+
+  std::ostringstream os;
+  write_metrics_json(os, "test_metrics");
+  const std::string text = os.str();
+
+  std::string error;
+  ASSERT_TRUE(json::validate_metrics_json(text, &error)) << error << "\n" << text;
+
+  const auto doc = json::parse(text, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const json::Value* name = doc->find("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->string, "test_metrics");
+  const json::Value* results = doc->find("results");
+  ASSERT_NE(results, nullptr);
+  bool saw_span_row = false;
+  for (const auto& row : results->array) {
+    const json::Value* bench = row.find("bench");
+    ASSERT_NE(bench, nullptr);
+    if (bench->string == "span:stage:stage_a") {
+      saw_span_row = true;
+      const json::Value* count = row.find("count");
+      ASSERT_NE(count, nullptr);
+      EXPECT_EQ(count->number, 2.0);
+    }
+  }
+  EXPECT_TRUE(saw_span_row);
+}
+
+TEST(Trace, SummaryTablePrints) {
+  reset();
+  set_enabled(true);
+  counter("s.count").increment();
+  { Span span("stage_a", "stage"); }
+  set_enabled(false);
+
+  std::ostringstream os;
+  print_summary(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("stage_a"), std::string::npos);
+  EXPECT_NE(text.find("s.count"), std::string::npos);
+}
+
+#else  // HS_TRACE_ENABLED == 0
+
+TEST(Trace, DisabledBuildEmitsValidEmptyDocuments) {
+  set_enabled(true);  // no-op
+  { Span span("dropped", "test"); }
+  EXPECT_FALSE(enabled());
+  EXPECT_EQ(event_count(), 0u);
+
+  std::ostringstream os;
+  write_chrome_trace(os);
+  std::string error;
+  EXPECT_TRUE(json::validate_chrome_trace(os.str(), &error)) << error;
+
+  std::ostringstream ms;
+  write_metrics_json(ms, "off");
+  EXPECT_TRUE(json::validate_metrics_json(ms.str(), &error)) << error;
+}
+
+#endif  // HS_TRACE_ENABLED
+
+TEST(TraceJson, ParserHandlesEscapesAndRejectsGarbage) {
+  std::string error;
+  const auto ok = json::parse(
+      "{\"a\": [1, 2.5, -3e2], \"s\": \"q\\u0041\\n\", \"b\": true, "
+      "\"n\": null}",
+      &error);
+  ASSERT_TRUE(ok.has_value()) << error;
+  const json::Value* s = ok->find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->string, "qA\n");
+
+  EXPECT_FALSE(json::parse("{", &error).has_value());
+  EXPECT_FALSE(json::parse("{\"a\": 01}", &error).has_value());
+  EXPECT_FALSE(json::parse("[1,]", &error).has_value());
+  EXPECT_FALSE(json::parse("\"unterminated", &error).has_value());
+  EXPECT_FALSE(json::parse("{} trailing", &error).has_value());
+}
+
+}  // namespace
+}  // namespace hs::trace

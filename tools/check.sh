@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Full pre-merge check: build and test the Release configuration and an
-# ASan/UBSan-instrumented configuration.
+# Full pre-merge check: build and test the Release configuration, an
+# ASan/UBSan-instrumented configuration, and a tracing-disabled
+# (HS_TRACE=OFF) configuration; then smoke-test the hsi-profile CLI.
 #
 # Usage: tools/check.sh [extra ctest args...]
 set -euo pipefail
@@ -15,13 +16,33 @@ run_config() {
   ctest --test-dir "$dir" --output-on-failure -j "${CTEST_ARGS[@]}"
 }
 
+# Runs hsi-profile from the given build dir on a small synthetic scene and
+# checks the emitted JSON documents have the expected top-level shape.
+# (hsi-profile already re-parses both files with the bundled strict JSON
+# parser and exits nonzero on failure; this adds an independent check.)
+smoke_profile() {
+  local dir="$1"
+  local out
+  out="$(mktemp -d)"
+  "$dir/tools/hsi-profile" --synthetic --size 24 --bands 16 \
+    --trace "$out/trace.json" --metrics "$out/metrics.json" > /dev/null
+  grep -q '"traceEvents"' "$out/trace.json"
+  grep -q '"results"' "$out/metrics.json"
+  rm -rf "$out"
+}
+
 CTEST_ARGS=("$@")
 
 echo "==> Release"
 run_config build-release -DCMAKE_BUILD_TYPE=Release
+smoke_profile build-release
 
 echo "==> Sanitizers (address,undefined)"
 run_config build-sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DHS_SANITIZE=address,undefined
+
+echo "==> Tracing compiled out (HS_TRACE=OFF)"
+run_config build-notrace -DCMAKE_BUILD_TYPE=Release -DHS_TRACE=OFF
+smoke_profile build-notrace
 
 echo "==> All checks passed"
