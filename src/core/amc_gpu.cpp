@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <optional>
 #include <span>
 
 #include "core/shaders.hpp"
 #include "gpusim/assembler.hpp"
 #include "stream/chunker.hpp"
+#include "stream/scheduler.hpp"
 #include "stream/stream.hpp"
 #include "trace/trace.hpp"
 #include "util/assert.hpp"
@@ -30,6 +32,37 @@ double AmcGpuReport::modeled_overlapped_seconds() const {
     d_done = std::max(c_done, d_done) + chunk.download_seconds;
   }
   return d_done;
+}
+
+double modeled_parallel_schedule_seconds(const std::vector<ChunkCost>& costs,
+                                         std::size_t workers) {
+  const std::size_t w = std::max<std::size_t>(1, workers);
+  // Compute proceeds in index-order waves of w chunks, one per device;
+  // a wave finishes when its slowest member does. The host bus is shared,
+  // so transfers stay fully serialized. Streams are accumulated separately
+  // and added last so that w == 1 regroups nothing: compute is then the
+  // plain chunk-order pass sum and the result bit-equals the serialized
+  // modeled total.
+  double compute = 0;
+  for (std::size_t base = 0; base < costs.size(); base += w) {
+    double wave = 0;
+    const std::size_t end = std::min(costs.size(), base + w);
+    for (std::size_t i = base; i < end; ++i) {
+      wave = std::max(wave, costs[i].pass_seconds);
+    }
+    compute += wave;
+  }
+  double upload = 0;
+  double download = 0;
+  for (const ChunkCost& chunk : costs) {
+    upload += chunk.upload_seconds;
+    download += chunk.download_seconds;
+  }
+  return compute + upload + download;
+}
+
+double AmcGpuReport::modeled_parallel_seconds(std::size_t workers) const {
+  return modeled_parallel_schedule_seconds(chunk_costs, workers);
 }
 
 const char* const kStageUpload = "stream_upload";
@@ -63,6 +96,16 @@ std::uint64_t auto_texel_budget(const gpusim::Device& device, int groups,
   return std::max<std::uint64_t>(1024, usable / per_texel);
 }
 
+/// Everything one chunk contributes to the aggregate report. Captured
+/// per chunk (each chunk runs against zeroed device totals and a fresh
+/// executor) and reduced in chunk-index order afterwards, so the merged
+/// numbers are bit-identical for every worker count.
+struct ChunkOutcome {
+  std::vector<std::pair<std::string, stream::StageStats>> stages;
+  gpusim::DeviceTotals totals;
+  ChunkCost cost;
+};
+
 }  // namespace
 
 AmcGpuReport morphology_gpu(const hsi::HyperCube& cube,
@@ -90,10 +133,8 @@ AmcGpuReport morphology_gpu(const hsi::HyperCube& cube,
   gpusim::SimConfig sim = options.sim;
   sim.program_cache_capacity = std::max(
       sim.program_cache_capacity, static_cast<std::size_t>(16 + nb));
-  gpusim::Device device(options.profile, sim);
-  stream::StreamExecutor exec(device);
 
-  // ---- programs (assembled once; constants arrive per draw) ---------------
+  // ---- programs (assembled once; shared read-only by all workers) ----------
   const FragmentProgram prog_clear =
       gpusim::assemble_or_die("clear", shaders::clear_source());
   const FragmentProgram prog_sum =
@@ -136,11 +177,15 @@ AmcGpuReport morphology_gpu(const hsi::HyperCube& cube,
   }
 
   // ---- chunk plan ----------------------------------------------------------
+  // The planning device never draws; it exists so the auto budget sees the
+  // profile's full video memory -- exactly what every (fresh) worker
+  // device will have.
+  gpusim::Device planner(options.profile, sim);
   const int halo = 2 * se.radius;
   const std::uint64_t budget =
       options.chunk_texel_budget > 0
           ? options.chunk_texel_budget
-          : auto_texel_budget(device, groups, options.precompute_log);
+          : auto_texel_budget(planner, groups, options.precompute_log);
   const stream::ChunkPlan plan = stream::plan_chunks(w, h, halo, budget);
 
   AmcGpuReport report;
@@ -162,11 +207,47 @@ AmcGpuReport morphology_gpu(const hsi::HyperCube& cube,
   const TextureFormat scalar_fmt =
       options.half_precision ? TextureFormat::R16F : TextureFormat::R32F;
 
-  std::size_t chunk_index = 0;
-  for (const stream::ChunkRect& chunk : plan.chunks) {
+  // ---- worker devices ------------------------------------------------------
+  const std::size_t workers = std::min<std::size_t>(
+      std::max<std::size_t>(1, plan.chunks.size()),
+      stream::resolve_workers(options.workers));
+  gpusim::SimConfig worker_sim = sim;
+  if (workers > 1 && sim.worker_threads == 0) {
+    // Concurrent devices share the host: split the threads one sequential
+    // device would auto-size across the workers instead of nesting full
+    // pools. Functional results are independent of worker_threads.
+    worker_sim.worker_threads = stream::per_worker_device_threads(
+        util::ThreadPool::clamp_to_hardware(
+            static_cast<std::size_t>(options.profile.fragment_pipes)),
+        workers);
+  }
+  std::vector<std::unique_ptr<gpusim::Device>> devices;
+  devices.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    devices.push_back(planner.clone_blank(worker_sim));
+  }
+  report.workers_used = workers;
+  if (pipeline_span.active()) {
+    pipeline_span.arg("workers", static_cast<double>(workers));
+    pipeline_span.arg("chunks", static_cast<double>(plan.chunks.size()));
+  }
+
+  std::vector<ChunkOutcome> outcomes(plan.chunks.size());
+
+  // One chunk end to end on one worker's device. Reads only shared
+  // read-only state (cube, programs, constants, plan); writes only its
+  // ChunkOutcome and its disjoint interior of the full-image outputs, so
+  // chunks need no locks and any execution order yields identical bits.
+  auto run_chunk = [&](gpusim::Device& device, std::size_t chunk_index) {
+    const stream::ChunkRect& chunk = plan.chunks[chunk_index];
     const int cw = chunk.pwidth;
     const int ch = chunk.pheight;
-    const double chunk_pass_mark = device.totals().modeled_pass_seconds;
+
+    // Zeroed totals + fresh executor: this chunk's statistics accumulate
+    // from scratch, independent of whatever the device ran before, which
+    // is what makes the chunk-order reduction worker-count-invariant.
+    device.reset_totals();
+    stream::StreamExecutor exec(device);
 
     trace::Span chunk_span("chunk", "chunk");
     if (chunk_span.active()) {
@@ -178,7 +259,6 @@ AmcGpuReport morphology_gpu(const hsi::HyperCube& cube,
       chunk_span.arg("padded_width", cw);
       chunk_span.arg("padded_height", ch);
     }
-    ++chunk_index;
 
     // -- stage 1: stream uploading ------------------------------------------
     trace::Span upload_span(kStageUpload, "stage");
@@ -329,13 +409,13 @@ AmcGpuReport morphology_gpu(const hsi::HyperCube& cube,
     download_span.arg("modeled_us", download_delta * 1e6);
     download_span.end();
 
-    ChunkCost cost;
-    cost.upload_seconds = device.totals().transfer.modeled_upload_seconds -
-                          upload_mark.upload_s;
-    cost.download_seconds = device.totals().transfer.modeled_download_seconds -
-                            download_mark.download_s;
-    cost.pass_seconds = device.totals().modeled_pass_seconds - chunk_pass_mark;
-    report.chunk_costs.push_back(cost);
+    ChunkOutcome& outcome = outcomes[chunk_index];
+    outcome.cost.upload_seconds =
+        device.totals().transfer.modeled_upload_seconds - upload_mark.upload_s;
+    outcome.cost.download_seconds =
+        device.totals().transfer.modeled_download_seconds -
+        download_mark.download_s;
+    outcome.cost.pass_seconds = device.totals().modeled_pass_seconds;
 
     // Scatter the interior into the full-image outputs.
     const int dx0 = chunk.interior_dx();
@@ -369,13 +449,33 @@ AmcGpuReport morphology_gpu(const hsi::HyperCube& cube,
     }
 
     device.destroy_texture(offsets);
-  }
 
-  for (const std::string& name : exec.stage_order()) {
-    report.stages.emplace_back(name, exec.stages().at(name));
+    outcome.totals = device.totals();
+    for (const std::string& name : exec.stage_order()) {
+      outcome.stages.emplace_back(name, exec.stages().at(name));
+    }
+  };
+
+  stream::ChunkScheduler scheduler(workers);
+  scheduler.run(plan.chunks.size(), [&](std::size_t worker, std::size_t chunk) {
+    run_chunk(*devices[worker], chunk);
+  });
+
+  // ---- ordered reduction ---------------------------------------------------
+  // Chunk-index order, regardless of which worker ran what when: the
+  // merged stage table, device totals and chunk costs are therefore the
+  // same bits for every worker count.
+  std::map<std::string, std::size_t> stage_slot;
+  for (const ChunkOutcome& outcome : outcomes) {
+    for (const auto& [name, stats] : outcome.stages) {
+      auto [it, inserted] = stage_slot.try_emplace(name, report.stages.size());
+      if (inserted) report.stages.emplace_back(name, stream::StageStats{});
+      report.stages[it->second].second += stats;
+    }
+    report.totals += outcome.totals;
+    report.chunk_costs.push_back(outcome.cost);
   }
-  report.totals = device.totals();
-  report.modeled_seconds = device.totals().modeled_total_seconds();
+  report.modeled_seconds = report.totals.modeled_total_seconds();
   return report;
 }
 

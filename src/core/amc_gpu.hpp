@@ -54,6 +54,13 @@ struct AmcGpuOptions {
   /// `index_stream` then holds (min_idx, max_idx) per pixel. The offsets
   /// variant still drives the MEI stage either way.
   bool emit_index_stream = false;
+
+  /// Chunk-level parallelism: number of worker threads, each driving its
+  /// own simulated device over independent chunks (0 = one per host
+  /// hardware thread, clamped to the chunk count). Functional outputs,
+  /// counters and modeled times are bit-identical for every value — see
+  /// DESIGN.md "Chunk-parallel execution" for the determinism contract.
+  std::size_t workers = 1;
 };
 
 /// Stage names used in reports, in pipeline order.
@@ -70,6 +77,15 @@ struct ChunkCost {
   double pass_seconds = 0;
   double download_seconds = 0;
 };
+
+/// Modeled seconds for `workers` devices processing `costs` concurrently:
+/// compute runs in index-order waves of `workers` chunks (a wave costs the
+/// max of its members' pass time) while the shared host bus serializes
+/// every upload and download. With workers == 1 this regroups nothing and
+/// bit-equals the serialized total (pass + upload + download sums in chunk
+/// order), preserving the single-device Table 4/5 numbers.
+double modeled_parallel_schedule_seconds(const std::vector<ChunkCost>& costs,
+                                         std::size_t workers);
 
 struct AmcGpuReport {
   MorphOutputs morph;
@@ -89,6 +105,18 @@ struct AmcGpuReport {
   /// three-stage software pipeline an onboard system would use). Equals
   /// modeled_seconds for a single chunk.
   double modeled_overlapped_seconds() const;
+
+  /// Worker count the run actually used (requested workers clamped to the
+  /// chunk count; 1 for a sequential run).
+  std::size_t workers_used = 1;
+
+  /// Modeled seconds when `workers` devices process chunks concurrently:
+  /// chunks execute in index-order waves of `workers`, each wave costing
+  /// the max of its members' pass time, while the shared host bus
+  /// serializes every upload and download. modeled_parallel_seconds(1)
+  /// bit-equals modeled_seconds, preserving the Table 4/5 single-device
+  /// numbers as the workers=1 case.
+  double modeled_parallel_seconds(std::size_t workers) const;
 };
 
 AmcGpuReport morphology_gpu(const hsi::HyperCube& cube,

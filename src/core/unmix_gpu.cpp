@@ -1,6 +1,7 @@
 #include "core/unmix_gpu.hpp"
 
 #include <cmath>
+#include <memory>
 #include <sstream>
 
 #include "core/shaders.hpp"
@@ -8,6 +9,7 @@
 #include "linalg/cholesky.hpp"
 #include "linalg/matrix.hpp"
 #include "stream/chunker.hpp"
+#include "stream/scheduler.hpp"
 #include "stream/stream.hpp"
 #include "trace/trace.hpp"
 #include "util/assert.hpp"
@@ -137,7 +139,9 @@ GpuUnmixReport unmix_gpu(const hsi::HyperCube& cube,
       gpusim::assemble_or_die("argmax", argmax_source(c));
 
   // ---- device & chunking (no halo: per-pixel work) --------------------------
-  gpusim::Device device(options.profile, options.sim);
+  // The planning device never draws; worker devices are blank clones with
+  // the same free video memory, so the auto budget holds for all of them.
+  gpusim::Device planner(options.profile, options.sim);
   const std::uint64_t per_texel = static_cast<std::uint64_t>(groups) * 16 +
                                   2 * 4 +
                                   static_cast<std::uint64_t>(packed) * 2 * 16 + 4;
@@ -146,7 +150,7 @@ GpuUnmixReport unmix_gpu(const hsi::HyperCube& cube,
           ? options.chunk_texel_budget
           : std::max<std::uint64_t>(
                 1024, static_cast<std::uint64_t>(
-                          0.9 * static_cast<double>(device.video_memory_free())) /
+                          0.9 * static_cast<double>(planner.video_memory_free())) /
                           per_texel);
   const stream::ChunkPlan plan =
       stream::plan_chunks(cube.width(), cube.height(), 0, budget);
@@ -166,10 +170,37 @@ GpuUnmixReport unmix_gpu(const hsi::HyperCube& cube,
     pipeline_span.arg("endmembers", c);
   }
 
-  std::size_t chunk_index = 0;
-  for (const stream::ChunkRect& chunk : plan.chunks) {
+  // ---- worker devices ------------------------------------------------------
+  const std::size_t workers = std::min<std::size_t>(
+      std::max<std::size_t>(1, plan.chunks.size()),
+      stream::resolve_workers(options.workers));
+  gpusim::SimConfig worker_sim = options.sim;
+  if (workers > 1 && options.sim.worker_threads == 0) {
+    worker_sim.worker_threads = stream::per_worker_device_threads(
+        util::ThreadPool::clamp_to_hardware(
+            static_cast<std::size_t>(options.profile.fragment_pipes)),
+        workers);
+  }
+  std::vector<std::unique_ptr<gpusim::Device>> devices;
+  devices.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    devices.push_back(planner.clone_blank(worker_sim));
+  }
+  report.workers_used = workers;
+  if (pipeline_span.active()) {
+    pipeline_span.arg("workers", static_cast<double>(workers));
+  }
+
+  // Per-chunk device totals, reduced in chunk-index order below so the
+  // aggregate is bit-identical for every worker count.
+  std::vector<gpusim::DeviceTotals> chunk_totals(plan.chunks.size());
+
+  auto run_chunk = [&](gpusim::Device& device, std::size_t chunk_index) {
+    const stream::ChunkRect& chunk = plan.chunks[chunk_index];
     const int cw = chunk.pwidth;
     const int ch = chunk.pheight;
+
+    device.reset_totals();
 
     trace::Span chunk_span("chunk", "chunk");
     if (chunk_span.active()) {
@@ -179,7 +210,6 @@ GpuUnmixReport unmix_gpu(const hsi::HyperCube& cube,
       chunk_span.arg("width", chunk.width);
       chunk_span.arg("height", chunk.height);
     }
-    ++chunk_index;
 
     trace::Span upload_span("stream_upload", "stage");
     stream::BandStack raw(device, cw, ch, bands);
@@ -257,10 +287,25 @@ GpuUnmixReport unmix_gpu(const hsi::HyperCube& cube,
     }
 
     device.destroy_texture(labels_tex);
-  }
 
-  report.totals = device.totals();
-  report.modeled_seconds = device.totals().modeled_total_seconds();
+    chunk_totals[chunk_index] = device.totals();
+  };
+
+  stream::ChunkScheduler scheduler(workers);
+  scheduler.run(plan.chunks.size(), [&](std::size_t worker, std::size_t chunk) {
+    run_chunk(*devices[worker], chunk);
+  });
+
+  // Ordered reduction: chunk-index order regardless of execution order.
+  for (const gpusim::DeviceTotals& totals : chunk_totals) {
+    report.totals += totals;
+    ChunkCost cost;
+    cost.upload_seconds = totals.transfer.modeled_upload_seconds;
+    cost.download_seconds = totals.transfer.modeled_download_seconds;
+    cost.pass_seconds = totals.modeled_pass_seconds;
+    report.chunk_costs.push_back(cost);
+  }
+  report.modeled_seconds = report.totals.modeled_total_seconds();
   return report;
 }
 

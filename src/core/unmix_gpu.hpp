@@ -34,7 +34,18 @@ struct GpuUnmixReport {
   std::vector<float> abundances;
   gpusim::DeviceTotals totals;
   std::size_t chunk_count = 0;
+  std::vector<ChunkCost> chunk_costs;
   double modeled_seconds = 0;
+  /// Worker count the run actually used (options.workers resolved and
+  /// clamped to the chunk count).
+  std::size_t workers_used = 1;
+
+  /// Wave-max parallel schedule over chunk_costs (see
+  /// modeled_parallel_schedule_seconds); bit-equals modeled_seconds at
+  /// workers == 1.
+  double modeled_parallel_seconds(std::size_t workers) const {
+    return modeled_parallel_schedule_seconds(chunk_costs, workers);
+  }
 };
 
 /// Unmixes and labels every pixel on the simulated GPU.

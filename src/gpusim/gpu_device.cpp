@@ -444,7 +444,37 @@ PassStats Device::draw_fragments(const FragmentProgram& program,
       }
     }
   };
-  pool_.parallel_for(static_cast<std::size_t>(pipes), run_pipe);
+
+  // A fragment list may hit the same texel more than once (overlapping
+  // triangles); hardware ROPs apply such writes in primitive order, but
+  // the concurrent pipe partition would race on the texel. When any texel
+  // repeats, execute the partitions serially in pipe order instead:
+  // partitions are contiguous and ascending, so stores land in global
+  // fragment order -- deterministic, race-free, and identical to what the
+  // pipes would produce with ordered ROPs. Counters, cache statistics and
+  // modeled time are unaffected either way (keyed by logical pipe, not by
+  // OS thread).
+  bool overlapping = false;
+  {
+    std::vector<std::uint8_t> hit(
+        static_cast<std::size_t>(bound.width) *
+        static_cast<std::size_t>(bound.height), 0);
+    for (const GeomFragment& f : fragments) {
+      std::uint8_t& cell = hit[static_cast<std::size_t>(f.y) *
+                                   static_cast<std::size_t>(bound.width) +
+                               static_cast<std::size_t>(f.x)];
+      if (cell != 0) {
+        overlapping = true;
+        break;
+      }
+      cell = 1;
+    }
+  }
+  if (overlapping) {
+    for (int p = 0; p < pipes; ++p) run_pipe(static_cast<std::size_t>(p));
+  } else {
+    pool_.parallel_for(static_cast<std::size_t>(pipes), run_pipe);
+  }
 
   const PassStats stats = finalize_pass(program, bound, n, pipe_counters, pipe_tiles);
   annotate_pass_span(span, stats);

@@ -89,6 +89,16 @@ struct TransferStats {
   std::uint64_t downloads = 0;
   double modeled_upload_seconds = 0;
   double modeled_download_seconds = 0;
+
+  TransferStats& operator+=(const TransferStats& o) {
+    upload_bytes += o.upload_bytes;
+    download_bytes += o.download_bytes;
+    uploads += o.uploads;
+    downloads += o.downloads;
+    modeled_upload_seconds += o.modeled_upload_seconds;
+    modeled_download_seconds += o.modeled_download_seconds;
+    return *this;
+  }
 };
 
 struct DeviceTotals {
@@ -105,6 +115,22 @@ struct DeviceTotals {
     return modeled_pass_seconds + transfer.modeled_upload_seconds +
            transfer.modeled_download_seconds;
   }
+
+  /// Component-wise merge, used by chunk-parallel runs to reduce
+  /// per-chunk totals in chunk-index order. Because each chunk's totals
+  /// are accumulated from a zeroed state, merging them in a fixed order
+  /// reproduces the sequential run's sums bit-for-bit (integer counters
+  /// trivially; double sums because the addition order is identical).
+  DeviceTotals& operator+=(const DeviceTotals& o) {
+    passes += o.passes;
+    fragments += o.fragments;
+    exec += o.exec;
+    cache += o.cache;
+    bytes_written += o.bytes_written;
+    modeled_pass_seconds += o.modeled_pass_seconds;
+    transfer += o.transfer;
+    return *this;
+  }
 };
 
 class Device {
@@ -113,6 +139,19 @@ class Device {
 
   const DeviceProfile& profile() const { return profile_; }
   const SimConfig& config() const { return config_; }
+
+  /// A fresh device with the same profile and simulation config but no
+  /// textures, empty caches, and zeroed totals — what a chunk-parallel
+  /// worker needs: the hardware model is shared (profiles are value
+  /// types), the mutable state is private. `config` overrides, when
+  /// given, replace this device's SimConfig (e.g. fewer host threads per
+  /// worker so concurrent devices do not oversubscribe the machine).
+  std::unique_ptr<Device> clone_blank() const {
+    return std::make_unique<Device>(profile_, config_);
+  }
+  std::unique_ptr<Device> clone_blank(const SimConfig& config) const {
+    return std::make_unique<Device>(profile_, config);
+  }
 
   // -- video memory ---------------------------------------------------------
 

@@ -1,5 +1,7 @@
 #include "stream/executor.hpp"
 
+#include <utility>
+
 namespace hs::stream {
 
 gpusim::PassStats StreamExecutor::run(
@@ -27,6 +29,7 @@ gpusim::PassStats StreamExecutor::run(
     s.bytes_written += pass.bytes_written;
     s.modeled_seconds += pass.modeled_seconds;
     stage_total = s.modeled_seconds;
+    passes_contributed_ += 1;
   }
   passes_counter_->increment();
   stage_seconds_gauge_->set(stage_total);
@@ -39,13 +42,16 @@ void StreamExecutor::add_stage_time(const std::string& stage_name, double second
 }
 
 void StreamExecutor::reset() {
+  std::uint64_t retract = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stages_.clear();
     order_.clear();
+    retract = std::exchange(passes_contributed_, 0);
   }
-  passes_counter_->reset();
-  stage_seconds_gauge_->reset();
+  // Retract only our own passes from the shared counter; a concurrent
+  // executor's contribution must survive our reset.
+  passes_counter_->add(-static_cast<std::int64_t>(retract));
 }
 
 StageStats& StreamExecutor::stage_locked(const std::string& name) {

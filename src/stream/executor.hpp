@@ -26,6 +26,20 @@ struct StageStats {
   std::uint64_t unique_tile_bytes = 0;
   std::uint64_t bytes_written = 0;
   double modeled_seconds = 0;
+
+  /// Component-wise merge (chunk-parallel runs reduce per-chunk stage
+  /// stats in chunk-index order; see DeviceTotals::operator+=).
+  StageStats& operator+=(const StageStats& o) {
+    passes += o.passes;
+    fragments += o.fragments;
+    alu_instructions += o.alu_instructions;
+    tex_fetches += o.tex_fetches;
+    cache_miss_bytes += o.cache_miss_bytes;
+    unique_tile_bytes += o.unique_tile_bytes;
+    bytes_written += o.bytes_written;
+    modeled_seconds += o.modeled_seconds;
+    return *this;
+  }
 };
 
 /// Stage accounting is thread-safe: run() and add_stage_time() may be
@@ -60,17 +74,24 @@ class StreamExecutor {
   /// Stage names in first-use order (std::map iteration is alphabetical).
   const std::vector<std::string>& stage_order() const { return order_; }
 
-  /// Clears the per-stage aggregates and zeroes the trace counters this
-  /// executor registered (process-global, shared by all executors).
+  /// Clears the per-stage aggregates and retracts this executor's own
+  /// contribution from the process-global `stream.executor.passes`
+  /// counter. Other executors' recorded passes are untouched, so two
+  /// executors on different threads never cross-contaminate the counter
+  /// (it used to be zeroed outright, erasing concurrent executors'
+  /// history). The `stage_seconds` gauge is last-write-wins telemetry and
+  /// is deliberately left alone: overwriting it with 0 here would clobber
+  /// another executor's most recent reading.
   void reset();
 
  private:
   StageStats& stage_locked(const std::string& name);
 
   gpusim::Device* device_;
-  mutable std::mutex mutex_;  ///< guards stages_ and order_
+  mutable std::mutex mutex_;  ///< guards stages_, order_ and passes_contributed_
   std::map<std::string, StageStats> stages_;
   std::vector<std::string> order_;
+  std::uint64_t passes_contributed_ = 0;  ///< our share of the global counter
   trace::Counter* passes_counter_;
   trace::Gauge* stage_seconds_gauge_;
 };

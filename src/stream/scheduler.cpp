@@ -1,0 +1,49 @@
+#include "stream/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace hs::stream {
+
+std::size_t resolve_workers(std::size_t requested) {
+  if (requested > 0) return requested;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+std::size_t per_worker_device_threads(std::size_t sequential_threads,
+                                      std::size_t workers) {
+  return std::max<std::size_t>(1, sequential_threads / std::max<std::size_t>(1, workers));
+}
+
+ChunkScheduler::ChunkScheduler(std::size_t workers)
+    : workers_(std::max<std::size_t>(1, workers)),
+      pool_(workers_ > 1 ? workers_ : 0) {}
+
+void ChunkScheduler::run(
+    std::size_t chunks,
+    const std::function<void(std::size_t worker, std::size_t chunk)>& job) {
+  if (chunks == 0) return;
+  if (workers_ == 1) {
+    for (std::size_t c = 0; c < chunks; ++c) job(0, c);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  pool_.parallel_for(workers_, [&](std::size_t worker) {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      try {
+        job(worker, c);
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        throw;  // parallel_for keeps the first exception and rethrows it
+      }
+    }
+  });
+}
+
+}  // namespace hs::stream

@@ -93,5 +93,145 @@ TEST(ThreadPool, ClampToHardwareIsAtLeastOne) {
   EXPECT_EQ(ThreadPool::clamp_to_hardware(0), 0u);
 }
 
+// ---- concurrency stress ----------------------------------------------------
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Every worker is occupied by an outer iteration that itself calls
+  // parallel_for on the same pool; helping waits must execute the inner
+  // work instead of deadlocking.
+  ThreadPool pool(4);
+  std::atomic<int> inner{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { inner.fetch_add(1); });
+  });
+  EXPECT_EQ(inner.load(), 64);
+}
+
+TEST(ThreadPool, SubmitRunsQueuedWorkBeforeDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&] { ran.fetch_add(1); });
+    }
+    // Destructor must drain the queue: nothing may be dropped.
+  }
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPool, SerialPoolDrainsQueueOnDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(0);
+    for (int i = 0; i < 5; ++i) pool.submit([&] { ran.fetch_add(1); });
+  }
+  EXPECT_EQ(ran.load(), 5);
+}
+
+TEST(ThreadPool, SubmitSwallowsTaskExceptions) {
+  ThreadPool pool(2);
+  std::atomic<int> after{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([] { throw std::runtime_error("fire and forget"); });
+    pool.submit([&] { after.fetch_add(1); });
+  }
+  // Pool must stay functional; wait for the queue via a tracked batch.
+  pool.parallel_for(4, [](std::size_t) {});
+  TaskGroup group(pool);
+  group.submit([] {});
+  group.wait();
+  EXPECT_EQ(after.load(), 20);
+}
+
+TEST(TaskGroup, WaitsForAllTasks) {
+  ThreadPool pool(4);
+  TaskGroup group(pool);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    group.submit([&] { done.fetch_add(1); });
+  }
+  group.wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(TaskGroup, NestedSubmitFromInsideTasks) {
+  // Tasks submit further tasks into the same group while it is waited on.
+  ThreadPool pool(3);
+  TaskGroup group(pool);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    group.submit([&] {
+      done.fetch_add(1);
+      group.submit([&] { done.fetch_add(1); });
+    });
+  }
+  group.wait();
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(TaskGroup, PropagatesFirstExceptionAndStaysUsable) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  for (int i = 0; i < 8; ++i) {
+    group.submit([i] {
+      if (i % 2 == 0) throw std::runtime_error("task failed");
+    });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  // Reusable after the error was consumed.
+  std::atomic<int> done{0};
+  group.submit([&] { done.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST(TaskGroup, SerialPoolRunsInline) {
+  ThreadPool pool(0);
+  TaskGroup group(pool);
+  int done = 0;
+  group.submit([&] { ++done; });
+  EXPECT_EQ(done, 1);  // ran inline, before wait
+  group.wait();
+  EXPECT_EQ(done, 1);
+}
+
+TEST(TaskGroup, DestructorWaitsAndSwallows) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  {
+    TaskGroup group(pool);
+    for (int i = 0; i < 32; ++i) {
+      group.submit([&] {
+        done.fetch_add(1);
+        if (done.load() % 3 == 0) throw std::runtime_error("ignored");
+      });
+    }
+    // No wait(): the destructor must block until all 32 ran and must not
+    // let the stored exception escape.
+  }
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, HammerMixedSubmitAndParallelFor) {
+  // Interleave every API from multiple client threads at once.
+  ThreadPool pool(4);
+  ThreadPool clients(4);
+  std::atomic<std::uint64_t> work{0};
+  clients.parallel_for(4, [&](std::size_t client) {
+    for (int round = 0; round < 25; ++round) {
+      if (client % 2 == 0) {
+        pool.parallel_for(16, [&](std::size_t) { work.fetch_add(1); });
+      } else {
+        TaskGroup group(pool);
+        for (int i = 0; i < 16; ++i) {
+          group.submit([&] { work.fetch_add(1); });
+        }
+        group.wait();
+      }
+    }
+  });
+  EXPECT_EQ(work.load(), 4u * 25u * 16u);
+}
+
 }  // namespace
 }  // namespace hs::util

@@ -118,6 +118,55 @@ TEST(Trace, ThreadSafetyUnderThreadPool) {
   EXPECT_EQ(inner_count, kIters);
 }
 
+TEST(Trace, ConcurrentCounterAndRegistryStress) {
+  // N threads hammer registry lookups and counter increments for the same
+  // names concurrently; totals must be exact and addresses stable.
+  reset();
+  constexpr std::size_t kThreads = 8;
+  constexpr int kIters = 2000;
+  Counter& shared = counter("stress.shared");
+  Gauge& g = gauge("stress.gauge");
+  util::ThreadPool pool(kThreads);
+  pool.parallel_for(kThreads, [&](std::size_t t) {
+    for (int i = 0; i < kIters; ++i) {
+      // Registry lookup under contention must return the same instance.
+      Counter& c = counter("stress.shared");
+      ASSERT_EQ(&c, &shared);
+      c.increment();
+      counter("stress.thread." + std::to_string(t)).increment();
+      g.set(static_cast<double>(i));
+    }
+  });
+  EXPECT_EQ(shared.value(), static_cast<std::int64_t>(kThreads) * kIters);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(counter("stress.thread." + std::to_string(t)).value(), kIters);
+  }
+}
+
+TEST(Trace, ConcurrentSpansFromTaskGroupAllRecorded) {
+  // Spans opened and closed by fire-and-forget style tasks across a
+  // TaskGroup: every span completes on its own thread and none is lost.
+  reset();
+  set_enabled(true);
+  constexpr int kTasks = 300;
+  util::ThreadPool pool(4);
+  util::TaskGroup group(pool);
+  for (int i = 0; i < kTasks; ++i) {
+    group.submit([] {
+      Span span("task", "group");
+      span.arg("payload", 1.0);
+    });
+  }
+  group.wait();
+  set_enabled(false);
+  const auto events = snapshot();
+  std::size_t task_spans = 0;
+  for (const auto& e : events) {
+    if (e.name == "task" && e.cat == "group") ++task_spans;
+  }
+  EXPECT_EQ(task_spans, static_cast<std::size_t>(kTasks));
+}
+
 TEST(Trace, CounterAndGaugeRegistry) {
   reset();
   Counter& c = counter("test.counter");

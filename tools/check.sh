@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Full pre-merge check: build and test the Release configuration, an
-# ASan/UBSan-instrumented configuration, and a tracing-disabled
-# (HS_TRACE=OFF) configuration; then smoke-test the hsi-profile CLI.
+# ASan/UBSan-instrumented configuration, a TSan configuration running the
+# concurrency suite (TSan and ASan are mutually exclusive, hence the
+# separate build dir), and a tracing-disabled (HS_TRACE=OFF)
+# configuration; then smoke-test the hsi-profile CLI.
 #
 # Usage: tools/check.sh [extra ctest args...]
 set -euo pipefail
@@ -40,6 +42,18 @@ smoke_profile build-release
 echo "==> Sanitizers (address,undefined)"
 run_config build-sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DHS_SANITIZE=address,undefined
+
+echo "==> ThreadSanitizer (concurrency suite)"
+# TSan slows execution ~10x, so run the tests that exercise real
+# concurrency: the chunk-parallel pipeline/scheduler determinism suite,
+# the thread-pool/task-group stress tests, the executor
+# cross-contamination tests, and the multithreaded trace tests.
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHS_SANITIZE=thread
+cmake --build build-tsan -j
+ctest --test-dir build-tsan --output-on-failure \
+  -R 'ParallelPipeline|ChunkScheduler|ThreadPool|TaskGroup|StreamExecutor|Trace\.' \
+  -j "${CTEST_ARGS[@]}"
 
 echo "==> Tracing compiled out (HS_TRACE=OFF)"
 run_config build-notrace -DCMAKE_BUILD_TYPE=Release -DHS_TRACE=OFF

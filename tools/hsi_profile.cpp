@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
   cli.add_flag("budget", "chunk texel budget (0 = auto)", "0");
   cli.add_flag("half", "half-precision stream textures", "false");
   cli.add_flag("engine", "fragment engine: compiled | interpreter", "compiled");
+  cli.add_flag("workers", "chunk-parallel workers (0 = one per host cpu)", "1");
   cli.add_flag("trace", "Chrome trace-event JSON output path", "");
   cli.add_flag("metrics", "metrics JSON output path", "");
   if (!cli.parse(argc, argv)) return 1;
@@ -102,6 +103,7 @@ int main(int argc, char** argv) {
   core::AmcGpuOptions opt;
   opt.chunk_texel_budget = static_cast<std::uint64_t>(cli.get_int("budget", 0));
   opt.half_precision = cli.get_bool("half", false);
+  opt.workers = static_cast<std::size_t>(cli.get_int("workers", 1));
   const std::string engine = cli.get("engine", "compiled");
   if (engine == "interpreter") {
     opt.sim.exec_engine = gpusim::ExecEngine::Interpreter;
@@ -137,6 +139,7 @@ int main(int argc, char** argv) {
                              std::to_string(cube.height()) + "x" +
                              std::to_string(cube.bands()) + ")");
   std::cout << "\nchunks: " << report.chunk_count
+            << ", workers: " << report.workers_used
             << ", total passes: " << report.totals.passes
             << ", modeled end-to-end: "
             << util::format_duration(report.modeled_seconds)
