@@ -1,0 +1,149 @@
+// Ablation: serving-layer behaviour vs offered load.
+//
+// Bursts N small pipeline jobs (mixed priorities, mixed kinds) at an
+// hs::serve::Server with a fixed queue depth and worker count, then
+// drains. Per offered load the bench reports what a serving layer is
+// *for*: sustained throughput, queue+run latency percentiles for the
+// jobs that completed, and how many jobs admission control turned away
+// once the burst exceeded the queue -- degradation should be visible in
+// the rejected column, never as an error or a hang. A final column
+// cross-checks the determinism contract: the output hash of a repeated
+// probe job must not depend on the load around it.
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const double rank = p * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hs;
+
+  const std::string json_path = bench::json_output_path(argc, argv);
+
+  util::Cli cli;
+  cli.add_flag("size", "synthetic scene edge length", "16");
+  cli.add_flag("bands", "spectral bands", "8");
+  cli.add_flag("workers", "server worker threads", "2");
+  cli.add_flag("queue", "admission queue depth", "8");
+  if (!cli.parse(argc, argv)) return 1;
+  const int size = static_cast<int>(cli.get_int("size", 16));
+  const int bands = static_cast<int>(cli.get_int("bands", 8));
+  const std::size_t workers =
+      static_cast<std::size_t>(cli.get_int("workers", 2));
+  const std::size_t queue_depth =
+      static_cast<std::size_t>(cli.get_int("queue", 8));
+
+  auto job_for = [&](int i) {
+    serve::JobSpec spec;
+    spec.name = "load-" + std::to_string(i);
+    spec.kind = i % 3 == 0 ? serve::JobKind::Classify
+                           : (i % 3 == 1 ? serve::JobKind::Morphology
+                                         : serve::JobKind::Unmix);
+    spec.priority = static_cast<serve::Priority>(i % 3);
+    spec.scene.width = size;
+    spec.scene.height = size;
+    spec.scene.bands = bands;
+    spec.scene.seed = static_cast<std::uint64_t>(40 + i % 5);
+    spec.endmembers = 3;
+    return spec;
+  };
+  // The probe: job 1's spec at High priority (nothing outranks High, so
+  // the burst can never shed it), resubmitted at every load level. Its
+  // output hash must be identical regardless of the surrounding burst.
+  serve::JobSpec probe = job_for(1);
+  probe.name = "probe";
+  probe.priority = serve::Priority::High;
+
+  bench::JsonReport json("serve");
+  json.add("config", "scene_edge", static_cast<double>(size));
+  json.add("config", "bands", static_cast<double>(bands));
+  json.add("config", "server_workers", static_cast<double>(workers));
+  json.add("config", "queue_depth", static_cast<double>(queue_depth));
+
+  util::Table table({"Offered", "Done", "Rejected", "Jobs/s", "p50 ms",
+                     "p95 ms", "Probe hash"});
+  std::uint64_t probe_hash = 0;
+  bool probe_stable = true;
+
+  for (int offered : {4, 16, 48}) {
+    serve::ServerOptions options;
+    options.workers = workers;
+    options.admission.max_queue_depth = queue_depth;
+    options.keep_payloads = false;
+    serve::Server server(options);
+
+    util::Timer timer;
+    std::vector<std::uint64_t> ids;
+    ids.push_back(server.submit(probe).id);
+    for (int i = 0; i < offered; ++i) ids.push_back(server.submit(job_for(i)).id);
+    server.shutdown(/*drain=*/true);
+    const double wall = timer.seconds();
+
+    int done = 0, rejected = 0;
+    std::vector<double> latencies;
+    std::uint64_t hash = 0;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const serve::JobResult r = server.wait(ids[i]);
+      if (r.state == serve::JobState::Done) {
+        ++done;
+        latencies.push_back((r.queue_seconds + r.run_seconds) * 1e3);
+        if (i == 0) hash = r.output_hash;
+      } else {
+        ++rejected;
+      }
+    }
+    if (probe_hash == 0) probe_hash = hash;
+    if (hash != probe_hash || hash == 0) probe_stable = false;
+
+    const double throughput = wall > 0 ? done / wall : 0;
+    const double p50 = percentile(latencies, 0.50);
+    const double p95 = percentile(latencies, 0.95);
+    table.add_row({std::to_string(offered), std::to_string(done),
+                   std::to_string(rejected), util::Table::num(throughput, 1),
+                   util::Table::num(p50, 2), util::Table::num(p95, 2),
+                   hash == probe_hash ? "stable" : "DRIFTED"});
+
+    const std::string row = "offered_" + std::to_string(offered);
+    json.add(row, "offered", static_cast<double>(offered) + 1);
+    json.add(row, "done", static_cast<double>(done));
+    json.add(row, "rejected", static_cast<double>(rejected));
+    json.add(row, "wall_s", wall);
+    json.add(row, "jobs_per_s", throughput);
+    json.add(row, "latency_p50_ms", p50);
+    json.add(row, "latency_p95_ms", p95);
+    json.add(row, "probe_hash_stable", hash == probe_hash ? 1.0 : 0.0);
+  }
+  json.add("summary", "probe_hash_stable_all", probe_stable ? 1.0 : 0.0);
+
+  table.print(std::cout, "Ablation: serve load (" + std::to_string(size) + "x" +
+                             std::to_string(size) + "x" +
+                             std::to_string(bands) + ", " +
+                             std::to_string(workers) + " server workers, queue " +
+                             std::to_string(queue_depth) + ")");
+  if (!probe_stable) {
+    std::cerr << "probe job output hash drifted with load\n";
+    return 1;
+  }
+  json.write(json_path);
+  return 0;
+}

@@ -8,6 +8,8 @@
 // options are used; the report carries the modeled timing breakdown.
 #pragma once
 
+#include <functional>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -19,6 +21,15 @@
 #include "hsi/cube.hpp"
 
 namespace hs::core {
+
+/// Thrown by the GPU pipelines when an options.cancel_check callback asks
+/// for a cooperative abort (deadline expiry, job cancellation). The run
+/// stops at the next chunk boundary; partial outputs must be discarded.
+class PipelineCancelled : public std::runtime_error {
+ public:
+  explicit PipelineCancelled(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 struct AmcGpuOptions {
   gpusim::DeviceProfile profile = gpusim::geforce_7800_gtx();
@@ -61,6 +72,14 @@ struct AmcGpuOptions {
   /// counters and modeled times are bit-identical for every value — see
   /// DESIGN.md "Chunk-parallel execution" for the determinism contract.
   std::size_t workers = 1;
+
+  /// Cooperative cancellation hook, polled once per chunk immediately
+  /// before that chunk starts. Returning true aborts the run by throwing
+  /// PipelineCancelled (no further chunks start; in-flight chunks on other
+  /// workers drain first). Must be thread-safe when workers > 1; leave
+  /// empty for an uncancellable run. Completed runs are unaffected by the
+  /// hook, so results stay bit-identical to a run without one.
+  std::function<bool()> cancel_check;
 };
 
 /// Stage names used in reports, in pipeline order.

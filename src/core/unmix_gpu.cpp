@@ -293,6 +293,10 @@ GpuUnmixReport unmix_gpu(const hsi::HyperCube& cube,
 
   stream::ChunkScheduler scheduler(workers);
   scheduler.run(plan.chunks.size(), [&](std::size_t worker, std::size_t chunk) {
+    if (options.cancel_check && options.cancel_check()) {
+      throw PipelineCancelled("unmix_gpu cancelled before chunk " +
+                              std::to_string(chunk));
+    }
     run_chunk(*devices[worker], chunk);
   });
 

@@ -89,11 +89,29 @@ EnviHeader read_envi_header(const std::string& hdr_path) {
   if (hdr.data_type != 2 && hdr.data_type != 4 && hdr.data_type != 12) {
     throw EnviError("unsupported data type " + std::to_string(hdr.data_type));
   }
-  if (hdr.byte_order != 0) {
-    throw EnviError("only little-endian (byte order = 0) is supported");
+  if (hdr.byte_order != 0 && hdr.byte_order != 1) {
+    throw EnviError("byte order must be 0 (little) or 1 (big), got " +
+                    std::to_string(hdr.byte_order));
   }
   return hdr;
 }
+
+namespace {
+
+/// In-place byte swap of `count` words of `width` (2 or 4) bytes each:
+/// big-endian AVIRIS distributions ship byte order = 1 payloads that must
+/// be swapped to the host's little-endian layout on read.
+void swap_words(void* data, std::size_t count, std::size_t width) {
+  auto* bytes = static_cast<unsigned char*>(data);
+  for (std::size_t i = 0; i < count; ++i) {
+    unsigned char* w = bytes + i * width;
+    for (std::size_t j = 0; j < width / 2; ++j) {
+      std::swap(w[j], w[width - 1 - j]);
+    }
+  }
+}
+
+}  // namespace
 
 HyperCube read_envi(const std::string& hdr_path) {
   const EnviHeader hdr = read_envi_header(hdr_path);
@@ -110,10 +128,16 @@ HyperCube read_envi(const std::string& hdr_path) {
   if (hdr.data_type == 4) {
     in.read(reinterpret_cast<char*>(cube.raw().data()),
             static_cast<std::streamsize>(count * sizeof(float)));
+    if (in && hdr.byte_order == 1) {
+      swap_words(cube.raw().data(), count, sizeof(float));
+    }
   } else {
     std::vector<std::int16_t> tmp(count);
     in.read(reinterpret_cast<char*>(tmp.data()),
             static_cast<std::streamsize>(count * sizeof(std::int16_t)));
+    if (in && hdr.byte_order == 1) {
+      swap_words(tmp.data(), count, sizeof(std::int16_t));
+    }
     float* out = cube.raw().data();
     if (hdr.data_type == 2) {
       for (std::size_t i = 0; i < count; ++i) out[i] = static_cast<float>(tmp[i]);

@@ -7,8 +7,9 @@
 // synthetic scenes the benches generate.
 //
 // Supported: data types 2 (int16), 4 (float32), 12 (uint16); interleaves
-// bsq/bil/bip; byte order 0 (little endian, the only one we read/write);
-// header offset.
+// bsq/bil/bip; byte order 0 (little endian) and 1 (big endian -- the
+// byte-swapped layout big-endian AVIRIS distributions ship; payload words
+// are swapped on read, while we always write byte order 0); header offset.
 #pragma once
 
 #include <stdexcept>
@@ -29,7 +30,7 @@ struct EnviHeader {
   int bands = 0;
   int data_type = 4;    ///< 2=int16, 4=float32, 12=uint16
   int header_offset = 0;
-  int byte_order = 0;   ///< 0 = little endian
+  int byte_order = 0;   ///< 0 = little endian, 1 = big endian (swapped on read)
   Interleave interleave = Interleave::BIP;
   std::string description;
 };

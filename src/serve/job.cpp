@@ -1,0 +1,81 @@
+#include "serve/job.hpp"
+
+#include "util/rng.hpp"
+
+namespace hs::serve {
+
+bool is_terminal(JobState state) {
+  return state != JobState::Queued && state != JobState::Running;
+}
+
+const char* to_string(JobKind kind) {
+  switch (kind) {
+    case JobKind::Morphology: return "morphology";
+    case JobKind::Classify: return "classify";
+    case JobKind::Unmix: return "unmix";
+  }
+  return "?";
+}
+
+const char* to_string(Priority priority) {
+  switch (priority) {
+    case Priority::Low: return "low";
+    case Priority::Normal: return "normal";
+    case Priority::High: return "high";
+  }
+  return "?";
+}
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Failed: return "failed";
+    case JobState::Rejected: return "rejected";
+    case JobState::TimedOut: return "timed_out";
+    case JobState::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+std::optional<JobKind> parse_job_kind(std::string_view name) {
+  if (name == "morphology" || name == "amc" || name == "mei") {
+    return JobKind::Morphology;
+  }
+  if (name == "classify") return JobKind::Classify;
+  if (name == "unmix") return JobKind::Unmix;
+  return std::nullopt;
+}
+
+std::optional<Priority> parse_priority(std::string_view name) {
+  if (name == "low" || name == "batch") return Priority::Low;
+  if (name == "normal") return Priority::Normal;
+  if (name == "high" || name == "interactive") return Priority::High;
+  return std::nullopt;
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::vector<std::vector<float>> synthetic_endmembers(int count, int bands,
+                                                     std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::vector<float>> e(static_cast<std::size_t>(count));
+  for (auto& spectrum : e) {
+    spectrum.resize(static_cast<std::size_t>(bands));
+    for (auto& v : spectrum) {
+      v = static_cast<float>(rng.uniform(0.05, 1.0));
+    }
+  }
+  return e;
+}
+
+}  // namespace hs::serve

@@ -1,0 +1,131 @@
+// Job vocabulary for the serving layer (`hs::serve`).
+//
+// A Job is one request against the GPU pipelines: run AMC classification,
+// linear unmixing, or the morphological MEI pipeline over an ENVI scene on
+// disk or a synthetic scene generated from a seed. Each job carries a
+// priority class, an optional deadline, and a bounded retry budget; the
+// server (server.hpp) moves it through the state machine
+//
+//   Queued -> Running -> {Done, Failed, TimedOut, Cancelled}
+//        \-> {Rejected, TimedOut, Cancelled}        (never ran)
+//
+// where every terminal state is reported through a JobResult rather than
+// an exception -- a serving layer degrades, it does not crash.
+//
+// Determinism contract: a job's functional outputs depend only on its
+// spec (scene, options, seed), never on queue position, priority, worker
+// count, retries or server load -- they are the same bits a direct
+// morphology_gpu / unmix_gpu call with the same options produces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hs::serve {
+
+enum class JobKind {
+  Morphology,  ///< morphology_gpu: the Figure-4 six-stage MEI pipeline
+  Classify,    ///< morphology_gpu + unmix_gpu: GPU-resident AMC labels
+  Unmix,       ///< unmix_gpu only: abundance argmax labels
+};
+
+/// Admission and scheduling class. Higher runs first; under saturation the
+/// queue sheds lower classes to admit higher ones.
+enum class Priority : int { Low = 0, Normal = 1, High = 2 };
+
+enum class JobState {
+  Queued,
+  Running,
+  Done,
+  Failed,     ///< ran and errored (after exhausting any retry budget)
+  Rejected,   ///< never admitted (queue full, over budget, shed, shutdown)
+  TimedOut,   ///< deadline expired while queued or at a chunk boundary
+  Cancelled,  ///< cancelled by the client or a no-drain shutdown
+};
+
+/// True for every state a job can end in (everything but Queued/Running).
+bool is_terminal(JobState state);
+
+const char* to_string(JobKind kind);
+const char* to_string(Priority priority);
+const char* to_string(JobState state);
+
+std::optional<JobKind> parse_job_kind(std::string_view name);
+std::optional<Priority> parse_priority(std::string_view name);
+
+/// The scene a job runs over: an ENVI cube on disk when `envi_path` is
+/// set, otherwise a deterministic synthetic Indian-Pines-like scene.
+struct SceneSpec {
+  std::string envi_path;
+  int width = 32;
+  int height = 32;
+  int bands = 16;
+  std::uint64_t seed = 7;
+};
+
+struct JobSpec {
+  /// Client-chosen label echoed in the result report (need not be unique;
+  /// the server assigns the numeric id).
+  std::string name;
+  JobKind kind = JobKind::Morphology;
+  Priority priority = Priority::Normal;
+  /// Wall-clock budget from submission; 0 disables the deadline. Expiry is
+  /// detected when the job is popped and at every chunk boundary while it
+  /// runs, yielding TimedOut either way.
+  double deadline_seconds = 0;
+  /// Re-run budget for attempts failed by transient faults; 0 = fail fast.
+  int max_retries = 0;
+
+  SceneSpec scene;
+  int se_radius = 1;     ///< Morphology / Classify structuring element
+  int endmembers = 4;    ///< Classify / Unmix endmember count
+  std::size_t workers = 1;  ///< chunk-parallel workers inside the pipeline run
+  std::uint64_t chunk_texel_budget = 0;  ///< 0 = derive from video memory
+  bool half_precision = false;
+};
+
+struct JobResult {
+  std::uint64_t id = 0;
+  std::string name;
+  JobKind kind = JobKind::Morphology;
+  Priority priority = Priority::Normal;
+  JobState state = JobState::Queued;
+  /// Human-readable qualifier for non-Done terminal states: the rejection
+  /// reason, error text, or where the deadline hit (queued vs running).
+  std::string detail;
+  int attempts = 0;
+
+  double queue_seconds = 0;  ///< submission -> start (or terminalization)
+  double run_seconds = 0;    ///< start -> terminal; 0 when the job never ran
+
+  // Pipeline echoes, filled on Done.
+  double modeled_seconds = 0;
+  std::size_t chunk_count = 0;
+  std::size_t pipeline_workers = 0;
+
+  /// FNV-1a over the functional outputs (mei/db for morphology, labels
+  /// for classify/unmix) -- the cheap bit-identity witness the report
+  /// carries even when the payload vectors are dropped.
+  std::uint64_t output_hash = 0;
+
+  /// Functional payloads; present on Done when the server keeps payloads.
+  std::vector<float> mei;
+  std::vector<int> labels;
+};
+
+/// FNV-1a 64-bit over a byte range; `seed` chains multiple ranges.
+std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                    std::uint64_t seed = 14695981039346656037ull);
+
+/// Deterministic endmember spectra for Classify/Unmix jobs over synthetic
+/// scenes: `count` spectra of `bands` reflectances uniform in [0.05, 1.0),
+/// reproducible from (seed, count, bands) alone so a direct unmix_gpu call
+/// can be compared bit-for-bit against a served job.
+std::vector<std::vector<float>> synthetic_endmembers(int count, int bands,
+                                                     std::uint64_t seed);
+
+}  // namespace hs::serve

@@ -1,0 +1,53 @@
+#include "serve/job_queue.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace hs::serve {
+
+namespace {
+
+/// Pop order: higher priority first, then older (smaller seq) first.
+bool before(const JobQueue::Entry& a, const JobQueue::Entry& b) {
+  if (a.priority != b.priority) {
+    return static_cast<int>(a.priority) > static_cast<int>(b.priority);
+  }
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+JobQueue::JobQueue(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+void JobQueue::push(const Entry& entry) {
+  HS_ASSERT_MSG(!full(), "JobQueue::push on a full queue");
+  const auto pos =
+      std::upper_bound(entries_.begin(), entries_.end(), entry, before);
+  entries_.insert(pos, entry);
+}
+
+std::optional<JobQueue::Entry> JobQueue::pop() {
+  if (entries_.empty()) return std::nullopt;
+  const Entry front = entries_.front();
+  entries_.pop_front();
+  return front;
+}
+
+std::optional<JobQueue::Entry> JobQueue::shed_victim() const {
+  if (entries_.empty()) return std::nullopt;
+  // Sorted priority desc / seq asc, so the victim (lowest priority,
+  // youngest) is the last entry.
+  return entries_.back();
+}
+
+bool JobQueue::remove(std::uint64_t id) {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [&](const Entry& e) { return e.id == id; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+}  // namespace hs::serve

@@ -1,0 +1,62 @@
+// Bounded, priority-aware job queue for the serving layer.
+//
+// Ordering: strict priority classes, FIFO (submission order) inside a
+// class -- the deterministic choice, so two runs of the same request
+// sequence against a single-worker server execute jobs in the same order.
+//
+// Saturation policy: when the queue is full, an incoming job may *shed*
+// the worst queued job (lowest priority, youngest within that priority)
+// if and only if that victim's priority is strictly lower than the
+// incoming job's; otherwise admission fails and the incoming job is the
+// one rejected. Shedding the youngest victim preserves FIFO fairness for
+// the work that stays.
+//
+// The queue is NOT thread-safe: the server serializes access under its
+// own mutex, and unit tests drive it single-threaded.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "serve/job.hpp"
+
+namespace hs::serve {
+
+class JobQueue {
+ public:
+  /// Entry: a job id plus the ordering keys (the queue does not own specs).
+  struct Entry {
+    std::uint64_t id = 0;
+    Priority priority = Priority::Normal;
+    std::uint64_t seq = 0;  ///< submission sequence number (FIFO key)
+  };
+
+  /// `capacity` >= 1: the maximum number of queued (not in-flight) jobs.
+  explicit JobQueue(std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  bool full() const { return entries_.size() >= capacity_; }
+
+  /// Admits an entry. Precondition: !full().
+  void push(const Entry& entry);
+
+  /// Removes and returns the highest-priority, oldest entry.
+  std::optional<Entry> pop();
+
+  /// The entry shedding would evict: the lowest-priority, *youngest*
+  /// entry. Empty queue -> nullopt. Does not remove it.
+  std::optional<Entry> shed_victim() const;
+
+  /// Removes the entry with `id`; false when absent (already popped).
+  bool remove(std::uint64_t id);
+
+ private:
+  std::size_t capacity_;
+  std::deque<Entry> entries_;  ///< kept sorted: priority desc, seq asc
+};
+
+}  // namespace hs::serve

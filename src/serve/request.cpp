@@ -1,0 +1,172 @@
+#include "serve/request.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "trace/json_check.hpp"
+
+namespace hs::serve {
+
+namespace {
+
+using trace::json::Value;
+
+bool set_error(std::string* error, const std::string& message) {
+  if (error) *error = message;
+  return false;
+}
+
+/// Requires an integral-valued number in [lo, hi].
+bool get_int_field(const Value& v, const std::string& key, long long lo,
+                   long long hi, long long* out, std::string* error) {
+  if (!v.is(Value::Kind::Number)) {
+    return set_error(error, "'" + key + "' must be a number");
+  }
+  const double d = v.number;
+  if (d != std::floor(d) || d < static_cast<double>(lo) ||
+      d > static_cast<double>(hi)) {
+    return set_error(error, "'" + key + "' out of range");
+  }
+  *out = static_cast<long long>(d);
+  return true;
+}
+
+}  // namespace
+
+std::optional<JobSpec> parse_request_line(std::string_view line,
+                                          std::string* error) {
+  std::string parse_error;
+  const auto doc = trace::json::parse(line, &parse_error);
+  if (!doc) {
+    set_error(error, "invalid JSON: " + parse_error);
+    return std::nullopt;
+  }
+  if (!doc->is(Value::Kind::Object)) {
+    set_error(error, "request must be a JSON object");
+    return std::nullopt;
+  }
+
+  JobSpec spec;
+  bool have_kind = false;
+  for (const auto& [key, value] : doc->object) {
+    long long n = 0;
+    if (key == "name") {
+      if (!value.is(Value::Kind::String)) {
+        set_error(error, "'name' must be a string");
+        return std::nullopt;
+      }
+      spec.name = value.string;
+    } else if (key == "kind") {
+      if (!value.is(Value::Kind::String)) {
+        set_error(error, "'kind' must be a string");
+        return std::nullopt;
+      }
+      const auto kind = parse_job_kind(value.string);
+      if (!kind) {
+        set_error(error, "unknown kind '" + value.string + "'");
+        return std::nullopt;
+      }
+      spec.kind = *kind;
+      have_kind = true;
+    } else if (key == "priority") {
+      if (!value.is(Value::Kind::String)) {
+        set_error(error, "'priority' must be a string");
+        return std::nullopt;
+      }
+      const auto priority = parse_priority(value.string);
+      if (!priority) {
+        set_error(error, "unknown priority '" + value.string + "'");
+        return std::nullopt;
+      }
+      spec.priority = *priority;
+    } else if (key == "deadline_ms") {
+      if (!value.is(Value::Kind::Number) || value.number < 0) {
+        set_error(error, "'deadline_ms' must be a non-negative number");
+        return std::nullopt;
+      }
+      spec.deadline_seconds = value.number / 1000.0;
+    } else if (key == "retries") {
+      if (!get_int_field(value, key, 0, 1000, &n, error)) return std::nullopt;
+      spec.max_retries = static_cast<int>(n);
+    } else if (key == "envi") {
+      if (!value.is(Value::Kind::String)) {
+        set_error(error, "'envi' must be a string");
+        return std::nullopt;
+      }
+      spec.scene.envi_path = value.string;
+    } else if (key == "size") {
+      if (!get_int_field(value, key, 1, 1 << 20, &n, error)) return std::nullopt;
+      spec.scene.width = static_cast<int>(n);
+      spec.scene.height = static_cast<int>(n);
+    } else if (key == "width") {
+      if (!get_int_field(value, key, 1, 1 << 20, &n, error)) return std::nullopt;
+      spec.scene.width = static_cast<int>(n);
+    } else if (key == "height") {
+      if (!get_int_field(value, key, 1, 1 << 20, &n, error)) return std::nullopt;
+      spec.scene.height = static_cast<int>(n);
+    } else if (key == "bands") {
+      if (!get_int_field(value, key, 1, 1 << 16, &n, error)) return std::nullopt;
+      spec.scene.bands = static_cast<int>(n);
+    } else if (key == "seed") {
+      if (!get_int_field(value, key, 0, (1ll << 62), &n, error)) {
+        return std::nullopt;
+      }
+      spec.scene.seed = static_cast<std::uint64_t>(n);
+    } else if (key == "se") {
+      if (!get_int_field(value, key, 0, 64, &n, error)) return std::nullopt;
+      spec.se_radius = static_cast<int>(n);
+    } else if (key == "endmembers") {
+      if (!get_int_field(value, key, 1, 256, &n, error)) return std::nullopt;
+      spec.endmembers = static_cast<int>(n);
+    } else if (key == "workers") {
+      if (!get_int_field(value, key, 0, 4096, &n, error)) return std::nullopt;
+      spec.workers = static_cast<std::size_t>(n);
+    } else if (key == "chunk_texel_budget") {
+      if (!get_int_field(value, key, 0, (1ll << 62), &n, error)) {
+        return std::nullopt;
+      }
+      spec.chunk_texel_budget = static_cast<std::uint64_t>(n);
+    } else if (key == "half") {
+      if (!value.is(Value::Kind::Bool)) {
+        set_error(error, "'half' must be a boolean");
+        return std::nullopt;
+      }
+      spec.half_precision = value.boolean;
+    } else {
+      set_error(error, "unknown key '" + key + "'");
+      return std::nullopt;
+    }
+  }
+  if (!have_kind) {
+    set_error(error, "missing required key 'kind'");
+    return std::nullopt;
+  }
+  return spec;
+}
+
+RequestBatch read_requests(std::istream& in) {
+  RequestBatch batch;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::string error;
+    if (auto spec = parse_request_line(line, &error)) {
+      batch.jobs.push_back(std::move(*spec));
+    } else {
+      batch.errors.emplace_back(line_no, error);
+    }
+  }
+  return batch;
+}
+
+RequestBatch read_request_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open request file: " + path);
+  return read_requests(in);
+}
+
+}  // namespace hs::serve

@@ -1,0 +1,50 @@
+// JSON-lines request parsing for the serving layer.
+//
+// One request per line, e.g.
+//
+//   {"name":"j1","kind":"classify","priority":"high","deadline_ms":500,
+//    "size":32,"bands":16,"se":1,"endmembers":4,"seed":7,"workers":2}
+//   {"name":"scene","kind":"morphology","envi":"pines.hdr"}
+//
+// Recognized keys (all optional except "kind"):
+//   name (string), kind ("morphology"|"classify"|"unmix"),
+//   priority ("low"|"normal"|"high"), deadline_ms (number, 0 = none),
+//   retries (number), envi (string header path), size / width / height /
+//   bands / seed (numbers; synthetic scene), se (structuring element
+//   radius), endmembers, workers, chunk_texel_budget, half (bool).
+//
+// Parsing reuses the strict RFC-8259 parser bundled with the trace sinks
+// (trace/json_check.hpp); a malformed line yields a per-line error rather
+// than aborting the batch, so a served request file degrades the same way
+// the server itself does.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace hs::serve {
+
+/// Parses one JSON request line into a JobSpec. Returns nullopt and sets
+/// `error` (when non-null) on malformed JSON, unknown keys, or bad values.
+std::optional<JobSpec> parse_request_line(std::string_view line,
+                                          std::string* error = nullptr);
+
+struct RequestBatch {
+  std::vector<JobSpec> jobs;
+  /// (1-based line number, message) for every rejected line.
+  std::vector<std::pair<int, std::string>> errors;
+};
+
+/// Reads a JSON-lines stream: blank lines and lines starting with '#' are
+/// skipped; each remaining line must parse as a request.
+RequestBatch read_requests(std::istream& in);
+
+/// File wrapper; throws std::runtime_error when the file cannot be opened.
+RequestBatch read_request_file(const std::string& path);
+
+}  // namespace hs::serve

@@ -1,0 +1,429 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/amc_gpu.hpp"
+#include "core/cost_model.hpp"
+#include "core/structuring_element.hpp"
+#include "core/unmix_gpu.hpp"
+#include "gpusim/device_profile.hpp"
+#include "hsi/envi_io.hpp"
+#include "hsi/synthetic.hpp"
+#include "trace/trace.hpp"
+#include "util/assert.hpp"
+
+namespace hs::serve {
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+trace::Counter& state_counter(JobState state) {
+  switch (state) {
+    case JobState::Done: return trace::counter("serve.jobs.done");
+    case JobState::Failed: return trace::counter("serve.jobs.failed");
+    case JobState::Rejected: return trace::counter("serve.jobs.rejected");
+    case JobState::TimedOut: return trace::counter("serve.jobs.timed_out");
+    case JobState::Cancelled: return trace::counter("serve.jobs.cancelled");
+    case JobState::Queued:
+    case JobState::Running: break;
+  }
+  HS_ASSERT_MSG(false, "state_counter on a non-terminal state");
+  return trace::counter("serve.jobs.invalid");
+}
+
+hsi::HyperCube load_scene(const SceneSpec& scene) {
+  if (!scene.envi_path.empty()) return hsi::read_envi(scene.envi_path);
+  hsi::SceneConfig cfg;
+  cfg.width = scene.width;
+  cfg.height = scene.height;
+  cfg.bands = scene.bands;
+  cfg.seed = scene.seed;
+  return hsi::generate_indian_pines_scene(cfg).cube;
+}
+
+std::uint64_t hash_floats(const std::vector<float>& v, std::uint64_t seed) {
+  return fnv1a(v.data(), v.size() * sizeof(float), seed);
+}
+
+std::uint64_t hash_ints(const std::vector<int>& v, std::uint64_t seed) {
+  return fnv1a(v.data(), v.size() * sizeof(int), seed);
+}
+
+}  // namespace
+
+JobEstimate estimate_job(const JobSpec& spec) {
+  int w = spec.scene.width;
+  int h = spec.scene.height;
+  int bands = spec.scene.bands;
+  if (!spec.scene.envi_path.empty()) {
+    const hsi::EnviHeader hdr = hsi::read_envi_header(spec.scene.envi_path);
+    w = hdr.samples;
+    h = hdr.lines;
+    bands = hdr.bands;
+  }
+  if (w <= 0 || h <= 0 || bands <= 0) {
+    throw std::invalid_argument("scene dimensions must be positive");
+  }
+  if (spec.se_radius < 0) throw std::invalid_argument("se_radius must be >= 0");
+  if (spec.endmembers < 1) {
+    throw std::invalid_argument("endmembers must be >= 1");
+  }
+
+  JobEstimate est;
+  est.pixels = static_cast<std::uint64_t>(w) * static_cast<std::uint64_t>(h);
+  // Host working set: the float cube, plus mei/db scalars and/or labels.
+  est.bytes = est.pixels * static_cast<std::uint64_t>(bands) * 4 +
+              est.pixels * 12;
+
+  const double px = static_cast<double>(est.pixels);
+  const int c = spec.endmembers;
+  core::CpuCost cost;
+  if (spec.kind != JobKind::Unmix) {
+    const int se_edge = 2 * spec.se_radius + 1;
+    cost = core::cpu_morphology_cost(est.pixels, se_edge * se_edge, bands);
+  }
+  if (spec.kind != JobKind::Morphology) {
+    // Unmixing: per pixel, c dot products over `bands` (mul+add) plus the
+    // argmax chain; traffic is one cube read and a label write.
+    cost.flops += px * (2.0 * bands * c + c);
+    cost.bytes += px * (bands * 4.0 + 4.0);
+  }
+  est.seconds = core::model_cpu_morphology_seconds(gpusim::pentium4_prescott(),
+                                                   cost, /*vectorized=*/true);
+  return est;
+}
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      queue_(std::max<std::size_t>(1, options.admission.max_queue_depth)) {
+  update_gauges_locked();  // still single-threaded: no lock needed yet
+  const std::size_t workers = std::max<std::size_t>(1, options_.workers);
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Server::~Server() { shutdown(/*drain=*/false); }
+
+void Server::update_gauges_locked() {
+  trace::gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
+  trace::gauge("serve.in_flight").set(static_cast<double>(in_flight_));
+}
+
+void Server::finalize_locked(Record& rec, JobState state,
+                             const std::string& detail) {
+  HS_ASSERT_MSG(!is_terminal(rec.result.state), "job finalized twice");
+  rec.result.state = state;
+  if (!detail.empty()) rec.result.detail = detail;
+  state_counter(state).increment();
+  update_gauges_locked();
+  done_cv_.notify_all();
+}
+
+Server::Submitted Server::submit(const JobSpec& spec) {
+  // Estimate before taking the lock: it may read an ENVI header. A bad
+  // scene is an admission failure, not an exception at the client.
+  JobEstimate estimate;
+  std::string estimate_error;
+  try {
+    estimate = estimate_job(spec);
+  } catch (const std::exception& e) {
+    estimate_error = std::string("bad scene: ") + e.what();
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  const std::uint64_t id = next_id_++;
+  const std::uint64_t seq = next_seq_++;
+  Record& rec = records_[id];
+  rec.spec = spec;
+  rec.submit_tp = std::chrono::steady_clock::now();
+  rec.has_deadline = spec.deadline_seconds > 0;
+  if (rec.has_deadline) {
+    rec.deadline_tp =
+        rec.submit_tp + std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(spec.deadline_seconds));
+  }
+  rec.cancel_flag = std::make_shared<std::atomic<bool>>(false);
+  rec.result.id = id;
+  rec.result.name = spec.name;
+  rec.result.kind = spec.kind;
+  rec.result.priority = spec.priority;
+  trace::counter("serve.jobs.submitted").increment();
+
+  auto reject = [&](const std::string& reason) {
+    finalize_locked(rec, JobState::Rejected, reason);
+    return Submitted{id, false, JobState::Rejected, reason};
+  };
+
+  if (!accepting_) return reject("server is shutting down");
+  if (!estimate_error.empty()) return reject(estimate_error);
+  const AdmissionPolicy& policy = options_.admission;
+  if (policy.max_estimated_bytes > 0 &&
+      estimate.bytes > policy.max_estimated_bytes) {
+    return reject("over budget: estimated " + std::to_string(estimate.bytes) +
+                  " bytes > limit " +
+                  std::to_string(policy.max_estimated_bytes));
+  }
+  if (policy.max_estimated_seconds > 0 &&
+      estimate.seconds > policy.max_estimated_seconds) {
+    return reject("over budget: estimated " + std::to_string(estimate.seconds) +
+                  " s > limit " + std::to_string(policy.max_estimated_seconds));
+  }
+
+  if (queue_.full()) {
+    const auto victim = queue_.shed_victim();
+    const bool can_shed = policy.shed_low_priority && victim &&
+                          static_cast<int>(victim->priority) <
+                              static_cast<int>(spec.priority);
+    if (!can_shed) return reject("queue full");
+    queue_.remove(victim->id);
+    Record& shed = records_.at(victim->id);
+    shed.result.queue_seconds =
+        seconds_between(shed.submit_tp, std::chrono::steady_clock::now());
+    trace::counter("serve.jobs.shed").increment();
+    finalize_locked(shed, JobState::Rejected,
+                    "shed by higher-priority job " + std::to_string(id));
+  }
+
+  queue_.push(JobQueue::Entry{id, spec.priority, seq});
+  rec.result.state = JobState::Queued;
+  update_gauges_locked();
+  work_cv_.notify_one();
+  return Submitted{id, true, JobState::Queued, ""};
+}
+
+bool Server::cancel(std::uint64_t id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const auto it = records_.find(id);
+  if (it == records_.end()) return false;
+  Record& rec = it->second;
+  if (rec.result.state == JobState::Queued) {
+    queue_.remove(id);
+    rec.result.queue_seconds =
+        seconds_between(rec.submit_tp, std::chrono::steady_clock::now());
+    finalize_locked(rec, JobState::Cancelled, "cancelled while queued");
+    return true;
+  }
+  if (rec.result.state == JobState::Running) {
+    rec.cancel_flag->store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+JobResult Server::wait(std::uint64_t id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const auto it = records_.find(id);
+  if (it == records_.end()) {
+    throw std::invalid_argument("unknown job id " + std::to_string(id));
+  }
+  done_cv_.wait(lk, [&] { return is_terminal(it->second.result.state); });
+  return it->second.result;
+}
+
+std::optional<JobResult> Server::result(std::uint64_t id) const {
+  std::unique_lock<std::mutex> lk(mu_);
+  const auto it = records_.find(id);
+  if (it == records_.end()) return std::nullopt;
+  return it->second.result;
+}
+
+std::vector<JobResult> Server::results() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::vector<JobResult> out;
+  out.reserve(records_.size());
+  for (const auto& [id, rec] : records_) out.push_back(rec.result);
+  return out;
+}
+
+std::size_t Server::queue_depth() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+std::size_t Server::in_flight() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return in_flight_;
+}
+
+void Server::shutdown(bool drain) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!accepting_ && threads_.empty()) return;  // already shut down
+  accepting_ = false;
+  if (drain) {
+    done_cv_.wait(lk, [&] { return queue_.empty() && in_flight_ == 0; });
+  } else {
+    while (const auto entry = queue_.pop()) {
+      Record& rec = records_.at(entry->id);
+      rec.result.queue_seconds =
+          seconds_between(rec.submit_tp, std::chrono::steady_clock::now());
+      finalize_locked(rec, JobState::Cancelled, "cancelled by shutdown");
+    }
+    for (auto& [id, rec] : records_) {
+      if (rec.result.state == JobState::Running) {
+        rec.cancel_flag->store(true, std::memory_order_relaxed);
+      }
+    }
+    update_gauges_locked();
+  }
+  stop_ = true;
+  work_cv_.notify_all();
+  std::vector<std::thread> threads = std::move(threads_);
+  threads_.clear();
+  lk.unlock();
+  for (std::thread& t : threads) t.join();
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lk(mu_);
+    work_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+    const auto entry = queue_.pop();
+    if (!entry) {
+      if (stop_) return;
+      continue;
+    }
+    Record& rec = records_.at(entry->id);
+    const auto now = std::chrono::steady_clock::now();
+    rec.result.queue_seconds = seconds_between(rec.submit_tp, now);
+    if (rec.has_deadline && now >= rec.deadline_tp) {
+      finalize_locked(rec, JobState::TimedOut, "deadline expired while queued");
+      continue;
+    }
+    rec.result.state = JobState::Running;
+    ++in_flight_;
+    update_gauges_locked();
+    const std::uint64_t id = entry->id;
+    const JobSpec spec = rec.spec;
+    const auto cancel_flag = rec.cancel_flag;
+    const bool has_deadline = rec.has_deadline;
+    const auto deadline_tp = rec.deadline_tp;
+    JobResult outcome;
+    lk.unlock();
+
+    run_job(id, spec, cancel_flag, has_deadline, deadline_tp, outcome);
+
+    lk.lock();
+    Record& done = records_.at(id);
+    --in_flight_;
+    done.result.attempts = outcome.attempts;
+    done.result.run_seconds = outcome.run_seconds;
+    done.result.modeled_seconds = outcome.modeled_seconds;
+    done.result.chunk_count = outcome.chunk_count;
+    done.result.pipeline_workers = outcome.pipeline_workers;
+    done.result.output_hash = outcome.output_hash;
+    done.result.mei = std::move(outcome.mei);
+    done.result.labels = std::move(outcome.labels);
+    finalize_locked(done, outcome.state, outcome.detail);
+  }
+}
+
+void Server::run_job(std::uint64_t id, const JobSpec& spec,
+                     const std::shared_ptr<std::atomic<bool>>& cancel_flag,
+                     bool has_deadline,
+                     std::chrono::steady_clock::time_point deadline_tp,
+                     JobResult& out) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int attempt = 1;; ++attempt) {
+    out.attempts = attempt;
+    trace::Span span("serve.job", "serve");
+    if (span.active()) {
+      span.arg("id", static_cast<double>(id));
+      span.arg("kind", to_string(spec.kind));
+      span.arg("priority", to_string(spec.priority));
+      span.arg("attempt", attempt);
+    }
+    try {
+      if (cancel_flag->load(std::memory_order_relaxed)) {
+        out.state = JobState::Cancelled;
+        out.detail = "cancelled while running";
+        break;
+      }
+      if (has_deadline && std::chrono::steady_clock::now() >= deadline_tp) {
+        out.state = JobState::TimedOut;
+        out.detail = "deadline expired while running";
+        break;
+      }
+      if (options_.inject_fault && options_.inject_fault(id, attempt)) {
+        throw TransientFault("injected transient fault (attempt " +
+                             std::to_string(attempt) + ")");
+      }
+
+      const hsi::HyperCube cube = load_scene(spec.scene);
+      core::AmcGpuOptions opt;
+      opt.workers = spec.workers;
+      opt.chunk_texel_budget = spec.chunk_texel_budget;
+      opt.half_precision = spec.half_precision;
+      opt.cancel_check = [cancel_flag, has_deadline, deadline_tp] {
+        if (cancel_flag->load(std::memory_order_relaxed)) return true;
+        return has_deadline &&
+               std::chrono::steady_clock::now() >= deadline_tp;
+      };
+
+      std::uint64_t hash = fnv1a(nullptr, 0);
+      out.modeled_seconds = 0;
+      out.chunk_count = 0;
+      if (spec.kind != JobKind::Unmix) {
+        const core::AmcGpuReport report = core::morphology_gpu(
+            cube, core::StructuringElement::square(spec.se_radius), opt);
+        hash = hash_floats(report.morph.mei, hash);
+        hash = hash_floats(report.morph.db, hash);
+        out.mei = report.morph.mei;
+        out.modeled_seconds += report.modeled_seconds;
+        out.chunk_count += report.chunk_count;
+        out.pipeline_workers = report.workers_used;
+      }
+      if (spec.kind != JobKind::Morphology) {
+        const auto endmembers = synthetic_endmembers(
+            spec.endmembers, cube.bands(), spec.scene.seed);
+        const core::GpuUnmixReport report =
+            core::unmix_gpu(cube, endmembers, opt);
+        hash = hash_ints(report.labels, hash);
+        out.labels = report.labels;
+        out.modeled_seconds += report.modeled_seconds;
+        out.chunk_count += report.chunk_count;
+        out.pipeline_workers = report.workers_used;
+      }
+      out.output_hash = hash;
+      if (!options_.keep_payloads) {
+        out.mei.clear();
+        out.mei.shrink_to_fit();
+        out.labels.clear();
+        out.labels.shrink_to_fit();
+      }
+      out.state = JobState::Done;
+      break;
+    } catch (const TransientFault& e) {
+      if (attempt <= spec.max_retries) {
+        trace::counter("serve.retries").increment();
+        continue;
+      }
+      out.state = JobState::Failed;
+      out.detail = e.what();
+      break;
+    } catch (const core::PipelineCancelled& e) {
+      if (cancel_flag->load(std::memory_order_relaxed)) {
+        out.state = JobState::Cancelled;
+        out.detail = std::string("cancelled while running: ") + e.what();
+      } else {
+        out.state = JobState::TimedOut;
+        out.detail = std::string("deadline expired while running: ") + e.what();
+      }
+      break;
+    } catch (const std::exception& e) {
+      out.state = JobState::Failed;
+      out.detail = e.what();
+      break;
+    }
+  }
+  out.run_seconds = seconds_between(start, std::chrono::steady_clock::now());
+}
+
+}  // namespace hs::serve

@@ -1,0 +1,188 @@
+// The batch job server (`hs::serve::Server`).
+//
+// Owns a pool of pipeline worker threads draining a bounded,
+// priority-aware JobQueue of pipeline requests (job.hpp). Each worker
+// executes one job at a time by calling the chunk-parallel GPU pipelines
+// (core::morphology_gpu / core::unmix_gpu), which internally fan chunks
+// out over stream::ChunkScheduler with per-worker simulated-device clones
+// -- the serving layer adds *between-job* concurrency on top of the
+// *within-job* chunk parallelism of PR 3.
+//
+// Guarantees:
+//   * Admission control never throws at the client: an inadmissible job
+//     (queue full, over the cost-model budget, shed, submitted after
+//     shutdown, unreadable scene) comes back as a terminal
+//     Rejected result with a typed reason string.
+//   * Deadlines are enforced when a job is popped (expired while queued)
+//     and cooperatively at every chunk boundary while it runs (expired
+//     while running); both yield TimedOut.
+//   * Attempts failed by an injected transient fault are retried up to
+//     spec.max_retries times, then Failed.
+//   * shutdown(drain=true) stops admission, completes every queued and
+//     in-flight job, and joins the workers; shutdown(drain=false) cancels
+//     queued jobs, requests cooperative cancellation of running ones, and
+//     joins. Either way every submitted job reaches a terminal state.
+//   * Determinism: a Done job's functional outputs are bit-identical to a
+//     direct pipeline call with the same spec, independent of server
+//     load, priorities, retries or worker count.
+//
+// Observability: the server maintains `serve.queue_depth` /
+// `serve.in_flight` gauges, per-terminal-state `serve.jobs.*` counters,
+// a `serve.retries` counter, and wraps every execution in a
+// `serve.job` span (category "serve") carrying id/kind/priority/attempt.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/job.hpp"
+#include "serve/job_queue.hpp"
+
+namespace hs::serve {
+
+/// The retryable error class: attempts failed by one are re-run while the
+/// job has retry budget left. The server's fault injector raises these;
+/// everything else is treated as permanent.
+class TransientFault : public std::runtime_error {
+ public:
+  explicit TransientFault(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Cheap pre-admission resource estimate for one job, derived from the
+/// cost model (closed-form operation counts; cost_model.hpp) and the
+/// scene dimensions -- an ENVI scene is estimated from its header alone,
+/// without touching the payload.
+struct JobEstimate {
+  std::uint64_t pixels = 0;
+  /// Host-side working set: the float cube plus functional outputs.
+  std::uint64_t bytes = 0;
+  /// Cost-model seconds on the reference CPU profile; a stable, hardware-
+  /// independent admission currency (NOT a wall-clock prediction for the
+  /// simulator).
+  double seconds = 0;
+};
+
+/// Throws hsi::EnviError when the scene is an unreadable ENVI header;
+/// submit() converts that into a Rejected{bad scene} outcome.
+JobEstimate estimate_job(const JobSpec& spec);
+
+struct AdmissionPolicy {
+  /// Maximum queued (not yet running) jobs.
+  std::size_t max_queue_depth = 64;
+  /// Reject jobs whose estimate exceeds these; 0 disables a limit.
+  double max_estimated_seconds = 0;
+  std::uint64_t max_estimated_bytes = 0;
+  /// When the queue is full, admit a higher-priority job by shedding the
+  /// lowest-priority (youngest within that class) queued job.
+  bool shed_low_priority = true;
+};
+
+struct ServerOptions {
+  /// Server worker threads, each running one job at a time (>= 1).
+  std::size_t workers = 1;
+  AdmissionPolicy admission;
+  /// Keep the functional payloads (mei/labels) in JobResults. Benches
+  /// serving many jobs turn this off; the output_hash stays either way.
+  bool keep_payloads = true;
+  /// Transient-fault injector, called at the start of every attempt
+  /// (job id, 1-based attempt). Returning true fails that attempt with a
+  /// TransientFault (consuming retry budget). The callback runs on worker
+  /// threads and must be thread-safe. Tests also use it as a gate: it may
+  /// block to hold a job "running" deterministically.
+  std::function<bool(std::uint64_t id, int attempt)> inject_fault;
+};
+
+class Server {
+ public:
+  /// Outcome of submit(): `admitted` jobs are queued; inadmissible ones
+  /// are already terminal (state/detail say why) but still tracked, so
+  /// wait()/results() cover them too.
+  struct Submitted {
+    std::uint64_t id = 0;
+    bool admitted = false;
+    JobState state = JobState::Queued;
+    std::string detail;
+  };
+
+  explicit Server(const ServerOptions& options);
+  /// Implicit non-drain shutdown when the owner forgot: cancels queued
+  /// jobs, cooperatively cancels running ones, joins the workers.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  Submitted submit(const JobSpec& spec);
+
+  /// Queued -> Cancelled immediately; Running -> cooperative cancel
+  /// request (the job terminalizes as Cancelled at the next chunk
+  /// boundary). False when the job is unknown or already terminal.
+  bool cancel(std::uint64_t id);
+
+  /// Blocks until the job reaches a terminal state and returns its result.
+  JobResult wait(std::uint64_t id);
+
+  /// Non-blocking snapshot; nullopt for unknown ids.
+  std::optional<JobResult> result(std::uint64_t id) const;
+
+  /// All tracked jobs in submission order (terminal or not).
+  std::vector<JobResult> results() const;
+
+  /// Stops admission, then either drains (completes queued + in-flight
+  /// jobs) or cancels (queued jobs -> Cancelled, running jobs get a
+  /// cooperative cancel), and joins the workers. Idempotent; the first
+  /// call's mode wins.
+  void shutdown(bool drain);
+
+  std::size_t queue_depth() const;
+  std::size_t in_flight() const;
+
+ private:
+  struct Record {
+    JobSpec spec;
+    JobResult result;
+    std::chrono::steady_clock::time_point submit_tp;
+    std::chrono::steady_clock::time_point deadline_tp;
+    bool has_deadline = false;
+    std::shared_ptr<std::atomic<bool>> cancel_flag;
+  };
+
+  void worker_loop();
+  /// Runs one job to a terminal outcome (no locks held). Fills state,
+  /// detail, attempts, run_seconds and outputs into `out`.
+  void run_job(std::uint64_t id, const JobSpec& spec,
+               const std::shared_ptr<std::atomic<bool>>& cancel_flag,
+               bool has_deadline,
+               std::chrono::steady_clock::time_point deadline_tp,
+               JobResult& out);
+  /// Terminal bookkeeping; requires mu_ held and a non-terminal record.
+  void finalize_locked(Record& rec, JobState state, const std::string& detail);
+  void update_gauges_locked();
+
+  ServerOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers: queue non-empty or stop
+  std::condition_variable done_cv_;  ///< waiters: some job terminalized
+  JobQueue queue_;
+  std::map<std::uint64_t, Record> records_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
+  std::size_t in_flight_ = 0;
+  bool accepting_ = true;
+  bool stop_ = false;  ///< workers exit once the queue is empty
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace hs::serve

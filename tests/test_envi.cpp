@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
+#include <vector>
 
 #include "util/rng.hpp"
 
@@ -97,10 +101,63 @@ TEST_F(EnviTest, UnsupportedDataTypeThrows) {
   EXPECT_THROW(read_envi_header(p), EnviError);
 }
 
-TEST_F(EnviTest, BigEndianRejected) {
-  const std::string p = path("bigendian") + ".hdr";
+// Rewrites a little-endian ENVI pair as its big-endian twin: every
+// `word_bytes`-wide payload word is byte-swapped and the header gains
+// `byte order = 1`. read_envi must undo the swap exactly.
+void make_big_endian_copy(const std::string& src_base,
+                          const std::string& dst_base, std::size_t word_bytes) {
+  std::ifstream hdr_in(src_base + ".hdr");
+  std::ofstream hdr_out(dst_base + ".hdr");
+  std::string line;
+  while (std::getline(hdr_in, line)) {
+    if (line.rfind("byte order", 0) == 0) line = "byte order = 1";
+    hdr_out << line << "\n";
+  }
+
+  std::ifstream dat_in(src_base + ".dat", std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(dat_in)),
+                          std::istreambuf_iterator<char>());
+  ASSERT_EQ(bytes.size() % word_bytes, 0u);
+  for (std::size_t i = 0; i < bytes.size(); i += word_bytes) {
+    std::reverse(bytes.begin() + static_cast<std::ptrdiff_t>(i),
+                 bytes.begin() + static_cast<std::ptrdiff_t>(i + word_bytes));
+  }
+  std::ofstream(dst_base + ".dat", std::ios::binary)
+      .write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST_F(EnviTest, BigEndianFloat32RoundTrip) {
+  const HyperCube cube = make_cube(Interleave::BIP);
+  write_envi(cube, path("be_f32"));
+  make_big_endian_copy(path("be_f32"), path("be_f32_swapped"), sizeof(float));
+
+  const EnviHeader hdr = read_envi_header(path("be_f32_swapped") + ".hdr");
+  EXPECT_EQ(hdr.byte_order, 1);
+  const HyperCube back = read_envi(path("be_f32_swapped") + ".hdr");
+  ASSERT_EQ(back.raw().size(), cube.raw().size());
+  for (std::size_t i = 0; i < cube.raw().size(); ++i) {
+    EXPECT_EQ(back.raw()[i], cube.raw()[i]) << "texel " << i;
+  }
+}
+
+TEST_F(EnviTest, BigEndianInt16RoundTrip) {
+  const HyperCube cube = make_cube(Interleave::BSQ);
+  write_envi_int16(cube, path("be_i16"), 10000.0f);
+  make_big_endian_copy(path("be_i16"), path("be_i16_swapped"),
+                       sizeof(std::int16_t));
+
+  const HyperCube little = read_envi(path("be_i16") + ".hdr");
+  const HyperCube big = read_envi(path("be_i16_swapped") + ".hdr");
+  ASSERT_EQ(big.raw().size(), little.raw().size());
+  for (std::size_t i = 0; i < little.raw().size(); ++i) {
+    EXPECT_EQ(big.raw()[i], little.raw()[i]) << "texel " << i;
+  }
+}
+
+TEST_F(EnviTest, BadByteOrderRejected) {
+  const std::string p = path("badorder") + ".hdr";
   std::ofstream(p) << "ENVI\nsamples = 2\nlines = 2\nbands = 1\n"
-                   << "data type = 4\nbyte order = 1\n";
+                   << "data type = 4\nbyte order = 2\n";
   EXPECT_THROW(read_envi_header(p), EnviError);
 }
 

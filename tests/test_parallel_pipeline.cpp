@@ -213,6 +213,10 @@ TEST(ParallelPipeline, UnmixBitIdenticalAcrossWorkerCounts) {
   }
 }
 
+// Reads the process-global trace counter registry, which the HS_TRACE=OFF
+// configuration compiles down to inert stubs.
+#if HS_TRACE_ENABLED
+
 TEST(ParallelPipeline, ExecutorPassCounterInvariantAcrossWorkers) {
   // The process-global stream.executor.passes counter must advance by the
   // same amount whatever the worker count: passes are counted per chunk
@@ -231,6 +235,8 @@ TEST(ParallelPipeline, ExecutorPassCounterInvariantAcrossWorkers) {
   const std::int64_t par_delta = passes.value() - before_par;
   EXPECT_EQ(seq_delta, par_delta);
 }
+
+#endif  // HS_TRACE_ENABLED
 
 TEST(ParallelPipeline, ModeledParallelScheduleProperties) {
   const auto cube = random_cube(24, 18, 8, 17);
@@ -262,6 +268,9 @@ TEST(ParallelPipeline, ModeledParallelScheduleProperties) {
             report.modeled_parallel_seconds(report.chunk_count + 10));
 }
 
+// Needs the span recorder, stubbed out under HS_TRACE=OFF.
+#if HS_TRACE_ENABLED
+
 TEST(ParallelPipeline, TraceSpansCompleteUnderParallelRun) {
   // gtest_discover_tests runs each TEST in its own process, so enabling
   // tracing here cannot leak into other tests.
@@ -287,6 +296,8 @@ TEST(ParallelPipeline, TraceSpansCompleteUnderParallelRun) {
   EXPECT_EQ(stage_pass_spans, report.totals.passes);
   trace::set_enabled(false);
 }
+
+#endif  // HS_TRACE_ENABLED
 
 TEST(ParallelPipeline, WorkersClampAndAutoResolve) {
   // A single-chunk scene cannot use more than one worker.
@@ -364,6 +375,66 @@ TEST(ChunkScheduler, MoreWorkersThanChunks) {
     seen[chunk].fetch_add(1);
   });
   for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ChunkScheduler, ZeroChunksIsANoOpForEveryWorkerCount) {
+  for (std::size_t workers : {1u, 2u, 16u}) {
+    stream::ChunkScheduler scheduler(workers);
+    bool ran = false;
+    scheduler.run(0, [&](std::size_t, std::size_t) { ran = true; });
+    EXPECT_FALSE(ran) << workers << " workers";
+  }
+}
+
+TEST(ChunkScheduler, ReusableAcrossRunsIncludingAfterAnException) {
+  stream::ChunkScheduler scheduler(3);
+  std::atomic<int> count{0};
+  scheduler.run(5, [&](std::size_t, std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 5);
+
+  EXPECT_THROW(scheduler.run(4,
+                             [&](std::size_t, std::size_t chunk) {
+                               if (chunk == 0) throw std::runtime_error("boom");
+                             }),
+               std::runtime_error);
+
+  // The pool survives a failed run: the next run still covers every chunk.
+  count.store(0);
+  scheduler.run(7, [&](std::size_t, std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 7);
+}
+
+TEST(ChunkScheduler, WorkersFarBeyondHardwareStillCoverEveryChunkOnce) {
+  // More workers than any host has cores: the pool multiplexes the worker
+  // slots onto fewer OS threads, but slot-exclusivity (at most one thread
+  // per worker id at a time) and exactly-once chunk coverage must hold.
+  stream::ChunkScheduler scheduler(32);
+  constexpr std::size_t kChunks = 19;
+  std::vector<std::atomic<int>> seen(kChunks);
+  std::vector<std::atomic<int>> active(32);
+  scheduler.run(kChunks, [&](std::size_t worker, std::size_t chunk) {
+    EXPECT_EQ(active[worker].fetch_add(1), 0) << "worker slot shared";
+    seen[chunk].fetch_add(1);
+    active[worker].fetch_sub(1);
+  });
+  for (std::size_t i = 0; i < kChunks; ++i) EXPECT_EQ(seen[i].load(), 1);
+}
+
+TEST(ParallelPipeline, MoreWorkersThanChunksBitIdenticalToSequential) {
+  // Multi-chunk scene (not the single-chunk clamp case above) with a
+  // worker request far above the chunk count: workers are clamped to the
+  // chunks and the outputs still bit-equal the sequential run.
+  const auto cube = random_cube(20, 18, 8, 23);
+  const StructuringElement se = StructuringElement::square(1);
+  const AmcGpuReport base = morphology_gpu(cube, se, chunked_options(1));
+  ASSERT_GT(base.chunk_count, 1u);
+
+  AmcGpuOptions opt = chunked_options(base.chunk_count + 13);
+  const AmcGpuReport report = morphology_gpu(cube, se, opt);
+  EXPECT_EQ(report.workers_used, base.chunk_count);
+  expect_same_morph(base.morph, report.morph);
+  expect_same_totals(base.totals, report.totals);
+  EXPECT_EQ(base.modeled_seconds, report.modeled_seconds);
 }
 
 }  // namespace

@@ -3,7 +3,7 @@
 # ASan/UBSan-instrumented configuration, a TSan configuration running the
 # concurrency suite (TSan and ASan are mutually exclusive, hence the
 # separate build dir), and a tracing-disabled (HS_TRACE=OFF)
-# configuration; then smoke-test the hsi-profile CLI.
+# configuration; then smoke-test the hsi-profile and hsi-served CLIs.
 #
 # Usage: tools/check.sh [extra ctest args...]
 set -euo pipefail
@@ -33,11 +33,28 @@ smoke_profile() {
   rm -rf "$out"
 }
 
+# Runs the sample request batch through hsi-served and checks the report
+# and metrics documents. hsi-served validates both with the bundled strict
+# JSON parser and exits nonzero when any job fails to reach a terminal
+# state, so a zero exit plus the shape greps is a full smoke.
+smoke_served() {
+  local dir="$1"
+  local out
+  out="$(mktemp -d)"
+  "$dir/tools/hsi-served" --requests examples/serve_requests.jsonl \
+    --workers 2 --max-bytes 32000000 \
+    --report "$out/report.json" --metrics "$out/metrics.json" > /dev/null
+  grep -q '"jobs"' "$out/report.json"
+  grep -q '"results"' "$out/metrics.json"
+  rm -rf "$out"
+}
+
 CTEST_ARGS=("$@")
 
 echo "==> Release"
 run_config build-release -DCMAKE_BUILD_TYPE=Release
 smoke_profile build-release
+smoke_served build-release
 
 echo "==> Sanitizers (address,undefined)"
 run_config build-sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -46,17 +63,19 @@ run_config build-sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 echo "==> ThreadSanitizer (concurrency suite)"
 # TSan slows execution ~10x, so run the tests that exercise real
 # concurrency: the chunk-parallel pipeline/scheduler determinism suite,
-# the thread-pool/task-group stress tests, the executor
-# cross-contamination tests, and the multithreaded trace tests.
+# the serving-layer suite (worker threads + concurrent clients), the
+# thread-pool/task-group stress tests, the executor cross-contamination
+# tests, and the multithreaded trace tests.
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DHS_SANITIZE=thread
 cmake --build build-tsan -j
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'ParallelPipeline|ChunkScheduler|ThreadPool|TaskGroup|StreamExecutor|Trace\.' \
+  -R 'ParallelPipeline|ChunkScheduler|Serve|ThreadPool|TaskGroup|StreamExecutor|Trace\.' \
   -j "${CTEST_ARGS[@]}"
 
 echo "==> Tracing compiled out (HS_TRACE=OFF)"
 run_config build-notrace -DCMAKE_BUILD_TYPE=Release -DHS_TRACE=OFF
 smoke_profile build-notrace
+smoke_served build-notrace
 
 echo "==> All checks passed"

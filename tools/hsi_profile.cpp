@@ -13,7 +13,9 @@
 //
 // Both JSON outputs are re-read and validated with the bundled parser
 // before exit, so a zero exit status certifies well-formed documents.
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -51,9 +53,27 @@ bool validate_file(const std::string& path, bool chrome) {
   return ok;
 }
 
-}  // namespace
+/// Strict integer flag parse: the whole value must be a number >= `min`.
+/// Cli::get_int's strtoll silently maps garbage to 0, which here would
+/// turn a typo into a degenerate scene instead of an error.
+bool parse_int_flag(const hs::util::Cli& cli, const std::string& name,
+                    long long min_value, long long fallback, long long* out) {
+  *out = fallback;
+  if (!cli.has(name)) return true;
+  const std::string text = cli.get(name, "");
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0' || v < min_value) {
+    std::cerr << "hsi-profile: invalid --" << name << " '" << text
+              << "' (integer >= " << min_value << " expected)\n";
+    return false;
+  }
+  *out = v;
+  return true;
+}
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace hs;
 
   util::Cli cli;
@@ -69,11 +89,25 @@ int main(int argc, char** argv) {
   cli.add_flag("trace", "Chrome trace-event JSON output path", "");
   cli.add_flag("metrics", "metrics JSON output path", "");
   if (!cli.parse(argc, argv)) return 1;
+  if (!cli.positional().empty()) {
+    std::cerr << "hsi-profile: unexpected argument '" << cli.positional()[0]
+              << "'\n";
+    return 1;
+  }
 
   const std::string envi_path = cli.get("envi", "");
   if (!cli.get_bool("synthetic", false) && envi_path.empty()) {
     std::cerr << "hsi-profile: pass --synthetic or --envi <cube.hdr>\n";
     cli.print_usage("hsi-profile");
+    return 1;
+  }
+
+  long long size = 0, bands = 0, se = 0, budget = 0, workers = 0;
+  if (!parse_int_flag(cli, "size", 1, 64, &size) ||
+      !parse_int_flag(cli, "bands", 1, 32, &bands) ||
+      !parse_int_flag(cli, "se", 0, 1, &se) ||
+      !parse_int_flag(cli, "budget", 0, 0, &budget) ||
+      !parse_int_flag(cli, "workers", 0, 1, &workers)) {
     return 1;
   }
 
@@ -94,16 +128,16 @@ int main(int argc, char** argv) {
     }
   } else {
     hsi::SceneConfig scene;
-    scene.width = static_cast<int>(cli.get_int("size", 64));
+    scene.width = static_cast<int>(size);
     scene.height = scene.width;
-    scene.bands = static_cast<int>(cli.get_int("bands", 32));
+    scene.bands = static_cast<int>(bands);
     cube = hsi::generate_indian_pines_scene(scene).cube;
   }
 
   core::AmcGpuOptions opt;
-  opt.chunk_texel_budget = static_cast<std::uint64_t>(cli.get_int("budget", 0));
+  opt.chunk_texel_budget = static_cast<std::uint64_t>(budget);
   opt.half_precision = cli.get_bool("half", false);
-  opt.workers = static_cast<std::size_t>(cli.get_int("workers", 1));
+  opt.workers = static_cast<std::size_t>(workers);
   const std::string engine = cli.get("engine", "compiled");
   if (engine == "interpreter") {
     opt.sim.exec_engine = gpusim::ExecEngine::Interpreter;
@@ -111,7 +145,7 @@ int main(int argc, char** argv) {
     std::cerr << "hsi-profile: unknown --engine '" << engine << "'\n";
     return 1;
   }
-  const int se_radius = static_cast<int>(cli.get_int("se", 1));
+  const int se_radius = static_cast<int>(se);
 
   util::Timer wall;
   const core::AmcGpuReport report = core::morphology_gpu(
@@ -173,4 +207,18 @@ int main(int argc, char** argv) {
     }
   }
   return ok ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Every failure mode is a one-line error and a nonzero exit, never an
+  // uncaught exception backtrace (the CLI tests in tools/CMakeLists.txt
+  // pin this down).
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "hsi-profile: " << e.what() << "\n";
+    return 1;
+  }
 }

@@ -1,0 +1,247 @@
+// Batch job-serving CLI (`hsi-served`).
+//
+// Reads a JSON-lines request file (serve/request.hpp documents the
+// schema; examples/serve_requests.jsonl is a ready-to-run sample), stands
+// up an hs::serve::Server with the requested admission policy, submits
+// every request in file order, drains, and reports:
+//   * a per-job result table on stdout (state, attempts, queue/run time,
+//     output hash);
+//   * --report out.json: a machine-readable per-job report;
+//   * --metrics out.json: the hs::trace metrics registry (queue/in-flight
+//     gauges, per-state serve.jobs.* counters, serve.job span aggregates)
+//     in the shared BENCH_*.json schema;
+//   * --trace out.json: the Chrome trace (serve.job spans nesting the
+//     pipeline -> chunk -> stage spans of the jobs they served).
+//
+// All three JSON outputs are re-read and validated with the bundled
+// strict parser before exit; a zero exit status certifies that every job
+// reached a terminal state and every emitted document is well-formed.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "serve/server.hpp"
+#include "trace/json_check.hpp"
+#include "trace/trace.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace hs;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+bool write_report(const std::string& path,
+                  const std::vector<serve::JobResult>& results) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"name\": \"hsi-served\",\n  \"jobs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const serve::JobResult& r = results[i];
+    out << "    {\"id\": " << r.id << ", \"name\": \"" << json_escape(r.name)
+        << "\", \"kind\": \"" << to_string(r.kind) << "\", \"priority\": \""
+        << to_string(r.priority) << "\", \"state\": \"" << to_string(r.state)
+        << "\", \"detail\": \"" << json_escape(r.detail)
+        << "\", \"attempts\": " << r.attempts
+        << ", \"queue_ms\": " << r.queue_seconds * 1e3
+        << ", \"run_ms\": " << r.run_seconds * 1e3
+        << ", \"modeled_ms\": " << r.modeled_seconds * 1e3
+        << ", \"chunks\": " << r.chunk_count
+        << ", \"output_hash\": \"" << std::hex << r.output_hash << std::dec
+        << "\"}";
+    out << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  return out.good();
+}
+
+bool validate_json_file(const std::string& path, const char* what) {
+  std::string error;
+  if (!trace::json::parse(slurp(path), &error)) {
+    std::cerr << "hsi-served: " << what << " " << path
+              << " failed validation: " << error << "\n";
+    return false;
+  }
+  return true;
+}
+
+int run(int argc, char** argv) {
+  util::Cli cli;
+  cli.add_flag("requests", "JSON-lines request file (see serve/request.hpp)");
+  cli.add_flag("workers", "server worker threads", "1");
+  cli.add_flag("queue-depth", "admission: max queued jobs", "64");
+  cli.add_flag("max-seconds", "admission: cost-model seconds budget (0 = off)",
+               "0");
+  cli.add_flag("max-bytes", "admission: estimated bytes budget (0 = off)", "0");
+  cli.add_flag("no-shed", "never shed low-priority jobs on saturation");
+  cli.add_flag("report", "per-job report JSON output path", "");
+  cli.add_flag("metrics", "metrics JSON output path", "");
+  cli.add_flag("trace", "Chrome trace-event JSON output path", "");
+  if (!cli.parse(argc, argv)) return 1;
+  if (!cli.positional().empty()) {
+    std::cerr << "hsi-served: unexpected argument '" << cli.positional()[0]
+              << "'\n";
+    return 1;
+  }
+  const std::string requests_path = cli.get("requests", "");
+  if (requests_path.empty()) {
+    std::cerr << "hsi-served: pass --requests <file.jsonl>\n";
+    cli.print_usage("hsi-served");
+    return 1;
+  }
+  const std::int64_t workers = cli.get_int("workers", 1);
+  const std::int64_t depth = cli.get_int("queue-depth", 64);
+  if (workers < 1 || depth < 1) {
+    std::cerr << "hsi-served: --workers and --queue-depth must be >= 1\n";
+    return 1;
+  }
+
+  trace::reset();
+  trace::set_enabled(true);
+
+  serve::RequestBatch batch;
+  try {
+    batch = serve::read_request_file(requests_path);
+  } catch (const std::exception& e) {
+    std::cerr << "hsi-served: " << e.what() << "\n";
+    return 1;
+  }
+  for (const auto& [line, error] : batch.errors) {
+    std::cerr << "hsi-served: " << requests_path << ":" << line << ": " << error
+              << "\n";
+  }
+  if (batch.jobs.empty()) {
+    std::cerr << "hsi-served: no valid requests in " << requests_path << "\n";
+    return 1;
+  }
+
+  serve::ServerOptions options;
+  options.workers = static_cast<std::size_t>(workers);
+  options.admission.max_queue_depth = static_cast<std::size_t>(depth);
+  options.admission.max_estimated_seconds = cli.get_double("max-seconds", 0);
+  options.admission.max_estimated_bytes =
+      static_cast<std::uint64_t>(cli.get_int("max-bytes", 0));
+  options.admission.shed_low_priority = !cli.get_bool("no-shed", false);
+  options.keep_payloads = false;  // the CLI reports hashes, not payloads
+
+  util::Timer wall;
+  serve::Server server(options);
+  for (const serve::JobSpec& spec : batch.jobs) server.submit(spec);
+  server.shutdown(/*drain=*/true);
+  const double wall_s = wall.seconds();
+  const std::vector<serve::JobResult> results = server.results();
+
+  util::Table table({"Id", "Name", "Kind", "Prio", "State", "Attempts",
+                     "Queue", "Run", "Hash / detail"});
+  std::size_t done = 0, terminal = 0;
+  for (const serve::JobResult& r : results) {
+    if (serve::is_terminal(r.state)) ++terminal;
+    if (r.state == serve::JobState::Done) ++done;
+    std::ostringstream tail;
+    if (r.state == serve::JobState::Done) {
+      tail << std::hex << r.output_hash;
+    } else {
+      tail << r.detail;
+    }
+    table.add_row({std::to_string(r.id), r.name, to_string(r.kind),
+                   to_string(r.priority), to_string(r.state),
+                   std::to_string(r.attempts),
+                   util::format_duration(r.queue_seconds),
+                   util::format_duration(r.run_seconds), tail.str()});
+  }
+  table.print(std::cout, "hsi-served: " + std::to_string(results.size()) +
+                             " jobs in " + util::format_duration(wall_s));
+  std::cout << "\n" << done << "/" << results.size() << " done, " << terminal
+            << "/" << results.size() << " terminal\n";
+
+  bool ok = terminal == results.size();
+  if (!ok) std::cerr << "hsi-served: some jobs never reached a terminal state\n";
+
+  const std::string report_path = cli.get("report", "");
+  if (!report_path.empty()) {
+    if (!write_report(report_path, results)) {
+      std::cerr << "hsi-served: cannot write " << report_path << "\n";
+      ok = false;
+    } else if (!validate_json_file(report_path, "report")) {
+      ok = false;
+    } else {
+      std::cout << "report: " << report_path << "\n";
+    }
+  }
+  const std::string metrics_path = cli.get("metrics", "");
+  if (!metrics_path.empty()) {
+    std::string error;
+    if (!trace::write_metrics_json_file(metrics_path, "hsi-served")) {
+      std::cerr << "hsi-served: cannot write " << metrics_path << "\n";
+      ok = false;
+    } else if (!trace::json::validate_metrics_json(slurp(metrics_path),
+                                                   &error)) {
+      std::cerr << "hsi-served: metrics " << metrics_path
+                << " failed validation: " << error << "\n";
+      ok = false;
+    } else {
+      std::cout << "metrics: " << metrics_path << "\n";
+    }
+  }
+  const std::string trace_path = cli.get("trace", "");
+  if (!trace_path.empty()) {
+    std::string error;
+    if (!trace::write_chrome_trace_file(trace_path)) {
+      std::cerr << "hsi-served: cannot write " << trace_path << "\n";
+      ok = false;
+    } else if (!trace::json::validate_chrome_trace(slurp(trace_path),
+                                                   &error)) {
+      std::cerr << "hsi-served: trace " << trace_path
+                << " failed validation: " << error << "\n";
+      ok = false;
+    } else {
+      std::cout << "trace: " << trace_path << "\n";
+    }
+  }
+  return ok ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "hsi-served: " << e.what() << "\n";
+    return 1;
+  }
+}

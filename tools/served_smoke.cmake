@@ -1,0 +1,21 @@
+# ctest smoke stage for hsi-served: run the sample request batch and
+# require a report + metrics JSON (hsi-served itself validates both with
+# the bundled strict parser and exits nonzero otherwise).
+file(MAKE_DIRECTORY ${WORKDIR})
+execute_process(
+  COMMAND ${SERVED} --requests ${REQUESTS} --workers 2 --max-bytes 32000000
+          --report ${WORKDIR}/report.json --metrics ${WORKDIR}/metrics.json
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "hsi-served smoke failed (rc=${rc}):\n${out}\n${err}")
+endif()
+file(READ ${WORKDIR}/report.json report)
+if(NOT report MATCHES "\"jobs\"")
+  message(FATAL_ERROR "report.json missing jobs array")
+endif()
+file(READ ${WORKDIR}/metrics.json metrics)
+if(NOT metrics MATCHES "\"results\"")
+  message(FATAL_ERROR "metrics.json missing results array")
+endif()
