@@ -1,0 +1,105 @@
+#include "cache/fingerprint.hpp"
+
+#include <cstring>
+
+namespace hs::cache {
+
+namespace {
+
+enum FieldType : std::uint8_t {
+  kString = 1,
+  kUint = 2,
+  kInt = 3,
+  kBool = 4,
+  kDouble = 5,
+  kBytes = 6,
+};
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t seed) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void Fingerprinter::tagged(std::string_view name, std::uint8_t type,
+                           const void* payload, std::size_t bytes) {
+  put_u32(key_, static_cast<std::uint32_t>(name.size()));
+  key_.insert(key_.end(), name.begin(), name.end());
+  key_.push_back(type);
+  put_u32(key_, static_cast<std::uint32_t>(bytes));
+  const auto* p = static_cast<const std::uint8_t*>(payload);
+  key_.insert(key_.end(), p, p + bytes);
+}
+
+Fingerprinter& Fingerprinter::field(std::string_view name,
+                                    std::string_view value) {
+  tagged(name, kString, value.data(), value.size());
+  return *this;
+}
+
+Fingerprinter& Fingerprinter::field(std::string_view name,
+                                    std::uint64_t value) {
+  std::vector<std::uint8_t> tmp;
+  put_u64(tmp, value);
+  tagged(name, kUint, tmp.data(), tmp.size());
+  return *this;
+}
+
+Fingerprinter& Fingerprinter::field(std::string_view name,
+                                    std::int64_t value) {
+  std::vector<std::uint8_t> tmp;
+  put_u64(tmp, static_cast<std::uint64_t>(value));
+  tagged(name, kInt, tmp.data(), tmp.size());
+  return *this;
+}
+
+Fingerprinter& Fingerprinter::field(std::string_view name, bool value) {
+  const std::uint8_t v = value ? 1 : 0;
+  tagged(name, kBool, &v, 1);
+  return *this;
+}
+
+Fingerprinter& Fingerprinter::field(std::string_view name, double value) {
+  if (value == 0.0) value = 0.0;  // -0.0 and 0.0 compare equal: same bits
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof value);
+  std::memcpy(&bits, &value, sizeof bits);
+  std::vector<std::uint8_t> tmp;
+  put_u64(tmp, bits);
+  tagged(name, kDouble, tmp.data(), tmp.size());
+  return *this;
+}
+
+Fingerprinter& Fingerprinter::field(std::string_view name, const void* data,
+                                    std::size_t bytes) {
+  tagged(name, kBytes, data, bytes);
+  return *this;
+}
+
+Fingerprint Fingerprinter::finish() const {
+  Fingerprint fp;
+  fp.key = key_;
+  fp.digest = fnv1a(fp.key.data(), fp.key.size());
+  return fp;
+}
+
+}  // namespace hs::cache

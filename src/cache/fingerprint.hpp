@@ -1,0 +1,64 @@
+// Canonical content fingerprints for the caching layer (`hs::cache`).
+//
+// A Fingerprint is the content address of a cacheable artifact: a
+// length-prefixed, type-tagged encoding of named fields plus its FNV-1a
+// 64-bit digest (the same witness hash the serving layer already uses for
+// output bit-identity). Two fingerprints are equal iff their canonical
+// key bytes are equal -- the digest is only an index accelerator, never
+// the identity, so hash collisions can degrade lookup speed but can never
+// alias two different cache entries.
+//
+// Canonical form: every field is encoded as
+//
+//   [u32 name length][name bytes][u8 type tag][u32 payload length][payload]
+//
+// so ("ab", "c") and ("a", "bc") encode differently, integer 1 and bool
+// true encode differently, and appending a field can never collide with a
+// longer value of the previous field. Callers must emit fields in a fixed
+// order (a fingerprint is a protocol, not a map).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace hs::cache {
+
+/// FNV-1a 64-bit over a byte range; `seed` chains multiple ranges. Uses
+/// the same offset basis/prime as the serve-layer output witness.
+std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                    std::uint64_t seed = 14695981039346656037ull);
+
+struct Fingerprint {
+  std::vector<std::uint8_t> key;  ///< canonical encoded fields
+  std::uint64_t digest = 0;       ///< fnv1a over `key`
+
+  bool operator==(const Fingerprint& other) const { return key == other.key; }
+  bool operator!=(const Fingerprint& other) const { return !(*this == other); }
+};
+
+/// Builder for canonical fingerprints. Field order is significant.
+class Fingerprinter {
+ public:
+  Fingerprinter& field(std::string_view name, std::string_view value);
+  Fingerprinter& field(std::string_view name, std::uint64_t value);
+  Fingerprinter& field(std::string_view name, std::int64_t value);
+  Fingerprinter& field(std::string_view name, bool value);
+  /// Canonicalized by bit pattern with -0.0 normalized to 0.0, so equal
+  /// doubles always fingerprint equally.
+  Fingerprinter& field(std::string_view name, double value);
+  /// Raw bytes (e.g. an already-canonical sub-key).
+  Fingerprinter& field(std::string_view name, const void* data,
+                       std::size_t bytes);
+
+  Fingerprint finish() const;
+
+ private:
+  void tagged(std::string_view name, std::uint8_t type, const void* payload,
+              std::size_t bytes);
+
+  std::vector<std::uint8_t> key_;
+};
+
+}  // namespace hs::cache

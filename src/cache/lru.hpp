@@ -1,0 +1,173 @@
+// Thread-safe, byte-budgeted LRU keyed by canonical fingerprints.
+//
+// The storage primitive under every cache level in `hs::cache`: entries
+// are charged against a byte budget (value payload + key bytes + a fixed
+// per-entry overhead), lookups refresh recency, and inserts evict from
+// the cold end until the new entry fits. A zero budget disables the cache
+// entirely -- every get() misses, every put() is dropped -- so callers
+// can keep one unconditional code path.
+//
+// Concurrency: one mutex around the list + index. Cache values are
+// returned by copy, so callers should store std::shared_ptr<const T>
+// payloads; entries stay alive for readers even after eviction.
+//
+// Observability: per-instance Stats are always exact; in addition every
+// hit/miss/eviction bumps the process-global `<prefix>.hit` / `.miss` /
+// `.evict` trace counters and the byte/entry gauges `<prefix>.bytes` /
+// `<prefix>.entries` (no-ops in an HS_TRACE=OFF build).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cache/fingerprint.hpp"
+#include "trace/trace.hpp"
+
+namespace hs::cache {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  /// put() calls dropped because a single entry exceeded the whole budget.
+  std::uint64_t oversize = 0;
+  std::uint64_t bytes = 0;     ///< currently resident, including overhead
+  std::size_t entries = 0;
+  std::uint64_t max_bytes = 0;  ///< 0 = the cache is disabled
+};
+
+template <typename Value>
+class ByteBudgetLru {
+ public:
+  /// Fixed accounting overhead charged per entry on top of the key and
+  /// the caller-reported value bytes.
+  static constexpr std::uint64_t kEntryOverhead = 64;
+
+  ByteBudgetLru(std::string counter_prefix, std::uint64_t max_bytes)
+      : max_bytes_(max_bytes),
+        hit_(&trace::counter(counter_prefix + ".hit")),
+        miss_(&trace::counter(counter_prefix + ".miss")),
+        evict_(&trace::counter(counter_prefix + ".evict")),
+        bytes_gauge_(&trace::gauge(counter_prefix + ".bytes")),
+        entries_gauge_(&trace::gauge(counter_prefix + ".entries")) {}
+
+  bool enabled() const { return max_bytes_ > 0; }
+  std::uint64_t max_bytes() const { return max_bytes_; }
+
+  std::optional<Value> get(const Fingerprint& fp) {
+    if (!enabled()) return std::nullopt;
+    std::lock_guard<std::mutex> lk(mu_);
+    auto* it = find_locked(fp);
+    if (it == nullptr) {
+      ++stats_.misses;
+      miss_->increment();
+      return std::nullopt;
+    }
+    lru_.splice(lru_.begin(), lru_, *it);  // refresh recency
+    ++stats_.hits;
+    hit_->increment();
+    return (*it)->value;
+  }
+
+  /// Inserts (or refreshes) an entry costing `value_bytes`. Drops the
+  /// entry when it alone exceeds the budget; evicts cold entries until
+  /// the rest fits.
+  void put(const Fingerprint& fp, Value value, std::uint64_t value_bytes) {
+    if (!enabled()) return;
+    const std::uint64_t cost = value_bytes + fp.key.size() + kEntryOverhead;
+    std::lock_guard<std::mutex> lk(mu_);
+    if (cost > max_bytes_) {
+      ++stats_.oversize;
+      return;
+    }
+    if (auto* it = find_locked(fp)) {
+      // Concurrent fill of the same key: keep the resident entry (both
+      // producers computed identical content), just refresh recency.
+      lru_.splice(lru_.begin(), lru_, *it);
+      return;
+    }
+    while (stats_.bytes + cost > max_bytes_ && !lru_.empty()) {
+      evict_back_locked();
+    }
+    lru_.push_front(Entry{fp, std::move(value), cost});
+    index_[fp.digest].push_back(lru_.begin());
+    stats_.bytes += cost;
+    ++stats_.insertions;
+    stats_.entries = lru_.size();
+    publish_gauges_locked();
+  }
+
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    CacheStats s = stats_;
+    s.max_bytes = max_bytes_;
+    return s;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    while (!lru_.empty()) evict_back_locked();
+  }
+
+ private:
+  struct Entry {
+    Fingerprint fp;
+    Value value;
+    std::uint64_t bytes = 0;
+  };
+  using Iter = typename std::list<Entry>::iterator;
+
+  /// Returns the stored iterator slot for `fp`, or nullptr. Buckets by
+  /// digest; equality is on the full canonical key.
+  Iter* find_locked(const Fingerprint& fp) {
+    const auto bucket = index_.find(fp.digest);
+    if (bucket == index_.end()) return nullptr;
+    for (Iter& it : bucket->second) {
+      if (it->fp == fp) return &it;
+    }
+    return nullptr;
+  }
+
+  void evict_back_locked() {
+    const Iter victim = std::prev(lru_.end());
+    auto bucket = index_.find(victim->fp.digest);
+    for (auto it = bucket->second.begin(); it != bucket->second.end(); ++it) {
+      if (*it == victim) {
+        bucket->second.erase(it);
+        break;
+      }
+    }
+    if (bucket->second.empty()) index_.erase(bucket);
+    stats_.bytes -= victim->bytes;
+    lru_.erase(victim);
+    ++stats_.evictions;
+    evict_->increment();
+    stats_.entries = lru_.size();
+    publish_gauges_locked();
+  }
+
+  void publish_gauges_locked() {
+    bytes_gauge_->set(static_cast<double>(stats_.bytes));
+    entries_gauge_->set(static_cast<double>(stats_.entries));
+  }
+
+  const std::uint64_t max_bytes_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::vector<Iter>> index_;
+  CacheStats stats_;
+  trace::Counter* hit_;
+  trace::Counter* miss_;
+  trace::Counter* evict_;
+  trace::Gauge* bytes_gauge_;
+  trace::Gauge* entries_gauge_;
+};
+
+}  // namespace hs::cache

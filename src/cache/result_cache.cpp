@@ -1,0 +1,20 @@
+#include "cache/result_cache.hpp"
+
+namespace hs::cache {
+
+ResultCache::ResultCache(std::uint64_t max_bytes)
+    : lru_("cache.results", max_bytes) {}
+
+std::shared_ptr<const CachedJobOutputs> ResultCache::get(
+    const Fingerprint& fp) {
+  auto hit = lru_.get(fp);
+  return hit ? *hit : nullptr;
+}
+
+void ResultCache::put(const Fingerprint& fp,
+                      std::shared_ptr<const CachedJobOutputs> outputs) {
+  const std::uint64_t bytes = outputs->payload_bytes();
+  lru_.put(fp, std::move(outputs), bytes);
+}
+
+}  // namespace hs::cache

@@ -1,0 +1,63 @@
+// Content-addressed pipeline-result cache.
+//
+// Stores the functional outcome of one completed pipeline job -- the
+// output witness hash, the modeled-time/chunk echoes, and (optionally)
+// the functional payloads -- keyed by a canonical job fingerprint
+// (serve::job_fingerprint). A hit is bit-identical to a live run by
+// construction: the entry *is* a live run's outputs, and the fingerprint
+// covers every input that influences them.
+//
+// This layer is serve-agnostic on purpose: it knows nothing about job
+// states, deadlines or priorities, only about the deterministic
+// (fingerprint -> outputs) mapping. The serving layer decides what is
+// cacheable (see serve::is_cacheable: ENVI-backed scenes are not, their
+// bytes live outside the fingerprint) and what counts as a storable
+// terminal state (Done only).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/lru.hpp"
+
+namespace hs::cache {
+
+/// The cacheable slice of a completed job result. Everything here is a
+/// pure function of the job fingerprint (see job_fingerprint's contract).
+struct CachedJobOutputs {
+  double modeled_seconds = 0;
+  std::size_t chunk_count = 0;
+  /// Worker count of the run that populated the entry -- an echo of how
+  /// the bits were produced, not part of the functional identity (the
+  /// chunk-parallel determinism contract makes outputs workers-invariant).
+  std::size_t pipeline_workers = 0;
+  std::uint64_t output_hash = 0;  ///< FNV-1a witness over the outputs
+  bool has_payloads = false;
+  std::vector<float> mei;
+  std::vector<int> labels;
+
+  std::uint64_t payload_bytes() const {
+    return sizeof(CachedJobOutputs) + mei.size() * sizeof(float) +
+           labels.size() * sizeof(int);
+  }
+};
+
+class ResultCache {
+ public:
+  /// `max_bytes` of 0 disables the cache.
+  explicit ResultCache(std::uint64_t max_bytes);
+
+  std::shared_ptr<const CachedJobOutputs> get(const Fingerprint& fp);
+  void put(const Fingerprint& fp,
+           std::shared_ptr<const CachedJobOutputs> outputs);
+
+  bool enabled() const { return lru_.enabled(); }
+  CacheStats stats() const { return lru_.stats(); }
+
+ private:
+  ByteBudgetLru<std::shared_ptr<const CachedJobOutputs>> lru_;
+};
+
+}  // namespace hs::cache

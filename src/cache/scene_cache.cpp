@@ -1,0 +1,35 @@
+#include "cache/scene_cache.hpp"
+
+#include "hsi/synthetic.hpp"
+
+namespace hs::cache {
+
+Fingerprint scene_fingerprint(const SceneKey& key) {
+  return Fingerprinter{}
+      .field("scene.width", static_cast<std::int64_t>(key.width))
+      .field("scene.height", static_cast<std::int64_t>(key.height))
+      .field("scene.bands", static_cast<std::int64_t>(key.bands))
+      .field("scene.seed", key.seed)
+      .finish();
+}
+
+SceneCache::SceneCache(std::uint64_t max_bytes)
+    : lru_("cache.scenes", max_bytes) {}
+
+std::shared_ptr<const hsi::HyperCube> SceneCache::get_or_generate(
+    const SceneKey& key) {
+  const Fingerprint fp = scene_fingerprint(key);
+  if (auto hit = lru_.get(fp)) return *hit;
+
+  hsi::SceneConfig cfg;
+  cfg.width = key.width;
+  cfg.height = key.height;
+  cfg.bands = key.bands;
+  cfg.seed = key.seed;
+  auto cube = std::make_shared<const hsi::HyperCube>(
+      hsi::generate_indian_pines_scene(cfg).cube);
+  lru_.put(fp, cube, cube->raw().size() * sizeof(float));
+  return cube;
+}
+
+}  // namespace hs::cache

@@ -1,0 +1,53 @@
+// Synthetic-scene memo cache.
+//
+// The serving layer regenerates a deterministic Indian-Pines-like scene
+// from (width, height, bands, seed) for every synthetic job -- for
+// repeated requests that is pure waste (generation is O(pixels * bands)
+// and fully determined by the key). This cache memoizes the generated
+// cube behind a byte-budgeted LRU; hits return a shared immutable cube
+// that concurrent pipeline runs can read without copying.
+//
+// Bit-identity: generation is deterministic in the key, so a cached cube
+// is the same bits a fresh generation would produce -- verified by
+// tests/test_cache.cpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cache/lru.hpp"
+#include "hsi/cube.hpp"
+
+namespace hs::cache {
+
+/// The full functional identity of a synthetic serve scene. Generation
+/// parameters beyond these (field scale, SNR, ...) are fixed defaults in
+/// the serving layer; widen the key if they ever become job inputs.
+struct SceneKey {
+  int width = 0;
+  int height = 0;
+  int bands = 0;
+  std::uint64_t seed = 0;
+};
+
+Fingerprint scene_fingerprint(const SceneKey& key);
+
+class SceneCache {
+ public:
+  /// `max_bytes` of 0 disables memoization (every call generates).
+  explicit SceneCache(std::uint64_t max_bytes);
+
+  /// Returns the memoized cube for `key`, generating (and inserting) on a
+  /// miss. Generation runs outside the cache lock; two concurrent misses
+  /// on one key may both generate, but produce identical bits and the
+  /// first insert wins.
+  std::shared_ptr<const hsi::HyperCube> get_or_generate(const SceneKey& key);
+
+  bool enabled() const { return lru_.enabled(); }
+  CacheStats stats() const { return lru_.stats(); }
+
+ private:
+  ByteBudgetLru<std::shared_ptr<const hsi::HyperCube>> lru_;
+};
+
+}  // namespace hs::cache

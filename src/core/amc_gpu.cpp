@@ -221,6 +221,10 @@ AmcGpuReport morphology_gpu(const hsi::HyperCube& cube,
             static_cast<std::size_t>(options.profile.fragment_pipes)),
         workers);
   }
+  if (workers > 1 && !worker_sim.shared_programs) {
+    // Worker clones re-draw the same few programs; share one lowering.
+    worker_sim.shared_programs = std::make_shared<gpusim::SharedProgramStore>();
+  }
   std::vector<std::unique_ptr<gpusim::Device>> devices;
   devices.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {

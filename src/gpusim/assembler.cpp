@@ -1,6 +1,7 @@
 #include "gpusim/assembler.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -24,6 +25,19 @@ const std::map<std::string, Opcode>& opcode_table() {
       {"CMP", Opcode::CMP}, {"LRP", Opcode::LRP}, {"TEX", Opcode::TEX},
   };
   return table;
+}
+
+/// Strict register/texture index parse: every character must be a digit
+/// and the value must fit the std::uint8_t index fields (std::atoi would
+/// read "1Q" as 1 and let 260 wrap to 4 through the narrowing cast).
+std::optional<int> parse_index(std::string_view digits) {
+  if (digits.empty()) return std::nullopt;
+  int value = 0;
+  const char* first = digits.data();
+  const char* last = digits.data() + digits.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last || value > 255) return std::nullopt;
+  return value;
 }
 
 int component_index(char c) {
@@ -115,7 +129,12 @@ struct Parser {
       fail("expected index");
       return std::nullopt;
     }
-    const int value = std::atoi(text.substr(start, pos - start).c_str());
+    const std::string digits = text.substr(start, pos - start);
+    const auto value = parse_index(digits);
+    if (!value) {
+      fail("index out of range: '" + digits + "'");
+      return std::nullopt;
+    }
     expect(']');
     return value;
   }
@@ -244,8 +263,13 @@ std::optional<SrcOperand> parse_source(Parser& p) {
 
   if (base.size() >= 2 && base[0] == 'R' &&
       std::isdigit(static_cast<unsigned char>(base[1]))) {
+    const auto idx = parse_index(std::string_view(base).substr(1));
+    if (!idx) {
+      p.fail("bad register index in '" + token + "'");
+      return std::nullopt;
+    }
     src.file = RegFile::Temp;
-    src.index = static_cast<std::uint8_t>(std::atoi(base.c_str() + 1));
+    src.index = static_cast<std::uint8_t>(*idx);
   } else if (base == "c") {
     auto idx = p.bracketed_index();
     if (!idx) return std::nullopt;
@@ -286,8 +310,13 @@ std::optional<DstOperand> parse_destination(Parser& p) {
 
   if (base.size() >= 2 && base[0] == 'R' &&
       std::isdigit(static_cast<unsigned char>(base[1]))) {
+    const auto idx = parse_index(std::string_view(base).substr(1));
+    if (!idx) {
+      p.fail("bad register index in '" + token + "'");
+      return std::nullopt;
+    }
     dst.file = RegFile::Temp;
-    dst.index = static_cast<std::uint8_t>(std::atoi(base.c_str() + 1));
+    dst.index = static_cast<std::uint8_t>(*idx);
   } else if (base == "result.color") {
     dst.file = RegFile::Output;
     dst.index = 0;

@@ -288,6 +288,57 @@ CompiledProgram compile_program(const FragmentProgram& program,
   return cp;
 }
 
+// ---- shared cross-device store ---------------------------------------------
+
+SharedProgramStore::SharedProgramStore(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)),
+      trace_hits_(&trace::counter("cache.programs.hit")),
+      trace_misses_(&trace::counter("cache.programs.miss")),
+      trace_evictions_(&trace::counter("cache.programs.evict")) {}
+
+std::shared_ptr<const CompiledProgram> SharedProgramStore::get_or_compile(
+    const FragmentProgram& program, std::span<const float4> constants,
+    std::span<const Texture2D* const> textures) {
+  std::vector<std::uint8_t> key = make_key(program, constants, textures);
+  const std::uint64_t hash = fnv1a(key);
+  std::lock_guard<std::mutex> lk(mu_);
+  for (Entry& e : entries_) {
+    if (e.hash == hash && e.key == key) {
+      ++stats_.hits;
+      trace_hits_->increment();
+      e.stamp = ++stamp_;
+      return e.program;
+    }
+  }
+  ++stats_.misses;
+  trace_misses_->increment();
+  if (entries_.size() >= capacity_) {
+    const auto lru = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const Entry& a, const Entry& b) { return a.stamp < b.stamp; });
+    entries_.erase(lru);
+    ++stats_.evictions;
+    trace_evictions_->increment();
+  }
+  Entry e;
+  e.hash = hash;
+  e.key = std::move(key);
+  e.stamp = ++stamp_;
+  // Compiling under the lock serializes rare cold misses but guarantees
+  // each distinct binding is lowered exactly once per store.
+  e.program = std::make_shared<const CompiledProgram>(
+      compile_program(program, constants, textures));
+  entries_.push_back(std::move(e));
+  return entries_.back().program;
+}
+
+SharedProgramStore::Stats SharedProgramStore::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Stats s = stats_;
+  s.entries = entries_.size();
+  return s;
+}
+
 // ---- program cache ---------------------------------------------------------
 
 ProgramCache::ProgramCache(std::size_t capacity)
@@ -323,8 +374,10 @@ const CompiledProgram& ProgramCache::get(
   e.hash = hash;
   e.key = std::move(key);
   e.stamp = ++stamp_;
-  e.program = std::make_unique<CompiledProgram>(
-      compile_program(program, constants, textures));
+  e.program = shared_store_
+                  ? shared_store_->get_or_compile(program, constants, textures)
+                  : std::make_shared<const CompiledProgram>(
+                        compile_program(program, constants, textures));
   entries_.push_back(std::move(e));
   return *entries_.back().program;
 }

@@ -34,6 +34,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -112,14 +113,71 @@ CompiledProgram compile_program(const FragmentProgram& program,
                                 std::span<const float4> constants,
                                 std::span<const Texture2D* const> textures);
 
+/// Thread-safe cross-device store of compiled programs, keyed by the same
+/// exact specialization bytes as ProgramCache. Chunk-parallel pipelines
+/// clone one blank Device per worker; without sharing, every clone
+/// re-lowers the identical (program, constants, texture-shape) bindings.
+/// Hang one store off SimConfig::shared_programs (clone_blank copies the
+/// config, so all worker clones share it automatically) and each distinct
+/// binding compiles exactly once per store instead of once per device.
+///
+/// Compilation is deterministic, programs are immutable after compile,
+/// and every access runs under one mutex (compile included, so concurrent
+/// misses on one key never duplicate work) -- bit-identity and TSan
+/// cleanliness are preserved by construction. Per-device ProgramCache
+/// hit/miss statistics are unaffected: a local miss still counts as a
+/// miss even when the store already holds the program.
+class SharedProgramStore {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+  };
+
+  explicit SharedProgramStore(std::size_t capacity = 512);
+
+  std::shared_ptr<const CompiledProgram> get_or_compile(
+      const FragmentProgram& program, std::span<const float4> constants,
+      std::span<const Texture2D* const> textures);
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::vector<std::uint8_t> key;
+    std::uint64_t stamp = 0;
+    std::shared_ptr<const CompiledProgram> program;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::uint64_t stamp_ = 0;
+  Stats stats_;
+  std::vector<Entry> entries_;
+  trace::Counter* trace_hits_;
+  trace::Counter* trace_misses_;
+  trace::Counter* trace_evictions_;
+};
+
 /// LRU cache of compiled programs, keyed by the exact specialization
 /// inputs: the instruction stream, the values of every referenced
 /// constant, and the shape/format/addressing of every sampled texture
 /// unit. The ping-pong loops of the AMC pipeline re-draw a handful of
-/// programs hundreds of times; each compiles once per device.
+/// programs hundreds of times; each compiles once per device -- or once
+/// per *store* when a SharedProgramStore backs the cache (local misses
+/// then fetch the shared compilation instead of re-lowering).
 class ProgramCache {
  public:
   explicit ProgramCache(std::size_t capacity);
+
+  /// Backs local misses with a cross-device store (may be null). Local
+  /// hit/miss/eviction accounting is independent of the store.
+  void set_shared_store(std::shared_ptr<SharedProgramStore> store) {
+    shared_store_ = std::move(store);
+  }
 
   const CompiledProgram& get(const FragmentProgram& program,
                              std::span<const float4> constants,
@@ -136,7 +194,9 @@ class ProgramCache {
     std::uint64_t hash = 0;
     std::vector<std::uint8_t> key;
     std::uint64_t stamp = 0;
-    std::unique_ptr<CompiledProgram> program;  ///< stable across eviction
+    /// Stable across eviction; shared with (and possibly owned by) the
+    /// cross-device store.
+    std::shared_ptr<const CompiledProgram> program;
   };
 
   std::size_t capacity_;
@@ -145,6 +205,7 @@ class ProgramCache {
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
   std::vector<Entry> entries_;
+  std::shared_ptr<SharedProgramStore> shared_store_;
   // Process-global trace counters (all devices' caches aggregate); the
   // per-cache totals above stay exact per instance.
   trace::Counter* trace_hits_;

@@ -40,6 +40,7 @@ Device::Device(DeviceProfile profile, SimConfig config)
       program_cache_(config.program_cache_capacity),
       pool_(resolve_threads(config, profile_.fragment_pipes)) {
   HS_ASSERT(profile_.fragment_pipes > 0);
+  program_cache_.set_shared_store(config_.shared_programs);
   TextureCacheConfig cache_config;
   cache_config.total_bytes = profile_.tex_cache_bytes_per_pipe;
   pipe_caches_.reserve(static_cast<std::size_t>(profile_.fragment_pipes));

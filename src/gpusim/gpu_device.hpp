@@ -67,6 +67,11 @@ struct SimConfig {
   /// Size it to the working set of distinct (program, constants,
   /// texture-shape) combinations the workload re-draws.
   std::size_t program_cache_capacity = 32;
+  /// Optional cross-device compiled-program store backing local cache
+  /// misses (null = each device lowers its own programs). clone_blank
+  /// copies the config, so chunk-parallel worker clones share the store
+  /// automatically; results stay bit-identical (see SharedProgramStore).
+  std::shared_ptr<SharedProgramStore> shared_programs;
 };
 
 struct PassStats {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdint>
 #include <fstream>
@@ -37,6 +38,20 @@ std::string payload_path_for(const std::string& hdr_path) {
   return base;  // let the open fail with a useful name
 }
 
+/// Strict integer parse for header fields: the whole value must be one
+/// base-10 integer (std::stoi would silently accept "12abc" and throw an
+/// unhelpful generic error on overflow, without naming the field).
+int parse_int_field(const std::string& key, const std::string& value) {
+  int out = 0;
+  const char* first = value.data();
+  const char* last = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  if (ec != std::errc() || ptr != last || value.empty()) {
+    throw EnviError("invalid integer for '" + key + "': '" + value + "'");
+  }
+  return out;
+}
+
 }  // namespace
 
 EnviHeader read_envi_header(const std::string& hdr_path) {
@@ -67,12 +82,12 @@ EnviHeader read_envi_header(const std::string& hdr_path) {
                   ? trim(value.substr(open + 1, close - open - 1))
                   : trim(value.substr(open + 1));
     }
-    if (key == "samples") hdr.samples = std::stoi(value);
-    else if (key == "lines") hdr.lines = std::stoi(value);
-    else if (key == "bands") hdr.bands = std::stoi(value);
-    else if (key == "data type") hdr.data_type = std::stoi(value);
-    else if (key == "header offset") hdr.header_offset = std::stoi(value);
-    else if (key == "byte order") hdr.byte_order = std::stoi(value);
+    if (key == "samples") hdr.samples = parse_int_field(key, value);
+    else if (key == "lines") hdr.lines = parse_int_field(key, value);
+    else if (key == "bands") hdr.bands = parse_int_field(key, value);
+    else if (key == "data type") hdr.data_type = parse_int_field(key, value);
+    else if (key == "header offset") hdr.header_offset = parse_int_field(key, value);
+    else if (key == "byte order") hdr.byte_order = parse_int_field(key, value);
     else if (key == "description") hdr.description = value;
     else if (key == "interleave") {
       const std::string v = lower(value);

@@ -65,6 +65,24 @@ std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t seed) {
   return h;
 }
 
+bool is_cacheable(const JobSpec& spec) { return spec.scene.envi_path.empty(); }
+
+cache::Fingerprint job_fingerprint(const JobSpec& spec) {
+  cache::Fingerprinter fp;
+  fp.field("kind", std::string_view(to_string(spec.kind)))
+      .field("envi_path", std::string_view(spec.scene.envi_path))
+      .field("width", static_cast<std::int64_t>(spec.scene.width))
+      .field("height", static_cast<std::int64_t>(spec.scene.height))
+      .field("bands", static_cast<std::int64_t>(spec.scene.bands))
+      .field("seed", static_cast<std::uint64_t>(spec.scene.seed))
+      .field("se_radius", static_cast<std::int64_t>(spec.se_radius))
+      .field("endmembers", static_cast<std::int64_t>(spec.endmembers))
+      .field("chunk_texel_budget",
+             static_cast<std::uint64_t>(spec.chunk_texel_budget))
+      .field("half_precision", spec.half_precision);
+  return fp.finish();
+}
+
 std::vector<std::vector<float>> synthetic_endmembers(int count, int bands,
                                                      std::uint64_t seed) {
   util::Xoshiro256 rng(seed);

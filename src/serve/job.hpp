@@ -25,6 +25,8 @@
 #include <string_view>
 #include <vector>
 
+#include "cache/fingerprint.hpp"
+
 namespace hs::serve {
 
 enum class JobKind {
@@ -88,6 +90,21 @@ struct JobSpec {
   bool half_precision = false;
 };
 
+/// True when a job's functional outputs are a pure function of its spec:
+/// synthetic scenes only. ENVI-backed jobs read file bytes that live
+/// outside the fingerprint (the path is not the content), so the server
+/// never caches them.
+bool is_cacheable(const JobSpec& spec);
+
+/// Canonical content fingerprint of a job's functional identity: kind,
+/// scene (path/width/height/bands/seed) and every pipeline option that
+/// reaches the simulator (se_radius, endmembers, chunk_texel_budget,
+/// half_precision). Deliberately EXCLUDES name, priority, deadline,
+/// max_retries and workers: the determinism contract above makes outputs
+/// invariant to all of them, so jobs differing only there share a cache
+/// entry.
+cache::Fingerprint job_fingerprint(const JobSpec& spec);
+
 struct JobResult {
   std::uint64_t id = 0;
   std::string name;
@@ -98,6 +115,9 @@ struct JobResult {
   /// reason, error text, or where the deadline hit (queued vs running).
   std::string detail;
   int attempts = 0;
+  /// True when the outputs came from the server's result cache instead of
+  /// a live pipeline run (attempts stays 0; the bits are identical).
+  bool cached = false;
 
   double queue_seconds = 0;  ///< submission -> start (or terminalization)
   double run_seconds = 0;    ///< start -> terminal; 0 when the job never ran

@@ -24,7 +24,7 @@ bool get_int_field(const Value& v, const std::string& key, long long lo,
     return set_error(error, "'" + key + "' must be a number");
   }
   const double d = v.number;
-  if (d != std::floor(d) || d < static_cast<double>(lo) ||
+  if (!std::isfinite(d) || d != std::floor(d) || d < static_cast<double>(lo) ||
       d > static_cast<double>(hi)) {
     return set_error(error, "'" + key + "' out of range");
   }
@@ -81,8 +81,12 @@ std::optional<JobSpec> parse_request_line(std::string_view line,
       }
       spec.priority = *priority;
     } else if (key == "deadline_ms") {
-      if (!value.is(Value::Kind::Number) || value.number < 0) {
-        set_error(error, "'deadline_ms' must be a non-negative number");
+      // Non-finite values sneak past a bare `< 0` check: 1e999 parses to
+      // +inf (and NaN compares false to everything), then overflows the
+      // steady_clock duration cast when the deadline is armed.
+      if (!value.is(Value::Kind::Number) || !std::isfinite(value.number) ||
+          value.number < 0) {
+        set_error(error, "'deadline_ms' must be a finite non-negative number");
         return std::nullopt;
       }
       spec.deadline_seconds = value.number / 1000.0;

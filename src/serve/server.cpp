@@ -36,16 +36,6 @@ trace::Counter& state_counter(JobState state) {
   return trace::counter("serve.jobs.invalid");
 }
 
-hsi::HyperCube load_scene(const SceneSpec& scene) {
-  if (!scene.envi_path.empty()) return hsi::read_envi(scene.envi_path);
-  hsi::SceneConfig cfg;
-  cfg.width = scene.width;
-  cfg.height = scene.height;
-  cfg.bands = scene.bands;
-  cfg.seed = scene.seed;
-  return hsi::generate_indian_pines_scene(cfg).cube;
-}
-
 std::uint64_t hash_floats(const std::vector<float>& v, std::uint64_t seed) {
   return fnv1a(v.data(), v.size() * sizeof(float), seed);
 }
@@ -100,6 +90,9 @@ JobEstimate estimate_job(const JobSpec& spec) {
 
 Server::Server(const ServerOptions& options)
     : options_(options),
+      result_cache_(options.result_cache_bytes),
+      scene_cache_(options.scene_cache_bytes),
+      shared_programs_(std::make_shared<gpusim::SharedProgramStore>()),
       queue_(std::max<std::size_t>(1, options.admission.max_queue_depth)) {
   update_gauges_locked();  // still single-threaded: no lock needed yet
   const std::size_t workers = std::max<std::size_t>(1, options_.workers);
@@ -314,6 +307,7 @@ void Server::worker_loop() {
     Record& done = records_.at(id);
     --in_flight_;
     done.result.attempts = outcome.attempts;
+    done.result.cached = outcome.cached;
     done.result.run_seconds = outcome.run_seconds;
     done.result.modeled_seconds = outcome.modeled_seconds;
     done.result.chunk_count = outcome.chunk_count;
@@ -325,12 +319,59 @@ void Server::worker_loop() {
   }
 }
 
+std::shared_ptr<const hsi::HyperCube> Server::load_scene(
+    const SceneSpec& scene) {
+  if (!scene.envi_path.empty()) {
+    return std::make_shared<const hsi::HyperCube>(
+        hsi::read_envi(scene.envi_path));
+  }
+  if (scene_cache_.enabled()) {
+    return scene_cache_.get_or_generate(
+        cache::SceneKey{scene.width, scene.height, scene.bands, scene.seed});
+  }
+  hsi::SceneConfig cfg;
+  cfg.width = scene.width;
+  cfg.height = scene.height;
+  cfg.bands = scene.bands;
+  cfg.seed = scene.seed;
+  return std::make_shared<const hsi::HyperCube>(
+      hsi::generate_indian_pines_scene(cfg).cube);
+}
+
 void Server::run_job(std::uint64_t id, const JobSpec& spec,
                      const std::shared_ptr<std::atomic<bool>>& cancel_flag,
                      bool has_deadline,
                      std::chrono::steady_clock::time_point deadline_tp,
                      JobResult& out) {
   const auto start = std::chrono::steady_clock::now();
+
+  // Cache lookup before the attempt loop: a hit serves the stored outputs
+  // of an identical earlier run (bit-identical by the determinism
+  // contract) without touching the fault injector or retry machinery. A
+  // payload-less entry cannot satisfy a payload-keeping server, so that
+  // case falls through to a live run, which re-stores with payloads.
+  std::optional<cache::Fingerprint> fp;
+  if (result_cache_.enabled() && is_cacheable(spec)) {
+    fp = job_fingerprint(spec);
+    if (const auto hit = result_cache_.get(*fp);
+        hit && (hit->has_payloads || !options_.keep_payloads)) {
+      out.cached = true;
+      out.attempts = 0;
+      out.modeled_seconds = hit->modeled_seconds;
+      out.chunk_count = hit->chunk_count;
+      out.pipeline_workers = hit->pipeline_workers;
+      out.output_hash = hit->output_hash;
+      if (options_.keep_payloads) {
+        out.mei = hit->mei;
+        out.labels = hit->labels;
+      }
+      out.state = JobState::Done;
+      out.run_seconds =
+          seconds_between(start, std::chrono::steady_clock::now());
+      return;
+    }
+  }
+
   for (int attempt = 1;; ++attempt) {
     out.attempts = attempt;
     trace::Span span("serve.job", "serve");
@@ -356,8 +397,11 @@ void Server::run_job(std::uint64_t id, const JobSpec& spec,
                              std::to_string(attempt) + ")");
       }
 
-      const hsi::HyperCube cube = load_scene(spec.scene);
+      const std::shared_ptr<const hsi::HyperCube> scene =
+          load_scene(spec.scene);
+      const hsi::HyperCube& cube = *scene;
       core::AmcGpuOptions opt;
+      opt.sim.shared_programs = shared_programs_;
       opt.workers = spec.workers;
       opt.chunk_texel_budget = spec.chunk_texel_budget;
       opt.half_precision = spec.half_precision;
@@ -392,6 +436,19 @@ void Server::run_job(std::uint64_t id, const JobSpec& spec,
         out.pipeline_workers = report.workers_used;
       }
       out.output_hash = hash;
+      if (fp) {
+        auto entry = std::make_shared<cache::CachedJobOutputs>();
+        entry->modeled_seconds = out.modeled_seconds;
+        entry->chunk_count = out.chunk_count;
+        entry->pipeline_workers = out.pipeline_workers;
+        entry->output_hash = hash;
+        entry->has_payloads = options_.keep_payloads;
+        if (options_.keep_payloads) {
+          entry->mei = out.mei;
+          entry->labels = out.labels;
+        }
+        result_cache_.put(*fp, std::move(entry));
+      }
       if (!options_.keep_payloads) {
         out.mei.clear();
         out.mei.shrink_to_fit();

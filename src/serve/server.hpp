@@ -46,6 +46,9 @@
 #include <thread>
 #include <vector>
 
+#include "cache/result_cache.hpp"
+#include "cache/scene_cache.hpp"
+#include "gpusim/compiled_program.hpp"
 #include "serve/job.hpp"
 #include "serve/job_queue.hpp"
 
@@ -96,6 +99,19 @@ struct ServerOptions {
   /// Keep the functional payloads (mei/labels) in JobResults. Benches
   /// serving many jobs turn this off; the output_hash stays either way.
   bool keep_payloads = true;
+  /// Byte budget of the content-addressed result cache (0 = off, the
+  /// library default; hsi-served turns it on). When enabled, a Done
+  /// result of a cacheable job (synthetic scene; see serve::is_cacheable)
+  /// is stored under its job_fingerprint, and a later job with the same
+  /// fingerprint is served from the cache: state Done, `cached` set,
+  /// attempts 0, and outputs bit-identical to the live run that populated
+  /// the entry (same witness hash). Cache hits bypass the fault injector
+  /// and retry machinery -- nothing runs.
+  std::uint64_t result_cache_bytes = 0;
+  /// Byte budget of the synthetic-scene memo cache (0 = off): repeated
+  /// (width, height, bands, seed) scenes skip regeneration even when
+  /// their jobs differ otherwise.
+  std::uint64_t scene_cache_bytes = 0;
   /// Transient-fault injector, called at the start of every attempt
   /// (job id, 1-based attempt). Returning true fails that attempt with a
   /// TransientFault (consuming retry budget). The callback runs on worker
@@ -149,6 +165,14 @@ class Server {
   std::size_t queue_depth() const;
   std::size_t in_flight() const;
 
+  /// Per-instance cache statistics (exact even when HS_TRACE is off; the
+  /// trace counters under `cache.*` aggregate process-wide).
+  cache::CacheStats result_cache_stats() const { return result_cache_.stats(); }
+  cache::CacheStats scene_cache_stats() const { return scene_cache_.stats(); }
+  gpusim::SharedProgramStore::Stats program_store_stats() const {
+    return shared_programs_->stats();
+  }
+
  private:
   struct Record {
     JobSpec spec;
@@ -160,6 +184,9 @@ class Server {
   };
 
   void worker_loop();
+  /// Resolves the job's scene: ENVI read, scene-cache hit, or a fresh
+  /// synthetic generation (shared so cache hits need no copy).
+  std::shared_ptr<const hsi::HyperCube> load_scene(const SceneSpec& scene);
   /// Runs one job to a terminal outcome (no locks held). Fills state,
   /// detail, attempts, run_seconds and outputs into `out`.
   void run_job(std::uint64_t id, const JobSpec& spec,
@@ -172,6 +199,11 @@ class Server {
   void update_gauges_locked();
 
   ServerOptions options_;
+  cache::ResultCache result_cache_;
+  cache::SceneCache scene_cache_;
+  /// Cross-worker compiled-program store handed to every pipeline run via
+  /// SimConfig::shared_programs -- always on (its cost is one mutex).
+  std::shared_ptr<gpusim::SharedProgramStore> shared_programs_;
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  ///< workers: queue non-empty or stop
   std::condition_variable done_cv_;  ///< waiters: some job terminalized

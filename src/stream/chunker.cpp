@@ -37,22 +37,32 @@ ChunkPlan plan_chunks(int width, int height, int halo,
 
   ChunkPlan plan;
 
-  // Preferred: full-width row bands.
+  // All tile sizing stays in 64-bit until the final height/width clamp:
+  // a generous budget (the request schema admits up to 1 << 62) makes
+  // budget / padded_width overflow a narrowing int cast into a negative
+  // tile height.
+  const std::uint64_t halo2 = 2 * static_cast<std::uint64_t>(halo);
   const std::uint64_t padded_w = static_cast<std::uint64_t>(width);
   int tile_w = width;
   int tile_h = 0;
-  if (padded_w * static_cast<std::uint64_t>(1 + 2 * halo) <= max_padded_texels) {
-    tile_h = static_cast<int>(max_padded_texels / padded_w) - 2 * halo;
-    tile_h = std::min(tile_h, height);
+  if (padded_w * (halo2 + 1) <= max_padded_texels) {
+    // Preferred: full-width row bands.
+    const std::uint64_t rows = max_padded_texels / padded_w;
+    tile_h = static_cast<int>(std::min<std::uint64_t>(
+        rows - halo2, static_cast<std::uint64_t>(height)));
   } else {
     // 2-D tiles: aim square on the padded size.
-    const int side = static_cast<int>(std::sqrt(static_cast<double>(max_padded_texels)));
-    tile_w = std::max(1, side - 2 * halo);
-    tile_w = std::min(tile_w, width);
+    const std::uint64_t side = static_cast<std::uint64_t>(
+        std::sqrt(static_cast<double>(max_padded_texels)));
+    const std::uint64_t interior_w = side > halo2 ? side - halo2 : 1;
+    tile_w = static_cast<int>(
+        std::min<std::uint64_t>(interior_w, static_cast<std::uint64_t>(width)));
     // Recompute height from the actual padded width.
-    const std::uint64_t pw = static_cast<std::uint64_t>(tile_w + 2 * halo);
-    tile_h = std::max(1, static_cast<int>(max_padded_texels / pw) - 2 * halo);
-    tile_h = std::min(tile_h, height);
+    const std::uint64_t pw = static_cast<std::uint64_t>(tile_w) + halo2;
+    const std::uint64_t rows = max_padded_texels / pw;
+    const std::uint64_t interior_h = rows > halo2 ? rows - halo2 : 1;
+    tile_h = static_cast<int>(std::min<std::uint64_t>(
+        interior_h, static_cast<std::uint64_t>(height)));
   }
   HS_ASSERT(tile_h > 0 && tile_w > 0);
 

@@ -259,6 +259,31 @@ TEST(Assembler, DisassembleRoundTrips) {
   }
 }
 
+TEST(Assembler, RejectsTrailingGarbageInDestinationRegister) {
+  // std::atoi("1Q") silently read 1, so "R1Q" assembled as R1.
+  const std::string e = err_of(
+      "!!HSFP1.0\nMOV R1Q, {1.0};\nMOV result.color, R0;\nEND\n");
+  EXPECT_NE(e.find("R1Q"), std::string::npos) << e;
+}
+
+TEST(Assembler, RejectsTrailingGarbageInSourceRegister) {
+  const std::string e = err_of("!!HSFP1.0\nMOV result.color, R2x;\nEND\n");
+  EXPECT_NE(e.find("R2x"), std::string::npos) << e;
+}
+
+TEST(Assembler, RejectsOutOfRangeRegisterIndex) {
+  // R260 used to wrap to R4 through the std::uint8_t narrowing cast.
+  const std::string e = err_of(
+      "!!HSFP1.0\nMOV R260, {1.0};\nMOV result.color, R0;\nEND\n");
+  EXPECT_NE(e.find("R260"), std::string::npos) << e;
+}
+
+TEST(Assembler, RejectsOutOfRangeBracketedIndex) {
+  // c[300] used to wrap to c[44]; the error must name the bad index.
+  const std::string e = err_of("!!HSFP1.0\nMOV result.color, c[300];\nEND\n");
+  EXPECT_NE(e.find("300"), std::string::npos) << e;
+}
+
 TEST(Assembler, AssembleOrDieReturnsProgram) {
   const auto p =
       assemble_or_die("clear", "!!HSFP1.0\nMOV result.color, {0.0};\nEND\n");

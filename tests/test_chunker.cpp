@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 namespace hs::stream {
@@ -119,6 +120,48 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(999, 3, 2, 5000),
                       std::make_tuple(64, 64, 0, 64),
                       std::make_tuple(50, 50, 5, 3000)));
+
+// Regression: a generous budget (the request schema admits up to 1 << 62)
+// used to overflow the `int` cast of budget / padded_width into a negative
+// tile height and abort on the HS_ASSERT.
+TEST(Chunker, HugeBudgetsDoNotOverflowTileSizing) {
+  for (const std::uint64_t budget :
+       {std::uint64_t{1} << 33, std::uint64_t{1} << 40,
+        std::uint64_t{1} << 62}) {
+    const ChunkPlan narrow = plan_chunks(3, 5, 1, budget);
+    ASSERT_EQ(narrow.chunks.size(), 1u);
+    expect_partition(narrow, 3, 5);
+    const ChunkPlan wide = plan_chunks(1000, 2, 4, budget);
+    ASSERT_EQ(wide.chunks.size(), 1u);
+    expect_partition(wide, 1000, 2);
+  }
+}
+
+// Property: every chunk's padded footprint respects the budget, swept from
+// the tightest budget the precondition admits ((2*halo+1)^2) upward.
+TEST(Chunker, TightBudgetSweepRespectsBudget) {
+  for (const int halo : {0, 1, 2, 5}) {
+    const std::uint64_t edge = static_cast<std::uint64_t>(2 * halo + 1);
+    const std::uint64_t min_budget = edge * edge;
+    for (const int w : {1, 3, 17, 64}) {
+      for (const int h : {1, 5, 33}) {
+        for (const std::uint64_t budget :
+             {min_budget, min_budget + 1, min_budget + 7, min_budget * 3,
+              std::uint64_t{4096}}) {
+          const ChunkPlan plan = plan_chunks(w, h, halo, budget);
+          expect_partition(plan, w, h);
+          for (const auto& c : plan.chunks) {
+            EXPECT_LE(static_cast<std::uint64_t>(c.pwidth) *
+                          static_cast<std::uint64_t>(c.pheight),
+                      budget)
+                << "w=" << w << " h=" << h << " halo=" << halo
+                << " budget=" << budget;
+          }
+        }
+      }
+    }
+  }
+}
 
 TEST(Chunker, WorkingSetGrowsWithBands) {
   const auto a = amc_working_set_texels(1000, 8, true);

@@ -168,6 +168,44 @@ TEST_F(EnviTest, UnknownInterleaveRejected) {
   EXPECT_THROW(read_envi_header(p), EnviError);
 }
 
+TEST_F(EnviTest, TrailingGarbageIntegerRejectedWithFieldName) {
+  // std::stoi("12abc") silently returned 12; the strict parser rejects
+  // the value and names the offending field.
+  const std::string p = path("badint") + ".hdr";
+  std::ofstream(p) << "ENVI\nsamples = 12abc\nlines = 2\nbands = 1\n"
+                   << "data type = 4\n";
+  try {
+    read_envi_header(p);
+    FAIL() << "expected EnviError";
+  } catch (const EnviError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("samples"), std::string::npos) << what;
+    EXPECT_NE(what.find("12abc"), std::string::npos) << what;
+  }
+}
+
+TEST_F(EnviTest, NonNumericIntegerRejected) {
+  const std::string p = path("badnum") + ".hdr";
+  std::ofstream(p) << "ENVI\nsamples = 2\nlines = two\nbands = 1\n"
+                   << "data type = 4\n";
+  EXPECT_THROW(read_envi_header(p), EnviError);
+}
+
+TEST_F(EnviTest, OverflowingIntegerRejected) {
+  // std::stoi threw std::out_of_range (not an EnviError, so it escaped
+  // the typed error contract) without saying which field overflowed.
+  const std::string p = path("bigint") + ".hdr";
+  std::ofstream(p) << "ENVI\nsamples = 2\nlines = 2\n"
+                   << "bands = 99999999999999999999\ndata type = 4\n";
+  try {
+    read_envi_header(p);
+    FAIL() << "expected EnviError";
+  } catch (const EnviError& e) {
+    EXPECT_NE(std::string(e.what()).find("bands"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST_F(EnviTest, TruncatedPayloadThrows) {
   const HyperCube cube = make_cube(Interleave::BIP);
   write_envi(cube, path("trunc"));

@@ -122,6 +122,21 @@ TEST(ServeRequest, RejectsMalformedInput) {
       << "integer fields must be integral";
 }
 
+TEST(ServeRequest, RejectsNonFiniteNumbers) {
+  // The JSON layer parses 1e999 to +inf with strtod, which slips past a
+  // bare `< 0` range check and later overflows the steady_clock duration
+  // cast when the deadline is armed.
+  std::string err;
+  EXPECT_FALSE(
+      parse_request_line(R"({"kind":"unmix","deadline_ms":1e999})", &err)
+          .has_value());
+  EXPECT_NE(err.find("deadline_ms"), std::string::npos) << err;
+  EXPECT_FALSE(parse_request_line(R"({"kind":"unmix","retries":1e999})", &err)
+                   .has_value());
+  EXPECT_FALSE(parse_request_line(R"({"kind":"unmix","size":1e999})", &err)
+                   .has_value());
+}
+
 TEST(ServeRequest, ReadsBatchSkippingCommentsAndCollectingErrors) {
   std::istringstream in(
       "# header comment\n"
@@ -485,7 +500,10 @@ TEST(ServeServer, DeadlineExpiryWhileQueued) {
 TEST(ServeServer, DeadlineExpiryWhileRunningStopsAtChunkBoundary) {
   // The gate holds the attempt *after* admission and the queued-deadline
   // check; once released past its deadline, the pipeline's per-chunk
-  // cancel_check fires before the first chunk.
+  // cancel_check fires before the first chunk. The deadline must be long
+  // enough for the worker to dequeue the job in time on a loaded machine:
+  // if it lapses while still queued, the fault injector never runs and
+  // wait_arrived blocks forever.
   Gate gate;
   ServerOptions options;
   options.inject_fault = [&](std::uint64_t id, int attempt) {
@@ -494,11 +512,11 @@ TEST(ServeServer, DeadlineExpiryWhileRunningStopsAtChunkBoundary) {
   Server server(options);
 
   JobSpec spec = small_spec(JobKind::Morphology, "ddl-run");
-  spec.deadline_seconds = 1e-3;
+  spec.deadline_seconds = 0.25;
   const auto sub = server.submit(spec);
   ASSERT_TRUE(sub.admitted);
   gate.wait_arrived(1);
-  std::this_thread::sleep_for(5ms);
+  std::this_thread::sleep_for(300ms);  // let the deadline lapse at the gate
   gate.open();
   const JobResult res = server.wait(sub.id);
   server.shutdown(/*drain=*/true);

@@ -49,12 +49,28 @@ smoke_served() {
   rm -rf "$out"
 }
 
+# Runs the sample batch twice through one hsi-served process with the
+# result cache on: the second pass must report cache hits, and hsi-served
+# itself exits nonzero if any repeated job's witness hash drifts between
+# the live and cached runs.
+smoke_cache() {
+  local dir="$1"
+  local out
+  out="$(mktemp -d)"
+  "$dir/tools/hsi-served" --requests examples/serve_requests.jsonl \
+    --workers 1 --repeat 2 --cache-mb 64 \
+    --report "$out/report.json" > /dev/null
+  grep -q '"cached": true' "$out/report.json"
+  rm -rf "$out"
+}
+
 CTEST_ARGS=("$@")
 
 echo "==> Release"
 run_config build-release -DCMAKE_BUILD_TYPE=Release
 smoke_profile build-release
 smoke_served build-release
+smoke_cache build-release
 
 echo "==> Sanitizers (address,undefined)"
 run_config build-sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -64,18 +80,20 @@ echo "==> ThreadSanitizer (concurrency suite)"
 # TSan slows execution ~10x, so run the tests that exercise real
 # concurrency: the chunk-parallel pipeline/scheduler determinism suite,
 # the serving-layer suite (worker threads + concurrent clients), the
-# thread-pool/task-group stress tests, the executor cross-contamination
-# tests, and the multithreaded trace tests.
+# caching layer (LRU eviction under contention, the shared program store,
+# the server result cache), the thread-pool/task-group stress tests, the
+# executor cross-contamination tests, and the multithreaded trace tests.
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DHS_SANITIZE=thread
 cmake --build build-tsan -j
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'ParallelPipeline|ChunkScheduler|Serve|ThreadPool|TaskGroup|StreamExecutor|Trace\.' \
+  -R 'ParallelPipeline|ChunkScheduler|Serve|Cache|ThreadPool|TaskGroup|StreamExecutor|Trace\.' \
   -j "${CTEST_ARGS[@]}"
 
 echo "==> Tracing compiled out (HS_TRACE=OFF)"
 run_config build-notrace -DCMAKE_BUILD_TYPE=Release -DHS_TRACE=OFF
 smoke_profile build-notrace
 smoke_served build-notrace
+smoke_cache build-notrace
 
 echo "==> All checks passed"

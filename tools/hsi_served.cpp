@@ -20,6 +20,8 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -77,6 +79,7 @@ bool write_report(const std::string& path,
         << to_string(r.priority) << "\", \"state\": \"" << to_string(r.state)
         << "\", \"detail\": \"" << json_escape(r.detail)
         << "\", \"attempts\": " << r.attempts
+        << ", \"cached\": " << (r.cached ? "true" : "false")
         << ", \"queue_ms\": " << r.queue_seconds * 1e3
         << ", \"run_ms\": " << r.run_seconds * 1e3
         << ", \"modeled_ms\": " << r.modeled_seconds * 1e3
@@ -108,6 +111,10 @@ int run(int argc, char** argv) {
                "0");
   cli.add_flag("max-bytes", "admission: estimated bytes budget (0 = off)", "0");
   cli.add_flag("no-shed", "never shed low-priority jobs on saturation");
+  cli.add_flag("cache-mb",
+               "result/scene cache byte budget in MiB (0 disables)", "64");
+  cli.add_flag("no-cache", "disable the result and scene caches");
+  cli.add_flag("repeat", "submit the request batch this many times", "1");
   cli.add_flag("report", "per-job report JSON output path", "");
   cli.add_flag("metrics", "metrics JSON output path", "");
   cli.add_flag("trace", "Chrome trace-event JSON output path", "");
@@ -129,6 +136,17 @@ int run(int argc, char** argv) {
     std::cerr << "hsi-served: --workers and --queue-depth must be >= 1\n";
     return 1;
   }
+  const std::int64_t repeat = cli.get_int("repeat", 1);
+  if (repeat < 1) {
+    std::cerr << "hsi-served: --repeat must be >= 1\n";
+    return 1;
+  }
+  std::int64_t cache_mb = cli.get_int("cache-mb", 64);
+  if (cache_mb < 0) {
+    std::cerr << "hsi-served: --cache-mb must be >= 0\n";
+    return 1;
+  }
+  if (cli.get_bool("no-cache", false)) cache_mb = 0;
 
   trace::reset();
   trace::set_enabled(true);
@@ -157,23 +175,35 @@ int run(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.get_int("max-bytes", 0));
   options.admission.shed_low_priority = !cli.get_bool("no-shed", false);
   options.keep_payloads = false;  // the CLI reports hashes, not payloads
+  options.result_cache_bytes = static_cast<std::uint64_t>(cache_mb) << 20;
+  options.scene_cache_bytes = static_cast<std::uint64_t>(cache_mb) << 20;
 
   util::Timer wall;
   serve::Server server(options);
-  for (const serve::JobSpec& spec : batch.jobs) server.submit(spec);
+  for (std::int64_t pass = 0; pass < repeat; ++pass) {
+    for (const serve::JobSpec& spec : batch.jobs) server.submit(spec);
+  }
   server.shutdown(/*drain=*/true);
   const double wall_s = wall.seconds();
   const std::vector<serve::JobResult> results = server.results();
 
   util::Table table({"Id", "Name", "Kind", "Prio", "State", "Attempts",
                      "Queue", "Run", "Hash / detail"});
-  std::size_t done = 0, terminal = 0;
+  std::size_t done = 0, terminal = 0, cached = 0;
+  // Witness stability: every Done job sharing a request name must report
+  // one hash, whether it ran live or was served from the cache.
+  std::map<std::string, std::set<std::uint64_t>> hashes_by_name;
   for (const serve::JobResult& r : results) {
     if (serve::is_terminal(r.state)) ++terminal;
-    if (r.state == serve::JobState::Done) ++done;
+    if (r.state == serve::JobState::Done) {
+      ++done;
+      if (r.cached) ++cached;
+      hashes_by_name[r.name].insert(r.output_hash);
+    }
     std::ostringstream tail;
     if (r.state == serve::JobState::Done) {
       tail << std::hex << r.output_hash;
+      if (r.cached) tail << " (cached)";
     } else {
       tail << r.detail;
     }
@@ -187,9 +217,27 @@ int run(int argc, char** argv) {
                              " jobs in " + util::format_duration(wall_s));
   std::cout << "\n" << done << "/" << results.size() << " done, " << terminal
             << "/" << results.size() << " terminal\n";
+  if (cache_mb > 0) {
+    const cache::CacheStats rs = server.result_cache_stats();
+    const cache::CacheStats ss = server.scene_cache_stats();
+    const gpusim::SharedProgramStore::Stats ps = server.program_store_stats();
+    std::cout << "cache: results " << rs.hits << " hits / " << rs.misses
+              << " misses / " << rs.evictions << " evictions (" << rs.bytes
+              << " bytes), scenes " << ss.hits << " hits / " << ss.misses
+              << " misses, programs " << ps.hits << " hits / " << ps.misses
+              << " misses\n";
+    std::cout << cached << "/" << done << " done jobs served from cache\n";
+  }
 
   bool ok = terminal == results.size();
   if (!ok) std::cerr << "hsi-served: some jobs never reached a terminal state\n";
+  for (const auto& [name, hashes] : hashes_by_name) {
+    if (hashes.size() > 1) {
+      std::cerr << "hsi-served: witness drift: job name '" << name << "' has "
+                << hashes.size() << " distinct output hashes\n";
+      ok = false;
+    }
+  }
 
   const std::string report_path = cli.get("report", "");
   if (!report_path.empty()) {
