@@ -9,7 +9,15 @@
 // the rejected column, never as an error or a hang. A final column
 // cross-checks the determinism contract: the output hash of a repeated
 // probe job must not depend on the load around it.
+//
+// The bench also cross-validates the trace histogram machinery: the
+// `serve.total_s` histogram (reset per load level) must agree with exact
+// sorted-vector percentiles of the same latencies to within one
+// log-linear bucket width -- both sets land in BENCH_serve.json. In an
+// HS_TRACE=OFF build the histogram side is empty and the check is
+// skipped (hist_available = 0).
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -17,6 +25,8 @@
 
 #include "bench_common.hpp"
 #include "serve/server.hpp"
+#include "trace/histogram.hpp"
+#include "trace/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -31,6 +41,18 @@ double percentile(std::vector<double> v, double p) {
   const std::size_t hi = std::min(lo + 1, v.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+/// Exact quantile under the histogram's own rank definition (the
+/// ceil(q*n)-th smallest sample): HistogramSnapshot::quantile lands in
+/// the bucket containing this sample, so the two must agree to within
+/// one log-linear bucket width by construction.
+double rank_percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto target = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(v.size()))));
+  return v[std::min(target, v.size()) - 1];
 }
 
 }  // namespace
@@ -85,7 +107,11 @@ int main(int argc, char** argv) {
   std::uint64_t probe_hash = 0;
   bool probe_stable = true;
 
+  bool hist_consistent = true;
   for (int offered : {4, 16, 48}) {
+    // Fresh latency window per level so the serve.total_s histogram holds
+    // exactly this burst's Done jobs.
+    trace::reset_histograms();
     serve::ServerOptions options;
     options.workers = workers;
     options.admission.max_queue_depth = queue_depth;
@@ -132,8 +158,35 @@ int main(int argc, char** argv) {
     json.add(row, "latency_p50_ms", p50);
     json.add(row, "latency_p95_ms", p95);
     json.add(row, "probe_hash_stable", hash == probe_hash ? 1.0 : 0.0);
+
+    // Histogram cross-check: serve.total_s saw the same submission ->
+    // terminal latencies for this level's Done jobs (in seconds).
+    trace::HistogramSnapshot hist;
+    for (auto& [hname, snap] : trace::histograms_snapshot()) {
+      if (hname == "serve.total_s") hist = std::move(snap);
+    }
+    json.add(row, "hist_available", hist.count > 0 ? 1.0 : 0.0);
+    if (hist.count > 0) {
+      json.add(row, "hist_count", static_cast<double>(hist.count));
+      bool level_ok = hist.count == latencies.size();
+      for (const auto& [q, label] :
+           {std::pair<double, const char*>{0.50, "hist_p50_ms"},
+            {0.95, "hist_p95_ms"},
+            {0.99, "hist_p99_ms"}}) {
+        const double hist_ms = hist.quantile(q) * 1e3;
+        const double exact_ms = rank_percentile(latencies, q);
+        const double tol_ms =
+            trace::Histogram::bucket_width_at(exact_ms / 1e3) * 1e3;
+        json.add(row, label, hist_ms);
+        if (std::abs(hist_ms - exact_ms) > tol_ms) level_ok = false;
+      }
+      json.add(row, "hist_within_bucket", level_ok ? 1.0 : 0.0);
+      if (!level_ok) hist_consistent = false;
+    }
   }
   json.add("summary", "probe_hash_stable_all", probe_stable ? 1.0 : 0.0);
+  json.add("summary", "hist_percentiles_consistent",
+           hist_consistent ? 1.0 : 0.0);
 
   table.print(std::cout, "Ablation: serve load (" + std::to_string(size) + "x" +
                              std::to_string(size) + "x" +
@@ -142,6 +195,11 @@ int main(int argc, char** argv) {
                              std::to_string(queue_depth) + ")");
   if (!probe_stable) {
     std::cerr << "probe job output hash drifted with load\n";
+    return 1;
+  }
+  if (!hist_consistent) {
+    std::cerr << "histogram percentiles disagree with exact percentiles "
+                 "beyond one bucket width\n";
     return 1;
   }
   json.write(json_path);

@@ -1,0 +1,227 @@
+// Bench: telemetry overhead and output-bit-identity.
+//
+// The telemetry spine (spans, latency histograms, flight recorder,
+// per-job timelines) must be cheap enough to leave on in production and
+// must never perturb functional outputs. This bench pins both claims:
+// for each server worker count it drains the same synthetic job batch
+// with runtime tracing enabled and disabled, in ONE binary (comparing
+// separately compiled binaries measures code placement, not telemetry --
+// see DESIGN.md's PR 2 note), and reports
+//
+//   * the per-mode best-of-N wall time (informational) plus the
+//     enabled/disabled overhead estimated from process CPU time as the
+//     median of per-pair deltas, and
+//   * whether every job's output witness hash is bit-identical across
+//     the two modes (witness_match = 1).
+//
+// Estimator rationale: on a steal-prone shared vCPU the wall time of a
+// multi-threaded drain jitters by several percent between invocations --
+// larger than the effect being measured -- so wall time cannot resolve a
+// <2% bar. Telemetry cost is CPU work, and CLOCK_PROCESS_CPUTIME_ID
+// excludes both steal time and scheduler gaps. Each off rep is paired
+// with an on rep run immediately after it (slow drift cancels in the
+// pair delta) and the median across pairs rejects the pairs a co-tenant
+// burst still managed to split.
+//
+// Always-on instrumentation (histograms, flight events, timelines) runs
+// in BOTH modes; the measured delta is the runtime-switchable span cost.
+// The acceptance bar is overhead_pct < 2 at every worker count.
+#include <algorithm>
+#include <cstdint>
+#include <ctime>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/server.hpp"
+#include "trace/trace.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace hs;
+
+/// Wall + process-CPU seconds for one timed drain.
+struct RepTimes {
+  double wall_s = 0;
+  double cpu_s = 0;
+};
+
+struct ModeResult {
+  double best_wall_s = std::numeric_limits<double>::infinity();
+  double best_cpu_s = std::numeric_limits<double>::infinity();
+  /// Spans recorded in the last rep (0 in disabled mode) -- the unit the
+  /// overhead amortizes over.
+  std::size_t events = 0;
+  /// Per-job witness hashes keyed by job name, from the last rep.
+  std::map<std::string, std::uint64_t> hashes;
+
+  void fold(const RepTimes& t, std::size_t ev,
+            std::map<std::string, std::uint64_t> h) {
+    best_wall_s = std::min(best_wall_s, t.wall_s);
+    best_cpu_s = std::min(best_cpu_s, t.cpu_s);
+    events = ev;
+    hashes = std::move(h);
+  }
+};
+
+/// CPU seconds consumed by the whole process (all threads), excluding
+/// time the host stole or the scheduler spent elsewhere.
+double process_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) / 1e9;
+}
+
+serve::JobSpec job_for(int i, int size, int bands) {
+  serve::JobSpec spec;
+  spec.name = "ovh-" + std::to_string(i);
+  spec.kind = i % 3 == 0 ? serve::JobKind::Classify
+                         : (i % 3 == 1 ? serve::JobKind::Morphology
+                                       : serve::JobKind::Unmix);
+  spec.priority = static_cast<serve::Priority>(i % 3);
+  spec.scene.width = size;
+  spec.scene.height = size;
+  spec.scene.bands = bands;
+  spec.scene.seed = static_cast<std::uint64_t>(60 + i % 4);
+  spec.endmembers = 3;
+  return spec;
+}
+
+/// One timed drain of the job batch with tracing runtime-on or -off.
+/// Returns wall + CPU time; fills `events` / `hashes` from this rep.
+RepTimes run_rep(bool traced, std::size_t workers, int jobs, int size,
+                 int bands, std::size_t& events,
+                 std::map<std::string, std::uint64_t>& hashes) {
+  // Fresh registry state per rep so neither mode pays for the other's
+  // accumulated span buffers.
+  trace::reset();
+  trace::set_enabled(traced);
+  serve::ServerOptions options;
+  options.workers = workers;
+  options.admission.max_queue_depth = static_cast<std::size_t>(jobs) + 1;
+  options.keep_payloads = false;
+  util::Timer timer;
+  const double cpu0 = process_cpu_seconds();
+  serve::Server server(options);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < jobs; ++i) {
+    ids.push_back(server.submit(job_for(i, size, bands)).id);
+  }
+  server.shutdown(/*drain=*/true);
+  RepTimes t;
+  t.cpu_s = process_cpu_seconds() - cpu0;
+  t.wall_s = timer.seconds();
+  events = trace::event_count();
+  hashes.clear();
+  for (const std::uint64_t id : ids) {
+    const serve::JobResult r = server.wait(id);
+    if (r.state == serve::JobState::Done) hashes[r.name] = r.output_hash;
+  }
+  trace::set_enabled(false);
+  return t;
+}
+
+/// Runs `reps` off/on pairs back to back and returns the overhead as the
+/// median of the per-pair relative CPU-time deltas (see the file header
+/// for why wall time cannot gate a <2% bar on a shared vCPU). A plain
+/// best-of-N wall comparison across separately-run modes was measured to
+/// swing +-4% between invocations on a 1-core container -- larger than
+/// the signal.
+double run_pair(std::size_t workers, int jobs, int size, int bands, int reps,
+                ModeResult& off, ModeResult& on) {
+  std::size_t events = 0;
+  std::map<std::string, std::uint64_t> hashes;
+  // Untimed warm-up rep so first-touch costs (thread buffers, allocator
+  // pools, code paging) are excluded from both modes.
+  run_rep(true, workers, jobs, size, bands, events, hashes);
+  std::vector<double> pair_pct;
+  for (int rep = 0; rep < reps; ++rep) {
+    const RepTimes off_t =
+        run_rep(false, workers, jobs, size, bands, events, hashes);
+    off.fold(off_t, events, hashes);
+    const RepTimes on_t =
+        run_rep(true, workers, jobs, size, bands, events, hashes);
+    on.fold(on_t, events, hashes);
+    if (off_t.cpu_s > 0) {
+      pair_pct.push_back((on_t.cpu_s - off_t.cpu_s) / off_t.cpu_s * 100);
+    }
+  }
+  std::sort(pair_pct.begin(), pair_pct.end());
+  if (pair_pct.empty()) return 0;
+  const std::size_t mid = pair_pct.size() / 2;
+  return pair_pct.size() % 2 == 1
+             ? pair_pct[mid]
+             : (pair_pct[mid - 1] + pair_pct[mid]) / 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_output_path(argc, argv);
+
+  util::Cli cli;
+  cli.add_flag("size", "synthetic scene edge length", "48");
+  cli.add_flag("bands", "spectral bands", "16");
+  cli.add_flag("jobs", "jobs per drain", "12");
+  cli.add_flag("reps", "off/on pairs per worker count", "25");
+  if (!cli.parse(argc, argv)) return 1;
+  const int size = static_cast<int>(cli.get_int("size", 48));
+  const int bands = static_cast<int>(cli.get_int("bands", 16));
+  const int jobs = static_cast<int>(cli.get_int("jobs", 12));
+  const int reps = static_cast<int>(cli.get_int("reps", 25));
+
+  bench::JsonReport json("trace_overhead");
+  json.add("config", "scene_edge", static_cast<double>(size));
+  json.add("config", "bands", static_cast<double>(bands));
+  json.add("config", "jobs", static_cast<double>(jobs));
+  json.add("config", "reps", static_cast<double>(reps));
+
+  util::Table table({"Workers", "CPU off (best)", "CPU on (best)",
+                     "Overhead (CPU)", "Witness"});
+  bool witness_all = true;
+  double max_overhead_pct = 0;
+  for (const std::size_t workers : {1u, 2u, 4u, 7u}) {
+    ModeResult off, on;
+    const double overhead_pct =
+        run_pair(workers, jobs, size, bands, reps, off, on);
+    const bool witness_match = !on.hashes.empty() && on.hashes == off.hashes;
+    if (!witness_match) witness_all = false;
+    max_overhead_pct = std::max(max_overhead_pct, overhead_pct);
+
+    table.add_row({std::to_string(workers),
+                   util::format_duration(off.best_cpu_s),
+                   util::format_duration(on.best_cpu_s),
+                   util::Table::num(overhead_pct, 2) + " %",
+                   witness_match ? "identical" : "DRIFTED"});
+    const std::string row = "workers_" + std::to_string(workers);
+    json.add(row, "workers", static_cast<double>(workers));
+    json.add(row, "wall_off_s", off.best_wall_s);
+    json.add(row, "wall_on_s", on.best_wall_s);
+    json.add(row, "cpu_off_s", off.best_cpu_s);
+    json.add(row, "cpu_on_s", on.best_cpu_s);
+    json.add(row, "spans_recorded", static_cast<double>(on.events));
+    json.add(row, "overhead_pct", overhead_pct);
+    json.add(row, "witness_match", witness_match ? 1.0 : 0.0);
+  }
+  json.add("summary", "max_overhead_pct", max_overhead_pct);
+  json.add("summary", "witness_match_all", witness_all ? 1.0 : 0.0);
+  json.add("summary", "overhead_under_2pct",
+           max_overhead_pct < 2.0 ? 1.0 : 0.0);
+
+  table.print(std::cout,
+              "Telemetry overhead (runtime on vs off, one binary, median of " +
+                  std::to_string(reps) + " paired CPU-time deltas)");
+  if (!witness_all) {
+    std::cerr << "telemetry changed functional outputs\n";
+    return 1;
+  }
+  json.write(json_path);
+  return 0;
+}

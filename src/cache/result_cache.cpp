@@ -1,5 +1,9 @@
 #include "cache/result_cache.hpp"
 
+#include <chrono>
+
+#include "trace/histogram.hpp"
+
 namespace hs::cache {
 
 ResultCache::ResultCache(std::uint64_t max_bytes)
@@ -7,7 +11,12 @@ ResultCache::ResultCache(std::uint64_t max_bytes)
 
 std::shared_ptr<const CachedJobOutputs> ResultCache::get(
     const Fingerprint& fp) {
+  const auto begin = std::chrono::steady_clock::now();
   auto hit = lru_.get(fp);
+  trace::histogram("cache.lookup_s")
+      .record(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            begin)
+                  .count());
   return hit ? *hit : nullptr;
 }
 

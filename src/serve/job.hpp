@@ -105,6 +105,18 @@ bool is_cacheable(const JobSpec& spec);
 /// entry.
 cache::Fingerprint job_fingerprint(const JobSpec& spec);
 
+/// One moment in a job's life, stamped relative to its submission time.
+/// The server appends these as the job moves through its state machine
+/// (submitted, dequeued, attempt, fault, backoff, cache_hit, terminal);
+/// serve/timeline.hpp exports the list as an "hs.timeline.v1" document.
+/// Timelines are plain per-job data -- exact in every build, independent
+/// of whether HS_TRACE instrumentation is compiled in.
+struct TimelineEvent {
+  double t_seconds = 0;  ///< offset from submission (monotonic per job)
+  std::string what;      ///< event kind, lower_snake_case
+  std::string detail;    ///< optional qualifier (attempt number, reason, ...)
+};
+
 struct JobResult {
   std::uint64_t id = 0;
   std::string name;
@@ -121,6 +133,12 @@ struct JobResult {
 
   double queue_seconds = 0;  ///< submission -> start (or terminalization)
   double run_seconds = 0;    ///< start -> terminal; 0 when the job never ran
+  /// Time spent actually executing attempts (pipeline work, cache lookup),
+  /// excluding retry-backoff sleeps; <= run_seconds.
+  double exec_seconds = 0;
+
+  /// The job's life in submission-relative order; see TimelineEvent.
+  std::vector<TimelineEvent> timeline;
 
   // Pipeline echoes, filled on Done.
   double modeled_seconds = 0;

@@ -1,6 +1,7 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "core/amc_gpu.hpp"
@@ -10,8 +11,11 @@
 #include "gpusim/device_profile.hpp"
 #include "hsi/envi_io.hpp"
 #include "hsi/synthetic.hpp"
+#include "trace/flight_recorder.hpp"
+#include "trace/histogram.hpp"
 #include "trace/trace.hpp"
 #include "util/assert.hpp"
+#include "util/log.hpp"
 
 namespace hs::serve {
 
@@ -42,6 +46,14 @@ std::uint64_t hash_floats(const std::vector<float>& v, std::uint64_t seed) {
 
 std::uint64_t hash_ints(const std::vector<int>& v, std::uint64_t seed) {
   return fnv1a(v.data(), v.size() * sizeof(int), seed);
+}
+
+/// Appends a timeline moment stamped "now", relative to `submit_tp`.
+void mark(JobResult& result, std::chrono::steady_clock::time_point submit_tp,
+          std::string what, std::string detail = {}) {
+  result.timeline.push_back(TimelineEvent{
+      seconds_between(submit_tp, std::chrono::steady_clock::now()),
+      std::move(what), std::move(detail)});
 }
 
 }  // namespace
@@ -107,6 +119,9 @@ Server::~Server() { shutdown(/*drain=*/false); }
 void Server::update_gauges_locked() {
   trace::gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
   trace::gauge("serve.in_flight").set(static_cast<double>(in_flight_));
+  trace::gauge("serve.worker_utilization")
+      .set(static_cast<double>(in_flight_) /
+           static_cast<double>(std::max<std::size_t>(1, options_.workers)));
 }
 
 void Server::finalize_locked(Record& rec, JobState state,
@@ -114,12 +129,32 @@ void Server::finalize_locked(Record& rec, JobState state,
   HS_ASSERT_MSG(!is_terminal(rec.result.state), "job finalized twice");
   rec.result.state = state;
   if (!detail.empty()) rec.result.detail = detail;
+  mark(rec.result, rec.submit_tp, "terminal", to_string(state));
+  if (state == JobState::Done) {
+    // The same queue + run split the JobResult carries, so exported
+    // percentiles cross-check exactly against per-job reports.
+    trace::histogram("serve.total_s")
+        .record(rec.result.queue_seconds + rec.result.run_seconds);
+  }
+  trace::flight_event("job.terminal", static_cast<std::int64_t>(rec.result.id),
+                      rec.result.attempts, to_string(state));
   state_counter(state).increment();
   update_gauges_locked();
   done_cv_.notify_all();
 }
 
 Server::Submitted Server::submit(const JobSpec& spec) {
+  // Admission latency: everything between the client calling submit() and
+  // the queued/rejected decision, including the estimate's header read.
+  const auto admission_start = std::chrono::steady_clock::now();
+  struct AdmissionTimer {
+    std::chrono::steady_clock::time_point start;
+    ~AdmissionTimer() {
+      trace::histogram("serve.admission_s")
+          .record(seconds_between(start, std::chrono::steady_clock::now()));
+    }
+  } admission_timer{admission_start};
+
   // Estimate before taking the lock: it may read an ENVI header. A bad
   // scene is an admission failure, not an exception at the client.
   JobEstimate estimate;
@@ -148,9 +183,14 @@ Server::Submitted Server::submit(const JobSpec& spec) {
   rec.result.name = spec.name;
   rec.result.kind = spec.kind;
   rec.result.priority = spec.priority;
+  rec.result.timeline.push_back(TimelineEvent{0, "submitted", spec.name});
   trace::counter("serve.jobs.submitted").increment();
+  trace::flight_event("job.submit", static_cast<std::int64_t>(id), 0,
+                      to_string(spec.kind));
 
   auto reject = [&](const std::string& reason) {
+    rec.result.queue_seconds =
+        seconds_between(rec.submit_tp, std::chrono::steady_clock::now());
     finalize_locked(rec, JobState::Rejected, reason);
     return Submitted{id, false, JobState::Rejected, reason};
   };
@@ -181,6 +221,10 @@ Server::Submitted Server::submit(const JobSpec& spec) {
     shed.result.queue_seconds =
         seconds_between(shed.submit_tp, std::chrono::steady_clock::now());
     trace::counter("serve.jobs.shed").increment();
+    mark(shed.result, shed.submit_tp, "shed",
+         "by higher-priority job " + std::to_string(id));
+    trace::flight_event("job.shed", static_cast<std::int64_t>(victim->id),
+                        static_cast<std::int64_t>(id));
     finalize_locked(shed, JobState::Rejected,
                     "shed by higher-priority job " + std::to_string(id));
   }
@@ -206,6 +250,7 @@ bool Server::cancel(std::uint64_t id) {
   }
   if (rec.result.state == JobState::Running) {
     rec.cancel_flag->store(true, std::memory_order_relaxed);
+    mark(rec.result, rec.submit_tp, "cancel_requested");
     return true;
   }
   return false;
@@ -286,10 +331,16 @@ void Server::worker_loop() {
     Record& rec = records_.at(entry->id);
     const auto now = std::chrono::steady_clock::now();
     rec.result.queue_seconds = seconds_between(rec.submit_tp, now);
+    trace::histogram("serve.queue_wait_s").record(rec.result.queue_seconds);
+    trace::flight_event("job.dequeue",
+                        static_cast<std::int64_t>(entry->id));
     if (rec.has_deadline && now >= rec.deadline_tp) {
+      mark(rec.result, rec.submit_tp, "deadline_expired", "while queued");
       finalize_locked(rec, JobState::TimedOut, "deadline expired while queued");
+      maybe_dump_flight_locked(rec.result);
       continue;
     }
+    mark(rec.result, rec.submit_tp, "dequeued");
     rec.result.state = JobState::Running;
     ++in_flight_;
     update_gauges_locked();
@@ -298,10 +349,12 @@ void Server::worker_loop() {
     const auto cancel_flag = rec.cancel_flag;
     const bool has_deadline = rec.has_deadline;
     const auto deadline_tp = rec.deadline_tp;
+    const auto submit_tp = rec.submit_tp;
     JobResult outcome;
     lk.unlock();
 
-    run_job(id, spec, cancel_flag, has_deadline, deadline_tp, outcome);
+    run_job(id, spec, cancel_flag, has_deadline, deadline_tp, submit_tp,
+            outcome);
 
     lk.lock();
     Record& done = records_.at(id);
@@ -309,13 +362,47 @@ void Server::worker_loop() {
     done.result.attempts = outcome.attempts;
     done.result.cached = outcome.cached;
     done.result.run_seconds = outcome.run_seconds;
+    done.result.exec_seconds = outcome.exec_seconds;
     done.result.modeled_seconds = outcome.modeled_seconds;
     done.result.chunk_count = outcome.chunk_count;
     done.result.pipeline_workers = outcome.pipeline_workers;
     done.result.output_hash = outcome.output_hash;
     done.result.mei = std::move(outcome.mei);
     done.result.labels = std::move(outcome.labels);
+    // Merge the attempt-side events with the submit/cancel-side ones;
+    // cancel() may have interleaved a cancel_requested stamp, so restore
+    // global time order.
+    done.result.timeline.insert(
+        done.result.timeline.end(),
+        std::make_move_iterator(outcome.timeline.begin()),
+        std::make_move_iterator(outcome.timeline.end()));
+    std::stable_sort(done.result.timeline.begin(), done.result.timeline.end(),
+                     [](const TimelineEvent& x, const TimelineEvent& y) {
+                       return x.t_seconds < y.t_seconds;
+                     });
+    trace::histogram("serve.exec_s").record(outcome.exec_seconds);
     finalize_locked(done, outcome.state, outcome.detail);
+    maybe_dump_flight_locked(done.result);
+  }
+}
+
+/// Flight-recorder dump for a just-terminalized job, when configured and
+/// the terminal state is a failure class. Called with mu_ held: the write
+/// happens outside the serve lock's hot path only in failure cases, where
+/// a consistent "moment of death" capture matters more than latency.
+void Server::maybe_dump_flight_locked(const JobResult& result) {
+  if (options_.flight_dump_dir.empty()) return;
+  if (result.state != JobState::Failed && result.state != JobState::TimedOut) {
+    return;
+  }
+  const std::string path = options_.flight_dump_dir + "/flight_job" +
+                           std::to_string(result.id) + ".json";
+  const std::string reason = std::string("job ") + std::to_string(result.id) +
+                             " " + to_string(result.state) +
+                             (result.detail.empty() ? "" : ": " + result.detail);
+  if (!trace::write_flight_json_file(path, reason)) {
+    util::logkv(util::LogLevel::Warn, "flight dump failed",
+                {{"path", path}, {"job", static_cast<std::int64_t>(result.id)}});
   }
 }
 
@@ -342,8 +429,16 @@ void Server::run_job(std::uint64_t id, const JobSpec& spec,
                      const std::shared_ptr<std::atomic<bool>>& cancel_flag,
                      bool has_deadline,
                      std::chrono::steady_clock::time_point deadline_tp,
+                     std::chrono::steady_clock::time_point submit_tp,
                      JobResult& out) {
   const auto start = std::chrono::steady_clock::now();
+  // Everything this worker does for the job -- spans, log lines, flight
+  // events -- carries the job id from here on.
+  util::ScopedJobTag job_tag(id);
+  double backoff_total = 0;
+  // Cooperative-cancellation checks at chunk boundaries, summarized as one
+  // timeline event after the run (a per-check event would dwarf the rest).
+  auto cancel_checks = std::make_shared<std::atomic<std::uint64_t>>(0);
 
   // Cache lookup before the attempt loop: a hit serves the stored outputs
   // of an identical earlier run (bit-identical by the determinism
@@ -365,15 +460,20 @@ void Server::run_job(std::uint64_t id, const JobSpec& spec,
         out.mei = hit->mei;
         out.labels = hit->labels;
       }
+      mark(out, submit_tp, "cache_hit");
+      trace::flight_event("job.cache_hit", static_cast<std::int64_t>(id));
       out.state = JobState::Done;
       out.run_seconds =
           seconds_between(start, std::chrono::steady_clock::now());
+      out.exec_seconds = out.run_seconds;
       return;
     }
   }
 
   for (int attempt = 1;; ++attempt) {
     out.attempts = attempt;
+    mark(out, submit_tp, "attempt", std::to_string(attempt));
+    trace::flight_event("job.attempt", static_cast<std::int64_t>(id), attempt);
     trace::Span span("serve.job", "serve");
     if (span.active()) {
       span.arg("id", static_cast<double>(id));
@@ -405,7 +505,9 @@ void Server::run_job(std::uint64_t id, const JobSpec& spec,
       opt.workers = spec.workers;
       opt.chunk_texel_budget = spec.chunk_texel_budget;
       opt.half_precision = spec.half_precision;
-      opt.cancel_check = [cancel_flag, has_deadline, deadline_tp] {
+      opt.cancel_check = [cancel_flag, has_deadline, deadline_tp,
+                          cancel_checks] {
+        cancel_checks->fetch_add(1, std::memory_order_relaxed);
         if (cancel_flag->load(std::memory_order_relaxed)) return true;
         return has_deadline &&
                std::chrono::steady_clock::now() >= deadline_tp;
@@ -458,8 +560,26 @@ void Server::run_job(std::uint64_t id, const JobSpec& spec,
       out.state = JobState::Done;
       break;
     } catch (const TransientFault& e) {
+      mark(out, submit_tp, "fault", e.what());
+      trace::flight_event("job.fault", static_cast<std::int64_t>(id), attempt,
+                          e.what());
       if (attempt <= spec.max_retries) {
         trace::counter("serve.retries").increment();
+        if (options_.retry_backoff_seconds > 0 &&
+            !cancel_flag->load(std::memory_order_relaxed)) {
+          // Exponential: base, 2*base, 4*base, ... per consumed retry.
+          const double backoff = options_.retry_backoff_seconds *
+                                 static_cast<double>(1ull << (attempt - 1));
+          mark(out, submit_tp, "backoff",
+               std::to_string(backoff * 1e3) + " ms");
+          const auto backoff_start = std::chrono::steady_clock::now();
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(backoff));
+          const double slept = seconds_between(
+              backoff_start, std::chrono::steady_clock::now());
+          backoff_total += slept;
+          trace::histogram("serve.retry_backoff_s").record(slept);
+        }
         continue;
       }
       out.state = JobState::Failed;
@@ -480,7 +600,13 @@ void Server::run_job(std::uint64_t id, const JobSpec& spec,
       break;
     }
   }
+  if (const std::uint64_t checks =
+          cancel_checks->load(std::memory_order_relaxed);
+      checks > 0) {
+    mark(out, submit_tp, "cancel_checks", std::to_string(checks) + " checks");
+  }
   out.run_seconds = seconds_between(start, std::chrono::steady_clock::now());
+  out.exec_seconds = std::max(0.0, out.run_seconds - backoff_total);
 }
 
 }  // namespace hs::serve

@@ -27,9 +27,19 @@
 //     load, priorities, retries or worker count.
 //
 // Observability: the server maintains `serve.queue_depth` /
-// `serve.in_flight` gauges, per-terminal-state `serve.jobs.*` counters,
-// a `serve.retries` counter, and wraps every execution in a
-// `serve.job` span (category "serve") carrying id/kind/priority/attempt.
+// `serve.in_flight` / `serve.worker_utilization` gauges,
+// per-terminal-state `serve.jobs.*` counters, a `serve.retries` counter,
+// and wraps every execution in a `serve.job` span (category "serve")
+// carrying id/kind/priority/attempt. Latency distributions land in the
+// trace histograms `serve.admission_s` (submit() decision time),
+// `serve.queue_wait_s` (submission -> pop), `serve.exec_s` (attempt
+// execution, jobs that ran), `serve.retry_backoff_s` (per backoff sleep)
+// and `serve.total_s` (submission -> terminal, Done jobs). Every job also
+// assembles an exact per-job timeline (JobResult::timeline; exported by
+// serve/timeline.hpp), worker threads tag their spans/log lines/flight
+// events with the running job's id via util::ScopedJobTag, and
+// ServerOptions::flight_dump_dir turns job failure into a flight-recorder
+// dump.
 #pragma once
 
 #include <atomic>
@@ -118,6 +128,19 @@ struct ServerOptions {
   /// threads and must be thread-safe. Tests also use it as a gate: it may
   /// block to hold a job "running" deterministically.
   std::function<bool(std::uint64_t id, int attempt)> inject_fault;
+  /// Base sleep before re-running an attempt failed by a transient fault,
+  /// doubling per retry (base, 2*base, 4*base, ...). 0 = retry
+  /// immediately. The sleep counts toward run_seconds but not
+  /// exec_seconds, lands in the `serve.retry_backoff_s` histogram, and is
+  /// cut short by cancellation.
+  double retry_backoff_seconds = 0;
+  /// When non-empty: a directory that receives one flight-recorder dump
+  /// ("hs.flight.v1", named flight_job<id>.json) whenever a job
+  /// terminalizes as Failed or TimedOut -- the last moments of the whole
+  /// process around the failure. Requires an HS_TRACE build for non-empty
+  /// event lists; the dump itself is written (valid, possibly empty) in
+  /// every build.
+  std::string flight_dump_dir;
 };
 
 class Server {
@@ -188,14 +211,19 @@ class Server {
   /// synthetic generation (shared so cache hits need no copy).
   std::shared_ptr<const hsi::HyperCube> load_scene(const SceneSpec& scene);
   /// Runs one job to a terminal outcome (no locks held). Fills state,
-  /// detail, attempts, run_seconds and outputs into `out`.
+  /// detail, attempts, run/exec_seconds, timeline events (stamped relative
+  /// to `submit_tp`) and outputs into `out`.
   void run_job(std::uint64_t id, const JobSpec& spec,
                const std::shared_ptr<std::atomic<bool>>& cancel_flag,
                bool has_deadline,
                std::chrono::steady_clock::time_point deadline_tp,
-               JobResult& out);
+               std::chrono::steady_clock::time_point submit_tp, JobResult& out);
   /// Terminal bookkeeping; requires mu_ held and a non-terminal record.
   void finalize_locked(Record& rec, JobState state, const std::string& detail);
+  /// Writes a flight-recorder dump for a Failed/TimedOut job when
+  /// ServerOptions::flight_dump_dir is set. Requires mu_ held (runs only
+  /// on failure paths).
+  void maybe_dump_flight_locked(const JobResult& result);
   void update_gauges_locked();
 
   ServerOptions options_;

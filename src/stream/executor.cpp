@@ -1,6 +1,9 @@
 #include "stream/executor.hpp"
 
+#include <chrono>
 #include <utility>
+
+#include "trace/histogram.hpp"
 
 namespace hs::stream {
 
@@ -10,7 +13,12 @@ gpusim::PassStats StreamExecutor::run(
     std::span<const gpusim::float4> constants,
     std::span<const gpusim::TextureHandle> outputs) {
   trace::Span span(stage_name, "stage_pass");
+  const auto draw_begin = std::chrono::steady_clock::now();
   const gpusim::PassStats pass = device_->draw(program, inputs, constants, outputs);
+  trace::histogram("stream.stage_pass_s")
+      .record(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            draw_begin)
+                  .count());
   if (span.active()) {
     span.arg("program", program.name);
     span.arg("fragments", static_cast<double>(pass.fragments));

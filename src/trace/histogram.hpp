@@ -1,0 +1,152 @@
+// Fixed-bucket log-linear latency histograms for the trace registry.
+//
+// A Histogram records positive durations (seconds) into a fixed array of
+// buckets: each power-of-two octave of the value range is split into
+// kSubBuckets linear sub-buckets, so relative bucket width is bounded by
+// 1/kSubBuckets (12.5%) everywhere -- precise enough for p50..p99 tails
+// without per-sample storage. The covered range is [2^kMinExp, 2^kMaxExp)
+// seconds (~1 ns .. ~17 min); values outside clamp into underflow /
+// overflow buckets that still count toward totals.
+//
+// Concurrency: record() is lock-free and wait-free on the hot path. Each
+// recording thread owns one shard per histogram (a plain array of relaxed
+// atomics only it increments); shards are created on a thread's first
+// record() into that histogram (one mutex acquisition, then cached in a
+// thread-local map) and merged by snapshot(). Snapshots are consistent
+// enough for monitoring: totals never go backwards and a quiescent
+// histogram snapshots exactly.
+//
+// Like Counter/Gauge, histograms are name-registered process-lifetime
+// objects (`trace::histogram("serve.queue_wait_s")`) and are zeroed by
+// trace::reset(). With HS_TRACE=OFF everything below compiles to no-op
+// stubs; snapshots come back empty.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#ifndef HS_TRACE_ENABLED
+#define HS_TRACE_ENABLED 1
+#endif
+
+namespace hs::trace {
+
+/// Merged, immutable view of one histogram at snapshot time.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0;  ///< seconds
+  double min = 0;  ///< 0 when count == 0
+  double max = 0;
+  std::vector<std::uint64_t> buckets;  ///< per-bucket counts (may be empty)
+
+  /// Value at quantile q in [0, 1]: the q-th sample's bucket, linearly
+  /// interpolated by rank within the bucket, clamped to [min, max].
+  /// Returns 0 when the histogram is empty.
+  double quantile(double q) const;
+
+  double p50() const { return quantile(0.50); }
+  double p90() const { return quantile(0.90); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0; }
+};
+
+#if HS_TRACE_ENABLED
+
+class Histogram {
+ public:
+  /// Bucketing scheme constants (part of the exported schema: DESIGN.md
+  /// documents them and the snapshot JSON carries the derived bounds).
+  static constexpr int kMinExp = -30;     ///< lowest octave: 2^-30 s (~0.93 ns)
+  static constexpr int kMaxExp = 10;      ///< first value past the top: 1024 s
+  static constexpr int kSubBuckets = 8;   ///< linear slices per octave
+  static constexpr int kBucketCount =
+      (kMaxExp - kMinExp) * kSubBuckets + 2;  ///< + underflow + overflow
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one duration in seconds. Non-finite and negative values are
+  /// dropped; zero lands in the underflow bucket.
+  void record(double seconds);
+
+  HistogramSnapshot snapshot() const;
+
+  /// Zeroes every shard. Must not race record() on the same thread's
+  /// shard with the expectation of an exact cut (totals stay consistent).
+  void reset();
+
+  /// Bucket index a value lands in, in [0, kBucketCount).
+  static int bucket_index(double seconds);
+  /// Inclusive lower / exclusive upper value bound of a bucket. The
+  /// underflow bucket spans [0, 2^kMinExp); overflow [2^kMaxExp, inf).
+  static double bucket_lower(int index);
+  static double bucket_upper(int index);
+  /// Width of the bucket containing `seconds` -- the agreement tolerance
+  /// for cross-checking histogram quantiles against exact percentiles.
+  static double bucket_width_at(double seconds);
+
+ private:
+  struct Shard {
+    std::array<std::atomic<std::uint64_t>, kBucketCount> counts{};
+    // Owner-thread-only writes (load+store, no RMW); snapshot() reads.
+    std::atomic<double> sum{0};
+    std::atomic<double> min{0};
+    std::atomic<double> max{0};
+    std::atomic<std::uint64_t> total{0};
+  };
+
+  Shard& local_shard();
+
+  mutable std::mutex mu_;  ///< guards shards_ registration only
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Finds or registers the named histogram (process lifetime, thread-safe;
+/// same contract as counter()/gauge()).
+Histogram& histogram(std::string_view name);
+
+/// (name, snapshot) of every registered histogram, sorted by name.
+std::vector<std::pair<std::string, HistogramSnapshot>> histograms_snapshot();
+
+#else  // HS_TRACE_ENABLED == 0: no-op stubs, empty snapshots.
+
+class Histogram {
+ public:
+  static constexpr int kMinExp = -30;
+  static constexpr int kMaxExp = 10;
+  static constexpr int kSubBuckets = 8;
+  static constexpr int kBucketCount = (kMaxExp - kMinExp) * kSubBuckets + 2;
+
+  void record(double) {}
+  HistogramSnapshot snapshot() const { return {}; }
+  void reset() {}
+
+  static int bucket_index(double) { return 0; }
+  static double bucket_lower(int) { return 0; }
+  static double bucket_upper(int) { return 0; }
+  static double bucket_width_at(double) { return 0; }
+};
+
+Histogram& histogram(std::string_view name);
+inline std::vector<std::pair<std::string, HistogramSnapshot>>
+histograms_snapshot() {
+  return {};
+}
+
+#endif  // HS_TRACE_ENABLED
+
+/// Zeroes every registered histogram. trace::reset() calls this; exposed
+/// separately so long-lived tools can restart latency windows without
+/// dropping spans. No-op when tracing is compiled out.
+void reset_histograms();
+
+}  // namespace hs::trace

@@ -12,7 +12,7 @@ constexpr int kMaxDepth = 128;
 struct Parser {
   std::string_view text;
   std::size_t pos = 0;
-  std::string error;
+  std::string error{};
 
   bool fail(const std::string& what) {
     if (error.empty()) {
@@ -319,6 +319,149 @@ bool validate_metrics_json(std::string_view text, std::string* error) {
         return set_error(error, at + "." + key + " is not numeric");
       }
     }
+  }
+  return true;
+}
+
+namespace {
+
+/// Parses `text`, checks the top level is an object whose "schema" member
+/// equals `schema`, and leaves the document in `doc`.
+bool parse_versioned(std::string_view text, std::string_view schema,
+                     std::optional<Value>& doc, std::string* error) {
+  std::string parse_error;
+  doc = parse(text, &parse_error);
+  if (!doc) return set_error(error, "invalid JSON: " + parse_error);
+  if (!doc->is(Value::Kind::Object)) {
+    return set_error(error, "top level is not an object");
+  }
+  const Value* s = doc->find("schema");
+  if (s == nullptr || !s->is(Value::Kind::String) || s->string != schema) {
+    return set_error(error,
+                     "missing schema \"" + std::string(schema) + "\"");
+  }
+  return true;
+}
+
+bool require_number(const Value& obj, std::string_view key,
+                    const std::string& at, std::string* error) {
+  const Value* v = obj.find(key);
+  if (v == nullptr || !v->is(Value::Kind::Number)) {
+    set_error(error, at + " missing numeric " + std::string(key));
+    return false;
+  }
+  return true;
+}
+
+bool require_string(const Value& obj, std::string_view key,
+                    const std::string& at, std::string* error) {
+  const Value* v = obj.find(key);
+  if (v == nullptr || !v->is(Value::Kind::String)) {
+    set_error(error, at + " missing string " + std::string(key));
+    return false;
+  }
+  return true;
+}
+
+/// Finds `key` as an array member, or fails.
+const Value* require_array(const Value& obj, std::string_view key,
+                           const std::string& at, std::string* error) {
+  const Value* v = obj.find(key);
+  if (v == nullptr || !v->is(Value::Kind::Array)) {
+    set_error(error, at + " missing array " + std::string(key));
+    return nullptr;
+  }
+  return v;
+}
+
+}  // namespace
+
+bool validate_snapshot_json(std::string_view text, std::string* error) {
+  std::optional<Value> doc;
+  if (!parse_versioned(text, "hs.snapshot.v1", doc, error)) return false;
+  if (!require_string(*doc, "name", "top level", error)) return false;
+  if (!require_number(*doc, "sequence", "top level", error)) return false;
+  if (!require_number(*doc, "uptime_ms", "top level", error)) return false;
+  const Value* metrics = require_array(*doc, "metrics", "top level", error);
+  if (metrics == nullptr) return false;
+  for (std::size_t i = 0; i < metrics->array.size(); ++i) {
+    const Value& row = metrics->array[i];
+    const std::string at = "metrics[" + std::to_string(i) + "]";
+    if (!row.is(Value::Kind::Object)) {
+      return set_error(error, at + " is not an object");
+    }
+    if (!require_string(row, "name", at, error)) return false;
+    if (!require_number(row, "value", at, error)) return false;
+  }
+  const Value* hists = require_array(*doc, "histograms", "top level", error);
+  if (hists == nullptr) return false;
+  for (std::size_t i = 0; i < hists->array.size(); ++i) {
+    const Value& row = hists->array[i];
+    const std::string at = "histograms[" + std::to_string(i) + "]";
+    if (!row.is(Value::Kind::Object)) {
+      return set_error(error, at + " is not an object");
+    }
+    if (!require_string(row, "name", at, error)) return false;
+    for (const char* key : {"count", "sum_ms", "min_ms", "mean_ms", "p50_ms",
+                            "p90_ms", "p95_ms", "p99_ms", "max_ms"}) {
+      if (!require_number(row, key, at, error)) return false;
+    }
+  }
+  return true;
+}
+
+bool validate_flight_json(std::string_view text, std::string* error) {
+  std::optional<Value> doc;
+  if (!parse_versioned(text, "hs.flight.v1", doc, error)) return false;
+  if (!require_string(*doc, "reason", "top level", error)) return false;
+  if (!require_number(*doc, "recorded_total", "top level", error)) {
+    return false;
+  }
+  const Value* events = require_array(*doc, "events", "top level", error);
+  if (events == nullptr) return false;
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const Value& ev = events->array[i];
+    const std::string at = "events[" + std::to_string(i) + "]";
+    if (!ev.is(Value::Kind::Object)) {
+      return set_error(error, at + " is not an object");
+    }
+    for (const char* key : {"t_us", "tid", "job", "a", "b"}) {
+      if (!require_number(ev, key, at, error)) return false;
+    }
+    if (!require_string(ev, "kind", at, error)) return false;
+    if (!require_string(ev, "detail", at, error)) return false;
+  }
+  return true;
+}
+
+bool validate_timeline_json(std::string_view text, std::string* error) {
+  std::optional<Value> doc;
+  if (!parse_versioned(text, "hs.timeline.v1", doc, error)) return false;
+  for (const char* key : {"id", "attempts", "queue_ms", "exec_ms", "run_ms",
+                          "total_ms"}) {
+    if (!require_number(*doc, key, "top level", error)) return false;
+  }
+  for (const char* key : {"name", "kind", "priority", "state"}) {
+    if (!require_string(*doc, key, "top level", error)) return false;
+  }
+  const Value* cached = doc->find("cached");
+  if (cached == nullptr || !cached->is(Value::Kind::Bool)) {
+    return set_error(error, "top level missing boolean cached");
+  }
+  const Value* events = require_array(*doc, "events", "top level", error);
+  if (events == nullptr) return false;
+  double prev_t = -1;
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const Value& ev = events->array[i];
+    const std::string at = "events[" + std::to_string(i) + "]";
+    if (!ev.is(Value::Kind::Object)) {
+      return set_error(error, at + " is not an object");
+    }
+    if (!require_number(ev, "t_ms", at, error)) return false;
+    if (!require_string(ev, "what", at, error)) return false;
+    const double t = ev.find("t_ms")->number;
+    if (t < prev_t) return set_error(error, at + " out of order");
+    prev_t = t;
   }
   return true;
 }

@@ -50,4 +50,22 @@ bool validate_chrome_trace(std::string_view text, std::string* error = nullptr);
 /// string `bench` and numeric values otherwise.
 bool validate_metrics_json(std::string_view text, std::string* error = nullptr);
 
+/// Schema check for "hs.snapshot.v1" (trace/snapshot.hpp): object with
+/// string name, numeric sequence/uptime_ms, a `metrics` array of
+/// {name, value} and a `histograms` array whose rows carry count plus the
+/// *_ms summary fields.
+bool validate_snapshot_json(std::string_view text,
+                            std::string* error = nullptr);
+
+/// Schema check for "hs.flight.v1" (trace/flight_recorder.hpp): object
+/// with string reason, numeric recorded_total, and an `events` array of
+/// {t_us, tid, job, kind, a, b, detail} rows.
+bool validate_flight_json(std::string_view text, std::string* error = nullptr);
+
+/// Schema check for "hs.timeline.v1" (serve/timeline.hpp): object with
+/// numeric id, string name/kind/state, numeric attempts/queue_ms/exec_ms/
+/// total_ms, and an `events` array of {t_ms, what} rows.
+bool validate_timeline_json(std::string_view text,
+                            std::string* error = nullptr);
+
 }  // namespace hs::trace::json

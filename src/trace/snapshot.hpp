@@ -1,0 +1,76 @@
+// Periodic registry snapshots: the live health surface of a process.
+//
+// write_snapshot_json serializes the whole trace registry -- every
+// counter, gauge, and histogram (with derived p50/p90/p95/p99/max in
+// milliseconds) -- into a versioned strict-JSON document
+// (schema "hs.snapshot.v1", validated by trace/json_check). It is what
+// `hsi-top` renders and what a shard router would poll.
+//
+// SnapshotExporter writes that document to a file on a fixed interval
+// from a background thread. Each export goes to `<path>.tmp` and is
+// renamed into place, so readers always see a complete document, never a
+// torn write. stop() (and the destructor) writes one final snapshot so
+// short-lived processes still leave a record.
+//
+// Compiled in both HS_TRACE modes: with tracing compiled out the
+// document is still valid, just empty -- export degrades gracefully
+// rather than disappearing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace hs::trace {
+
+/// One snapshot document. `sequence` is a monotonically increasing
+/// export number so a poller can detect staleness.
+void write_snapshot_json(std::ostream& os, std::string_view name,
+                         std::uint64_t sequence);
+
+/// Atomic file variant: writes `path + ".tmp"`, then renames over `path`.
+bool write_snapshot_json_file(const std::string& path, std::string_view name,
+                              std::uint64_t sequence);
+
+class SnapshotExporter {
+ public:
+  struct Options {
+    std::string path;            ///< destination file (required)
+    double period_seconds = 1;   ///< export interval (clamped to >= 10 ms)
+    std::string name = "hs";     ///< echoed in the document
+  };
+
+  /// Starts the exporter thread; the first export happens one period in.
+  explicit SnapshotExporter(Options options);
+  /// Implicit stop(): final snapshot, join.
+  ~SnapshotExporter();
+
+  SnapshotExporter(const SnapshotExporter&) = delete;
+  SnapshotExporter& operator=(const SnapshotExporter&) = delete;
+
+  /// Stops the thread and writes one final snapshot. Idempotent.
+  void stop();
+
+  /// Number of completed exports (including the final one after stop()).
+  std::uint64_t exports() const {
+    return exports_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+
+  Options options_;
+  std::atomic<std::uint64_t> exports_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace hs::trace

@@ -12,6 +12,9 @@
 #include <mutex>
 #include <ostream>
 
+#include "trace/flight_recorder.hpp"
+#include "trace/histogram.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -98,6 +101,10 @@ ThreadBuf& local_buf() {
     Recorder& r = recorder();
     std::lock_guard<std::mutex> lock(r.mu);
     r.bufs.push_back(std::make_unique<ThreadBuf>());
+    // Pre-size the event store so the hot path never pays a reallocation
+    // move cascade mid-measurement (~100 bytes/event, so this is ~100 KB
+    // per *traced* thread; untraced threads never reach here).
+    r.bufs.back()->events.reserve(1024);
     r.bufs.back()->tid = r.next_tid++;
     return r.bufs.back().get();
   }();
@@ -126,6 +133,8 @@ void reset() {
   }
   for (auto& [name, c] : r.counters) c->reset();
   for (auto& [name, g] : r.gauges) g->reset();
+  reset_histograms();
+  reset_flight_recorder();
   r.epoch = std::chrono::steady_clock::now();
 }
 
@@ -198,6 +207,7 @@ Span::Span(std::string_view name, std::string_view cat) {
   ThreadBuf& buf = local_buf();
   buf_ = &buf;
   depth_ = buf.depth++;
+  job_ = util::current_job_tag();
   name_.assign(name);
   cat_.assign(cat);
   start_ns_ = now_ns();
@@ -208,6 +218,7 @@ Span::Span(Span&& other) noexcept
     : active_(other.active_),
       depth_(other.depth_),
       arg_count_(other.arg_count_),
+      job_(other.job_),
       start_ns_(other.start_ns_),
       buf_(other.buf_),
       name_(std::move(other.name_)),
@@ -229,9 +240,13 @@ void Span::end() {
   ev.cat = std::move(cat_);
   ev.tid = buf.tid;
   ev.depth = depth_;
+  ev.job = job_;
   ev.start_ns = start_ns_;
   ev.dur_ns = dur;
-  ev.args = std::move(args_);
+  if (arg_count_ > 0) {
+    ev.args.assign(std::make_move_iterator(args_.begin()),
+                   std::make_move_iterator(args_.begin() + arg_count_));
+  }
   ev.arg_count = arg_count_;
   std::lock_guard<std::mutex> lock(buf.m);
   buf.events.push_back(std::move(ev));
@@ -273,7 +288,7 @@ void write_chrome_trace(std::ostream& os) {
     os << "    {\"name\": \"" << json_escape(ev.name) << "\", \"cat\": \""
        << json_escape(ev.cat) << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
        << ev.tid << ", \"ts\": " << ts << ", \"dur\": " << dur;
-    if (ev.arg_count > 0) {
+    if (ev.arg_count > 0 || ev.job != 0) {
       os << ", \"args\": {";
       for (int i = 0; i < ev.arg_count; ++i) {
         const TraceArg& a = ev.args[static_cast<std::size_t>(i)];
@@ -284,6 +299,10 @@ void write_chrome_trace(std::ostream& os) {
         } else {
           os << "\"" << json_escape(a.str) << "\"";
         }
+      }
+      if (ev.job != 0) {
+        if (ev.arg_count > 0) os << ", ";
+        os << "\"job\": " << ev.job;
       }
       os << "}";
     }

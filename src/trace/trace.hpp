@@ -57,9 +57,17 @@ struct TraceEvent {
   std::string cat;
   std::uint32_t tid = 0;  ///< small sequential id, not the OS thread id
   int depth = 0;          ///< nesting depth within its thread at begin time
+  /// Job context id (util::current_job_tag) at span begin; 0 = none. Set
+  /// by the serving layer around job execution so every span a job emits
+  /// -- pipeline, chunk, stage, pass -- joins its timeline. Exported as a
+  /// "job" arg in the Chrome trace.
+  std::uint64_t job = 0;
   std::int64_t start_ns = 0;
   std::int64_t dur_ns = 0;
-  std::array<TraceArg, kMaxSpanArgs> args{};
+  /// Only the populated args (size == arg_count). Kept out-of-line so a
+  /// TraceEvent stays ~100 bytes and per-thread buffers move cheaply;
+  /// argless spans (the common case) never allocate here.
+  std::vector<TraceArg> args;
   int arg_count = 0;
 };
 
@@ -137,6 +145,7 @@ class Span {
   bool active_ = false;
   int depth_ = 0;
   int arg_count_ = 0;
+  std::uint64_t job_ = 0;
   std::int64_t start_ns_ = 0;
   void* buf_ = nullptr;  ///< owning thread's buffer
   std::string name_;

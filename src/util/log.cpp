@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -63,10 +64,113 @@ int format_timestamp(char* buf, std::size_t size) {
                        static_cast<int>(ms));
 }
 
+thread_local std::uint64_t t_job_tag = 0;
+
+/// Builds `[header] body<suffix> job=N\n` in one buffer and writes it with
+/// a single write() -- the shared atomicity path for logf and logkv.
+void emit_line(LogLevel level, std::string_view body, std::string_view suffix) {
+  char header[64];
+  int head = format_timestamp(header + 1, sizeof(header) - 1);
+  header[0] = '[';
+  head += 1;
+  head += std::snprintf(header + head,
+                        sizeof(header) - static_cast<std::size_t>(head),
+                        " %s t%02u] ", level_name(level), thread_ordinal());
+
+  char job[32];
+  int job_len = 0;
+  if (t_job_tag != 0) {
+    job_len = std::snprintf(job, sizeof(job), " job=%llu",
+                            static_cast<unsigned long long>(t_job_tag));
+  }
+
+  std::string line;
+  line.reserve(static_cast<std::size_t>(head) + body.size() + suffix.size() +
+               static_cast<std::size_t>(job_len) + 1);
+  line.append(header, static_cast<std::size_t>(head));
+  line.append(body);
+  line.append(suffix);
+  line.append(job, static_cast<std::size_t>(job_len));
+  line.push_back('\n');
+
+  // stderr is unbuffered by default, but bypass stdio entirely: one
+  // write() per message is the atomicity guarantee.
+  ssize_t unused = ::write(STDERR_FILENO, line.data(), line.size());
+  (void)unused;
+}
+
+/// True when the value can appear bare after `key=` and still be split on
+/// whitespace by a reader.
+bool is_plain_token(std::string_view v) {
+  if (v.empty()) return false;
+  for (const char c : v) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '"' || c == '=' ||
+        c == '\\') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string render_value(std::string_view v) {
+  if (is_plain_token(v)) return std::string(v);
+  std::string out;
+  out.reserve(v.size() + 2);
+  out.push_back('"');
+  for (const char c : v) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { level_ref().store(level); }
 LogLevel log_level() { return level_ref().load(); }
+
+std::uint64_t current_job_tag() { return t_job_tag; }
+
+ScopedJobTag::ScopedJobTag(std::uint64_t id) : prev_(t_job_tag) {
+  t_job_tag = id;
+}
+
+ScopedJobTag::~ScopedJobTag() { t_job_tag = prev_; }
+
+LogKv::LogKv(std::string_view k, std::string_view v)
+    : key(k), value(render_value(v)) {}
+
+LogKv::LogKv(std::string_view k, double v) : key(k) {
+  char buf[64];
+  if (std::nearbyint(v) == v && std::abs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+  }
+  value = buf;
+}
+
+LogKv::LogKv(std::string_view k, std::int64_t v) : key(k) {
+  value = std::to_string(v);
+}
+
+LogKv::LogKv(std::string_view k, std::uint64_t v) : key(k) {
+  value = std::to_string(v);
+}
+
+void logkv(LogLevel level, std::string_view message,
+           std::initializer_list<LogKv> fields) {
+  if (level < level_ref().load()) return;
+  std::string suffix;
+  for (const LogKv& f : fields) {
+    suffix.push_back(' ');
+    suffix.append(f.key);
+    suffix.push_back('=');
+    suffix.append(f.value);
+  }
+  emit_line(level, message, suffix);
+}
 
 std::optional<LogLevel> parse_log_level(std::string_view text) {
   std::string lower(text);
@@ -84,16 +188,8 @@ std::optional<LogLevel> parse_log_level(std::string_view text) {
 void logf(LogLevel level, const char* fmt, ...) {
   if (level < level_ref().load()) return;
 
-  char header[64];
-  int head = format_timestamp(header + 1, sizeof(header) - 1);
-  header[0] = '[';
-  head += 1;
-  head += std::snprintf(header + head, sizeof(header) - static_cast<std::size_t>(head),
-                        " %s t%02u] ", level_name(level), thread_ordinal());
-
-  // Measure the body, then format header + body + '\n' into one buffer so
-  // the message reaches stderr in a single write() and lines from
-  // concurrent threads never interleave.
+  // Measure the body, then format it once; emit_line() prepends the
+  // header and appends the job suffix in the same single-write() buffer.
   va_list args;
   va_start(args, fmt);
   va_list args_copy;
@@ -105,17 +201,11 @@ void logf(LogLevel level, const char* fmt, ...) {
     return;
   }
 
-  std::string line(static_cast<std::size_t>(head + body) + 1, '\0');
-  std::memcpy(line.data(), header, static_cast<std::size_t>(head));
-  std::vsnprintf(line.data() + head, static_cast<std::size_t>(body) + 1, fmt,
+  std::string text(static_cast<std::size_t>(body), '\0');
+  std::vsnprintf(text.data(), static_cast<std::size_t>(body) + 1, fmt,
                  args_copy);
   va_end(args_copy);
-  line[static_cast<std::size_t>(head + body)] = '\n';
-
-  // stderr is unbuffered by default, but bypass stdio entirely: one
-  // write() per message is the atomicity guarantee.
-  ssize_t unused = ::write(STDERR_FILENO, line.data(), line.size());
-  (void)unused;
+  emit_line(level, text, {});
 }
 
 }  // namespace hs::util

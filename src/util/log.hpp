@@ -11,11 +11,20 @@
 //
 //   [2026-08-06T12:34:56.789Z warn t03] message
 //
+// Structured suffixes: logkv() appends machine-parseable `key=value`
+// pairs after the message, and every line (logf or logkv) emitted while a
+// ScopedJobTag is live on the thread automatically gains ` job=<id>` --
+// the same id the serving layer stamps on trace spans and timelines, so
+// log lines join per-job timelines by a grep.
+//
 // The initial threshold is Warn, overridable at startup with the
 // HS_LOG_LEVEL environment variable (debug|info|warn|error|off).
 #pragma once
 
+#include <cstdint>
+#include <initializer_list>
 #include <optional>
+#include <string>
 #include <string_view>
 
 namespace hs::util {
@@ -32,6 +41,46 @@ std::optional<LogLevel> parse_log_level(std::string_view text);
 /// printf-style logging; fmt is a printf format string.
 void logf(LogLevel level, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));
+
+/// One `key=value` suffix element for logkv(). Values render unquoted
+/// when they are plain tokens; anything containing whitespace, '"' or '='
+/// is double-quoted with '"' and '\' escaped, so a line stays splittable
+/// on spaces outside quotes. Numeric overloads format like JSON numbers
+/// (integral values without a trailing ".000000").
+struct LogKv {
+  LogKv(std::string_view k, std::string_view v);
+  LogKv(std::string_view k, const char* v) : LogKv(k, std::string_view(v)) {}
+  LogKv(std::string_view k, double v);
+  LogKv(std::string_view k, std::int64_t v);
+  LogKv(std::string_view k, std::uint64_t v);
+  LogKv(std::string_view k, int v) : LogKv(k, static_cast<std::int64_t>(v)) {}
+  LogKv(std::string_view k, bool v)
+      : LogKv(k, std::string_view(v ? "true" : "false")) {}
+
+  std::string key;
+  std::string value;  ///< already rendered (quoted when needed)
+};
+
+/// `message key=value ...` with the same header/atomicity as logf().
+void logkv(LogLevel level, std::string_view message,
+           std::initializer_list<LogKv> fields);
+
+/// The thread's current job id (0 = none), set by ScopedJobTag. Consumed
+/// by the log suffix above and by trace spans (hs::trace reads it so a
+/// span opened inside a job scope carries the job id without plumbing).
+std::uint64_t current_job_tag();
+
+/// RAII job tag for the current thread; nests (restores the previous tag).
+class ScopedJobTag {
+ public:
+  explicit ScopedJobTag(std::uint64_t id);
+  ~ScopedJobTag();
+  ScopedJobTag(const ScopedJobTag&) = delete;
+  ScopedJobTag& operator=(const ScopedJobTag&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
 
 }  // namespace hs::util
 

@@ -99,5 +99,79 @@ TEST(Log, ConcurrentMessagesDoNotInterleave) {
   EXPECT_EQ(lines, kThreads * kPerThread);
 }
 
+TEST(Log, LogKvRendersTokensQuotedStringsAndNumbers) {
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::Info);
+  testing::internal::CaptureStderr();
+  logkv(LogLevel::Info, "job done",
+        {{"state", "done"},
+         {"detail", "queue full at depth=8"},
+         {"attempts", 3},
+         {"queue_ms", 4.25},
+         {"cached", false}});
+  const std::string out = testing::internal::GetCapturedStderr();
+  set_log_level(prev);
+
+  // Plain tokens stay unquoted; values with spaces or '=' get quoted.
+  EXPECT_NE(out.find("] job done state=done"), std::string::npos) << out;
+  EXPECT_NE(out.find("detail=\"queue full at depth=8\""), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("attempts=3"), std::string::npos) << out;
+  EXPECT_NE(out.find("queue_ms=4.25"), std::string::npos) << out;
+  EXPECT_NE(out.find("cached=false"), std::string::npos) << out;
+  // Integral-valued doubles drop the trailing zeros entirely.
+  EXPECT_EQ(out.find("3.000000"), std::string::npos) << out;
+}
+
+TEST(Log, LogKvQuotesEmbeddedQuotesAndBackslashes) {
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::Info);
+  testing::internal::CaptureStderr();
+  logkv(LogLevel::Info, "m", {{"k", "say \"hi\" \\ there"}});
+  const std::string out = testing::internal::GetCapturedStderr();
+  set_log_level(prev);
+  EXPECT_NE(out.find("k=\"say \\\"hi\\\" \\\\ there\""), std::string::npos)
+      << out;
+}
+
+TEST(Log, ScopedJobTagSuffixesEveryLineAndNests) {
+  EXPECT_EQ(current_job_tag(), 0u);
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::Info);
+  testing::internal::CaptureStderr();
+  {
+    ScopedJobTag outer(7);
+    EXPECT_EQ(current_job_tag(), 7u);
+    HS_LOG_INFO("from logf");
+    logkv(LogLevel::Info, "from logkv", {{"k", 1}});
+    {
+      ScopedJobTag inner(9);
+      EXPECT_EQ(current_job_tag(), 9u);
+      HS_LOG_INFO("nested");
+    }
+    EXPECT_EQ(current_job_tag(), 7u);
+  }
+  EXPECT_EQ(current_job_tag(), 0u);
+  HS_LOG_INFO("untagged");
+  const std::string out = testing::internal::GetCapturedStderr();
+  set_log_level(prev);
+
+  EXPECT_NE(out.find("from logf job=7"), std::string::npos) << out;
+  EXPECT_NE(out.find("from logkv k=1 job=7"), std::string::npos) << out;
+  EXPECT_NE(out.find("nested job=9"), std::string::npos) << out;
+  // The untagged line carries no job suffix.
+  const std::size_t untagged = out.find("untagged");
+  ASSERT_NE(untagged, std::string::npos);
+  EXPECT_EQ(out.find("job=", untagged), std::string::npos) << out;
+}
+
+TEST(Log, JobTagIsPerThread) {
+  ScopedJobTag tag(42);
+  std::uint64_t seen = 99;
+  std::thread([&] { seen = current_job_tag(); }).join();
+  EXPECT_EQ(seen, 0u);
+  EXPECT_EQ(current_job_tag(), 42u);
+}
+
 }  // namespace
 }  // namespace hs::util

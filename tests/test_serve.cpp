@@ -6,8 +6,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -18,6 +21,8 @@
 #include "hsi/synthetic.hpp"
 #include "serve/job_queue.hpp"
 #include "serve/request.hpp"
+#include "serve/timeline.hpp"
+#include "trace/json_check.hpp"
 #include "trace/trace.hpp"
 
 namespace hs::serve {
@@ -811,6 +816,135 @@ TEST(ServeTraceIntegration, CountersGaugesAndSpansTrackOutcomes) {
 }
 
 #endif  // HS_TRACE_ENABLED
+
+// ---------------------------------------------------------------------------
+// Per-job timelines, exec accounting, retry backoff, flight dumps. These
+// are plain serve-layer behaviour, exact in every build (independent of
+// whether HS_TRACE instrumentation is compiled in).
+
+std::vector<std::string> timeline_whats(const JobResult& r) {
+  std::vector<std::string> whats;
+  for (const auto& ev : r.timeline) whats.push_back(ev.what);
+  return whats;
+}
+
+bool timeline_has(const JobResult& r, std::string_view what) {
+  for (const auto& ev : r.timeline) {
+    if (ev.what == what) return true;
+  }
+  return false;
+}
+
+TEST(ServeTimeline, DoneJobRecordsLifecycleInOrder) {
+  ServerOptions options;
+  Server server(options);
+  const auto sub = server.submit(small_spec(JobKind::Morphology, "tl"));
+  const JobResult res = server.wait(sub.id);
+  server.shutdown(/*drain=*/true);
+
+  ASSERT_EQ(res.state, JobState::Done) << res.detail;
+  const auto whats = timeline_whats(res);
+  ASSERT_GE(whats.size(), 4u);
+  EXPECT_EQ(whats.front(), "submitted");
+  EXPECT_TRUE(timeline_has(res, "dequeued"));
+  EXPECT_TRUE(timeline_has(res, "attempt"));
+  EXPECT_EQ(whats.back(), "terminal");
+  EXPECT_EQ(res.timeline.back().detail, "done");
+  // Submission-relative and monotonic.
+  EXPECT_EQ(res.timeline.front().t_seconds, 0.0);
+  for (std::size_t i = 1; i < res.timeline.size(); ++i) {
+    EXPECT_LE(res.timeline[i - 1].t_seconds, res.timeline[i].t_seconds) << i;
+  }
+  // Without backoff sleeps, exec time is the whole run.
+  EXPECT_GT(res.exec_seconds, 0.0);
+  EXPECT_LE(res.exec_seconds, res.run_seconds + 1e-9);
+
+  // The timeline exports as a valid hs.timeline.v1 document.
+  std::ostringstream os;
+  write_timeline_json(os, res);
+  std::string error;
+  EXPECT_TRUE(trace::json::validate_timeline_json(os.str(), &error))
+      << error << "\n" << os.str();
+}
+
+TEST(ServeTimeline, RejectedJobTerminalizesWithValidTimeline) {
+  ServerOptions options;
+  options.admission.max_estimated_bytes = 1024;
+  Server server(options);
+  const auto sub = server.submit(small_spec(JobKind::Morphology, "rej"));
+  EXPECT_FALSE(sub.admitted);
+  const JobResult res = server.wait(sub.id);
+  server.shutdown(/*drain=*/true);
+
+  EXPECT_EQ(res.state, JobState::Rejected);
+  EXPECT_TRUE(timeline_has(res, "terminal"));
+  std::ostringstream os;
+  write_timeline_json(os, res);
+  std::string error;
+  EXPECT_TRUE(trace::json::validate_timeline_json(os.str(), &error)) << error;
+}
+
+TEST(ServeTimeline, RetryMarksFaultsAndBackoffExcludedFromExec) {
+  ServerOptions options;
+  options.retry_backoff_seconds = 0.005;
+  options.inject_fault = [](std::uint64_t, int attempt) {
+    return attempt <= 2;  // two faults, done on the third attempt
+  };
+  Server server(options);
+  JobSpec spec = small_spec(JobKind::Morphology, "backoff");
+  spec.max_retries = 2;
+  const auto sub = server.submit(spec);
+  const JobResult res = server.wait(sub.id);
+  server.shutdown(/*drain=*/true);
+
+  ASSERT_EQ(res.state, JobState::Done) << res.detail;
+  EXPECT_EQ(res.attempts, 3);
+  // Timeline: one fault + one backoff mark per consumed retry, and one
+  // attempt mark per attempt.
+  int faults = 0, backoffs = 0, attempts = 0;
+  for (const auto& ev : res.timeline) {
+    if (ev.what == "fault") ++faults;
+    if (ev.what == "backoff") ++backoffs;
+    if (ev.what == "attempt") ++attempts;
+  }
+  EXPECT_EQ(faults, 2);
+  EXPECT_EQ(backoffs, 2);
+  EXPECT_EQ(attempts, 3);
+  // Exponential schedule: 5 ms + 10 ms of sleeps excluded from exec time.
+  EXPECT_GE(res.run_seconds - res.exec_seconds, 0.012);
+  EXPECT_GT(res.exec_seconds, 0.0);
+}
+
+TEST(ServeFlightDump, FailedJobDumpsAndDoneJobDoesNot) {
+  const std::string dir = ::testing::TempDir() + "/hs_flight_dump_test";
+  std::filesystem::create_directories(dir);
+  ServerOptions options;
+  options.flight_dump_dir = dir;
+  options.inject_fault = [](std::uint64_t id, int) { return id == 1; };
+  Server server(options);
+  const auto doomed = server.submit(small_spec(JobKind::Morphology, "boom"));
+  const auto fine = server.submit(small_spec(JobKind::Morphology, "ok"));
+  const JobResult doomed_res = server.wait(doomed.id);
+  const JobResult fine_res = server.wait(fine.id);
+  server.shutdown(/*drain=*/true);
+
+  ASSERT_EQ(doomed_res.state, JobState::Failed);
+  ASSERT_EQ(fine_res.state, JobState::Done) << fine_res.detail;
+
+  const std::string doomed_path =
+      dir + "/flight_job" + std::to_string(doomed.id) + ".json";
+  const std::string fine_path =
+      dir + "/flight_job" + std::to_string(fine.id) + ".json";
+  std::ifstream in(doomed_path);
+  ASSERT_TRUE(in.good()) << doomed_path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string error;
+  EXPECT_TRUE(trace::json::validate_flight_json(ss.str(), &error))
+      << error << "\n" << ss.str();
+  EXPECT_FALSE(std::ifstream(fine_path).good());
+  std::filesystem::remove_all(dir);
+}
 
 }  // namespace
 }  // namespace hs::serve

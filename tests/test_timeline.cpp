@@ -1,0 +1,119 @@
+#include "serve/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "serve/job.hpp"
+#include "trace/json_check.hpp"
+
+namespace hs::serve {
+namespace {
+
+JobResult sample_result() {
+  JobResult r;
+  r.id = 9;
+  r.name = "unmix \"batch\"";  // exercises JSON escaping
+  r.kind = JobKind::Unmix;
+  r.priority = Priority::High;
+  r.state = JobState::Done;
+  r.attempts = 2;
+  r.cached = false;
+  r.queue_seconds = 0.004;
+  r.run_seconds = 0.031;
+  r.exec_seconds = 0.027;
+  r.output_hash = 0xdeadbeefcafef00dull;
+  r.timeline.push_back({0.0, "submitted", ""});
+  r.timeline.push_back({0.004, "dequeued", ""});
+  r.timeline.push_back({0.005, "attempt", "1"});
+  r.timeline.push_back({0.012, "fault", "TransientFault: chunk 3"});
+  r.timeline.push_back({0.014, "attempt", "2"});
+  r.timeline.push_back({0.035, "terminal", "Done"});
+  return r;
+}
+
+TEST(Timeline, DocumentValidatesAndRoundTripsCoreFields) {
+  std::ostringstream os;
+  write_timeline_json(os, sample_result());
+  const std::string text = os.str();
+
+  std::string error;
+  ASSERT_TRUE(trace::json::validate_timeline_json(text, &error))
+      << error << "\n" << text;
+
+  const auto doc = trace::json::parse(text, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("schema")->string, "hs.timeline.v1");
+  EXPECT_EQ(doc->find("id")->number, 9.0);
+  EXPECT_EQ(doc->find("name")->string, "unmix \"batch\"");
+  EXPECT_EQ(doc->find("kind")->string, "unmix");
+  EXPECT_EQ(doc->find("state")->string, "done");
+  EXPECT_EQ(doc->find("attempts")->number, 2.0);
+  EXPECT_NEAR(doc->find("queue_ms")->number, 4.0, 1e-9);
+  EXPECT_NEAR(doc->find("exec_ms")->number, 27.0, 1e-9);
+  // total = queue + run, matching the serve.total_s histogram definition.
+  EXPECT_NEAR(doc->find("total_ms")->number, 35.0, 1e-9);
+  EXPECT_EQ(doc->find("output_hash")->string, "deadbeefcafef00d");
+
+  const trace::json::Value* events = doc->find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 6u);
+  EXPECT_EQ(events->array[0].find("what")->string, "submitted");
+  EXPECT_EQ(events->array[3].find("detail")->string,
+            "TransientFault: chunk 3");
+  EXPECT_EQ(events->array[5].find("what")->string, "terminal");
+}
+
+TEST(Timeline, ValidatorRejectsNonMonotonicEvents) {
+  JobResult r = sample_result();
+  std::swap(r.timeline[1], r.timeline[4]);  // break t_ms ordering
+  std::ostringstream os;
+  write_timeline_json(os, r);
+  std::string error;
+  EXPECT_FALSE(trace::json::validate_timeline_json(os.str(), &error));
+  EXPECT_NE(error.find("out of order"), std::string::npos) << error;
+}
+
+TEST(Timeline, ValidatorRejectsWrongSchemaAndGarbage) {
+  std::string error;
+  EXPECT_FALSE(trace::json::validate_timeline_json("{", &error));
+  EXPECT_FALSE(trace::json::validate_timeline_json("{}", &error));
+  EXPECT_FALSE(trace::json::validate_timeline_json(
+      "{\"schema\": \"hs.snapshot.v1\"}", &error));
+}
+
+TEST(Timeline, EmptyTimelineStillValidates) {
+  // Rejected jobs can terminalize with a minimal timeline; the document
+  // must still be schema-valid.
+  JobResult r;
+  r.id = 3;
+  r.name = "rejected";
+  r.state = JobState::Rejected;
+  r.detail = "queue full";
+  std::ostringstream os;
+  write_timeline_json(os, r);
+  std::string error;
+  EXPECT_TRUE(trace::json::validate_timeline_json(os.str(), &error))
+      << error << "\n" << os.str();
+}
+
+TEST(Timeline, FileWriterProducesNamedValidFile) {
+  const JobResult r = sample_result();
+  EXPECT_EQ(timeline_filename(r), "timeline_job9.json");
+  const std::string path =
+      ::testing::TempDir() + "/hs_timeline_test_job9.json";
+  ASSERT_TRUE(write_timeline_json_file(path, r));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string error;
+  EXPECT_TRUE(trace::json::validate_timeline_json(ss.str(), &error)) << error;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hs::serve

@@ -3,10 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 
+#include "trace/histogram.hpp"
 #include "trace/json_check.hpp"
+#include "trace/snapshot.hpp"
+#include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hs::trace {
@@ -297,6 +302,101 @@ TEST(Trace, MetricsJsonMatchesBenchSchema) {
   EXPECT_TRUE(saw_span_row);
 }
 
+TEST(Trace, SpansInheritTheThreadJobTag) {
+  reset();
+  set_enabled(true);
+  {
+    util::ScopedJobTag tag(17);
+    Span span("serve.job", "serve");
+  }
+  { Span span("untagged", "serve"); }
+  set_enabled(false);
+
+  const auto events = snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].job, 17u);
+  EXPECT_EQ(events[1].job, 0u);
+
+  // The Chrome trace exports the tag as a "job" arg on tagged spans only.
+  std::ostringstream os;
+  write_chrome_trace(os);
+  std::string error;
+  const auto doc = json::parse(os.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  bool saw_tagged = false, saw_untagged = false;
+  for (const auto& e : doc->find("traceEvents")->array) {
+    const json::Value* name = e.find("name");
+    if (name == nullptr) continue;
+    if (name->string == "serve.job") {
+      saw_tagged = true;
+      const json::Value* args = e.find("args");
+      ASSERT_NE(args, nullptr);
+      ASSERT_NE(args->find("job"), nullptr);
+      EXPECT_EQ(args->find("job")->number, 17.0);
+    } else if (name->string == "untagged") {
+      saw_untagged = true;
+      EXPECT_EQ(e.find("args"), nullptr);
+    }
+  }
+  EXPECT_TRUE(saw_tagged);
+  EXPECT_TRUE(saw_untagged);
+}
+
+TEST(Trace, SnapshotJsonValidatesAndCarriesRegistry) {
+  reset();
+  set_enabled(true);
+  counter("snap.requests").add(5);
+  gauge("snap.depth").set(3.0);
+  histogram("snap.latency_s").record(0.010);
+  histogram("snap.latency_s").record(0.020);
+  set_enabled(false);
+
+  std::ostringstream os;
+  write_snapshot_json(os, "test-proc", 4);
+  const std::string text = os.str();
+  std::string error;
+  ASSERT_TRUE(json::validate_snapshot_json(text, &error)) << error << "\n"
+                                                          << text;
+
+  const auto doc = json::parse(text, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("schema")->string, "hs.snapshot.v1");
+  EXPECT_EQ(doc->find("name")->string, "test-proc");
+  EXPECT_EQ(doc->find("sequence")->number, 4.0);
+  bool saw_counter = false, saw_hist = false;
+  for (const auto& m : doc->find("metrics")->array) {
+    if (m.find("name")->string == "snap.requests") {
+      saw_counter = true;
+      EXPECT_EQ(m.find("value")->number, 5.0);
+    }
+  }
+  for (const auto& h : doc->find("histograms")->array) {
+    if (h.find("name")->string == "snap.latency_s") {
+      saw_hist = true;
+      EXPECT_EQ(h.find("count")->number, 2.0);
+      EXPECT_NEAR(h.find("mean_ms")->number, 15.0, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_hist);
+}
+
+TEST(Trace, SnapshotFileExportIsAtomicAndValid) {
+  reset();
+  counter("snap.file").add(1);
+  const std::string path = ::testing::TempDir() + "/hs_snapshot_test.json";
+  ASSERT_TRUE(write_snapshot_json_file(path, "file-test", 1));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string error;
+  EXPECT_TRUE(json::validate_snapshot_json(ss.str(), &error)) << error;
+  // The tmp staging file must not linger after the rename.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
 TEST(Trace, SummaryTablePrints) {
   reset();
   set_enabled(true);
@@ -327,6 +427,12 @@ TEST(Trace, DisabledBuildEmitsValidEmptyDocuments) {
   std::ostringstream ms;
   write_metrics_json(ms, "off");
   EXPECT_TRUE(json::validate_metrics_json(ms.str(), &error)) << error;
+
+  // The snapshot document degrades to a valid empty registry, so hsi-top
+  // and pollers keep working against an HS_TRACE=OFF process.
+  std::ostringstream snap;
+  write_snapshot_json(snap, "off", 1);
+  EXPECT_TRUE(json::validate_snapshot_json(snap.str(), &error)) << error;
 }
 
 #endif  // HS_TRACE_ENABLED

@@ -64,6 +64,35 @@ smoke_cache() {
   rm -rf "$out"
 }
 
+# Telemetry smoke: a fault-injected batch must leave the full observability
+# trail -- a registry snapshot hsi-top can render, per-job timelines, and a
+# flight-recorder dump for the failed job -- and every document must pass
+# the bundled strict-JSON validators (hsi-served exits nonzero otherwise).
+# Works in HS_TRACE=OFF builds too: the snapshot degrades to a valid empty
+# registry while timelines and flight dumps (serve-layer data) remain.
+smoke_telemetry() {
+  local dir="$1"
+  local out
+  out="$(mktemp -d)"
+  "$dir/tools/hsi-served" --requests examples/serve_requests.jsonl \
+    --workers 2 --max-bytes 32000000 \
+    --fault unmix --retry-backoff-ms 1 \
+    --timelines "$out/timelines" \
+    --snapshot "$out/snapshot.json" \
+    --flight-dir "$out/flight" \
+    --report "$out/report.json" > /dev/null
+  # The injected fault exhausts the retry budget: a validated flight dump
+  # must exist for the failed job.
+  ls "$out"/flight/flight_job*.json > /dev/null
+  grep -q '"hs.flight.v1"' "$out"/flight/flight_job*.json
+  # One timeline per job in the batch.
+  [ "$(ls "$out"/timelines/timeline_job*.json | wc -l)" -ge 6 ]
+  grep -q '"hs.snapshot.v1"' "$out/snapshot.json"
+  # hsi-top renders the snapshot (one-shot mode).
+  "$dir/tools/hsi-top" "$out/snapshot.json" | grep -q 'export #'
+  rm -rf "$out"
+}
+
 CTEST_ARGS=("$@")
 
 echo "==> Release"
@@ -71,6 +100,7 @@ run_config build-release -DCMAKE_BUILD_TYPE=Release
 smoke_profile build-release
 smoke_served build-release
 smoke_cache build-release
+smoke_telemetry build-release
 
 echo "==> Sanitizers (address,undefined)"
 run_config build-sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -82,12 +112,13 @@ echo "==> ThreadSanitizer (concurrency suite)"
 # the serving-layer suite (worker threads + concurrent clients), the
 # caching layer (LRU eviction under contention, the shared program store,
 # the server result cache), the thread-pool/task-group stress tests, the
-# executor cross-contamination tests, and the multithreaded trace tests.
+# executor cross-contamination tests, and the multithreaded trace,
+# histogram-shard and flight-recorder-ring tests.
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DHS_SANITIZE=thread
 cmake --build build-tsan -j
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'ParallelPipeline|ChunkScheduler|Serve|Cache|ThreadPool|TaskGroup|StreamExecutor|Trace\.' \
+  -R 'ParallelPipeline|ChunkScheduler|Serve|Cache|ThreadPool|TaskGroup|StreamExecutor|Trace\.|Histogram|FlightRecorder|Timeline' \
   -j "${CTEST_ARGS[@]}"
 
 echo "==> Tracing compiled out (HS_TRACE=OFF)"
@@ -95,5 +126,6 @@ run_config build-notrace -DCMAKE_BUILD_TYPE=Release -DHS_TRACE=OFF
 smoke_profile build-notrace
 smoke_served build-notrace
 smoke_cache build-notrace
+smoke_telemetry build-notrace
 
 echo "==> All checks passed"

@@ -11,16 +11,30 @@
 //     gauges, per-state serve.jobs.* counters, serve.job span aggregates)
 //     in the shared BENCH_*.json schema;
 //   * --trace out.json: the Chrome trace (serve.job spans nesting the
-//     pipeline -> chunk -> stage spans of the jobs they served).
+//     pipeline -> chunk -> stage spans of the jobs they served);
+//   * --timelines dir/: one "hs.timeline.v1" document per job
+//     (timeline_job<id>.json) -- the job's full life as events;
+//   * --snapshot out.json: a periodic "hs.snapshot.v1" registry export
+//     (atomic tmp+rename; --snapshot-period sets the interval) that
+//     hsi-top renders live;
+//   * --flight-dir dir/: flight-recorder dumps (flight_job<id>.json) for
+//     every job that ends Failed or TimedOut;
+//   * --fault substr[:n]: fail the first n attempts (default: all) of
+//     jobs whose name contains substr with an injected TransientFault --
+//     the debugging story end to end: retries, backoff, and a flight dump
+//     on exhaustion.
 //
-// All three JSON outputs are re-read and validated with the bundled
-// strict parser before exit; a zero exit status certifies that every job
-// reached a terminal state and every emitted document is well-formed.
+// Every JSON output is re-read and validated with the bundled strict
+// parser before exit; a zero exit status certifies that every job reached
+// a terminal state and every emitted document is well-formed.
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
@@ -28,7 +42,10 @@
 
 #include "serve/request.hpp"
 #include "serve/server.hpp"
+#include "serve/timeline.hpp"
+#include "trace/histogram.hpp"
 #include "trace/json_check.hpp"
+#include "trace/snapshot.hpp"
 #include "trace/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -81,7 +98,9 @@ bool write_report(const std::string& path,
         << "\", \"attempts\": " << r.attempts
         << ", \"cached\": " << (r.cached ? "true" : "false")
         << ", \"queue_ms\": " << r.queue_seconds * 1e3
+        << ", \"exec_ms\": " << r.exec_seconds * 1e3
         << ", \"run_ms\": " << r.run_seconds * 1e3
+        << ", \"total_ms\": " << (r.queue_seconds + r.run_seconds) * 1e3
         << ", \"modeled_ms\": " << r.modeled_seconds * 1e3
         << ", \"chunks\": " << r.chunk_count
         << ", \"output_hash\": \"" << std::hex << r.output_hash << std::dec
@@ -118,6 +137,17 @@ int run(int argc, char** argv) {
   cli.add_flag("report", "per-job report JSON output path", "");
   cli.add_flag("metrics", "metrics JSON output path", "");
   cli.add_flag("trace", "Chrome trace-event JSON output path", "");
+  cli.add_flag("timelines", "directory for per-job timeline JSON files", "");
+  cli.add_flag("snapshot", "periodic registry snapshot JSON output path", "");
+  cli.add_flag("snapshot-period", "snapshot export interval in seconds",
+               "0.05");
+  cli.add_flag("flight-dir",
+               "directory for flight-recorder dumps on job failure", "");
+  cli.add_flag("fault",
+               "inject transient faults: substr[:n] fails the first n "
+               "attempts (default all) of jobs whose name contains substr",
+               "");
+  cli.add_flag("retry-backoff-ms", "base retry backoff in milliseconds", "0");
   if (!cli.parse(argc, argv)) return 1;
   if (!cli.positional().empty()) {
     std::cerr << "hsi-served: unexpected argument '" << cli.positional()[0]
@@ -147,6 +177,11 @@ int run(int argc, char** argv) {
     return 1;
   }
   if (cli.get_bool("no-cache", false)) cache_mb = 0;
+  const double backoff_ms = cli.get_double("retry-backoff-ms", 0);
+  if (backoff_ms < 0) {
+    std::cerr << "hsi-served: --retry-backoff-ms must be >= 0\n";
+    return 1;
+  }
 
   trace::reset();
   trace::set_enabled(true);
@@ -177,6 +212,57 @@ int run(int argc, char** argv) {
   options.keep_payloads = false;  // the CLI reports hashes, not payloads
   options.result_cache_bytes = static_cast<std::uint64_t>(cache_mb) << 20;
   options.scene_cache_bytes = static_cast<std::uint64_t>(cache_mb) << 20;
+  options.retry_backoff_seconds = backoff_ms / 1e3;
+
+  const std::string flight_dir = cli.get("flight-dir", "");
+  if (!flight_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(flight_dir, ec);
+    options.flight_dump_dir = flight_dir;
+  }
+
+  // --fault substr[:n]: ids are assigned in submission order by a single
+  // submitter thread, so the faulted set is computable up front.
+  const std::string fault_arg = cli.get("fault", "");
+  if (!fault_arg.empty()) {
+    std::string substr = fault_arg;
+    int fault_attempts = INT32_MAX;
+    if (const auto colon = fault_arg.rfind(':');
+        colon != std::string::npos && colon + 1 < fault_arg.size()) {
+      try {
+        fault_attempts = std::stoi(fault_arg.substr(colon + 1));
+        substr = fault_arg.substr(0, colon);
+      } catch (const std::exception&) {
+        // Not a number after ':': treat the whole argument as the substring.
+      }
+    }
+    auto fault_ids = std::make_shared<std::set<std::uint64_t>>();
+    std::uint64_t next_id = 1;
+    for (std::int64_t pass = 0; pass < repeat; ++pass) {
+      for (const serve::JobSpec& spec : batch.jobs) {
+        if (spec.name.find(substr) != std::string::npos) {
+          fault_ids->insert(next_id);
+        }
+        ++next_id;
+      }
+    }
+    options.inject_fault = [fault_ids, fault_attempts](std::uint64_t id,
+                                                       int attempt) {
+      return attempt <= fault_attempts && fault_ids->count(id) > 0;
+    };
+  }
+
+  // The snapshot exporter runs for the whole serve (started before the
+  // server, stopped after shutdown so the final export sees the end state).
+  std::unique_ptr<trace::SnapshotExporter> exporter;
+  const std::string snapshot_path = cli.get("snapshot", "");
+  if (!snapshot_path.empty()) {
+    trace::SnapshotExporter::Options sopt;
+    sopt.path = snapshot_path;
+    sopt.period_seconds = cli.get_double("snapshot-period", 0.05);
+    sopt.name = "hsi-served";
+    exporter = std::make_unique<trace::SnapshotExporter>(sopt);
+  }
 
   util::Timer wall;
   serve::Server server(options);
@@ -185,6 +271,7 @@ int run(int argc, char** argv) {
   }
   server.shutdown(/*drain=*/true);
   const double wall_s = wall.seconds();
+  if (exporter) exporter->stop();
   const std::vector<serve::JobResult> results = server.results();
 
   util::Table table({"Id", "Name", "Kind", "Prio", "State", "Attempts",
@@ -227,6 +314,22 @@ int run(int argc, char** argv) {
               << " misses, programs " << ps.hits << " hits / " << ps.misses
               << " misses\n";
     std::cout << cached << "/" << done << " done jobs served from cache\n";
+  }
+
+  // Final latency summary from the trace histograms (empty in an
+  // HS_TRACE=OFF build; the section is skipped rather than printed empty).
+  if (const auto hists = trace::histograms_snapshot(); !hists.empty()) {
+    util::Table hist_table(
+        {"Histogram", "Count", "p50", "p90", "p99", "Max"});
+    for (const auto& [hname, snap] : hists) {
+      hist_table.add_row({hname, std::to_string(snap.count),
+                          util::format_duration(snap.p50()),
+                          util::format_duration(snap.p90()),
+                          util::format_duration(snap.p99()),
+                          util::format_duration(snap.max)});
+    }
+    std::cout << "\n";
+    hist_table.print(std::cout, "latency summary");
   }
 
   bool ok = terminal == results.size();
@@ -279,6 +382,57 @@ int run(int argc, char** argv) {
     } else {
       std::cout << "trace: " << trace_path << "\n";
     }
+  }
+  const std::string timelines_dir = cli.get("timelines", "");
+  if (!timelines_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(timelines_dir, ec);
+    std::size_t written = 0;
+    for (const serve::JobResult& r : results) {
+      const std::string path =
+          timelines_dir + "/" + serve::timeline_filename(r);
+      std::string error;
+      if (!serve::write_timeline_json_file(path, r)) {
+        std::cerr << "hsi-served: cannot write " << path << "\n";
+        ok = false;
+      } else if (!trace::json::validate_timeline_json(slurp(path), &error)) {
+        std::cerr << "hsi-served: timeline " << path
+                  << " failed validation: " << error << "\n";
+        ok = false;
+      } else {
+        ++written;
+      }
+    }
+    std::cout << "timelines: " << written << " files in " << timelines_dir
+              << "\n";
+  }
+  if (!snapshot_path.empty()) {
+    std::string error;
+    if (!trace::json::validate_snapshot_json(slurp(snapshot_path), &error)) {
+      std::cerr << "hsi-served: snapshot " << snapshot_path
+                << " failed validation: " << error << "\n";
+      ok = false;
+    } else {
+      std::cout << "snapshot: " << snapshot_path << " ("
+                << (exporter ? exporter->exports() : 0) << " exports)\n";
+    }
+  }
+  if (!flight_dir.empty()) {
+    std::size_t dumps = 0;
+    for (const serve::JobResult& r : results) {
+      const std::string path =
+          flight_dir + "/flight_job" + std::to_string(r.id) + ".json";
+      if (!std::filesystem::exists(path)) continue;
+      std::string error;
+      if (!trace::json::validate_flight_json(slurp(path), &error)) {
+        std::cerr << "hsi-served: flight dump " << path
+                  << " failed validation: " << error << "\n";
+        ok = false;
+      } else {
+        ++dumps;
+      }
+    }
+    std::cout << "flight dumps: " << dumps << " in " << flight_dir << "\n";
   }
   return ok ? 0 : 2;
 }

@@ -1,0 +1,185 @@
+// Live process introspection CLI (`hsi-top`).
+//
+// Renders an "hs.snapshot.v1" registry snapshot file -- the document
+// trace::SnapshotExporter writes and hsi-served exports with --snapshot
+// -- as human-readable tables: a header line (process name, export
+// sequence, uptime), the counter/gauge registry, and every latency
+// histogram with count / mean / p50 / p90 / p95 / p99 / max.
+//
+// One-shot by default; --watch re-reads the file every --period seconds
+// (bounded by --iterations, 0 = forever), clearing the screen between
+// frames like top(1). Because the exporter renames each export into
+// place atomically, a read never sees a torn document; a missing or
+// not-yet-written file is reported and, under --watch, retried.
+//
+// The file is strict-validated (trace/json_check) before rendering, so
+// hsi-top doubles as a schema checker: exit 0 certifies a valid snapshot.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "trace/json_check.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hs;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string fmt_num(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v < 9.0e15 && v > -9.0e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+  }
+  return buf;
+}
+
+std::string fmt_ms(double ms) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f ms", ms);
+  return buf;
+}
+
+double num_or(const trace::json::Value& obj, std::string_view key,
+              double fallback) {
+  const trace::json::Value* v = obj.find(key);
+  return (v != nullptr && v->is(trace::json::Value::Kind::Number)) ? v->number
+                                                                   : fallback;
+}
+
+std::string str_or(const trace::json::Value& obj, std::string_view key,
+                   const std::string& fallback) {
+  const trace::json::Value* v = obj.find(key);
+  return (v != nullptr && v->is(trace::json::Value::Kind::String)) ? v->string
+                                                                   : fallback;
+}
+
+/// Renders one validated snapshot document. Returns false on I/O or
+/// validation failure (the caller decides whether that is fatal).
+bool render(const std::string& path, std::ostream& os) {
+  const std::string text = slurp(path);
+  if (text.empty()) {
+    std::cerr << "hsi-top: cannot read " << path << " (missing or empty)\n";
+    return false;
+  }
+  std::string error;
+  if (!trace::json::validate_snapshot_json(text, &error)) {
+    std::cerr << "hsi-top: " << path << " failed validation: " << error
+              << "\n";
+    return false;
+  }
+  const auto doc = trace::json::parse(text);
+  const std::string name = str_or(*doc, "name", "?");
+  const double sequence = num_or(*doc, "sequence", 0);
+  const double uptime_ms = num_or(*doc, "uptime_ms", 0);
+
+  char header[160];
+  std::snprintf(header, sizeof header, "%s  export #%lld  uptime %.1f s",
+                name.c_str(), static_cast<long long>(sequence),
+                uptime_ms / 1e3);
+  os << header << "\n";
+
+  const trace::json::Value* metrics = doc->find("metrics");
+  if (metrics != nullptr && !metrics->array.empty()) {
+    util::Table table({"Metric", "Value"});
+    for (const auto& row : metrics->array) {
+      table.add_row({str_or(row, "name", "?"),
+                     fmt_num(num_or(row, "value", 0))});
+    }
+    os << "\n";
+    table.print(os, "counters / gauges");
+  }
+
+  const trace::json::Value* hists = doc->find("histograms");
+  if (hists != nullptr && !hists->array.empty()) {
+    util::Table table({"Histogram", "Count", "Mean", "p50", "p90", "p95",
+                       "p99", "Max"});
+    for (const auto& row : hists->array) {
+      table.add_row({str_or(row, "name", "?"),
+                     fmt_num(num_or(row, "count", 0)),
+                     fmt_ms(num_or(row, "mean_ms", 0)),
+                     fmt_ms(num_or(row, "p50_ms", 0)),
+                     fmt_ms(num_or(row, "p90_ms", 0)),
+                     fmt_ms(num_or(row, "p95_ms", 0)),
+                     fmt_ms(num_or(row, "p99_ms", 0)),
+                     fmt_ms(num_or(row, "max_ms", 0))});
+    }
+    os << "\n";
+    table.print(os, "latency histograms");
+  }
+  if ((metrics == nullptr || metrics->array.empty()) &&
+      (hists == nullptr || hists->array.empty())) {
+    os << "\n(registry empty -- no counters, gauges or histograms yet)\n";
+  }
+  return true;
+}
+
+int run(int argc, char** argv) {
+  util::Cli cli;
+  cli.add_flag("watch", "refresh continuously instead of rendering once");
+  cli.add_flag("period", "refresh interval in seconds (with --watch)", "1");
+  cli.add_flag("iterations",
+               "number of --watch frames before exiting (0 = forever)", "0");
+  if (!cli.parse(argc, argv)) return 1;
+  if (cli.positional().size() != 1) {
+    std::cerr << "hsi-top: pass exactly one snapshot file "
+                 "(see hsi-served --snapshot)\n";
+    cli.print_usage("hsi-top");
+    return 1;
+  }
+  const std::string path = cli.positional()[0];
+  const bool watch = cli.get_bool("watch", false);
+  const double period = cli.get_double("period", 1);
+  const std::int64_t iterations = cli.get_int("iterations", 0);
+  if (period <= 0) {
+    std::cerr << "hsi-top: --period must be > 0\n";
+    return 1;
+  }
+  if (iterations < 0) {
+    std::cerr << "hsi-top: --iterations must be >= 0\n";
+    return 1;
+  }
+
+  if (!watch) return render(path, std::cout) ? 0 : 1;
+
+  // Watch mode tolerates a transiently missing file (the exporter may not
+  // have produced its first snapshot yet); only a never-valid file over
+  // every frame of a bounded watch is an error.
+  bool any_ok = false;
+  for (std::int64_t frame = 0; iterations == 0 || frame < iterations;
+       ++frame) {
+    if (frame > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(period));
+    }
+    std::cout << "\x1b[2J\x1b[H";  // clear screen, home cursor
+    any_ok = render(path, std::cout) || any_ok;
+    std::cout.flush();
+  }
+  return any_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "hsi-top: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,43 @@
+# ctest smoke stage for the telemetry spine: a fault-injected hsi-served
+# run must produce per-job timelines, a registry snapshot, and a
+# flight-recorder dump for the failed job (hsi-served strict-validates
+# each document itself), and hsi-top must render the snapshot.
+file(MAKE_DIRECTORY ${WORKDIR})
+execute_process(
+  COMMAND ${SERVED} --requests ${REQUESTS} --workers 2 --max-bytes 32000000
+          --fault unmix --retry-backoff-ms 1
+          --timelines ${WORKDIR}/timelines
+          --snapshot ${WORKDIR}/snapshot.json --snapshot-period 0.02
+          --flight-dir ${WORKDIR}/flight
+          --report ${WORKDIR}/report.json
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "hsi-served telemetry smoke failed (rc=${rc}):\n${out}\n${err}")
+endif()
+# The faulted job (name contains "unmix") exhausts its retries -> Failed
+# -> exactly this flight dump must exist; hsi-served already validated it.
+file(GLOB flight_dumps ${WORKDIR}/flight/flight_job*.json)
+if(flight_dumps STREQUAL "")
+  message(FATAL_ERROR "no flight dump produced for the faulted job:\n${out}")
+endif()
+file(GLOB timelines ${WORKDIR}/timelines/timeline_job*.json)
+list(LENGTH timelines timeline_count)
+if(timeline_count LESS 6)
+  message(FATAL_ERROR "expected a timeline per job, got ${timeline_count}")
+endif()
+if(NOT EXISTS ${WORKDIR}/snapshot.json)
+  message(FATAL_ERROR "snapshot.json was not exported")
+endif()
+execute_process(
+  COMMAND ${TOP} ${WORKDIR}/snapshot.json
+  RESULT_VARIABLE top_rc
+  OUTPUT_VARIABLE top_out
+  ERROR_VARIABLE top_err)
+if(NOT top_rc EQUAL 0)
+  message(FATAL_ERROR "hsi-top failed (rc=${top_rc}):\n${top_out}\n${top_err}")
+endif()
+if(NOT top_out MATCHES "export #")
+  message(FATAL_ERROR "hsi-top output missing header:\n${top_out}")
+endif()
