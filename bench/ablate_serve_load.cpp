@@ -16,14 +16,33 @@
 // log-linear bucket width -- both sets land in BENCH_serve.json. In an
 // HS_TRACE=OFF build the histogram side is empty and the check is
 // skipped (hist_available = 0).
+//
+// Two final rows measure the same serving layer *over the wire*: an
+// hs::net::NetServer on a loopback ephemeral port, driven by real TCP
+// clients (net::Client, one thread each). `wire_sustained` keeps one
+// request in flight per client (closed loop, inside admission capacity);
+// `wire_overload_6x` bursts ~6x the queue depth at once, so admission
+// control must shed. Both report send->terminal-frame latency
+// percentiles (p50/p95/p99) and pin the degradation contract: every
+// request gets exactly one terminal response (shed jobs arrive as
+// 429-style reject frames with a positive retry_after_ms hint, never a
+// silent drop), and a high-priority probe submitted through the socket
+// must hash identically to the in-process probe above.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <iostream>
+#include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "net/client.hpp"
+#include "net/net_server.hpp"
+#include "net/protocol.hpp"
 #include "serve/server.hpp"
 #include "trace/histogram.hpp"
 #include "trace/trace.hpp"
@@ -53,6 +72,96 @@ double rank_percentile(std::vector<double> v, double q) {
   const auto target = static_cast<std::size_t>(
       std::max(1.0, std::ceil(q * static_cast<double>(v.size()))));
   return v[std::min(target, v.size()) - 1];
+}
+
+/// What one wire client saw. `protocol_errors` covers anything that is
+/// not a clean request/terminal-response exchange: connect or read
+/// failures, unparseable frames, terminals for ids we never sent --
+/// any nonzero value falsifies the no-silent-drops claim for the phase.
+struct WireOutcome {
+  int sent = 0;
+  int done = 0;
+  int rejected = 0;
+  int other_terminal = 0;
+  int protocol_errors = 0;
+  bool rejects_well_formed = true;  ///< every reject: code 429, hint > 0
+  double min_retry_after_ms = 0;
+  std::vector<double> latencies_ms;  ///< send -> terminal frame, Done jobs
+  std::string probe_hash_hex;        ///< set when a "probe" result lands
+  bool probe_done = false;
+};
+
+/// Drives one TCP connection. `lines` are pre-built request frames whose
+/// "id" keys are 1..lines.size() in order. Closed mode keeps exactly one
+/// request outstanding (clean per-request latency); burst mode sends
+/// everything back-to-back before reading (open arrival -- this is what
+/// overloads admission control), then collects every terminal.
+void run_wire_client(int port, const std::vector<std::string>& lines,
+                     bool burst, WireOutcome& out) {
+  using Clock = std::chrono::steady_clock;
+  hs::net::Client client;
+  std::string err;
+  if (!client.connect("127.0.0.1", port, &err) ||
+      !client.read_frame(10.0, &err) /* hello */) {
+    ++out.protocol_errors;
+    return;
+  }
+  std::map<std::uint64_t, Clock::time_point> pending;
+  // Reads frames until one terminal is consumed; false on any breakage.
+  auto pump = [&]() -> bool {
+    while (true) {
+      const auto frame = client.read_frame(60.0, &err);
+      if (!frame) return false;
+      const auto resp = hs::net::parse_response_frame(*frame, &err);
+      if (!resp) return false;
+      if (!resp->terminal()) continue;  // progress / non-fatal error
+      const auto it =
+          resp->has_client_id ? pending.find(resp->client_id) : pending.end();
+      if (it == pending.end()) return false;  // terminal we never asked for
+      const double ms = std::chrono::duration<double, std::milli>(
+                            Clock::now() - it->second)
+                            .count();
+      pending.erase(it);
+      if (resp->type == "reject") {
+        ++out.rejected;
+        if (resp->code != 429 || !(resp->retry_after_ms > 0))
+          out.rejects_well_formed = false;
+        if (out.min_retry_after_ms == 0 ||
+            resp->retry_after_ms < out.min_retry_after_ms)
+          out.min_retry_after_ms = resp->retry_after_ms;
+      } else if (resp->state == "done") {
+        ++out.done;
+        out.latencies_ms.push_back(ms);
+        if (resp->name == "probe") {
+          out.probe_hash_hex = resp->output_hash;
+          out.probe_done = true;
+        }
+      } else {
+        ++out.other_terminal;
+      }
+      return true;
+    }
+  };
+  std::uint64_t id = 0;
+  for (const auto& line : lines) {
+    ++id;
+    if (!client.send_line(line, &err)) {
+      out.protocol_errors += static_cast<int>(pending.size()) + 1;
+      return;
+    }
+    pending[id] = Clock::now();
+    ++out.sent;
+    if (!burst && !pump()) {
+      out.protocol_errors += static_cast<int>(pending.size());
+      return;
+    }
+  }
+  while (!pending.empty()) {
+    if (!pump()) {
+      out.protocol_errors += static_cast<int>(pending.size());
+      return;
+    }
+  }
 }
 
 }  // namespace
@@ -184,9 +293,151 @@ int main(int argc, char** argv) {
       if (!level_ok) hist_consistent = false;
     }
   }
+  // --- Over-the-wire phases: the same Server behind a TCP front door. ---
+
+  // Request frames mirroring job_for(i) / the probe through the
+  // serve/request.hpp schema (Priority 0/1/2 == low/normal/high).
+  auto wire_request = [&](int i, std::uint64_t id) {
+    static const char* kKinds[] = {"classify", "morphology", "unmix"};
+    static const char* kPriorities[] = {"low", "normal", "high"};
+    return "{\"id\":" + std::to_string(id) + ",\"name\":\"wire-" +
+           std::to_string(i) + "\",\"kind\":\"" + kKinds[i % 3] +
+           "\",\"priority\":\"" + kPriorities[i % 3] +
+           "\",\"size\":" + std::to_string(size) +
+           ",\"bands\":" + std::to_string(bands) +
+           ",\"seed\":" + std::to_string(40 + i % 5) + ",\"endmembers\":3}";
+  };
+  const std::string probe_line =
+      "{\"id\":1,\"name\":\"probe\",\"kind\":\"morphology\","
+      "\"priority\":\"high\",\"size\":" +
+      std::to_string(size) + ",\"bands\":" + std::to_string(bands) +
+      ",\"seed\":41,\"endmembers\":3}";
+  char expected_hex[32];
+  std::snprintf(expected_hex, sizeof(expected_hex), "%llx",
+                static_cast<unsigned long long>(probe_hash));
+
+  bool wire_no_silent_drops = true;
+  bool wire_rejects_ok = true;
+  bool wire_witness_ok = true;
+  bool wire_overload_shed = true;
+
+  auto wire_phase = [&](const std::string& row, const char* label, bool burst,
+                        int clients, int per_client, bool expect_shed) {
+    serve::ServerOptions options;
+    options.workers = workers;
+    options.admission.max_queue_depth = queue_depth;
+    options.keep_payloads = false;
+    serve::Server server(options);
+    net::NetServerOptions net_options;
+    net_options.port = 0;  // ephemeral loopback
+    // Flow control must not mask admission control: with the per-conn
+    // in-flight cap far above the burst size, every frame reaches
+    // Server::submit and the admission queue itself does the shedding.
+    net_options.max_inflight_per_conn = 4096;
+    net::NetServer front(server, net_options);
+    front.start();
+
+    // Witness first, on its own connection while the box is quiet: the
+    // probe's over-the-wire hash must equal the in-process probe's.
+    WireOutcome probe_out;
+    run_wire_client(front.port(), {probe_line}, /*burst=*/false, probe_out);
+    const bool witness_ok = probe_out.probe_done && probe_out.probe_hash_hex ==
+                                                       std::string(expected_hex);
+    if (!witness_ok) wire_witness_ok = false;
+
+    std::vector<WireOutcome> outcomes(static_cast<std::size_t>(clients));
+    std::vector<std::thread> threads;
+    util::Timer timer;
+    for (int c = 0; c < clients; ++c) {
+      std::vector<std::string> lines;
+      lines.reserve(static_cast<std::size_t>(per_client));
+      for (int k = 0; k < per_client; ++k)
+        lines.push_back(wire_request(c * per_client + k,
+                                     static_cast<std::uint64_t>(k + 1)));
+      threads.emplace_back(
+          [&outcomes, c, port = front.port(), burst,
+           lines = std::move(lines)] {
+            run_wire_client(port, lines, burst,
+                            outcomes[static_cast<std::size_t>(c)]);
+          });
+    }
+    for (auto& t : threads) t.join();
+    const double wall = timer.seconds();
+    front.stop(/*drain=*/true);
+    server.shutdown(/*drain=*/true);
+
+    WireOutcome total;
+    std::vector<double> latencies;
+    for (const auto& out : outcomes) {
+      total.sent += out.sent;
+      total.done += out.done;
+      total.rejected += out.rejected;
+      total.other_terminal += out.other_terminal;
+      total.protocol_errors += out.protocol_errors;
+      if (!out.rejects_well_formed) total.rejects_well_formed = false;
+      if (out.min_retry_after_ms > 0 &&
+          (total.min_retry_after_ms == 0 ||
+           out.min_retry_after_ms < total.min_retry_after_ms))
+        total.min_retry_after_ms = out.min_retry_after_ms;
+      latencies.insert(latencies.end(), out.latencies_ms.begin(),
+                       out.latencies_ms.end());
+    }
+    const int expected = clients * per_client;
+    const bool accounted =
+        total.protocol_errors == 0 && total.sent == expected &&
+        total.done + total.rejected + total.other_terminal == total.sent;
+    if (!accounted) wire_no_silent_drops = false;
+    if (!total.rejects_well_formed) wire_rejects_ok = false;
+    if (expect_shed && total.rejected == 0) wire_overload_shed = false;
+
+    const double throughput = wall > 0 ? total.done / wall : 0;
+    const double p50 = percentile(latencies, 0.50);
+    const double p95 = percentile(latencies, 0.95);
+    const double p99 = percentile(latencies, 0.99);
+    table.add_row({label, std::to_string(total.done),
+                   std::to_string(total.rejected),
+                   util::Table::num(throughput, 1), util::Table::num(p50, 2),
+                   util::Table::num(p95, 2),
+                   witness_ok ? "stable" : "DRIFTED"});
+    json.add(row, "clients", static_cast<double>(clients));
+    json.add(row, "sent", static_cast<double>(total.sent));
+    json.add(row, "done", static_cast<double>(total.done));
+    json.add(row, "rejected", static_cast<double>(total.rejected));
+    json.add(row, "other_terminal", static_cast<double>(total.other_terminal));
+    json.add(row, "wall_s", wall);
+    json.add(row, "jobs_per_s", throughput);
+    json.add(row, "wire_p50_ms", p50);
+    json.add(row, "wire_p95_ms", p95);
+    json.add(row, "wire_p99_ms", p99);
+    json.add(row, "no_silent_drops", accounted ? 1.0 : 0.0);
+    json.add(row, "rejects_well_formed",
+             total.rejects_well_formed ? 1.0 : 0.0);
+    json.add(row, "min_retry_after_ms", total.min_retry_after_ms);
+    json.add(row, "probe_hash_match", witness_ok ? 1.0 : 0.0);
+  };
+
+  // Sustained: one request in flight per client, well inside the queue --
+  // steady-state wire latency with shedding expected to stay at zero.
+  wire_phase("wire_sustained", "wire-sust", /*burst=*/false, /*clients=*/4,
+             /*per_client=*/12, /*expect_shed=*/false);
+  // 6x overload: every client fires its whole batch at once, ~6x the
+  // admission queue depth in aggregate. Degradation must be visible as
+  // 429 reject frames (one terminal per request), never a hang or drop.
+  const int overload_total =
+      6 * static_cast<int>(std::max<std::size_t>(queue_depth, 2));
+  wire_phase("wire_overload_6x", "wire-6x", /*burst=*/true, /*clients=*/4,
+             /*per_client=*/(overload_total + 3) / 4, /*expect_shed=*/true);
+
   json.add("summary", "probe_hash_stable_all", probe_stable ? 1.0 : 0.0);
   json.add("summary", "hist_percentiles_consistent",
            hist_consistent ? 1.0 : 0.0);
+  json.add("summary", "wire_no_silent_drops",
+           wire_no_silent_drops ? 1.0 : 0.0);
+  json.add("summary", "wire_rejects_well_formed", wire_rejects_ok ? 1.0 : 0.0);
+  json.add("summary", "wire_overload_shed_observed",
+           wire_overload_shed ? 1.0 : 0.0);
+  json.add("summary", "wire_witness_matches_inprocess",
+           wire_witness_ok ? 1.0 : 0.0);
 
   table.print(std::cout, "Ablation: serve load (" + std::to_string(size) + "x" +
                              std::to_string(size) + "x" +
@@ -200,6 +451,26 @@ int main(int argc, char** argv) {
   if (!hist_consistent) {
     std::cerr << "histogram percentiles disagree with exact percentiles "
                  "beyond one bucket width\n";
+    return 1;
+  }
+  if (!wire_no_silent_drops) {
+    std::cerr << "over-the-wire accounting broke: some request did not get "
+                 "exactly one terminal response\n";
+    return 1;
+  }
+  if (!wire_rejects_ok) {
+    std::cerr << "a shed job's reject frame was malformed (code != 429 or "
+                 "retry_after_ms <= 0)\n";
+    return 1;
+  }
+  if (!wire_overload_shed) {
+    std::cerr << "6x overload burst produced zero rejections -- admission "
+                 "control never engaged over the wire\n";
+    return 1;
+  }
+  if (!wire_witness_ok) {
+    std::cerr << "over-the-wire probe hash differs from the in-process "
+                 "probe hash\n";
     return 1;
   }
   json.write(json_path);

@@ -1,0 +1,128 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace hs::net {
+
+namespace {
+
+void set_error(std::string* error, const std::string& text) {
+  if (error) *error = text;
+}
+
+}  // namespace
+
+bool Client::connect(const std::string& host, int port, std::string* error) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    set_error(error, std::string("socket: ") + std::strerror(errno));
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    set_error(error, "bad address: " + host);
+    close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    set_error(error, std::string("connect: ") + std::strerror(errno));
+    close();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+bool Client::send_line(std::string_view line, std::string* error) {
+  if (fd_ < 0) {
+    set_error(error, "not connected");
+    return false;
+  }
+  std::string frame(line);
+  if (frame.empty() || frame.back() != '\n') frame += '\n';
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    set_error(error, std::string("send: ") + std::strerror(errno));
+    close();
+    return false;
+  }
+  return true;
+}
+
+void Client::shutdown_writes() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+std::optional<std::string> Client::read_frame(double timeout_seconds,
+                                              std::string* error) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  for (;;) {
+    while (auto ev = reader_.next()) {
+      if (ev->kind == FrameEvent::Kind::Frame) return ev->text;
+      set_error(error, ev->kind == FrameEvent::Kind::Oversized
+                           ? "oversized frame from server"
+                           : "truncated frame from server");
+      return std::nullopt;
+    }
+    if (fd_ < 0) {
+      set_error(error, "eof");
+      return std::nullopt;
+    }
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      set_error(error, "timeout");
+      return std::nullopt;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) {
+      set_error(error, rc == 0 ? "timeout"
+                               : std::string("poll: ") + std::strerror(errno));
+      return std::nullopt;
+    }
+    char buf[16384];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      reader_.feed(buf, static_cast<std::size_t>(n));
+    } else if (n == 0) {
+      reader_.finish();
+      close();  // loop once more: a final buffered frame may remain
+    } else if (errno != EINTR) {
+      set_error(error, std::string("recv: ") + std::strerror(errno));
+      close();
+      return std::nullopt;
+    }
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace hs::net

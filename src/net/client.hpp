@@ -1,0 +1,61 @@
+// Minimal blocking TCP client for the hs.net.v1 front door.
+//
+// One connection, one thread: connect(), send_line() raw request frames,
+// read_frame() responses one at a time through an internal FrameReader
+// (handles partial reads and coalesced frames transparently). This is the
+// client half used by tests, hsi-loadgen's worker threads (one Client per
+// concurrent client), and the loopback e2e smoke -- it is intentionally
+// not an async mirror of the server.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/frame.hpp"
+
+namespace hs::net {
+
+class Client {
+ public:
+  Client() : reader_(1 << 20) {}
+  ~Client() { close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to host:port (IPv4 dotted quad). False + error text on
+  /// failure; a connected client must be close()d or destroyed.
+  bool connect(const std::string& host, int port, std::string* error = nullptr);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Raw socket (tests use it for setsockopt, e.g. SO_LINGER resets);
+  /// -1 when not connected.
+  int fd() const { return fd_; }
+
+  /// Sends `line` verbatim, appending '\n' unless it already ends with
+  /// one. False on a send error (connection is closed as a side effect).
+  bool send_line(std::string_view line, std::string* error = nullptr);
+
+  /// Half-close: no more requests, but responses still flow. The server
+  /// flushes results for in-flight jobs, then closes.
+  void shutdown_writes();
+
+  /// Blocks until one complete frame arrives (already buffered bytes are
+  /// served without touching the socket). nullopt on timeout, EOF with an
+  /// empty buffer, or a socket error; `error` says which ("timeout",
+  /// "eof", errno text). Oversized/truncated frame events surface as
+  /// errors, not frames.
+  std::optional<std::string> read_frame(double timeout_seconds = 10.0,
+                                        std::string* error = nullptr);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace hs::net

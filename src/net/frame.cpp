@@ -1,0 +1,78 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace hs::net {
+
+void FrameReader::feed(const char* data, std::size_t n) {
+  std::size_t i = 0;
+  while (i < n) {
+    if (skipping_) {
+      // Discard the rest of an oversized line, then resynchronize.
+      const char* nl = static_cast<const char*>(
+          std::memchr(data + i, '\n', n - i));
+      if (!nl) {
+        skipped_ += n - i;
+        return;
+      }
+      skipped_ += static_cast<std::size_t>(nl - (data + i));
+      skipping_ = false;
+      skipped_ = 0;
+      i = static_cast<std::size_t>(nl - data) + 1;
+      continue;
+    }
+    const char* nl =
+        static_cast<const char*>(std::memchr(data + i, '\n', n - i));
+    const std::size_t take =
+        nl ? static_cast<std::size_t>(nl - (data + i)) : n - i;
+    if (partial_.size() + take > max_frame_bytes_) {
+      // Report the overflow once, with the prefix we can still show, and
+      // drop into skip mode until the terminating newline.
+      FrameEvent ev;
+      ev.kind = FrameEvent::Kind::Oversized;
+      ev.bytes = partial_.size() + take;
+      ev.text = std::move(partial_);
+      partial_.clear();
+      events_.push_back(std::move(ev));
+      skipping_ = true;
+      skipped_ = take;
+      if (nl) {
+        skipping_ = false;
+        skipped_ = 0;
+        i = static_cast<std::size_t>(nl - data) + 1;
+      } else {
+        return;
+      }
+      continue;
+    }
+    partial_.append(data + i, take);
+    if (!nl) return;
+    i += take + 1;
+    if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
+    FrameEvent ev;
+    ev.kind = FrameEvent::Kind::Frame;
+    ev.bytes = partial_.size();
+    ev.text = std::move(partial_);
+    partial_.clear();
+    events_.push_back(std::move(ev));
+  }
+}
+
+void FrameReader::finish() {
+  if (partial_.empty()) return;
+  FrameEvent ev;
+  ev.kind = FrameEvent::Kind::Truncated;
+  ev.bytes = partial_.size();
+  ev.text = std::move(partial_);
+  partial_.clear();
+  events_.push_back(std::move(ev));
+}
+
+std::optional<FrameEvent> FrameReader::next() {
+  if (events_.empty()) return std::nullopt;
+  FrameEvent ev = std::move(events_.front());
+  events_.pop_front();
+  return ev;
+}
+
+}  // namespace hs::net

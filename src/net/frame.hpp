@@ -1,0 +1,69 @@
+// Incremental frame splitting for the TCP front door (`hs::net`).
+//
+// The wire protocol is newline-delimited JSON ("JSON lines over a
+// socket"): one request or response document per frame, terminated by
+// '\n' (a trailing '\r' is stripped, so telnet/CRLF clients work). A
+// FrameReader turns an arbitrary sequence of read() chunks -- bytes may
+// arrive one at a time, or many frames may land in one chunk -- into
+// complete frames, without ever buffering more than `max_frame_bytes` of
+// an unterminated line.
+//
+// Degradation contract: a frame that exceeds the limit yields exactly one
+// Oversized event (carrying the byte count seen so far) and the reader
+// then discards bytes until the next '\n', after which it resynchronizes
+// and subsequent frames parse normally. finish() reports a trailing
+// unterminated fragment (an abrupt mid-frame disconnect) as one Truncated
+// event. The reader itself never throws and never grows unboundedly; what
+// to do with a bad frame (error response, close, counter) is the
+// connection state machine's decision.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hs::net {
+
+struct FrameEvent {
+  enum class Kind {
+    Frame,      ///< a complete line; `text` is the frame without '\n'/'\r'
+    Oversized,  ///< line exceeded max_frame_bytes; reader is resyncing
+    Truncated,  ///< finish() found a non-empty unterminated fragment
+  };
+  Kind kind = Kind::Frame;
+  std::string text;         ///< frame payload (Frame) or partial prefix
+  std::size_t bytes = 0;    ///< bytes consumed by this event so far
+};
+
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_frame_bytes)
+      : max_frame_bytes_(max_frame_bytes == 0 ? 1 : max_frame_bytes) {}
+
+  /// Appends raw socket bytes; completed events queue up for next().
+  void feed(const char* data, std::size_t n);
+  void feed(std::string_view data) { feed(data.data(), data.size()); }
+
+  /// Signals end-of-stream: a non-empty partial line becomes a Truncated
+  /// event (an already-oversized tail was reported when it overflowed).
+  void finish();
+
+  /// Pops the next queued event in arrival order.
+  std::optional<FrameEvent> next();
+
+  /// Bytes of the current unterminated line held in the buffer.
+  std::size_t pending_bytes() const { return partial_.size(); }
+
+  std::size_t max_frame_bytes() const { return max_frame_bytes_; }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string partial_;
+  bool skipping_ = false;  ///< discarding an oversized line until '\n'
+  std::size_t skipped_ = 0;
+  std::deque<FrameEvent> events_;
+};
+
+}  // namespace hs::net

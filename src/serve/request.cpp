@@ -32,52 +32,55 @@ bool get_int_field(const Value& v, const std::string& key, long long lo,
   return true;
 }
 
-}  // namespace
-
-std::optional<JobSpec> parse_request_line(std::string_view line,
-                                          std::string* error) {
+/// Shared parser behind the file-mode and frame-mode entry points. When
+/// `out_client` is non-null the `"id"` key is accepted and captured there;
+/// otherwise it is an unknown key like any other.
+bool parse_request_impl(std::string_view line, std::string* error,
+                        JobSpec* out_spec, ParsedRequest* out_client) {
   std::string parse_error;
   const auto doc = trace::json::parse(line, &parse_error);
   if (!doc) {
-    set_error(error, "invalid JSON: " + parse_error);
-    return std::nullopt;
+    return set_error(error, "invalid JSON: " + parse_error);
   }
   if (!doc->is(Value::Kind::Object)) {
-    set_error(error, "request must be a JSON object");
-    return std::nullopt;
+    return set_error(error, "request must be a JSON object");
   }
 
   JobSpec spec;
   bool have_kind = false;
   for (const auto& [key, value] : doc->object) {
     long long n = 0;
-    if (key == "name") {
+    if (out_client && key == "id") {
+      if (!get_int_field(value, key, 0, (1ll << 62), &n, error)) return false;
+      out_client->client_id = static_cast<std::uint64_t>(n);
+      out_client->has_client_id = true;
+    } else if (key == "name") {
       if (!value.is(Value::Kind::String)) {
         set_error(error, "'name' must be a string");
-        return std::nullopt;
+        return false;
       }
       spec.name = value.string;
     } else if (key == "kind") {
       if (!value.is(Value::Kind::String)) {
         set_error(error, "'kind' must be a string");
-        return std::nullopt;
+        return false;
       }
       const auto kind = parse_job_kind(value.string);
       if (!kind) {
         set_error(error, "unknown kind '" + value.string + "'");
-        return std::nullopt;
+        return false;
       }
       spec.kind = *kind;
       have_kind = true;
     } else if (key == "priority") {
       if (!value.is(Value::Kind::String)) {
         set_error(error, "'priority' must be a string");
-        return std::nullopt;
+        return false;
       }
       const auto priority = parse_priority(value.string);
       if (!priority) {
         set_error(error, "unknown priority '" + value.string + "'");
-        return std::nullopt;
+        return false;
       }
       spec.priority = *priority;
     } else if (key == "deadline_ms") {
@@ -87,69 +90,101 @@ std::optional<JobSpec> parse_request_line(std::string_view line,
       if (!value.is(Value::Kind::Number) || !std::isfinite(value.number) ||
           value.number < 0) {
         set_error(error, "'deadline_ms' must be a finite non-negative number");
-        return std::nullopt;
+        return false;
       }
       spec.deadline_seconds = value.number / 1000.0;
     } else if (key == "retries") {
-      if (!get_int_field(value, key, 0, 1000, &n, error)) return std::nullopt;
+      if (!get_int_field(value, key, 0, 1000, &n, error)) return false;
       spec.max_retries = static_cast<int>(n);
     } else if (key == "envi") {
       if (!value.is(Value::Kind::String)) {
         set_error(error, "'envi' must be a string");
-        return std::nullopt;
+        return false;
       }
       spec.scene.envi_path = value.string;
     } else if (key == "size") {
-      if (!get_int_field(value, key, 1, 1 << 20, &n, error)) return std::nullopt;
+      if (!get_int_field(value, key, 1, 1 << 20, &n, error)) return false;
       spec.scene.width = static_cast<int>(n);
       spec.scene.height = static_cast<int>(n);
     } else if (key == "width") {
-      if (!get_int_field(value, key, 1, 1 << 20, &n, error)) return std::nullopt;
+      if (!get_int_field(value, key, 1, 1 << 20, &n, error)) return false;
       spec.scene.width = static_cast<int>(n);
     } else if (key == "height") {
-      if (!get_int_field(value, key, 1, 1 << 20, &n, error)) return std::nullopt;
+      if (!get_int_field(value, key, 1, 1 << 20, &n, error)) return false;
       spec.scene.height = static_cast<int>(n);
     } else if (key == "bands") {
-      if (!get_int_field(value, key, 1, 1 << 16, &n, error)) return std::nullopt;
+      if (!get_int_field(value, key, 1, 1 << 16, &n, error)) return false;
       spec.scene.bands = static_cast<int>(n);
     } else if (key == "seed") {
       if (!get_int_field(value, key, 0, (1ll << 62), &n, error)) {
-        return std::nullopt;
+        return false;
       }
       spec.scene.seed = static_cast<std::uint64_t>(n);
     } else if (key == "se") {
-      if (!get_int_field(value, key, 0, 64, &n, error)) return std::nullopt;
+      if (!get_int_field(value, key, 0, 64, &n, error)) return false;
       spec.se_radius = static_cast<int>(n);
     } else if (key == "endmembers") {
-      if (!get_int_field(value, key, 1, 256, &n, error)) return std::nullopt;
+      if (!get_int_field(value, key, 1, 256, &n, error)) return false;
       spec.endmembers = static_cast<int>(n);
     } else if (key == "workers") {
-      if (!get_int_field(value, key, 0, 4096, &n, error)) return std::nullopt;
+      if (!get_int_field(value, key, 0, 4096, &n, error)) return false;
       spec.workers = static_cast<std::size_t>(n);
     } else if (key == "chunk_texel_budget") {
       if (!get_int_field(value, key, 0, (1ll << 62), &n, error)) {
-        return std::nullopt;
+        return false;
       }
       spec.chunk_texel_budget = static_cast<std::uint64_t>(n);
     } else if (key == "half") {
       if (!value.is(Value::Kind::Bool)) {
         set_error(error, "'half' must be a boolean");
-        return std::nullopt;
+        return false;
       }
       spec.half_precision = value.boolean;
     } else {
       set_error(error, "unknown key '" + key + "'");
-      return std::nullopt;
+      return false;
     }
   }
   if (!have_kind) {
-    set_error(error, "missing required key 'kind'");
+    return set_error(error, "missing required key 'kind'");
+  }
+  *out_spec = std::move(spec);
+  return true;
+}
+
+/// Prefixes an already-set error message with its source label, so "conn 3"
+/// or "requests.jsonl:7" diagnostics read the same everywhere.
+void label_error(std::string* error, std::string_view source) {
+  if (error && !source.empty()) {
+    *error = std::string(source) + ": " + *error;
+  }
+}
+
+}  // namespace
+
+std::optional<JobSpec> parse_request_line(std::string_view line,
+                                          std::string* error,
+                                          std::string_view source) {
+  JobSpec spec;
+  if (!parse_request_impl(line, error, &spec, nullptr)) {
+    label_error(error, source);
     return std::nullopt;
   }
   return spec;
 }
 
-RequestBatch read_requests(std::istream& in) {
+std::optional<ParsedRequest> parse_request_frame(std::string_view line,
+                                                 std::string* error,
+                                                 std::string_view source) {
+  ParsedRequest req;
+  if (!parse_request_impl(line, error, &req.spec, &req)) {
+    label_error(error, source);
+    return std::nullopt;
+  }
+  return req;
+}
+
+RequestBatch read_requests(std::istream& in, std::string_view source) {
   RequestBatch batch;
   std::string line;
   int line_no = 0;
@@ -158,7 +193,10 @@ RequestBatch read_requests(std::istream& in) {
     const auto first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos || line[first] == '#') continue;
     std::string error;
-    if (auto spec = parse_request_line(line, &error)) {
+    const std::string line_source =
+        source.empty() ? std::string()
+                       : std::string(source) + ":" + std::to_string(line_no);
+    if (auto spec = parse_request_line(line, &error, line_source)) {
       batch.jobs.push_back(std::move(*spec));
     } else {
       batch.errors.emplace_back(line_no, error);
@@ -170,7 +208,7 @@ RequestBatch read_requests(std::istream& in) {
 RequestBatch read_request_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open request file: " + path);
-  return read_requests(in);
+  return read_requests(in, path);
 }
 
 }  // namespace hs::serve

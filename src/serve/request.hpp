@@ -31,20 +31,47 @@ namespace hs::serve {
 
 /// Parses one JSON request line into a JobSpec. Returns nullopt and sets
 /// `error` (when non-null) on malformed JSON, unknown keys, or bad values.
+/// `source` labels the request's origin in the error message ("conn 3",
+/// "requests.jsonl:7", ...) so batch-file and socket diagnostics both name
+/// where the bad line came from; empty leaves the message bare.
 std::optional<JobSpec> parse_request_line(std::string_view line,
-                                          std::string* error = nullptr);
+                                          std::string* error = nullptr,
+                                          std::string_view source = {});
+
+/// A request parsed from a socket frame: the job plus the client's own
+/// request id (the `"id"` key, echoed back on every response so a client
+/// with many in-flight jobs can match results to requests). The id is a
+/// wire-protocol concern only -- it never reaches the JobSpec, the
+/// fingerprint, or the server.
+struct ParsedRequest {
+  JobSpec spec;
+  std::uint64_t client_id = 0;
+  bool has_client_id = false;
+};
+
+/// Frame-mode parser: the file schema plus the optional `"id"` key (a
+/// non-negative integer). File mode keeps rejecting `"id"` -- there is no
+/// response channel for it to name.
+std::optional<ParsedRequest> parse_request_frame(std::string_view line,
+                                                 std::string* error = nullptr,
+                                                 std::string_view source = {});
 
 struct RequestBatch {
   std::vector<JobSpec> jobs;
-  /// (1-based line number, message) for every rejected line.
+  /// (1-based line number, message) for every rejected line. When the
+  /// stream was read with a source name the message is already labeled
+  /// "<source>:<line>: ...".
   std::vector<std::pair<int, std::string>> errors;
 };
 
 /// Reads a JSON-lines stream: blank lines and lines starting with '#' are
-/// skipped; each remaining line must parse as a request.
-RequestBatch read_requests(std::istream& in);
+/// skipped; each remaining line must parse as a request. A non-empty
+/// `source` (typically the file path) labels each error with
+/// "<source>:<line>".
+RequestBatch read_requests(std::istream& in, std::string_view source = {});
 
 /// File wrapper; throws std::runtime_error when the file cannot be opened.
+/// Errors come back labeled with "<path>:<line>".
 RequestBatch read_request_file(const std::string& path);
 
 }  // namespace hs::serve

@@ -141,6 +141,21 @@ void Server::finalize_locked(Record& rec, JobState state,
   state_counter(state).increment();
   update_gauges_locked();
   done_cv_.notify_all();
+  // Front-door hook: fires under mu_ so a terminal state is observed
+  // exactly once, in finalization order. The callback contract (cheap, no
+  // re-entry) is documented on ServerOptions::on_terminal.
+  if (options_.on_terminal) options_.on_terminal(rec.result);
+}
+
+void Server::set_on_terminal(std::function<void(const JobResult&)> hook) {
+  std::unique_lock<std::mutex> lk(mu_);
+  options_.on_terminal = std::move(hook);
+}
+
+void Server::set_on_progress(
+    std::function<void(std::uint64_t id, std::uint64_t checks)> hook) {
+  std::unique_lock<std::mutex> lk(mu_);
+  options_.on_progress = std::move(hook);
 }
 
 Server::Submitted Server::submit(const JobSpec& spec) {
@@ -350,11 +365,13 @@ void Server::worker_loop() {
     const bool has_deadline = rec.has_deadline;
     const auto deadline_tp = rec.deadline_tp;
     const auto submit_tp = rec.submit_tp;
+    // Copied under mu_: set_on_progress may swap the hook while we run.
+    const auto progress = options_.on_progress;
     JobResult outcome;
     lk.unlock();
 
     run_job(id, spec, cancel_flag, has_deadline, deadline_tp, submit_tp,
-            outcome);
+            progress, outcome);
 
     lk.lock();
     Record& done = records_.at(id);
@@ -425,12 +442,13 @@ std::shared_ptr<const hsi::HyperCube> Server::load_scene(
       hsi::generate_indian_pines_scene(cfg).cube);
 }
 
-void Server::run_job(std::uint64_t id, const JobSpec& spec,
-                     const std::shared_ptr<std::atomic<bool>>& cancel_flag,
-                     bool has_deadline,
-                     std::chrono::steady_clock::time_point deadline_tp,
-                     std::chrono::steady_clock::time_point submit_tp,
-                     JobResult& out) {
+void Server::run_job(
+    std::uint64_t id, const JobSpec& spec,
+    const std::shared_ptr<std::atomic<bool>>& cancel_flag, bool has_deadline,
+    std::chrono::steady_clock::time_point deadline_tp,
+    std::chrono::steady_clock::time_point submit_tp,
+    const std::function<void(std::uint64_t, std::uint64_t)>& progress,
+    JobResult& out) {
   const auto start = std::chrono::steady_clock::now();
   // Everything this worker does for the job -- spans, log lines, flight
   // events -- carries the job id from here on.
@@ -506,8 +524,10 @@ void Server::run_job(std::uint64_t id, const JobSpec& spec,
       opt.chunk_texel_budget = spec.chunk_texel_budget;
       opt.half_precision = spec.half_precision;
       opt.cancel_check = [cancel_flag, has_deadline, deadline_tp,
-                          cancel_checks] {
-        cancel_checks->fetch_add(1, std::memory_order_relaxed);
+                          cancel_checks, &progress, id] {
+        const std::uint64_t checks =
+            cancel_checks->fetch_add(1, std::memory_order_relaxed) + 1;
+        if (progress) progress(id, checks);
         if (cancel_flag->load(std::memory_order_relaxed)) return true;
         return has_deadline &&
                std::chrono::steady_clock::now() >= deadline_tp;

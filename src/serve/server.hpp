@@ -134,6 +134,17 @@ struct ServerOptions {
   /// exec_seconds, lands in the `serve.retry_backoff_s` histogram, and is
   /// cut short by cancellation.
   double retry_backoff_seconds = 0;
+  /// Terminal-state hook for front doors (the TCP listener streams results
+  /// back to clients from it). Invoked exactly once per job, on the thread
+  /// that terminalizes it, with the server's internal lock held: the
+  /// callback must be cheap (copy what it needs, post to a queue) and must
+  /// NOT call back into the Server. Covers every terminal state, including
+  /// jobs rejected synchronously inside submit().
+  std::function<void(const JobResult&)> on_terminal;
+  /// Chunk-boundary progress hook: (job id, cooperative checks so far) on
+  /// every cancellation check while the job runs. Runs on pipeline worker
+  /// threads without the server lock; must be thread-safe and cheap.
+  std::function<void(std::uint64_t id, std::uint64_t checks)> on_progress;
   /// When non-empty: a directory that receives one flight-recorder dump
   /// ("hs.flight.v1", named flight_job<id>.json) whenever a job
   /// terminalizes as Failed or TimedOut -- the last moments of the whole
@@ -188,6 +199,18 @@ class Server {
   std::size_t queue_depth() const;
   std::size_t in_flight() const;
 
+  /// Installs/replaces the terminal and progress hooks after construction
+  /// (a front door is usually built around an existing Server). Call
+  /// before submitting the jobs the hook should observe; jobs already in
+  /// flight may terminalize with either value. Detaching on_terminal
+  /// (nullptr) blocks until any in-progress invocation has returned;
+  /// running jobs keep the on_progress copy they started with, so that
+  /// hook must capture shared-ownership state, never raw pointers the
+  /// caller may free.
+  void set_on_terminal(std::function<void(const JobResult&)> hook);
+  void set_on_progress(
+      std::function<void(std::uint64_t id, std::uint64_t checks)> hook);
+
   /// Per-instance cache statistics (exact even when HS_TRACE is off; the
   /// trace counters under `cache.*` aggregate process-wide).
   cache::CacheStats result_cache_stats() const { return result_cache_.stats(); }
@@ -217,7 +240,9 @@ class Server {
                const std::shared_ptr<std::atomic<bool>>& cancel_flag,
                bool has_deadline,
                std::chrono::steady_clock::time_point deadline_tp,
-               std::chrono::steady_clock::time_point submit_tp, JobResult& out);
+               std::chrono::steady_clock::time_point submit_tp,
+               const std::function<void(std::uint64_t, std::uint64_t)>& progress,
+               JobResult& out);
   /// Terminal bookkeeping; requires mu_ held and a non-terminal record.
   void finalize_locked(Record& rec, JobState state, const std::string& detail);
   /// Writes a flight-recorder dump for a Failed/TimedOut job when

@@ -3,7 +3,9 @@
 # ASan/UBSan-instrumented configuration, a TSan configuration running the
 # concurrency suite (TSan and ASan are mutually exclusive, hence the
 # separate build dir), and a tracing-disabled (HS_TRACE=OFF)
-# configuration; then smoke-test the hsi-profile and hsi-served CLIs.
+# configuration; then smoke-test the hsi-profile and hsi-served CLIs and
+# run the loopback TCP end-to-end smoke (hsi-served --listen driven by
+# hsi-loadgen, witness-checked against file mode).
 #
 # Usage: tools/check.sh [extra ctest args...]
 set -euo pipefail
@@ -93,6 +95,44 @@ smoke_telemetry() {
   rm -rf "$out"
 }
 
+# Loopback end-to-end smoke for the TCP front door. A file-mode run over
+# the deterministic net batch writes the witness report; then hsi-served
+# --listen on an ephemeral port (discovered via --port-file) is driven by
+# hsi-loadgen, which exits nonzero unless every request got exactly one
+# terminal response and every completed job's output hash matches the
+# file-mode report byte for byte. Finally SIGTERM must drain the server
+# to a clean zero exit.
+smoke_net() {
+  local dir="$1"
+  local out
+  out="$(mktemp -d)"
+  "$dir/tools/hsi-served" --requests examples/net_requests.jsonl \
+    --workers 2 --report "$out/file_report.json" > /dev/null
+  "$dir/tools/hsi-served" --listen 0 --port-file "$out/port" --workers 2 \
+    > "$out/served.log" 2>&1 &
+  local served_pid=$!
+  local ok=0
+  for _ in $(seq 1 100); do
+    [ -s "$out/port" ] && break
+    sleep 0.1
+  done
+  if [ -s "$out/port" ] \
+     && "$dir/tools/hsi-loadgen" --port "$(cat "$out/port")" \
+          --requests examples/net_requests.jsonl --clients 3 --count 8 \
+          --expect-report "$out/file_report.json" > "$out/loadgen.log" \
+     && kill -TERM "$served_pid" \
+     && wait "$served_pid"; then
+    ok=1
+  fi
+  if [ "$ok" != 1 ]; then
+    kill "$served_pid" 2>/dev/null || true
+    echo "net smoke failed" >&2
+    cat "$out/served.log" "$out/loadgen.log" >&2 2>/dev/null || true
+    return 1
+  fi
+  rm -rf "$out"
+}
+
 CTEST_ARGS=("$@")
 
 echo "==> Release"
@@ -101,10 +141,15 @@ smoke_profile build-release
 smoke_served build-release
 smoke_cache build-release
 smoke_telemetry build-release
+smoke_net build-release
 
 echo "==> Sanitizers (address,undefined)"
 run_config build-sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DHS_SANITIZE=address,undefined
+# The socket battery again, explicitly by label: an fd or buffer bug in
+# the front door must fail fast under ASan/UBSan even when extra ctest
+# args filtered the net tests out of the run above.
+ctest --test-dir build-sanitize --output-on-failure -L 'net|slow' -j
 
 echo "==> ThreadSanitizer (concurrency suite)"
 # TSan slows execution ~10x, so run the tests that exercise real
@@ -112,13 +157,14 @@ echo "==> ThreadSanitizer (concurrency suite)"
 # the serving-layer suite (worker threads + concurrent clients), the
 # caching layer (LRU eviction under contention, the shared program store,
 # the server result cache), the thread-pool/task-group stress tests, the
-# executor cross-contamination tests, and the multithreaded trace,
-# histogram-shard and flight-recorder-ring tests.
+# executor cross-contamination tests, the multithreaded trace,
+# histogram-shard and flight-recorder-ring tests, and the TCP front door
+# battery (event loop vs serve worker hooks, concurrent socket clients).
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DHS_SANITIZE=thread
 cmake --build build-tsan -j
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'ParallelPipeline|ChunkScheduler|Serve|Cache|ThreadPool|TaskGroup|StreamExecutor|Trace\.|Histogram|FlightRecorder|Timeline' \
+  -R 'ParallelPipeline|ChunkScheduler|Serve|Cache|ThreadPool|TaskGroup|StreamExecutor|Trace\.|Histogram|FlightRecorder|Timeline|Net' \
   -j "${CTEST_ARGS[@]}"
 
 echo "==> Tracing compiled out (HS_TRACE=OFF)"
@@ -127,5 +173,6 @@ smoke_profile build-notrace
 smoke_served build-notrace
 smoke_cache build-notrace
 smoke_telemetry build-notrace
+smoke_net build-notrace
 
 echo "==> All checks passed"

@@ -1,0 +1,489 @@
+// Load-generating TCP client for the hs::net front door (`hsi-loadgen`).
+//
+// Drives `hsi-served --listen` (or any hs.net.v1 listener) with N
+// concurrent persistent connections, each cycling through the request
+// lines of a JSON-lines file. Two arrival disciplines:
+//   * closed (default): each client keeps a fixed window of requests in
+//     flight and sends the next one as a terminal response arrives --
+//     throughput self-limits to what the server sustains;
+//   * open: each client sends on a fixed schedule (--rate req/s per
+//     client) whether or not responses have arrived -- overload stays
+//     overloaded, which is what exercises 429-style shedding.
+//
+// Every request is tagged with a client-side "id" (its send index on that
+// connection); responses are matched back by the echoed id, so
+// out-of-order completion across a window is measured correctly. The tool
+// reports over-the-wire latency percentiles (send -> terminal frame),
+// per-state counts, and 429 reject/retry-after statistics.
+//
+// --expect-report report.json cross-checks witnesses: every Done response
+// name's output_hash must equal the hash the hsi-served file-mode report
+// recorded for that name -- the bit-identical-across-front-doors
+// guarantee, checked over a real socket.
+//
+// Exit status: 0 when every sent request got exactly one terminal
+// response (429 rejects count as responses; silent drops do not) and the
+// witness check, when requested, passed; 1 on usage/connect errors;
+// 2 on protocol violations, missing responses, or witness mismatch.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "trace/json_check.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace hs;
+using Clock = std::chrono::steady_clock;
+
+struct ClientStats {
+  std::vector<double> latencies_ms;  ///< terminal responses, any state
+  std::uint64_t sent = 0;
+  std::uint64_t done = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t other_terminal = 0;  ///< TimedOut / Failed / Cancelled
+  std::uint64_t cached = 0;
+  std::uint64_t progress = 0;
+  std::uint64_t protocol_errors = 0;
+  double retry_after_sum_ms = 0;
+  std::map<std::string, std::set<std::string>> hashes_by_name;  ///< Done only
+  std::string fatal;  ///< first unrecoverable client error
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// Tags a request line with the client-side id: {"x":1} -> {"id":7,"x":1}.
+/// Request lines are JSON objects by schema, so splicing after '{' is safe.
+std::string tag_request(const std::string& line, std::uint64_t id) {
+  const auto brace = line.find('{');
+  if (brace == std::string::npos) return line;
+  std::string out = line;
+  const bool empty_object = line.find('}', brace) == brace + 1;
+  out.insert(brace + 1,
+             "\"id\":" + std::to_string(id) + (empty_object ? "" : ","));
+  return out;
+}
+
+struct Frame {
+  net::Response response;
+  double latency_ms = 0;
+};
+
+/// One client connection's whole run. `mode_open` paces sends by
+/// `interval`; closed mode keeps `window` requests in flight.
+void run_client(const std::string& host, int port,
+                const std::vector<std::string>& lines, std::uint64_t count,
+                bool mode_open, double interval_s, std::uint64_t window,
+                double timeout_s, ClientStats* stats) {
+  net::Client client;
+  std::string error;
+  if (!client.connect(host, port, &error)) {
+    stats->fatal = error;
+    return;
+  }
+  // The server greets with a hello frame; anything else is a violation.
+  const auto hello = client.read_frame(timeout_s, &error);
+  if (!hello) {
+    stats->fatal = "no hello frame: " + error;
+    return;
+  }
+  if (const auto r = net::parse_response_frame(*hello);
+      !r || r->type != "hello") {
+    stats->fatal = "expected hello frame, got: " + *hello;
+    return;
+  }
+
+  std::vector<Clock::time_point> send_tp(count);
+  std::set<std::uint64_t> outstanding;
+  std::uint64_t next = 0;
+  const auto start = Clock::now();
+
+  const auto send_one = [&]() -> bool {
+    const std::string frame = tag_request(lines[next % lines.size()], next);
+    send_tp[next] = Clock::now();
+    if (!client.send_line(frame, &error)) {
+      stats->fatal = error;
+      return false;
+    }
+    outstanding.insert(next);
+    ++next;
+    ++stats->sent;
+    return true;
+  };
+
+  const auto handle = [&](const std::string& text) -> bool {
+    std::string perr;
+    const auto r = net::parse_response_frame(text, &perr);
+    if (!r) {
+      ++stats->protocol_errors;
+      stats->fatal = "unparseable response: " + perr;
+      return false;
+    }
+    if (r->type == "progress") {
+      ++stats->progress;
+      return true;
+    }
+    if (r->type == "error") {
+      ++stats->protocol_errors;
+      if (r->fatal) {
+        stats->fatal = "server error: " + r->error;
+        return false;
+      }
+      return true;
+    }
+    if (!r->terminal()) return true;  // future informational frames
+    if (!r->has_client_id || r->client_id >= count ||
+        outstanding.erase(r->client_id) == 0) {
+      ++stats->protocol_errors;
+      stats->fatal = "terminal response for unknown id: " + text;
+      return false;
+    }
+    const double ms = std::chrono::duration<double, std::milli>(
+                          Clock::now() - send_tp[r->client_id])
+                          .count();
+    stats->latencies_ms.push_back(ms);
+    if (r->type == "reject") {
+      ++stats->rejected;
+      stats->retry_after_sum_ms += r->retry_after_ms;
+    } else if (r->state == "done") {
+      ++stats->done;
+      if (r->cached) ++stats->cached;
+      stats->hashes_by_name[r->name].insert(r->output_hash);
+    } else {
+      ++stats->other_terminal;
+    }
+    return true;
+  };
+
+  while (stats->latencies_ms.size() < count && stats->fatal.empty()) {
+    if (mode_open) {
+      const auto due =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(interval_s *
+                                                    static_cast<double>(next)));
+      if (next < count && Clock::now() >= due) {
+        if (!send_one()) break;
+        continue;
+      }
+      double wait_s = 0.05;
+      if (next < count) {
+        wait_s = std::min(
+            wait_s,
+            std::chrono::duration<double>(due - Clock::now()).count());
+      }
+      const auto frame =
+          client.read_frame(std::max(wait_s, 1e-3), &error);
+      if (frame) {
+        if (!handle(*frame)) break;
+      } else if (error != "timeout") {
+        stats->fatal = error;
+        break;
+      }
+      // Open-loop deadline: everything sent, nothing owed for timeout_s.
+      if (next == count && !outstanding.empty()) {
+        const double oldest = std::chrono::duration<double>(
+                                  Clock::now() - send_tp[*outstanding.begin()])
+                                  .count();
+        if (oldest > timeout_s) {
+          stats->fatal = "response timeout";
+          break;
+        }
+      }
+    } else {
+      while (next < count && outstanding.size() < window) {
+        if (!send_one()) break;
+      }
+      if (!stats->fatal.empty()) break;
+      const auto frame = client.read_frame(timeout_s, &error);
+      if (!frame) {
+        stats->fatal = error;
+        break;
+      }
+      if (!handle(*frame)) break;
+    }
+  }
+  client.shutdown_writes();
+  client.close();
+}
+
+/// name -> output_hash of Done jobs in an hsi-served file-mode report.
+bool load_report_hashes(const std::string& path,
+                        std::map<std::string, std::string>* out,
+                        std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  const auto doc = trace::json::parse(os.str(), error);
+  if (!doc) return false;
+  using trace::json::Value;
+  if (!doc->is(Value::Kind::Object)) {
+    *error = "report is not an object";
+    return false;
+  }
+  for (const auto& [key, value] : doc->object) {
+    if (key != "jobs" || !value.is(Value::Kind::Array)) continue;
+    for (const auto& job : value.array) {
+      if (!job.is(Value::Kind::Object)) continue;
+      std::string name, state, hash;
+      for (const auto& [k, v] : job.object) {
+        if (k == "name" && v.is(Value::Kind::String)) name = v.string;
+        if (k == "state" && v.is(Value::Kind::String)) state = v.string;
+        if (k == "output_hash" && v.is(Value::Kind::String)) hash = v.string;
+      }
+      if (state == "done" && !name.empty()) (*out)[name] = hash;
+    }
+  }
+  if (out->empty()) {
+    *error = "no Done jobs in " + path;
+    return false;
+  }
+  return true;
+}
+
+int run(int argc, char** argv) {
+  util::Cli cli;
+  cli.add_flag("port", "server TCP port (required)");
+  cli.add_flag("host", "server IPv4 address", "127.0.0.1");
+  cli.add_flag("requests", "JSON-lines request file to replay (required)");
+  cli.add_flag("clients", "concurrent client connections", "4");
+  cli.add_flag("count", "requests per client (cycles the file)", "16");
+  cli.add_flag("mode", "arrival discipline: closed | open", "closed");
+  cli.add_flag("window", "closed mode: in-flight requests per client", "1");
+  cli.add_flag("rate", "open mode: requests/second per client", "50");
+  cli.add_flag("timeout", "per-response timeout in seconds", "30");
+  cli.add_flag("expect-report",
+               "hsi-served file-mode report to witness-check against", "");
+  cli.add_flag("summary", "write a one-object JSON summary here", "");
+  if (!cli.parse(argc, argv)) return 1;
+  if (!cli.positional().empty()) {
+    std::cerr << "hsi-loadgen: unexpected argument '" << cli.positional()[0]
+              << "'\n";
+    return 1;
+  }
+  const std::string port_arg = cli.get("port", "");
+  if (port_arg.empty()) {
+    std::cerr << "hsi-loadgen: pass --port <port>\n";
+    cli.print_usage("hsi-loadgen");
+    return 1;
+  }
+  const auto port = net::parse_port(port_arg);
+  if (!port || *port == 0) {
+    std::cerr << "hsi-loadgen: --port wants a port in [1, 65535], got '"
+              << port_arg << "'\n";
+    return 1;
+  }
+  const std::string requests_path = cli.get("requests", "");
+  if (requests_path.empty()) {
+    std::cerr << "hsi-loadgen: pass --requests <file.jsonl>\n";
+    return 1;
+  }
+  const std::string mode = cli.get("mode", "closed");
+  if (mode != "closed" && mode != "open") {
+    std::cerr << "hsi-loadgen: --mode must be 'closed' or 'open', got '"
+              << mode << "'\n";
+    return 1;
+  }
+  const std::int64_t clients = cli.get_int("clients", 4);
+  const std::int64_t count = cli.get_int("count", 16);
+  const std::int64_t window = cli.get_int("window", 1);
+  const double rate = cli.get_double("rate", 50);
+  const double timeout_s = cli.get_double("timeout", 30);
+  if (clients < 1 || count < 1 || window < 1) {
+    std::cerr << "hsi-loadgen: --clients, --count and --window must be >= 1\n";
+    return 1;
+  }
+  if (rate <= 0 || timeout_s <= 0) {
+    std::cerr << "hsi-loadgen: --rate and --timeout must be > 0\n";
+    return 1;
+  }
+
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(requests_path);
+    if (!in) {
+      std::cerr << "hsi-loadgen: cannot open " << requests_path << "\n";
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto first = line.find_first_not_of(" \t\r");
+      if (first == std::string::npos || line[first] == '#') continue;
+      lines.push_back(line);
+    }
+  }
+  if (lines.empty()) {
+    std::cerr << "hsi-loadgen: no request lines in " << requests_path << "\n";
+    return 1;
+  }
+
+  std::map<std::string, std::string> expected_hashes;
+  const std::string expect_report = cli.get("expect-report", "");
+  if (!expect_report.empty()) {
+    std::string error;
+    if (!load_report_hashes(expect_report, &expected_hashes, &error)) {
+      std::cerr << "hsi-loadgen: --expect-report: " << error << "\n";
+      return 1;
+    }
+  }
+
+  const std::string host = cli.get("host", "127.0.0.1");
+  std::vector<ClientStats> stats(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  util::Timer wall;
+  for (std::int64_t c = 0; c < clients; ++c) {
+    threads.emplace_back(run_client, host, *port, std::cref(lines),
+                         static_cast<std::uint64_t>(count), mode == "open",
+                         rate > 0 ? 1.0 / rate : 0,
+                         static_cast<std::uint64_t>(window), timeout_s,
+                         &stats[static_cast<std::size_t>(c)]);
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s = wall.seconds();
+
+  ClientStats total;
+  std::size_t failed_clients = 0;
+  for (const ClientStats& s : stats) {
+    total.sent += s.sent;
+    total.done += s.done;
+    total.rejected += s.rejected;
+    total.other_terminal += s.other_terminal;
+    total.cached += s.cached;
+    total.progress += s.progress;
+    total.protocol_errors += s.protocol_errors;
+    total.retry_after_sum_ms += s.retry_after_sum_ms;
+    total.latencies_ms.insert(total.latencies_ms.end(), s.latencies_ms.begin(),
+                              s.latencies_ms.end());
+    for (const auto& [name, hashes] : s.hashes_by_name) {
+      total.hashes_by_name[name].insert(hashes.begin(), hashes.end());
+    }
+    if (!s.fatal.empty()) {
+      ++failed_clients;
+      std::cerr << "hsi-loadgen: client failed: " << s.fatal << "\n";
+    }
+  }
+
+  std::sort(total.latencies_ms.begin(), total.latencies_ms.end());
+  const double p50 = percentile(total.latencies_ms, 50);
+  const double p95 = percentile(total.latencies_ms, 95);
+  const double p99 = percentile(total.latencies_ms, 99);
+  const std::uint64_t responded = total.latencies_ms.size();
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(clients) * static_cast<std::uint64_t>(count);
+
+  util::Table table({"Metric", "Value"});
+  table.add_row({"clients", std::to_string(clients)});
+  table.add_row({"mode", mode});
+  table.add_row({"sent", std::to_string(total.sent)});
+  table.add_row({"terminal responses", std::to_string(responded)});
+  table.add_row({"done", std::to_string(total.done)});
+  table.add_row({"cached", std::to_string(total.cached)});
+  table.add_row({"rejected (429)", std::to_string(total.rejected)});
+  table.add_row({"other terminal", std::to_string(total.other_terminal)});
+  table.add_row({"progress frames", std::to_string(total.progress)});
+  table.add_row({"wire p50 ms", std::to_string(p50)});
+  table.add_row({"wire p95 ms", std::to_string(p95)});
+  table.add_row({"wire p99 ms", std::to_string(p99)});
+  if (total.rejected > 0) {
+    table.add_row({"mean retry-after ms",
+                   std::to_string(total.retry_after_sum_ms /
+                                  static_cast<double>(total.rejected))});
+  }
+  table.print(std::cout, "hsi-loadgen: " + std::to_string(responded) + "/" +
+                             std::to_string(expected) + " responses in " +
+                             util::format_duration(wall_s));
+
+  bool ok = failed_clients == 0 && total.protocol_errors == 0 &&
+            responded == total.sent && total.sent == expected;
+  if (responded != total.sent) {
+    std::cerr << "hsi-loadgen: " << (total.sent - responded)
+              << " requests got no terminal response (silent drop)\n";
+  }
+
+  // Witness check: one hash per name on the wire, equal to the report's.
+  for (const auto& [name, hashes] : total.hashes_by_name) {
+    if (hashes.size() > 1) {
+      std::cerr << "hsi-loadgen: witness drift: '" << name << "' has "
+                << hashes.size() << " distinct hashes over the wire\n";
+      ok = false;
+    }
+  }
+  if (!expected_hashes.empty()) {
+    std::size_t checked = 0;
+    for (const auto& [name, hashes] : total.hashes_by_name) {
+      const auto it = expected_hashes.find(name);
+      if (it == expected_hashes.end()) {
+        std::cerr << "hsi-loadgen: witness: '" << name
+                  << "' missing from " << expect_report << "\n";
+        ok = false;
+      } else if (hashes.count(it->second) == 0) {
+        std::cerr << "hsi-loadgen: witness mismatch for '" << name
+                  << "': wire " << *hashes.begin() << " vs report "
+                  << it->second << "\n";
+        ok = false;
+      } else {
+        ++checked;
+      }
+    }
+    if (checked == 0) {
+      std::cerr << "hsi-loadgen: witness: no Done responses to check\n";
+      ok = false;
+    } else {
+      std::cout << "witness: " << checked << " job names match "
+                << expect_report << "\n";
+    }
+  }
+
+  const std::string summary_path = cli.get("summary", "");
+  if (!summary_path.empty()) {
+    std::ofstream out(summary_path);
+    out << "{\"name\": \"hsi-loadgen\", \"mode\": \"" << mode
+        << "\", \"clients\": " << clients << ", \"sent\": " << total.sent
+        << ", \"responded\": " << responded << ", \"done\": " << total.done
+        << ", \"rejected\": " << total.rejected
+        << ", \"p50_ms\": " << p50 << ", \"p95_ms\": " << p95
+        << ", \"p99_ms\": " << p99 << ", \"wall_s\": " << wall_s << "}\n";
+    if (!out.good()) {
+      std::cerr << "hsi-loadgen: cannot write " << summary_path << "\n";
+      ok = false;
+    }
+  }
+  return ok ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "hsi-loadgen: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,9 +1,22 @@
 // Batch job-serving CLI (`hsi-served`).
 //
-// Reads a JSON-lines request file (serve/request.hpp documents the
-// schema; examples/serve_requests.jsonl is a ready-to-run sample), stands
-// up an hs::serve::Server with the requested admission policy, submits
-// every request in file order, drains, and reports:
+// Two mutually exclusive front doors over the same hs::serve::Server:
+//
+// File mode (--requests batch.jsonl) reads a JSON-lines request file
+// (serve/request.hpp documents the schema; examples/serve_requests.jsonl
+// is a ready-to-run sample), submits every request in file order, and
+// drains.
+//
+// Listen mode (--listen <port>) opens the hs::net TCP front door
+// (net/protocol.hpp documents the wire frames): persistent connections
+// submit the same request schema as newline-delimited JSON and results
+// stream back as they complete. Port 0 binds an ephemeral port;
+// --port-file writes the bound port for scripts to discover. SIGTERM and
+// SIGINT request a graceful drain: stop accepting, finish in-flight jobs,
+// flush every response, then report as below. hsi-loadgen is the matching
+// load-generating client.
+//
+// Either mode reports:
 //   * a per-job result table on stdout (state, attempts, queue/run time,
 //     output hash);
 //   * --report out.json: a machine-readable per-job report;
@@ -19,14 +32,16 @@
 //     hsi-top renders live;
 //   * --flight-dir dir/: flight-recorder dumps (flight_job<id>.json) for
 //     every job that ends Failed or TimedOut;
-//   * --fault substr[:n]: fail the first n attempts (default: all) of
-//     jobs whose name contains substr with an injected TransientFault --
-//     the debugging story end to end: retries, backoff, and a flight dump
-//     on exhaustion.
+//   * --fault substr[:n] (file mode): fail the first n attempts (default:
+//     all) of jobs whose name contains substr with an injected
+//     TransientFault -- the debugging story end to end: retries, backoff,
+//     and a flight dump on exhaustion.
 //
 // Every JSON output is re-read and validated with the bundled strict
 // parser before exit; a zero exit status certifies that every job reached
 // a terminal state and every emitted document is well-formed.
+#include <atomic>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -40,6 +55,8 @@
 #include <string>
 #include <vector>
 
+#include "net/net_server.hpp"
+#include "net/protocol.hpp"
 #include "serve/request.hpp"
 #include "serve/server.hpp"
 #include "serve/timeline.hpp"
@@ -121,159 +138,23 @@ bool validate_json_file(const std::string& path, const char* what) {
   return true;
 }
 
-int run(int argc, char** argv) {
-  util::Cli cli;
-  cli.add_flag("requests", "JSON-lines request file (see serve/request.hpp)");
-  cli.add_flag("workers", "server worker threads", "1");
-  cli.add_flag("queue-depth", "admission: max queued jobs", "64");
-  cli.add_flag("max-seconds", "admission: cost-model seconds budget (0 = off)",
-               "0");
-  cli.add_flag("max-bytes", "admission: estimated bytes budget (0 = off)", "0");
-  cli.add_flag("no-shed", "never shed low-priority jobs on saturation");
-  cli.add_flag("cache-mb",
-               "result/scene cache byte budget in MiB (0 disables)", "64");
-  cli.add_flag("no-cache", "disable the result and scene caches");
-  cli.add_flag("repeat", "submit the request batch this many times", "1");
-  cli.add_flag("report", "per-job report JSON output path", "");
-  cli.add_flag("metrics", "metrics JSON output path", "");
-  cli.add_flag("trace", "Chrome trace-event JSON output path", "");
-  cli.add_flag("timelines", "directory for per-job timeline JSON files", "");
-  cli.add_flag("snapshot", "periodic registry snapshot JSON output path", "");
-  cli.add_flag("snapshot-period", "snapshot export interval in seconds",
-               "0.05");
-  cli.add_flag("flight-dir",
-               "directory for flight-recorder dumps on job failure", "");
-  cli.add_flag("fault",
-               "inject transient faults: substr[:n] fails the first n "
-               "attempts (default all) of jobs whose name contains substr",
-               "");
-  cli.add_flag("retry-backoff-ms", "base retry backoff in milliseconds", "0");
-  if (!cli.parse(argc, argv)) return 1;
-  if (!cli.positional().empty()) {
-    std::cerr << "hsi-served: unexpected argument '" << cli.positional()[0]
-              << "'\n";
-    return 1;
-  }
-  const std::string requests_path = cli.get("requests", "");
-  if (requests_path.empty()) {
-    std::cerr << "hsi-served: pass --requests <file.jsonl>\n";
-    cli.print_usage("hsi-served");
-    return 1;
-  }
-  const std::int64_t workers = cli.get_int("workers", 1);
-  const std::int64_t depth = cli.get_int("queue-depth", 64);
-  if (workers < 1 || depth < 1) {
-    std::cerr << "hsi-served: --workers and --queue-depth must be >= 1\n";
-    return 1;
-  }
-  const std::int64_t repeat = cli.get_int("repeat", 1);
-  if (repeat < 1) {
-    std::cerr << "hsi-served: --repeat must be >= 1\n";
-    return 1;
-  }
-  std::int64_t cache_mb = cli.get_int("cache-mb", 64);
-  if (cache_mb < 0) {
-    std::cerr << "hsi-served: --cache-mb must be >= 0\n";
-    return 1;
-  }
-  if (cli.get_bool("no-cache", false)) cache_mb = 0;
-  const double backoff_ms = cli.get_double("retry-backoff-ms", 0);
-  if (backoff_ms < 0) {
-    std::cerr << "hsi-served: --retry-backoff-ms must be >= 0\n";
-    return 1;
-  }
+/// The SIGTERM/SIGINT drain hook: request_stop is async-signal-safe.
+std::atomic<net::NetServer*> g_front_door{nullptr};
 
-  trace::reset();
-  trace::set_enabled(true);
-
-  serve::RequestBatch batch;
-  try {
-    batch = serve::read_request_file(requests_path);
-  } catch (const std::exception& e) {
-    std::cerr << "hsi-served: " << e.what() << "\n";
-    return 1;
+void on_drain_signal(int) {
+  if (net::NetServer* front = g_front_door.load(std::memory_order_acquire)) {
+    front->request_stop(/*drain=*/true);
   }
-  for (const auto& [line, error] : batch.errors) {
-    std::cerr << "hsi-served: " << requests_path << ":" << line << ": " << error
-              << "\n";
-  }
-  if (batch.jobs.empty()) {
-    std::cerr << "hsi-served: no valid requests in " << requests_path << "\n";
-    return 1;
-  }
+}
 
-  serve::ServerOptions options;
-  options.workers = static_cast<std::size_t>(workers);
-  options.admission.max_queue_depth = static_cast<std::size_t>(depth);
-  options.admission.max_estimated_seconds = cli.get_double("max-seconds", 0);
-  options.admission.max_estimated_bytes =
-      static_cast<std::uint64_t>(cli.get_int("max-bytes", 0));
-  options.admission.shed_low_priority = !cli.get_bool("no-shed", false);
-  options.keep_payloads = false;  // the CLI reports hashes, not payloads
-  options.result_cache_bytes = static_cast<std::uint64_t>(cache_mb) << 20;
-  options.scene_cache_bytes = static_cast<std::uint64_t>(cache_mb) << 20;
-  options.retry_backoff_seconds = backoff_ms / 1e3;
-
-  const std::string flight_dir = cli.get("flight-dir", "");
-  if (!flight_dir.empty()) {
-    std::error_code ec;
-    std::filesystem::create_directories(flight_dir, ec);
-    options.flight_dump_dir = flight_dir;
-  }
-
-  // --fault substr[:n]: ids are assigned in submission order by a single
-  // submitter thread, so the faulted set is computable up front.
-  const std::string fault_arg = cli.get("fault", "");
-  if (!fault_arg.empty()) {
-    std::string substr = fault_arg;
-    int fault_attempts = INT32_MAX;
-    if (const auto colon = fault_arg.rfind(':');
-        colon != std::string::npos && colon + 1 < fault_arg.size()) {
-      try {
-        fault_attempts = std::stoi(fault_arg.substr(colon + 1));
-        substr = fault_arg.substr(0, colon);
-      } catch (const std::exception&) {
-        // Not a number after ':': treat the whole argument as the substring.
-      }
-    }
-    auto fault_ids = std::make_shared<std::set<std::uint64_t>>();
-    std::uint64_t next_id = 1;
-    for (std::int64_t pass = 0; pass < repeat; ++pass) {
-      for (const serve::JobSpec& spec : batch.jobs) {
-        if (spec.name.find(substr) != std::string::npos) {
-          fault_ids->insert(next_id);
-        }
-        ++next_id;
-      }
-    }
-    options.inject_fault = [fault_ids, fault_attempts](std::uint64_t id,
-                                                       int attempt) {
-      return attempt <= fault_attempts && fault_ids->count(id) > 0;
-    };
-  }
-
-  // The snapshot exporter runs for the whole serve (started before the
-  // server, stopped after shutdown so the final export sees the end state).
-  std::unique_ptr<trace::SnapshotExporter> exporter;
-  const std::string snapshot_path = cli.get("snapshot", "");
-  if (!snapshot_path.empty()) {
-    trace::SnapshotExporter::Options sopt;
-    sopt.path = snapshot_path;
-    sopt.period_seconds = cli.get_double("snapshot-period", 0.05);
-    sopt.name = "hsi-served";
-    exporter = std::make_unique<trace::SnapshotExporter>(sopt);
-  }
-
-  util::Timer wall;
-  serve::Server server(options);
-  for (std::int64_t pass = 0; pass < repeat; ++pass) {
-    for (const serve::JobSpec& spec : batch.jobs) server.submit(spec);
-  }
-  server.shutdown(/*drain=*/true);
-  const double wall_s = wall.seconds();
-  if (exporter) exporter->stop();
-  const std::vector<serve::JobResult> results = server.results();
-
+/// Everything after the serve: result table, cache/latency summaries,
+/// witness-drift check, and every requested JSON export with strict
+/// re-validation. Shared verbatim by file and listen mode.
+int report_results(util::Cli& cli, serve::Server& server,
+                   const std::vector<serve::JobResult>& results, double wall_s,
+                   trace::SnapshotExporter* exporter, std::int64_t cache_mb,
+                   const std::string& flight_dir,
+                   const std::string& snapshot_path) {
   util::Table table({"Id", "Name", "Kind", "Prio", "State", "Attempts",
                      "Queue", "Run", "Hash / detail"});
   std::size_t done = 0, terminal = 0, cached = 0;
@@ -435,6 +316,248 @@ int run(int argc, char** argv) {
     std::cout << "flight dumps: " << dumps << " in " << flight_dir << "\n";
   }
   return ok ? 0 : 2;
+}
+
+int run(int argc, char** argv) {
+  util::Cli cli;
+  cli.add_flag("requests", "JSON-lines request file (see serve/request.hpp)");
+  cli.add_flag("listen",
+               "serve requests over TCP on this port instead of a file "
+               "(0 = ephemeral; see --port-file)");
+  cli.add_flag("port-file",
+               "listen mode: write the bound port to this file", "");
+  cli.add_flag("max-conns", "listen mode: max concurrent connections", "256");
+  cli.add_flag("max-inflight",
+               "listen mode: per-connection in-flight job cap "
+               "(flow control pauses reads beyond it)",
+               "32");
+  cli.add_flag("progress",
+               "listen mode: stream per-chunk progress frames");
+  cli.add_flag("workers", "server worker threads", "1");
+  cli.add_flag("queue-depth", "admission: max queued jobs", "64");
+  cli.add_flag("max-seconds", "admission: cost-model seconds budget (0 = off)",
+               "0");
+  cli.add_flag("max-bytes", "admission: estimated bytes budget (0 = off)", "0");
+  cli.add_flag("no-shed", "never shed low-priority jobs on saturation");
+  cli.add_flag("cache-mb",
+               "result/scene cache byte budget in MiB (0 disables)", "64");
+  cli.add_flag("no-cache", "disable the result and scene caches");
+  cli.add_flag("repeat", "submit the request batch this many times", "1");
+  cli.add_flag("report", "per-job report JSON output path", "");
+  cli.add_flag("metrics", "metrics JSON output path", "");
+  cli.add_flag("trace", "Chrome trace-event JSON output path", "");
+  cli.add_flag("timelines", "directory for per-job timeline JSON files", "");
+  cli.add_flag("snapshot", "periodic registry snapshot JSON output path", "");
+  cli.add_flag("snapshot-period", "snapshot export interval in seconds",
+               "0.05");
+  cli.add_flag("flight-dir",
+               "directory for flight-recorder dumps on job failure", "");
+  cli.add_flag("fault",
+               "inject transient faults: substr[:n] fails the first n "
+               "attempts (default all) of jobs whose name contains substr",
+               "");
+  cli.add_flag("retry-backoff-ms", "base retry backoff in milliseconds", "0");
+  if (!cli.parse(argc, argv)) return 1;
+  if (!cli.positional().empty()) {
+    std::cerr << "hsi-served: unexpected argument '" << cli.positional()[0]
+              << "'\n";
+    return 1;
+  }
+  const std::string requests_path = cli.get("requests", "");
+  const std::string listen_arg = cli.get("listen", "");
+  if (!requests_path.empty() && !listen_arg.empty()) {
+    std::cerr << "hsi-served: --requests and --listen are mutually exclusive\n";
+    return 1;
+  }
+  if (requests_path.empty() && listen_arg.empty()) {
+    std::cerr << "hsi-served: pass --requests <file.jsonl> or --listen <port>\n";
+    cli.print_usage("hsi-served");
+    return 1;
+  }
+  const bool listen_mode = !listen_arg.empty();
+  std::optional<int> listen_port;
+  if (listen_mode) {
+    listen_port = net::parse_port(listen_arg);
+    if (!listen_port) {
+      std::cerr << "hsi-served: --listen wants a port in [0, 65535], got '"
+                << listen_arg << "'\n";
+      return 1;
+    }
+  }
+  const std::int64_t workers = cli.get_int("workers", 1);
+  const std::int64_t depth = cli.get_int("queue-depth", 64);
+  if (workers < 1 || depth < 1) {
+    std::cerr << "hsi-served: --workers and --queue-depth must be >= 1\n";
+    return 1;
+  }
+  const std::int64_t repeat = cli.get_int("repeat", 1);
+  if (repeat < 1) {
+    std::cerr << "hsi-served: --repeat must be >= 1\n";
+    return 1;
+  }
+  const std::string fault_arg = cli.get("fault", "");
+  if (listen_mode && (repeat != 1 || !fault_arg.empty())) {
+    std::cerr << "hsi-served: --repeat and --fault are file-mode flags "
+                 "(ids are not known up front in listen mode)\n";
+    return 1;
+  }
+  std::int64_t cache_mb = cli.get_int("cache-mb", 64);
+  if (cache_mb < 0) {
+    std::cerr << "hsi-served: --cache-mb must be >= 0\n";
+    return 1;
+  }
+  if (cli.get_bool("no-cache", false)) cache_mb = 0;
+  const double backoff_ms = cli.get_double("retry-backoff-ms", 0);
+  if (backoff_ms < 0) {
+    std::cerr << "hsi-served: --retry-backoff-ms must be >= 0\n";
+    return 1;
+  }
+  const std::int64_t max_conns = cli.get_int("max-conns", 256);
+  const std::int64_t max_inflight = cli.get_int("max-inflight", 32);
+  if (listen_mode && (max_conns < 1 || max_inflight < 1)) {
+    std::cerr << "hsi-served: --max-conns and --max-inflight must be >= 1\n";
+    return 1;
+  }
+
+  trace::reset();
+  trace::set_enabled(true);
+
+  serve::RequestBatch batch;
+  if (!listen_mode) {
+    try {
+      batch = serve::read_request_file(requests_path);
+    } catch (const std::exception& e) {
+      std::cerr << "hsi-served: " << e.what() << "\n";
+      return 1;
+    }
+    for (const auto& err : batch.errors) {
+      std::cerr << "hsi-served: " << err.second << "\n";  // pre-labeled path:line
+    }
+    if (batch.jobs.empty()) {
+      std::cerr << "hsi-served: no valid requests in " << requests_path << "\n";
+      return 1;
+    }
+  }
+
+  serve::ServerOptions options;
+  options.workers = static_cast<std::size_t>(workers);
+  options.admission.max_queue_depth = static_cast<std::size_t>(depth);
+  options.admission.max_estimated_seconds = cli.get_double("max-seconds", 0);
+  options.admission.max_estimated_bytes =
+      static_cast<std::uint64_t>(cli.get_int("max-bytes", 0));
+  options.admission.shed_low_priority = !cli.get_bool("no-shed", false);
+  options.keep_payloads = false;  // the CLI reports hashes, not payloads
+  options.result_cache_bytes = static_cast<std::uint64_t>(cache_mb) << 20;
+  options.scene_cache_bytes = static_cast<std::uint64_t>(cache_mb) << 20;
+  options.retry_backoff_seconds = backoff_ms / 1e3;
+
+  const std::string flight_dir = cli.get("flight-dir", "");
+  if (!flight_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(flight_dir, ec);
+    options.flight_dump_dir = flight_dir;
+  }
+
+  // --fault substr[:n]: ids are assigned in submission order by a single
+  // submitter thread, so the faulted set is computable up front.
+  if (!fault_arg.empty()) {
+    std::string substr = fault_arg;
+    int fault_attempts = INT32_MAX;
+    if (const auto colon = fault_arg.rfind(':');
+        colon != std::string::npos && colon + 1 < fault_arg.size()) {
+      try {
+        fault_attempts = std::stoi(fault_arg.substr(colon + 1));
+        substr = fault_arg.substr(0, colon);
+      } catch (const std::exception&) {
+        // Not a number after ':': treat the whole argument as the substring.
+      }
+    }
+    auto fault_ids = std::make_shared<std::set<std::uint64_t>>();
+    std::uint64_t next_id = 1;
+    for (std::int64_t pass = 0; pass < repeat; ++pass) {
+      for (const serve::JobSpec& spec : batch.jobs) {
+        if (spec.name.find(substr) != std::string::npos) {
+          fault_ids->insert(next_id);
+        }
+        ++next_id;
+      }
+    }
+    options.inject_fault = [fault_ids, fault_attempts](std::uint64_t id,
+                                                       int attempt) {
+      return attempt <= fault_attempts && fault_ids->count(id) > 0;
+    };
+  }
+
+  // The snapshot exporter runs for the whole serve (started before the
+  // server, stopped after shutdown so the final export sees the end state).
+  std::unique_ptr<trace::SnapshotExporter> exporter;
+  const std::string snapshot_path = cli.get("snapshot", "");
+  if (!snapshot_path.empty()) {
+    trace::SnapshotExporter::Options sopt;
+    sopt.path = snapshot_path;
+    sopt.period_seconds = cli.get_double("snapshot-period", 0.05);
+    sopt.name = "hsi-served";
+    exporter = std::make_unique<trace::SnapshotExporter>(sopt);
+  }
+
+  util::Timer wall;
+  serve::Server server(options);
+
+  if (listen_mode) {
+    net::NetServerOptions nopt;
+    nopt.port = *listen_port;
+    nopt.max_connections = static_cast<std::size_t>(max_conns);
+    nopt.max_inflight_per_conn = static_cast<std::size_t>(max_inflight);
+    nopt.progress_events = cli.get_bool("progress", false);
+    std::unique_ptr<net::NetServer> front;
+    try {
+      front = std::make_unique<net::NetServer>(server, nopt);
+    } catch (const std::exception& e) {
+      std::cerr << "hsi-served: " << e.what() << "\n";
+      return 1;
+    }
+    const std::string port_file = cli.get("port-file", "");
+    if (!port_file.empty()) {
+      std::ofstream pf(port_file);
+      pf << front->port() << "\n";
+      if (!pf.good()) {
+        std::cerr << "hsi-served: cannot write " << port_file << "\n";
+        return 1;
+      }
+    }
+    g_front_door.store(front.get(), std::memory_order_release);
+    struct sigaction sa{};
+    sa.sa_handler = on_drain_signal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+    std::cout << "hsi-served: listening on 127.0.0.1:" << front->port()
+              << " (SIGTERM drains)" << std::endl;
+
+    front->run();  // until a signal (or in-process request_stop)
+
+    g_front_door.store(nullptr, std::memory_order_release);
+    server.shutdown(/*drain=*/true);
+    const double wall_s = wall.seconds();
+    if (exporter) exporter->stop();
+    const net::NetServer::Stats ns = front->stats();
+    std::cout << "net: " << ns.accepted << " connections, " << ns.frames
+              << " frames (" << ns.bad_frames << " bad, "
+              << ns.oversized_frames << " oversized), " << ns.submitted
+              << " submitted, " << ns.rejected << " rejected, "
+              << ns.results_sent << " results, " << ns.orphaned_results
+              << " orphaned\n";
+    return report_results(cli, server, server.results(), wall_s,
+                          exporter.get(), cache_mb, flight_dir, snapshot_path);
+  }
+
+  for (std::int64_t pass = 0; pass < repeat; ++pass) {
+    for (const serve::JobSpec& spec : batch.jobs) server.submit(spec);
+  }
+  server.shutdown(/*drain=*/true);
+  const double wall_s = wall.seconds();
+  if (exporter) exporter->stop();
+  return report_results(cli, server, server.results(), wall_s, exporter.get(),
+                        cache_mb, flight_dir, snapshot_path);
 }
 
 }  // namespace
