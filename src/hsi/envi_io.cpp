@@ -54,6 +54,10 @@ int parse_int_field(const std::string& key, const std::string& value) {
 
 }  // namespace
 
+std::string envi_payload_path(const std::string& hdr_path) {
+  return payload_path_for(hdr_path);
+}
+
 EnviHeader read_envi_header(const std::string& hdr_path) {
   std::ifstream in(hdr_path);
   if (!in) throw EnviError("cannot open header: " + hdr_path);

@@ -35,6 +35,14 @@ struct EnviHeader {
   std::string description;
 };
 
+/// Resolves the payload path that read_envi() will open for `hdr_path`
+/// without opening it: the header path with ".hdr" stripped when that file
+/// exists, else that base + ".dat", else the bare base (so a later open
+/// fails with a useful name). Exposed so callers hashing scene bytes (the
+/// serve-layer content fingerprint) agree with the reader about which
+/// payload a header names.
+std::string envi_payload_path(const std::string& hdr_path);
+
 /// Parses a .hdr file. Throws EnviError on malformed or unsupported input.
 EnviHeader read_envi_header(const std::string& hdr_path);
 

@@ -40,8 +40,8 @@ void set_nonblocking(int fd) {
 
 }  // namespace
 
-NetServer::NetServer(serve::Server& server, NetServerOptions options)
-    : server_(server), options_(std::move(options)) {
+NetServer::NetServer(serve::JobBackend& backend, NetServerOptions options)
+    : backend_(backend), options_(std::move(options)) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) throw std::runtime_error(errno_text("socket"));
   const int one = 1;
@@ -93,7 +93,7 @@ NetServer::NetServer(serve::Server& server, NetServerOptions options)
   // The hooks own only the shared queue: a job still running after this
   // NetServer dies finds open == false and drops its event.
   const std::shared_ptr<SharedQueue> q = queue_;
-  server_.set_on_terminal([q](const serve::JobResult& result) {
+  backend_.set_on_terminal([q](const serve::JobResult& result) {
     std::lock_guard<std::mutex> lk(q->mu);
     if (!q->open) return;
     JobEvent ev;
@@ -103,7 +103,7 @@ NetServer::NetServer(serve::Server& server, NetServerOptions options)
     [[maybe_unused]] const auto n = ::write(q->wake_fd, &b, 1);
   });
   if (options_.progress_events) {
-    server_.set_on_progress([q](std::uint64_t id, std::uint64_t checks) {
+    backend_.set_on_progress([q](std::uint64_t id, std::uint64_t checks) {
       std::lock_guard<std::mutex> lk(q->mu);
       if (!q->open) return;
       JobEvent ev;
@@ -125,8 +125,8 @@ NetServer::~NetServer() {
   if (thread_.joinable()) thread_.join();
   // Detach the hooks before tearing down the queue: set_on_terminal blocks
   // until an in-flight invocation has left the callback.
-  server_.set_on_terminal(nullptr);
-  server_.set_on_progress(nullptr);
+  backend_.set_on_terminal(nullptr);
+  backend_.set_on_progress(nullptr);
   {
     std::lock_guard<std::mutex> lk(queue_->mu);
     queue_->open = false;
@@ -185,7 +185,7 @@ std::size_t NetServer::open_connections() const {
 }
 
 double NetServer::retry_after_ms() const {
-  const double depth = static_cast<double>(server_.queue_depth());
+  const double depth = static_cast<double>(backend_.queue_depth());
   const double hint = (depth + 1) * ewma_exec_ms_;
   return std::clamp(hint, options_.retry_after_floor_ms,
                     options_.retry_after_ceil_ms);
@@ -476,7 +476,7 @@ void NetServer::handle_frame(Connection& conn, const std::string& text) {
   }
 
   const auto received = std::chrono::steady_clock::now();
-  const serve::Server::Submitted submitted = server_.submit(req->spec);
+  const serve::Submitted submitted = backend_.submit(req->spec);
   stats_.submitted.fetch_add(1, std::memory_order_relaxed);
   trace::counter("net.jobs.submitted").increment();
   if (!submitted.admitted) {

@@ -1,6 +1,8 @@
 // TCP front door for the serving layer (`hs::net::NetServer`).
 //
-// A poll(2)-based event loop in front of an existing `serve::Server`:
+// A poll(2)-based event loop in front of a `serve::JobBackend` (the
+// in-process `serve::Server`, or a `shard::Router` fanning out to worker
+// processes):
 // persistent connections speak newline-delimited JSON frames
 // (protocol.hpp) over loopback or LAN, submitting the serve/request.hpp
 // schema and streaming back each job's terminal JobResult (plus optional
@@ -66,7 +68,7 @@
 #include <vector>
 
 #include "net/frame.hpp"
-#include "serve/server.hpp"
+#include "serve/backend.hpp"
 
 namespace hs::net {
 
@@ -116,10 +118,11 @@ class NetServer {
 
   /// Binds and listens immediately (throws std::runtime_error with the
   /// errno text on failure -- port in use, bad address), and installs the
-  /// on_terminal/on_progress hooks on `server`. The Server must outlive
-  /// this object, which detaches its hooks on destruction; one front door
-  /// per Server at a time.
-  NetServer(serve::Server& server, NetServerOptions options);
+  /// on_terminal/on_progress hooks on `backend`. The backend -- an
+  /// in-process serve::Server or a shard::Router fronting N worker
+  /// processes -- must outlive this object, which detaches its hooks on
+  /// destruction; one front door per backend at a time.
+  NetServer(serve::JobBackend& backend, NetServerOptions options);
   ~NetServer();
 
   NetServer(const NetServer&) = delete;
@@ -199,7 +202,7 @@ class NetServer {
   void close_connection(int fd, const char* why);
   double retry_after_ms() const;
 
-  serve::Server& server_;
+  serve::JobBackend& backend_;
   NetServerOptions options_;
   int listen_fd_ = -1;
   int port_ = 0;

@@ -1,5 +1,8 @@
 #include "serve/job.hpp"
 
+#include <fstream>
+
+#include "hsi/envi_io.hpp"
 #include "util/rng.hpp"
 
 namespace hs::serve {
@@ -55,6 +58,15 @@ std::optional<Priority> parse_priority(std::string_view name) {
   return std::nullopt;
 }
 
+std::optional<JobState> parse_job_state(std::string_view name) {
+  for (JobState s : {JobState::Queued, JobState::Running, JobState::Done,
+                     JobState::Failed, JobState::Rejected, JobState::TimedOut,
+                     JobState::Cancelled}) {
+    if (name == to_string(s)) return s;
+  }
+  return std::nullopt;
+}
+
 std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t seed) {
   const auto* p = static_cast<const unsigned char*>(data);
   std::uint64_t h = seed;
@@ -65,13 +77,46 @@ std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t seed) {
   return h;
 }
 
-bool is_cacheable(const JobSpec& spec) { return spec.scene.envi_path.empty(); }
+std::optional<std::uint64_t> scene_content_hash(const SceneSpec& scene) {
+  if (scene.envi_path.empty()) return std::nullopt;
+  std::uint64_t h = 14695981039346656037ull;
+  for (const std::string& path :
+       {scene.envi_path, hsi::envi_payload_path(scene.envi_path)}) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    char buf[1 << 16];
+    std::uint64_t total = 0;
+    while (in) {
+      in.read(buf, sizeof(buf));
+      const auto got = static_cast<std::size_t>(in.gcount());
+      h = fnv1a(buf, got, h);
+      total += got;
+    }
+    if (in.bad()) return std::nullopt;
+    // Fold each file's length so bytes migrating across the header/payload
+    // boundary cannot produce the same chained stream.
+    h = fnv1a(&total, sizeof(total), h);
+  }
+  return h;
+}
+
+bool is_cacheable(const JobSpec& spec) {
+  return spec.scene.envi_path.empty() ||
+         scene_content_hash(spec.scene).has_value();
+}
 
 cache::Fingerprint job_fingerprint(const JobSpec& spec) {
   cache::Fingerprinter fp;
-  fp.field("kind", std::string_view(to_string(spec.kind)))
-      .field("envi_path", std::string_view(spec.scene.envi_path))
-      .field("width", static_cast<std::int64_t>(spec.scene.width))
+  fp.field("kind", std::string_view(to_string(spec.kind)));
+  if (const auto content = scene_content_hash(spec.scene)) {
+    // Readable ENVI scene: the bytes are the identity, not the path.
+    fp.field("envi_content", *content);
+  } else {
+    // Synthetic scene (empty path; the canonical pre-content layout) or an
+    // unreadable one, which keeps path identity and stays uncacheable.
+    fp.field("envi_path", std::string_view(spec.scene.envi_path));
+  }
+  fp.field("width", static_cast<std::int64_t>(spec.scene.width))
       .field("height", static_cast<std::int64_t>(spec.scene.height))
       .field("bands", static_cast<std::int64_t>(spec.scene.bands))
       .field("seed", static_cast<std::uint64_t>(spec.scene.seed))

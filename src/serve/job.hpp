@@ -58,6 +58,9 @@ const char* to_string(JobState state);
 
 std::optional<JobKind> parse_job_kind(std::string_view name);
 std::optional<Priority> parse_priority(std::string_view name);
+/// Inverse of to_string(JobState); used when a router ingests terminal
+/// frames a shard process reported over the wire.
+std::optional<JobState> parse_job_state(std::string_view name);
 
 /// The scene a job runs over: an ENVI cube on disk when `envi_path` is
 /// set, otherwise a deterministic synthetic Indian-Pines-like scene.
@@ -90,19 +93,30 @@ struct JobSpec {
   bool half_precision = false;
 };
 
-/// True when a job's functional outputs are a pure function of its spec:
-/// synthetic scenes only. ENVI-backed jobs read file bytes that live
-/// outside the fingerprint (the path is not the content), so the server
-/// never caches them.
+/// Whole-file FNV-1a content hash of an ENVI scene's bytes: the header
+/// file chained with the payload file (each followed by its byte count so
+/// shifting bytes across the file boundary cannot collide). nullopt for
+/// synthetic scenes (there is no file) and when either file cannot be
+/// read -- an unreadable scene has no content identity.
+std::optional<std::uint64_t> scene_content_hash(const SceneSpec& scene);
+
+/// True when a job's functional outputs are a pure function of its
+/// fingerprint: synthetic scenes always; ENVI-backed jobs once their file
+/// bytes are readable, because the content hash above folds those bytes
+/// into the fingerprint (an unreadable scene still is not cacheable --
+/// there is nothing to address the entry by).
 bool is_cacheable(const JobSpec& spec);
 
 /// Canonical content fingerprint of a job's functional identity: kind,
-/// scene (path/width/height/bands/seed) and every pipeline option that
-/// reaches the simulator (se_radius, endmembers, chunk_texel_budget,
-/// half_precision). Deliberately EXCLUDES name, priority, deadline,
-/// max_retries and workers: the determinism contract above makes outputs
-/// invariant to all of them, so jobs differing only there share a cache
-/// entry.
+/// scene (content hash for readable ENVI scenes -- two paths to the same
+/// bytes share an entry, an edited file gets a new one -- else
+/// width/height/bands/seed) and every pipeline option that reaches the
+/// simulator (se_radius, endmembers, chunk_texel_budget, half_precision).
+/// Deliberately EXCLUDES name, priority, deadline, max_retries and
+/// workers: the determinism contract above makes outputs invariant to all
+/// of them, so jobs differing only there share a cache entry. The shard
+/// router also routes on this fingerprint, so equal-fingerprint jobs land
+/// on the same shard and concentrate its cache hits.
 cache::Fingerprint job_fingerprint(const JobSpec& spec);
 
 /// One moment in a job's life, stamped relative to its submission time.

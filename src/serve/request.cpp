@@ -1,7 +1,10 @@
 #include "serve/request.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 
 #include "trace/json_check.hpp"
@@ -11,6 +14,29 @@ namespace hs::serve {
 namespace {
 
 using trace::json::Value;
+
+std::string request_json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
 bool set_error(std::string* error, const std::string& message) {
   if (error) *error = message;
@@ -161,6 +187,39 @@ void label_error(std::string* error, std::string_view source) {
 }
 
 }  // namespace
+
+std::string to_request_line(const JobSpec& spec,
+                            std::optional<std::uint64_t> client_id) {
+  std::ostringstream os;
+  os << '{';
+  if (client_id) os << "\"id\":" << *client_id << ',';
+  if (!spec.name.empty()) {
+    os << "\"name\":\"" << request_json_escape(spec.name) << "\",";
+  }
+  os << "\"kind\":\"" << to_string(spec.kind) << "\""
+     << ",\"priority\":\"" << to_string(spec.priority) << "\"";
+  if (spec.deadline_seconds > 0 && std::isfinite(spec.deadline_seconds)) {
+    os << ",\"deadline_ms\":"
+       << std::setprecision(std::numeric_limits<double>::max_digits10)
+       << spec.deadline_seconds * 1000.0;
+  }
+  if (spec.max_retries > 0) os << ",\"retries\":" << spec.max_retries;
+  if (!spec.scene.envi_path.empty()) {
+    os << ",\"envi\":\"" << request_json_escape(spec.scene.envi_path) << "\"";
+  }
+  // The synthetic-scene fields stay in the fingerprint even for ENVI jobs
+  // (seed feeds the endmember generator), so always emit them.
+  os << ",\"width\":" << spec.scene.width
+     << ",\"height\":" << spec.scene.height
+     << ",\"bands\":" << spec.scene.bands
+     << ",\"seed\":" << spec.scene.seed
+     << ",\"se\":" << spec.se_radius
+     << ",\"endmembers\":" << spec.endmembers
+     << ",\"workers\":" << spec.workers
+     << ",\"chunk_texel_budget\":" << spec.chunk_texel_budget
+     << ",\"half\":" << (spec.half_precision ? "true" : "false") << '}';
+  return os.str();
+}
 
 std::optional<JobSpec> parse_request_line(std::string_view line,
                                           std::string* error,

@@ -56,6 +56,15 @@ std::optional<ParsedRequest> parse_request_frame(std::string_view line,
                                                  std::string* error = nullptr,
                                                  std::string_view source = {});
 
+/// Serializes a spec back into one request line that parse_request_line /
+/// parse_request_frame accept, inverting the schema above: the round trip
+/// preserves every JobSpec field (and therefore the job fingerprint).
+/// The shard router uses this to forward an already-parsed job to a worker
+/// process speaking the same protocol. `client_id` (frame mode) prepends
+/// the "id" key so the worker echoes it on every response frame.
+std::string to_request_line(const JobSpec& spec,
+                            std::optional<std::uint64_t> client_id = {});
+
 struct RequestBatch {
   std::vector<JobSpec> jobs;
   /// (1-based line number, message) for every rejected line. When the

@@ -59,6 +59,7 @@
 #include "cache/result_cache.hpp"
 #include "cache/scene_cache.hpp"
 #include "gpusim/compiled_program.hpp"
+#include "serve/backend.hpp"
 #include "serve/job.hpp"
 #include "serve/job_queue.hpp"
 
@@ -111,7 +112,8 @@ struct ServerOptions {
   bool keep_payloads = true;
   /// Byte budget of the content-addressed result cache (0 = off, the
   /// library default; hsi-served turns it on). When enabled, a Done
-  /// result of a cacheable job (synthetic scene; see serve::is_cacheable)
+  /// result of a cacheable job (synthetic scene or readable ENVI scene,
+  /// whose bytes are content-hashed; see serve::is_cacheable)
   /// is stored under its job_fingerprint, and a later job with the same
   /// fingerprint is served from the cache: state Done, `cached` set,
   /// attempts 0, and outputs bit-identical to the live run that populated
@@ -154,27 +156,21 @@ struct ServerOptions {
   std::string flight_dump_dir;
 };
 
-class Server {
+class Server : public JobBackend {
  public:
-  /// Outcome of submit(): `admitted` jobs are queued; inadmissible ones
-  /// are already terminal (state/detail say why) but still tracked, so
-  /// wait()/results() cover them too.
-  struct Submitted {
-    std::uint64_t id = 0;
-    bool admitted = false;
-    JobState state = JobState::Queued;
-    std::string detail;
-  };
+  /// Outcome of submit() -- the shared backend vocabulary (backend.hpp);
+  /// kept as a nested alias for the pre-JobBackend spelling.
+  using Submitted = serve::Submitted;
 
   explicit Server(const ServerOptions& options);
   /// Implicit non-drain shutdown when the owner forgot: cancels queued
   /// jobs, cooperatively cancels running ones, joins the workers.
-  ~Server();
+  ~Server() override;
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  Submitted submit(const JobSpec& spec);
+  Submitted submit(const JobSpec& spec) override;
 
   /// Queued -> Cancelled immediately; Running -> cooperative cancel
   /// request (the job terminalizes as Cancelled at the next chunk
@@ -196,7 +192,7 @@ class Server {
   /// call's mode wins.
   void shutdown(bool drain);
 
-  std::size_t queue_depth() const;
+  std::size_t queue_depth() const override;
   std::size_t in_flight() const;
 
   /// Installs/replaces the terminal and progress hooks after construction
@@ -207,9 +203,9 @@ class Server {
   /// running jobs keep the on_progress copy they started with, so that
   /// hook must capture shared-ownership state, never raw pointers the
   /// caller may free.
-  void set_on_terminal(std::function<void(const JobResult&)> hook);
+  void set_on_terminal(std::function<void(const JobResult&)> hook) override;
   void set_on_progress(
-      std::function<void(std::uint64_t id, std::uint64_t checks)> hook);
+      std::function<void(std::uint64_t id, std::uint64_t checks)> hook) override;
 
   /// Per-instance cache statistics (exact even when HS_TRACE is off; the
   /// trace counters under `cache.*` aggregate process-wide).

@@ -1,0 +1,72 @@
+#include "shard/ring.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "cache/fingerprint.hpp"
+
+namespace hs::shard {
+
+namespace {
+
+/// The ring point for (shard, vnode): FNV-1a over a canonical label, the
+/// same hash family the job fingerprint uses.
+std::uint64_t ring_point(std::uint32_t shard, std::size_t vnode) {
+  const std::string label =
+      "shard-" + std::to_string(shard) + "-vnode-" + std::to_string(vnode);
+  return cache::fnv1a(label.data(), label.size());
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t vnodes) : vnodes_(vnodes == 0 ? 1 : vnodes) {}
+
+void HashRing::add(std::uint32_t shard) {
+  if (contains(shard)) return;
+  for (std::size_t v = 0; v < vnodes_; ++v) {
+    // Collisions across shards are vanishingly rare on a 64-bit ring;
+    // first-insert-wins keeps add/remove symmetric if one ever happens.
+    points_.emplace(ring_point(shard, v), shard);
+  }
+  shards_.insert(std::lower_bound(shards_.begin(), shards_.end(), shard),
+                 shard);
+}
+
+void HashRing::remove(std::uint32_t shard) {
+  if (!contains(shard)) return;
+  for (auto it = points_.begin(); it != points_.end();) {
+    if (it->second == shard) {
+      it = points_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  shards_.erase(std::lower_bound(shards_.begin(), shards_.end(), shard));
+}
+
+bool HashRing::contains(std::uint32_t shard) const {
+  return std::binary_search(shards_.begin(), shards_.end(), shard);
+}
+
+std::optional<std::uint32_t> HashRing::pick(
+    std::uint64_t key, const std::function<bool(std::uint32_t)>& alive) const {
+  if (points_.empty()) return std::nullopt;
+  // Walk clockwise from the first point at or after `key`, wrapping once;
+  // remember shards already rejected so the walk ends after each distinct
+  // shard has been offered exactly once.
+  std::vector<std::uint32_t> rejected;
+  auto it = points_.lower_bound(key);
+  for (std::size_t steps = 0; steps < points_.size(); ++steps, ++it) {
+    if (it == points_.end()) it = points_.begin();
+    const std::uint32_t shard = it->second;
+    if (std::find(rejected.begin(), rejected.end(), shard) != rejected.end()) {
+      continue;
+    }
+    if (!alive || alive(shard)) return shard;
+    rejected.push_back(shard);
+    if (rejected.size() == shards_.size()) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hs::shard

@@ -1,0 +1,61 @@
+// Consistent-hash ring for the shard router (`hs::shard`).
+//
+// Each shard owns `vnodes` pseudo-random points on a 64-bit ring; a key
+// routes to the shard owning the first point clockwise of it. The classic
+// properties follow from the construction:
+//
+//   * stability -- equal keys always land on the same live shard, which
+//     is what concentrates equal-fingerprint jobs (and their cache hits)
+//     on one shard's result cache;
+//   * bounded remap -- adding or removing one of N shards moves only
+//     ~1/N of the key space, not a full reshuffle (tested);
+//   * liveness-aware fallback -- pick() walks clockwise past points whose
+//     shard the caller's predicate rejects, so a key whose home shard is
+//     down falls to the next live one deterministically, and falls back
+//     home when the shard returns.
+//
+// Pure data structure, no I/O or locking: the router serializes access
+// under its own lock, and tests exercise it standalone.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace hs::shard {
+
+class HashRing {
+ public:
+  /// More vnodes smooth the load split between shards at the cost of a
+  /// bigger map; 64 keeps the max/min key-share ratio near 1 for the
+  /// single-digit shard counts the router spawns.
+  explicit HashRing(std::size_t vnodes = 64);
+
+  /// Adds a shard's vnodes (idempotent).
+  void add(std::uint32_t shard);
+
+  /// Removes a shard's vnodes (idempotent).
+  void remove(std::uint32_t shard);
+
+  bool contains(std::uint32_t shard) const;
+
+  /// Distinct shards on the ring.
+  std::size_t size() const { return shards_.size(); }
+
+  /// The shard owning `key`: the first point clockwise of it whose shard
+  /// `alive` accepts (a null predicate accepts everything). nullopt when
+  /// the ring is empty or no shard is acceptable.
+  std::optional<std::uint32_t> pick(
+      std::uint64_t key,
+      const std::function<bool(std::uint32_t)>& alive = {}) const;
+
+ private:
+  std::size_t vnodes_;
+  std::map<std::uint64_t, std::uint32_t> points_;  ///< ring point -> shard
+  std::vector<std::uint32_t> shards_;              ///< sorted distinct shards
+};
+
+}  // namespace hs::shard

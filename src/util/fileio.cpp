@@ -1,0 +1,37 @@
+#include "util/fileio.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace hs::util {
+
+bool write_file_atomic(const std::string& path, std::string_view contents,
+                       std::string* error) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      if (error) *error = "cannot open temp file: " + tmp;
+      return false;
+    }
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      if (error) *error = "write failed: " + tmp;
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error) *error = "rename to " + path + " failed";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hs::util

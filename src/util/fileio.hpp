@@ -1,0 +1,23 @@
+// Atomic file publication.
+//
+// A file that other processes poll while it is being written -- the
+// hsi-served --port-file a router or load generator watches for, a stats
+// drop a bench harvests -- must never be observable half-written. The
+// POSIX idiom is to write a sibling temp file and rename(2) it over the
+// target: readers then see either the old contents or the whole new
+// contents, never a prefix.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace hs::util {
+
+/// Writes `contents` to `path` atomically: a pid-unique sibling temp file
+/// is written, flushed and closed, then renamed over the target. Returns
+/// false (with the reason in *error when non-null) on any failure, after
+/// removing the temp file; the target is untouched on failure.
+bool write_file_atomic(const std::string& path, std::string_view contents,
+                       std::string* error = nullptr);
+
+}  // namespace hs::util

@@ -119,10 +119,13 @@ TEST(CacheFingerprint, JobFingerprintCoversFunctionalFields) {
   EXPECT_NE(serve::job_fingerprint(v), base_fp);
 }
 
-TEST(CacheFingerprint, EnviBackedJobsAreNotCacheable) {
+TEST(CacheFingerprint, UnreadableEnviJobsAreNotCacheable) {
+  // ENVI-backed jobs are cacheable when the whole file can be content-
+  // hashed into the fingerprint (tests/test_shard.cpp covers that path);
+  // an unreadable path falls back to path identity and stays uncacheable.
   serve::JobSpec spec = cacheable_spec();
   EXPECT_TRUE(serve::is_cacheable(spec));
-  spec.scene.envi_path = "/some/cube.hdr";
+  spec.scene.envi_path = "/no/such/cube.hdr";
   EXPECT_FALSE(serve::is_cacheable(spec));
 }
 

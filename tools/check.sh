@@ -4,8 +4,10 @@
 # concurrency suite (TSan and ASan are mutually exclusive, hence the
 # separate build dir), and a tracing-disabled (HS_TRACE=OFF)
 # configuration; then smoke-test the hsi-profile and hsi-served CLIs and
-# run the loopback TCP end-to-end smoke (hsi-served --listen driven by
-# hsi-loadgen, witness-checked against file mode).
+# run the loopback TCP end-to-end smokes: single-process (hsi-served
+# --listen driven by hsi-loadgen, witness-checked against file mode) and
+# sharded (--shards 2 spawning worker processes, same witness check, then
+# a SIGTERM drain).
 #
 # Usage: tools/check.sh [extra ctest args...]
 set -euo pipefail
@@ -133,6 +135,45 @@ smoke_net() {
   rm -rf "$out"
 }
 
+# Sharded loopback smoke: the same witness discipline as smoke_net, but
+# through the multi-process tier -- hsi-served --listen 0 --shards 2
+# fork/execs two of itself in --worker mode and consistent-hashes jobs
+# across them. hsi-loadgen must see every request answered exactly once
+# with hashes equal to the single-process file-mode report (bit-identical
+# outputs for any shard count), and SIGTERM must drain the router, its
+# workers, and the front door to a clean zero exit.
+smoke_shard() {
+  local dir="$1"
+  local out
+  out="$(mktemp -d)"
+  "$dir/tools/hsi-served" --requests examples/net_requests.jsonl \
+    --workers 2 --report "$out/file_report.json" > /dev/null
+  "$dir/tools/hsi-served" --listen 0 --shards 2 --port-file "$out/port" \
+    --shard-dir "$out/state" > "$out/served.log" 2>&1 &
+  local served_pid=$!
+  local ok=0
+  for _ in $(seq 1 100); do
+    [ -s "$out/port" ] && break
+    sleep 0.1
+  done
+  if [ -s "$out/port" ] \
+     && "$dir/tools/hsi-loadgen" --port "$(cat "$out/port")" \
+          --requests examples/net_requests.jsonl --clients 3 --count 8 \
+          --expect-report "$out/file_report.json" > "$out/loadgen.log" \
+     && kill -TERM "$served_pid" \
+     && wait "$served_pid"; then
+    ok=1
+  fi
+  if [ "$ok" != 1 ]; then
+    kill "$served_pid" 2>/dev/null || true
+    echo "shard smoke failed" >&2
+    cat "$out/served.log" "$out/loadgen.log" "$out"/state/shard*.log >&2 \
+      2>/dev/null || true
+    return 1
+  fi
+  rm -rf "$out"
+}
+
 CTEST_ARGS=("$@")
 
 echo "==> Release"
@@ -142,6 +183,7 @@ smoke_served build-release
 smoke_cache build-release
 smoke_telemetry build-release
 smoke_net build-release
+smoke_shard build-release
 
 echo "==> Sanitizers (address,undefined)"
 run_config build-sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -166,6 +208,9 @@ cmake --build build-tsan -j
 ctest --test-dir build-tsan --output-on-failure \
   -R 'ParallelPipeline|ChunkScheduler|Serve|Cache|ThreadPool|TaskGroup|StreamExecutor|Trace\.|Histogram|FlightRecorder|Timeline|Net' \
   -j "${CTEST_ARGS[@]}"
+# The sharded tier under TSan: the router's event-loop thread vs
+# submit/wait/kill callers, with real worker processes behind it.
+ctest --test-dir build-tsan --output-on-failure -L shard -j
 
 echo "==> Tracing compiled out (HS_TRACE=OFF)"
 run_config build-notrace -DCMAKE_BUILD_TYPE=Release -DHS_TRACE=OFF
@@ -174,5 +219,6 @@ smoke_served build-notrace
 smoke_cache build-notrace
 smoke_telemetry build-notrace
 smoke_net build-notrace
+smoke_shard build-notrace
 
 echo "==> All checks passed"

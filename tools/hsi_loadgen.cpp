@@ -8,7 +8,11 @@
 //     throughput self-limits to what the server sustains;
 //   * open: each client sends on a fixed schedule (--rate req/s per
 //     client) whether or not responses have arrived -- overload stays
-//     overloaded, which is what exercises 429-style shedding.
+//     overloaded, which is what exercises 429-style shedding. --seed N
+//     (N > 0) replaces the fixed ticks with a Poisson process: each
+//     client precomputes exponential inter-arrivals (mean 1/rate) from a
+//     deterministic per-client stream, so bursty-arrival runs replay
+//     bit-identically from one seed.
 //
 // Every request is tagged with a client-side "id" (its send index on that
 // connection); responses are matched back by the echoed id, so
@@ -40,10 +44,13 @@
 #include <thread>
 #include <vector>
 
+#include <cmath>
+
 #include "net/client.hpp"
 #include "net/protocol.hpp"
 #include "trace/json_check.hpp"
 #include "util/cli.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -93,10 +100,13 @@ struct Frame {
 };
 
 /// One client connection's whole run. `mode_open` paces sends by
-/// `interval`; closed mode keeps `window` requests in flight.
+/// `interval_s` ticks, or by `schedule` (cumulative arrival offsets in
+/// seconds, one per request) when non-empty; closed mode keeps `window`
+/// requests in flight.
 void run_client(const std::string& host, int port,
                 const std::vector<std::string>& lines, std::uint64_t count,
-                bool mode_open, double interval_s, std::uint64_t window,
+                bool mode_open, double interval_s,
+                const std::vector<double>& schedule, std::uint64_t window,
                 double timeout_s, ClientStats* stats) {
   net::Client client;
   std::string error;
@@ -180,10 +190,11 @@ void run_client(const std::string& host, int port,
 
   while (stats->latencies_ms.size() < count && stats->fatal.empty()) {
     if (mode_open) {
-      const auto due =
-          start + std::chrono::duration_cast<Clock::duration>(
-                      std::chrono::duration<double>(interval_s *
-                                                    static_cast<double>(next)));
+      const double due_s = next < schedule.size()
+                               ? schedule[next]
+                               : interval_s * static_cast<double>(next);
+      const auto due = start + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(due_s));
       if (next < count && Clock::now() >= due) {
         if (!send_one()) break;
         continue;
@@ -277,6 +288,10 @@ int run(int argc, char** argv) {
   cli.add_flag("mode", "arrival discipline: closed | open", "closed");
   cli.add_flag("window", "closed mode: in-flight requests per client", "1");
   cli.add_flag("rate", "open mode: requests/second per client", "50");
+  cli.add_flag("seed",
+               "open mode: > 0 draws Poisson arrivals (mean --rate) from "
+               "this seed instead of fixed ticks; reproducible per client",
+               "0");
   cli.add_flag("timeout", "per-response timeout in seconds", "30");
   cli.add_flag("expect-report",
                "hsi-served file-mode report to witness-check against", "");
@@ -323,6 +338,16 @@ int run(int argc, char** argv) {
     std::cerr << "hsi-loadgen: --rate and --timeout must be > 0\n";
     return 1;
   }
+  const std::int64_t seed = cli.get_int("seed", 0);
+  if (seed < 0) {
+    std::cerr << "hsi-loadgen: --seed must be >= 0\n";
+    return 1;
+  }
+  if (seed > 0 && mode != "open") {
+    std::cerr << "hsi-loadgen: --seed paces open-loop arrivals; "
+                 "pass --mode open\n";
+    return 1;
+  }
 
   std::vector<std::string> lines;
   {
@@ -354,6 +379,25 @@ int run(int argc, char** argv) {
   }
 
   const std::string host = cli.get("host", "127.0.0.1");
+  // --seed: one independent deterministic arrival schedule per client,
+  // exponential inter-arrivals with mean 1/rate (a Poisson process), fully
+  // precomputed so the send path costs the same as the fixed-tick one.
+  std::vector<std::vector<double>> schedules(
+      static_cast<std::size_t>(clients));
+  if (seed > 0) {
+    for (std::int64_t c = 0; c < clients; ++c) {
+      util::SplitMix64 sm(static_cast<std::uint64_t>(seed));
+      for (std::int64_t skip = 0; skip <= c; ++skip) sm.next();
+      util::Xoshiro256 rng(sm.next());
+      std::vector<double>& sched = schedules[static_cast<std::size_t>(c)];
+      sched.reserve(static_cast<std::size_t>(count));
+      double t = 0;
+      for (std::int64_t i = 0; i < count; ++i) {
+        t += -std::log(1.0 - rng.uniform()) / rate;
+        sched.push_back(t);
+      }
+    }
+  }
   std::vector<ClientStats> stats(static_cast<std::size_t>(clients));
   std::vector<std::thread> threads;
   util::Timer wall;
@@ -361,6 +405,7 @@ int run(int argc, char** argv) {
     threads.emplace_back(run_client, host, *port, std::cref(lines),
                          static_cast<std::uint64_t>(count), mode == "open",
                          rate > 0 ? 1.0 / rate : 0,
+                         std::cref(schedules[static_cast<std::size_t>(c)]),
                          static_cast<std::uint64_t>(window), timeout_s,
                          &stats[static_cast<std::size_t>(c)]);
   }

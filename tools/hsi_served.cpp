@@ -11,10 +11,19 @@
 // (net/protocol.hpp documents the wire frames): persistent connections
 // submit the same request schema as newline-delimited JSON and results
 // stream back as they complete. Port 0 binds an ephemeral port;
-// --port-file writes the bound port for scripts to discover. SIGTERM and
-// SIGINT request a graceful drain: stop accepting, finish in-flight jobs,
-// flush every response, then report as below. hsi-loadgen is the matching
-// load-generating client.
+// --port-file writes the bound port (atomically: tmp + rename) for
+// scripts to discover. SIGTERM and SIGINT request a graceful drain: stop
+// accepting, finish in-flight jobs, flush every response, then report as
+// below. hsi-loadgen is the matching load-generating client.
+//
+// Listen mode scales out with --shards N: instead of an in-process
+// serve::Server, the front door routes into an hs::shard::Router that
+// fork/execs N copies of this binary in --worker mode (each a full
+// single-process serving stack on a loopback socket) and consistent-hashes
+// jobs across them by fingerprint (shard/router.hpp). --worker is the
+// quiet flip side: a plain listen-mode server that skips the report
+// tables (its stdout is the router's per-shard log) and drops a compact
+// stats JSON (--stats-file) at clean exit for the bench to read.
 //
 // Either mode reports:
 //   * a per-job result table on stdout (state, attempts, queue/run time,
@@ -55,16 +64,20 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "net/net_server.hpp"
 #include "net/protocol.hpp"
 #include "serve/request.hpp"
 #include "serve/server.hpp"
 #include "serve/timeline.hpp"
+#include "shard/router.hpp"
 #include "trace/histogram.hpp"
 #include "trace/json_check.hpp"
 #include "trace/snapshot.hpp"
 #include "trace/trace.hpp"
 #include "util/cli.hpp"
+#include "util/fileio.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -128,6 +141,29 @@ bool write_report(const std::string& path,
   return out.good();
 }
 
+/// The compact stats drop a shard router's bench reads back per worker:
+/// job/done/cached counts plus the result-cache counters, written
+/// atomically so a reader never sees a partial file.
+bool write_stats_file(const std::string& path, serve::Server& server,
+                      const std::vector<serve::JobResult>& results) {
+  std::size_t done = 0, cached = 0;
+  for (const serve::JobResult& r : results) {
+    if (r.state == serve::JobState::Done) {
+      ++done;
+      if (r.cached) ++cached;
+    }
+  }
+  const cache::CacheStats rs = server.result_cache_stats();
+  std::ostringstream os;
+  os << "{\"name\": \"hsi-served\", \"jobs\": " << results.size()
+     << ", \"done\": " << done << ", \"cached\": " << cached
+     << ", \"cache_hits\": " << rs.hits
+     << ", \"cache_misses\": " << rs.misses
+     << ", \"cache_evictions\": " << rs.evictions
+     << ", \"cache_bytes\": " << rs.bytes << "}\n";
+  return util::write_file_atomic(path, os.str());
+}
+
 bool validate_json_file(const std::string& path, const char* what) {
   std::string error;
   if (!trace::json::parse(slurp(path), &error)) {
@@ -150,7 +186,7 @@ void on_drain_signal(int) {
 /// Everything after the serve: result table, cache/latency summaries,
 /// witness-drift check, and every requested JSON export with strict
 /// re-validation. Shared verbatim by file and listen mode.
-int report_results(util::Cli& cli, serve::Server& server,
+int report_results(util::Cli& cli, serve::Server* server,
                    const std::vector<serve::JobResult>& results, double wall_s,
                    trace::SnapshotExporter* exporter, std::int64_t cache_mb,
                    const std::string& flight_dir,
@@ -185,10 +221,10 @@ int report_results(util::Cli& cli, serve::Server& server,
                              " jobs in " + util::format_duration(wall_s));
   std::cout << "\n" << done << "/" << results.size() << " done, " << terminal
             << "/" << results.size() << " terminal\n";
-  if (cache_mb > 0) {
-    const cache::CacheStats rs = server.result_cache_stats();
-    const cache::CacheStats ss = server.scene_cache_stats();
-    const gpusim::SharedProgramStore::Stats ps = server.program_store_stats();
+  if (server != nullptr && cache_mb > 0) {
+    const cache::CacheStats rs = server->result_cache_stats();
+    const cache::CacheStats ss = server->scene_cache_stats();
+    const gpusim::SharedProgramStore::Stats ps = server->program_store_stats();
     std::cout << "cache: results " << rs.hits << " hits / " << rs.misses
               << " misses / " << rs.evictions << " evictions (" << rs.bytes
               << " bytes), scenes " << ss.hits << " hits / " << ss.misses
@@ -333,6 +369,20 @@ int run(int argc, char** argv) {
                "32");
   cli.add_flag("progress",
                "listen mode: stream per-chunk progress frames");
+  cli.add_flag("shards",
+               "listen mode: shard the serve across this many worker "
+               "processes (0 = in-process)",
+               "0");
+  cli.add_flag("shard-dir",
+               "shard mode: state directory for worker port files and logs",
+               "");
+  cli.add_flag("worker",
+               "quiet worker mode under a shard router (listen mode; "
+               "skips report tables)");
+  cli.add_flag("stats-file",
+               "write a compact serve-stats JSON (jobs/done/cached + "
+               "cache counters) at exit",
+               "");
   cli.add_flag("workers", "server worker threads", "1");
   cli.add_flag("queue-depth", "admission: max queued jobs", "64");
   cli.add_flag("max-seconds", "admission: cost-model seconds budget (0 = off)",
@@ -399,6 +449,31 @@ int run(int argc, char** argv) {
   if (listen_mode && (repeat != 1 || !fault_arg.empty())) {
     std::cerr << "hsi-served: --repeat and --fault are file-mode flags "
                  "(ids are not known up front in listen mode)\n";
+    return 1;
+  }
+  const bool worker_mode = cli.get_bool("worker", false);
+  const std::int64_t shards = cli.get_int("shards", 0);
+  if (shards < 0) {
+    std::cerr << "hsi-served: --shards must be >= 0\n";
+    return 1;
+  }
+  if ((worker_mode || shards > 0) && !listen_mode) {
+    std::cerr << "hsi-served: --worker and --shards require --listen\n";
+    return 1;
+  }
+  if (worker_mode && shards > 0) {
+    std::cerr << "hsi-served: --worker and --shards are mutually exclusive\n";
+    return 1;
+  }
+  const std::string stats_file = cli.get("stats-file", "");
+  if (shards > 0 && !cli.get("timelines", "").empty()) {
+    std::cerr << "hsi-served: --timelines is a single-process flag (shard "
+                 "workers own their job timelines)\n";
+    return 1;
+  }
+  if (shards > 0 && !stats_file.empty()) {
+    std::cerr << "hsi-served: --stats-file is per-process; shard workers "
+                 "write their own into --shard-dir\n";
     return 1;
   }
   std::int64_t cache_mb = cli.get_int("cache-mb", 64);
@@ -501,9 +576,48 @@ int run(int argc, char** argv) {
   }
 
   util::Timer wall;
-  serve::Server server(options);
 
   if (listen_mode) {
+    // The backend behind the front door: an in-process serve::Server, or
+    // in shard mode a Router fanning out over worker processes running
+    // this same binary in --worker mode.
+    std::unique_ptr<serve::Server> server;
+    std::unique_ptr<shard::Router> router;
+    serve::JobBackend* backend = nullptr;
+    if (shards > 0) {
+      shard::RouterOptions ropt;
+      ropt.shards = static_cast<std::size_t>(shards);
+      char exe[4096];
+      const ssize_t n = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+      if (n <= 0) {
+        std::cerr << "hsi-served: cannot resolve own binary path for "
+                     "--shards workers\n";
+        return 1;
+      }
+      exe[n] = '\0';
+      ropt.worker_cmd = exe;
+      ropt.state_dir = cli.get("shard-dir", "");
+      ropt.worker_threads = static_cast<std::size_t>(workers);
+      ropt.worker_queue_depth = static_cast<std::size_t>(depth);
+      ropt.worker_cache_mb = static_cast<std::uint64_t>(cache_mb);
+      ropt.progress_events = cli.get_bool("progress", false);
+      ropt.flight_dump_dir = flight_dir;
+      router = std::make_unique<shard::Router>(ropt);
+      try {
+        router->start();
+      } catch (const std::exception& e) {
+        std::cerr << "hsi-served: " << e.what() << "\n";
+        return 1;
+      }
+      std::cout << "hsi-served: " << router->alive_shards() << "/" << shards
+                << " shards up (state: " << router->options().state_dir
+                << ")\n";
+      backend = router.get();
+    } else {
+      server = std::make_unique<serve::Server>(options);
+      backend = server.get();
+    }
+
     net::NetServerOptions nopt;
     nopt.port = *listen_port;
     nopt.max_connections = static_cast<std::size_t>(max_conns);
@@ -511,17 +625,18 @@ int run(int argc, char** argv) {
     nopt.progress_events = cli.get_bool("progress", false);
     std::unique_ptr<net::NetServer> front;
     try {
-      front = std::make_unique<net::NetServer>(server, nopt);
+      front = std::make_unique<net::NetServer>(*backend, nopt);
     } catch (const std::exception& e) {
       std::cerr << "hsi-served: " << e.what() << "\n";
       return 1;
     }
     const std::string port_file = cli.get("port-file", "");
     if (!port_file.empty()) {
-      std::ofstream pf(port_file);
-      pf << front->port() << "\n";
-      if (!pf.good()) {
-        std::cerr << "hsi-served: cannot write " << port_file << "\n";
+      std::string error;
+      if (!util::write_file_atomic(
+              port_file, std::to_string(front->port()) + "\n", &error)) {
+        std::cerr << "hsi-served: cannot write " << port_file << ": " << error
+                  << "\n";
         return 1;
       }
     }
@@ -536,7 +651,11 @@ int run(int argc, char** argv) {
     front->run();  // until a signal (or in-process request_stop)
 
     g_front_door.store(nullptr, std::memory_order_release);
-    server.shutdown(/*drain=*/true);
+    if (router) {
+      router->shutdown(/*drain=*/true);
+    } else {
+      server->shutdown(/*drain=*/true);
+    }
     const double wall_s = wall.seconds();
     if (exporter) exporter->stop();
     const net::NetServer::Stats ns = front->stats();
@@ -546,18 +665,74 @@ int run(int argc, char** argv) {
               << " submitted, " << ns.rejected << " rejected, "
               << ns.results_sent << " results, " << ns.orphaned_results
               << " orphaned\n";
-    return report_results(cli, server, server.results(), wall_s,
-                          exporter.get(), cache_mb, flight_dir, snapshot_path);
+    const std::vector<serve::JobResult> results =
+        router ? router->results() : server->results();
+    if (router) {
+      const shard::Router::Stats st = router->stats();
+      std::cout << "shard: " << st.submitted << " submitted, " << st.routed
+                << " routed, " << st.rerouted << " rerouted, " << st.parked
+                << " parked, " << st.completed << " completed, "
+                << st.rejected << " rejected, " << st.failed << " failed, "
+                << st.deaths << " deaths, " << st.restarts << " restarts\n";
+      const std::vector<shard::Router::ShardStats> per = router->shard_stats();
+      for (std::size_t k = 0; k < per.size(); ++k) {
+        std::cout << "shard " << k << ": " << per[k].routed << " routed, "
+                  << per[k].done << " done (" << per[k].cached << " cached), "
+                  << per[k].rejected << " rejected, " << per[k].restarts
+                  << " restarts\n";
+      }
+    }
+    bool ok = true;
+    if (!stats_file.empty() && server) {
+      if (write_stats_file(stats_file, *server, results)) {
+        std::cout << "stats: " << stats_file << "\n";
+      } else {
+        std::cerr << "hsi-served: cannot write " << stats_file << "\n";
+        ok = false;
+      }
+    }
+    if (worker_mode) {
+      // Quiet path: stdout is the router's per-shard log. The terminal
+      // invariant still gates the exit status.
+      std::size_t terminal = 0;
+      for (const serve::JobResult& r : results) {
+        if (serve::is_terminal(r.state)) ++terminal;
+      }
+      std::cout << "hsi-served worker: " << results.size() << " jobs, "
+                << terminal << " terminal in " << util::format_duration(wall_s)
+                << "\n";
+      if (terminal != results.size()) {
+        std::cerr << "hsi-served: some jobs never reached a terminal state\n";
+        ok = false;
+      }
+      return ok ? 0 : 2;
+    }
+    const int rc =
+        report_results(cli, server.get(), results, wall_s, exporter.get(),
+                       cache_mb, flight_dir, snapshot_path);
+    return ok ? rc : 2;
   }
 
+  serve::Server server(options);
   for (std::int64_t pass = 0; pass < repeat; ++pass) {
     for (const serve::JobSpec& spec : batch.jobs) server.submit(spec);
   }
   server.shutdown(/*drain=*/true);
   const double wall_s = wall.seconds();
   if (exporter) exporter->stop();
-  return report_results(cli, server, server.results(), wall_s, exporter.get(),
-                        cache_mb, flight_dir, snapshot_path);
+  bool ok = true;
+  if (!stats_file.empty()) {
+    if (write_stats_file(stats_file, server, server.results())) {
+      std::cout << "stats: " << stats_file << "\n";
+    } else {
+      std::cerr << "hsi-served: cannot write " << stats_file << "\n";
+      ok = false;
+    }
+  }
+  const int rc =
+      report_results(cli, &server, server.results(), wall_s, exporter.get(),
+                     cache_mb, flight_dir, snapshot_path);
+  return ok ? rc : 2;
 }
 
 }  // namespace
