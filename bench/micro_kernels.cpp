@@ -3,10 +3,11 @@
 // interpreter, texture fetches, and the cache model. These quantify the
 // host-side cost of simulation, not the modeled GPU time.
 //
-// The custom main() additionally times the two device execution engines
+// The custom main() additionally times the three device execution engines
 // head to head on the pipeline's heaviest shaders (the fused SID
 // cumulative-distance kernel and the MEI kernel) and, with `--json <path>`,
-// writes wall and modeled times plus the speedup to BENCH_micro_kernels.json.
+// writes wall and modeled times plus the speedups to
+// BENCH_micro_kernels.json.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -225,18 +226,33 @@ BENCHMARK(BM_HalfQuantize);
 
 // ---- execution-engine head-to-head -----------------------------------------
 //
-// Times the interpreter and the compiled engine on the pipeline's two
-// heaviest shaders over a 256x256 viewport (the scale of one AMC chunk
-// slice). Both engines produce bit-identical results; this measures pure
-// host-side simulation throughput.
+// Times the interpreter, the compiled engine and the SoA engine on the
+// pipeline's two heaviest shaders over a 256x256 viewport (the scale of
+// one AMC chunk slice). All engines produce bit-identical results; this
+// measures pure host-side simulation throughput.
+//
+// Engine-vs-engine speedups (`speedup_soa_vs_compiled`) are measured with
+// the texture-cache model off: cache replay is a shared bit-exactness
+// contract -- both engines must walk the identical canonical probe
+// sequence, so its cost is common by construction and dilutes any
+// engine-side win. The cache-on wall times are recorded alongside so the
+// full-model cost is visible too.
 
 struct EngineTiming {
   double interp_seconds = 0;
   double compiled_seconds = 0;
-  double modeled_seconds = 0;  ///< identical for both engines
+  double soa_seconds = 0;
+  double compiled_nocache_seconds = 0;
+  double soa_nocache_seconds = 0;
+  double modeled_seconds = 0;  ///< identical for all engines
 
   double speedup() const {
     return compiled_seconds > 0 ? interp_seconds / compiled_seconds : 0;
+  }
+  double speedup_soa_vs_compiled() const {
+    return soa_nocache_seconds > 0
+               ? compiled_nocache_seconds / soa_nocache_seconds
+               : 0;
   }
 };
 
@@ -244,13 +260,26 @@ EngineTiming time_engines(const gpusim::FragmentProgram& program,
                           const std::vector<gpusim::TextureFormat>& in_formats,
                           std::span<const gpusim::float4> constants, int size,
                           int reps) {
+  struct Variant {
+    gpusim::ExecEngine engine;
+    bool texture_cache;
+    double EngineTiming::* slot;
+  };
+  const Variant variants[] = {
+      {gpusim::ExecEngine::Interpreter, true, &EngineTiming::interp_seconds},
+      {gpusim::ExecEngine::Compiled, true, &EngineTiming::compiled_seconds},
+      {gpusim::ExecEngine::Soa, true, &EngineTiming::soa_seconds},
+      {gpusim::ExecEngine::Compiled, false,
+       &EngineTiming::compiled_nocache_seconds},
+      {gpusim::ExecEngine::Soa, false, &EngineTiming::soa_nocache_seconds},
+  };
   EngineTiming timing;
-  for (int engine = 0; engine < 2; ++engine) {
+  for (const Variant& variant : variants) {
     gpusim::DeviceProfile profile = gpusim::geforce_7800_gtx();
     profile.fragment_pipes = 4;
     gpusim::SimConfig config;
-    config.exec_engine = engine == 0 ? gpusim::ExecEngine::Interpreter
-                                     : gpusim::ExecEngine::Compiled;
+    config.exec_engine = variant.engine;
+    config.texture_cache = variant.texture_cache;
     gpusim::Device dev(profile, config);
 
     util::Xoshiro256 rng(11);
@@ -280,17 +309,16 @@ EngineTiming time_engines(const gpusim::FragmentProgram& program,
     (void)dev.draw(program, ins, constants, outs);  // warm-up (and compile)
     // Best-of-reps: a loaded machine only ever inflates a wall-clock
     // sample, so the minimum is the most repeatable throughput estimate
-    // (and treats both engines alike).
+    // (and treats every engine alike).
     double seconds = std::numeric_limits<double>::infinity();
     for (int r = 0; r < reps; ++r) {
       util::Timer wall;
       modeled += dev.draw(program, ins, constants, outs).modeled_seconds;
       seconds = std::min(seconds, wall.seconds());
     }
-    if (engine == 0) {
-      timing.interp_seconds = seconds;
-    } else {
-      timing.compiled_seconds = seconds;
+    timing.*variant.slot = seconds;
+    if (variant.engine == gpusim::ExecEngine::Compiled &&
+        variant.texture_cache) {
       timing.modeled_seconds = modeled / reps;
     }
   }
@@ -320,24 +348,34 @@ void run_engine_comparison(const std::string& json_path) {
   const EngineTiming t_mei = time_engines(
       mei, {TF::RGBA32F, TF::RGBA32F, TF::RGBA32F, TF::R32F}, {}, kSize, kReps);
 
-  util::Table table({"Shader", "interpreter", "compiled", "speedup"});
-  table.add_row({"SID cumdist (9 nbrs)", util::format_duration(t_sid.interp_seconds),
-                 util::format_duration(t_sid.compiled_seconds),
-                 util::Table::num(t_sid.speedup(), 2) + "x"});
-  table.add_row({"MEI", util::format_duration(t_mei.interp_seconds),
-                 util::format_duration(t_mei.compiled_seconds),
-                 util::Table::num(t_mei.speedup(), 2) + "x"});
+  util::Table table(
+      {"Shader", "interpreter", "compiled", "soa", "interp/compiled",
+       "soa vs compiled (engine)"});
+  auto add_row = [&table](const std::string& name, const EngineTiming& t) {
+    table.add_row({name, util::format_duration(t.interp_seconds),
+                   util::format_duration(t.compiled_seconds),
+                   util::format_duration(t.soa_seconds),
+                   util::Table::num(t.speedup(), 2) + "x",
+                   util::Table::num(t.speedup_soa_vs_compiled(), 2) + "x"});
+  };
+  add_row("SID cumdist (9 nbrs)", t_sid);
+  add_row("MEI", t_mei);
   std::cout << "\n";
   table.print(std::cout,
               "Execution engines, 256x256 pass wall time (bit-identical "
-              "results)");
+              "results; engine speedup measured with the cache model off)");
 
   if (!json_path.empty()) {
     bench::JsonReport report("micro_kernels");
     auto emit = [&report](const std::string& bench, const EngineTiming& t) {
       report.add(bench, "wall_seconds_interpreter", t.interp_seconds);
       report.add(bench, "wall_seconds_compiled", t.compiled_seconds);
+      report.add(bench, "wall_seconds_soa", t.soa_seconds);
+      report.add(bench, "wall_seconds_compiled_nocache",
+                 t.compiled_nocache_seconds);
+      report.add(bench, "wall_seconds_soa_nocache", t.soa_nocache_seconds);
       report.add(bench, "speedup", t.speedup());
+      report.add(bench, "speedup_soa_vs_compiled", t.speedup_soa_vs_compiled());
       report.add(bench, "modeled_seconds", t.modeled_seconds);
     };
     emit("device_pass_sid", t_sid);

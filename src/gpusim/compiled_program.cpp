@@ -350,6 +350,12 @@ ProgramCache::ProgramCache(std::size_t capacity)
 const CompiledProgram& ProgramCache::get(
     const FragmentProgram& program, std::span<const float4> constants,
     std::span<const Texture2D* const> textures) {
+  return *get_shared(program, constants, textures);
+}
+
+std::shared_ptr<const CompiledProgram> ProgramCache::get_shared(
+    const FragmentProgram& program, std::span<const float4> constants,
+    std::span<const Texture2D* const> textures) {
   std::vector<std::uint8_t> key = make_key(program, constants, textures);
   const std::uint64_t hash = fnv1a(key);
   for (Entry& e : entries_) {
@@ -357,7 +363,7 @@ const CompiledProgram& ProgramCache::get(
       ++hits_;
       trace_hits_->increment();
       e.stamp = ++stamp_;
-      return *e.program;
+      return e.program;
     }
   }
   ++misses_;
@@ -379,7 +385,7 @@ const CompiledProgram& ProgramCache::get(
                   : std::make_shared<const CompiledProgram>(
                         compile_program(program, constants, textures));
   entries_.push_back(std::move(e));
-  return *entries_.back().program;
+  return entries_.back().program;
 }
 
 // ---- tile executor ---------------------------------------------------------

@@ -183,6 +183,13 @@ class ProgramCache {
                              std::span<const float4> constants,
                              std::span<const Texture2D* const> textures);
 
+  /// get() returning the owning pointer: second-stage lowerings (the SoA
+  /// engine's plan cache) key off CompiledProgram identity and need the
+  /// program to outlive a concurrent eviction.
+  std::shared_ptr<const CompiledProgram> get_shared(
+      const FragmentProgram& program, std::span<const float4> constants,
+      std::span<const Texture2D* const> textures);
+
   std::size_t size() const { return entries_.size(); }
   std::size_t capacity() const { return capacity_; }
   std::uint64_t hits() const { return hits_; }

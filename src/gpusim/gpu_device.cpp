@@ -34,10 +34,33 @@ void annotate_pass_span(trace::Span& span, const PassStats& stats) {
 }
 }  // namespace
 
+bool parse_exec_engine(std::string_view name, ExecEngine& out) {
+  if (name == "interpreter") {
+    out = ExecEngine::Interpreter;
+  } else if (name == "compiled") {
+    out = ExecEngine::Compiled;
+  } else if (name == "soa") {
+    out = ExecEngine::Soa;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* exec_engine_name(ExecEngine engine) {
+  switch (engine) {
+    case ExecEngine::Interpreter: return "interpreter";
+    case ExecEngine::Compiled: return "compiled";
+    case ExecEngine::Soa: return "soa";
+  }
+  return "?";
+}
+
 Device::Device(DeviceProfile profile, SimConfig config)
     : profile_(std::move(profile)),
       config_(config),
       program_cache_(config.program_cache_capacity),
+      soa_cache_(config.program_cache_capacity),
       pool_(resolve_threads(config, profile_.fragment_pipes)) {
   HS_ASSERT(profile_.fragment_pipes > 0);
   program_cache_.set_shared_store(config_.shared_programs);
@@ -330,11 +353,14 @@ PassStats Device::draw(const FragmentProgram& program,
   std::vector<TileTouchTracker> pipe_tiles = make_tile_trackers(bound);
   for (auto& cache : pipe_caches_) cache.flush();
 
-  // Lower (or fetch from the cache) once per pass, outside the pipe loop.
-  const CompiledProgram* compiled =
-      config_.exec_engine == ExecEngine::Compiled
-          ? &program_cache_.get(program, constants, bound.inputs)
-          : nullptr;
+  // Lower (or fetch from the caches) once per pass, outside the pipe loop.
+  const CompiledProgram* compiled = nullptr;
+  std::shared_ptr<const SoaProgram> soa;
+  if (config_.exec_engine == ExecEngine::Soa) {
+    soa = soa_cache_.get(program_cache_.get_shared(program, constants, bound.inputs));
+  } else if (config_.exec_engine == ExecEngine::Compiled) {
+    compiled = &program_cache_.get(program, constants, bound.inputs);
+  }
 
   // Contiguous row blocks per logical pipe: deterministic partitioning that
   // is independent of the host thread count, so cache statistics and
@@ -348,15 +374,19 @@ PassStats Device::draw(const FragmentProgram& program,
         height, kTrackerTile * (static_cast<int>(pipe) * tile_rows / pipes));
     const int y_end = std::min(
         height, kTrackerTile * (static_cast<int>(pipe + 1) * tile_rows / pipes));
-    if (compiled != nullptr) {
+    if (compiled != nullptr || soa != nullptr) {
       CompiledBindings cb;
       cb.textures = bound.inputs;
       cb.texture_ids = bound.input_ids;
       cb.targets = bound.targets;
       cb.cache = config_.texture_cache ? &pipe_caches_[pipe] : nullptr;
       cb.tiles = config_.texture_cache ? &pipe_tiles[pipe] : nullptr;
-      run_compiled_rows(*compiled, cb, width, y_begin, y_end,
-                        pipe_counters[pipe]);
+      if (soa != nullptr) {
+        run_soa_rows(*soa, cb, width, y_begin, y_end, pipe_counters[pipe]);
+      } else {
+        run_compiled_rows(*compiled, cb, width, y_begin, y_end,
+                          pipe_counters[pipe]);
+      }
       return;
     }
     FragmentContext ctx;
@@ -402,10 +432,13 @@ PassStats Device::draw_fragments(const FragmentProgram& program,
   std::vector<TileTouchTracker> pipe_tiles = make_tile_trackers(bound);
   for (auto& cache : pipe_caches_) cache.flush();
 
-  const CompiledProgram* compiled =
-      config_.exec_engine == ExecEngine::Compiled
-          ? &program_cache_.get(program, constants, bound.inputs)
-          : nullptr;
+  const CompiledProgram* compiled = nullptr;
+  std::shared_ptr<const SoaProgram> soa;
+  if (config_.exec_engine == ExecEngine::Soa) {
+    soa = soa_cache_.get(program_cache_.get_shared(program, constants, bound.inputs));
+  } else if (config_.exec_engine == ExecEngine::Compiled) {
+    compiled = &program_cache_.get(program, constants, bound.inputs);
+  }
 
   // Contiguous fragment ranges per logical pipe: raster order preserves
   // the triangles' spatial locality, and the partition is deterministic.
@@ -413,15 +446,21 @@ PassStats Device::draw_fragments(const FragmentProgram& program,
   auto run_pipe = [&](std::size_t pipe) {
     const std::size_t begin = pipe * n / static_cast<std::size_t>(pipes);
     const std::size_t end = (pipe + 1) * n / static_cast<std::size_t>(pipes);
-    if (compiled != nullptr) {
+    if (compiled != nullptr || soa != nullptr) {
       CompiledBindings cb;
       cb.textures = bound.inputs;
       cb.texture_ids = bound.input_ids;
       cb.targets = bound.targets;
       cb.cache = config_.texture_cache ? &pipe_caches_[pipe] : nullptr;
       cb.tiles = config_.texture_cache ? &pipe_tiles[pipe] : nullptr;
-      run_compiled_fragments(*compiled, cb, fragments.subspan(begin, end - begin),
-                             pipe_counters[pipe]);
+      if (soa != nullptr) {
+        run_soa_fragments(*soa, cb, fragments.subspan(begin, end - begin),
+                          pipe_counters[pipe]);
+      } else {
+        run_compiled_fragments(*compiled, cb,
+                               fragments.subspan(begin, end - begin),
+                               pipe_counters[pipe]);
+      }
       return;
     }
     FragmentContext ctx;

@@ -19,9 +19,11 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "gpusim/compiled_program.hpp"
+#include "gpusim/soa_program.hpp"
 #include "gpusim/device_profile.hpp"
 #include "gpusim/fragment_ir.hpp"
 #include "gpusim/interpreter.hpp"
@@ -41,14 +43,23 @@ class GpuOutOfMemory : public std::runtime_error {
 /// Opaque texture identifier. 0 is never a valid handle.
 using TextureHandle = std::uint32_t;
 
-/// Fragment-program execution engine. Both engines produce bit-identical
+/// Fragment-program execution engine. All engines produce bit-identical
 /// outputs, counters, cache statistics and modeled times (see
-/// compiled_program.hpp for the exactness guarantee); the interpreter is
-/// the simple reference, the compiled engine the fast default.
+/// compiled_program.hpp and soa_program.hpp for the exactness
+/// guarantees); the interpreter is the simple reference, the compiled
+/// engine the default, and the SoA engine the fast path.
 enum class ExecEngine : std::uint8_t {
   Interpreter,  ///< decode every operand per fragment (reference)
   Compiled,     ///< pre-decoded, tile-batched SoA execution
+  Soa,          ///< + fetch classification, runtime DCE, SIMD lane loops
 };
+
+/// Parses "interpreter" / "compiled" / "soa" (exact, lowercase); returns
+/// false and leaves `out` untouched on anything else.
+bool parse_exec_engine(std::string_view name, ExecEngine& out);
+
+/// The canonical CLI name of an engine (inverse of parse_exec_engine).
+const char* exec_engine_name(ExecEngine engine);
 
 struct SimConfig {
   /// OS worker threads executing simulated pipes. 0 = auto
@@ -241,6 +252,7 @@ class Device {
   std::uint64_t memory_used_ = 0;
   std::vector<TextureCache> pipe_caches_;  // one per logical pipe
   ProgramCache program_cache_;
+  SoaProgramCache soa_cache_;  // second-stage plans (ExecEngine::Soa)
   util::ThreadPool pool_;
   DeviceTotals totals_;
 };

@@ -148,12 +148,13 @@ class Texture2D {
     return true;
   }
 
- private:
   /// floor() by truncate-and-adjust: a single int conversion instead of a
   /// libm call. Exact for every float whose floor fits in int; NaN and
   /// out-of-range values saturate to INT_MIN deterministically (the x86
   /// float->int conversion's behaviour, which the previous
   /// static_cast<int>(std::floor(s)) produced via undefined behaviour).
+  /// Public because the SoA engine's split gather loops must replicate
+  /// resolve() semantics component-by-component, bit-exactly.
   static int floor_to_int(float s) {
     if (!(s >= -2147483648.0f && s < 2147483648.0f)) {
       return std::numeric_limits<int>::min();
@@ -162,6 +163,7 @@ class Texture2D {
     return static_cast<float>(i) > s ? i - 1 : i;
   }
 
+ private:
   static int wrap_coord(int v, int size, AddressMode mode) {
     switch (mode) {
       case AddressMode::ClampToEdge:

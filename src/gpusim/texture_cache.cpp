@@ -62,7 +62,8 @@ std::uint64_t TextureCache::access_tags(const std::uint64_t* tags,
     for (std::size_t i = 0; i < n; ++i) {
       const std::uint64_t tag = tags[i];
       const std::uint64_t h = tag * 0x9E3779B97F4A7C15ULL;
-      Line* const p = lines + ((h >> 32) & mask) * 4;
+      const std::uint64_t set = (h >> 32) & mask;
+      Line* const p = lines + set * 4;
       if (p[0].tag == tag) { p[0].lru = ++stamp; ++hits; continue; }
       if (p[1].tag == tag) { p[1].lru = ++stamp; ++hits; continue; }
       if (p[2].tag == tag) { p[2].lru = ++stamp; ++hits; continue; }
@@ -82,6 +83,77 @@ std::uint64_t TextureCache::access_tags(const std::uint64_t* tags,
   }
   add_accesses(n, hits);
   return hits;
+}
+
+void TextureCache::ReplaySession::replay_matrix(const std::uint64_t* const* rows,
+                                                int na, int lanes) {
+  TextureCache& c = cache_;
+  // Everything mutable lives in locals for the whole matrix: lru stores
+  // are plain uint64 writes that would otherwise alias (and so force
+  // reloads of) the session's own uint64 members after every probe.
+  Line* const lines = c.lines_.data();
+  std::uint64_t stamp = stamp_;
+  std::uint64_t accesses = accesses_;
+  std::uint64_t hits = hits_;
+  if (c.ways4_ && c.set_mask_ != 0) {
+    // Unrolled default geometry, exactly access_tag_quiet()'s fast path.
+    const std::uint64_t mask = c.set_mask_;
+    for (int l = 0; l < lanes; ++l) {
+      for (int a = 0; a < na; ++a) {
+        const std::uint64_t tag = rows[a][l];
+        if (tag == kSkipTag) continue;
+        const std::uint64_t h = tag * 0x9E3779B97F4A7C15ULL;
+        Line* const p = lines + ((h >> 32) & mask) * 4;
+        ++accesses;
+        if (p[0].tag == tag) { p[0].lru = ++stamp; ++hits; continue; }
+        if (p[1].tag == tag) { p[1].lru = ++stamp; ++hits; continue; }
+        if (p[2].tag == tag) { p[2].lru = ++stamp; ++hits; continue; }
+        if (p[3].tag == tag) { p[3].lru = ++stamp; ++hits; continue; }
+        Line* v = p;
+        if (p[1].lru < v->lru) v = p + 1;
+        if (p[2].lru < v->lru) v = p + 2;
+        if (p[3].lru < v->lru) v = p + 3;
+        v->tag = tag;
+        v->lru = ++stamp;
+      }
+    }
+  } else {
+    const std::uint64_t mask = c.set_mask_;
+    const std::uint64_t nsets = static_cast<std::uint64_t>(c.num_sets_);
+    const int assoc = c.config_.associativity;
+    for (int l = 0; l < lanes; ++l) {
+      for (int a = 0; a < na; ++a) {
+        const std::uint64_t tag = rows[a][l];
+        if (tag == kSkipTag) continue;
+        const std::uint64_t h = tag * 0x9E3779B97F4A7C15ULL;
+        const std::uint64_t set =
+            mask != 0 ? ((h >> 32) & mask) : (h >> 32) % nsets;
+        Line* const p = lines + set * static_cast<std::uint64_t>(assoc);
+        ++accesses;
+        bool hit = false;
+        for (int w = 0; w < assoc; ++w) {
+          if (p[w].tag == tag) {
+            p[w].lru = ++stamp;
+            hit = true;
+            break;
+          }
+        }
+        if (hit) {
+          ++hits;
+          continue;
+        }
+        Line* v = p;
+        for (int w = 1; w < assoc; ++w) {
+          if (p[w].lru < v->lru) v = p + w;
+        }
+        v->tag = tag;
+        v->lru = ++stamp;
+      }
+    }
+  }
+  stamp_ = stamp;
+  accesses_ = accesses;
+  hits_ = hits;
 }
 
 void TextureCache::flush() {

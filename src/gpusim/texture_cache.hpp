@@ -41,6 +41,14 @@ struct TextureCacheStats {
 };
 
 class TextureCache {
+ private:
+  /// Tag and recency stamp interleaved so a probe touches one cache line
+  /// per way group instead of two parallel arrays. lru 0 = never used.
+  struct Line {
+    std::uint64_t tag;
+    std::uint64_t lru;
+  };
+
  public:
   explicit TextureCache(const TextureCacheConfig& config);
 
@@ -126,6 +134,50 @@ class TextureCache {
     return false;
   }
 
+  /// Skip sentinel for ReplaySession::replay_matrix(): a lane holding it
+  /// probes nothing (e.g. a border-colored fetch, which the interpreter
+  /// does not count either). Not a producible tag -- it would need
+  /// texture id 0xFFFF and ~16M-tile coordinates simultaneously, far
+  /// beyond any texture this simulator creates.
+  static constexpr std::uint64_t kSkipTag = ~0ull;
+
+  /// Register-resident replay driver for a batch caller that *exclusively*
+  /// owns the cache for a stretch of probes (the SoA engine's fetch
+  /// replay: caches are per logical pipe and one pass slice runs on one
+  /// thread, so nothing else touches the cache between construction and
+  /// destruction). The recency stamp and the hit/access tallies live in
+  /// the session and commit once on destruction, so per-matrix calls pay
+  /// no member round-trips.
+  class ReplaySession {
+   public:
+    explicit ReplaySession(TextureCache& cache)
+        : cache_(cache), stamp_(cache.stamp_) {}
+    ReplaySession(const ReplaySession&) = delete;
+    ReplaySession& operator=(const ReplaySession&) = delete;
+    ~ReplaySession() {
+      cache_.stamp_ = stamp_;
+      cache_.add_accesses(accesses_, hits_);
+    }
+
+    /// Replays an `na x lanes` lane-major matrix of probe tags -- the
+    /// canonical fragment-major replay order of a tile-batched engine:
+    /// for each lane l in order, probes rows[0][l], rows[1][l], ...,
+    /// rows[na-1][l]. kSkipTag lanes are skipped (uncounted). Probe
+    /// order, lru updates and victim choice are exactly those of
+    /// access_tag_quiet(), so the eviction sequence -- and with it every
+    /// statistic -- is identical to per-fetch access() calls in the same
+    /// order. Everything mutable stays in locals for the whole matrix
+    /// (the lru stores are plain uint64 writes that would otherwise
+    /// alias, and so force reloads of, the session's own members).
+    void replay_matrix(const std::uint64_t* const* rows, int na, int lanes);
+
+   private:
+    TextureCache& cache_;
+    std::uint64_t stamp_;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t hits_ = 0;
+  };
+
   /// Settles statistics for `count` access_quiet() calls of which `hits`
   /// hit; access() == access_quiet() + add_accesses(1, hit).
   void add_accesses(std::uint64_t count, std::uint64_t hits) {
@@ -159,13 +211,6 @@ class TextureCache {
   /// lru stamp is 0, below every stamped line, so the LRU victim scan
   /// prefers them exactly like an explicit first-invalid-way search.
   static constexpr std::uint64_t kInvalidTag = ~0ull;
-
-  /// Tag and recency stamp interleaved so a probe touches one cache line
-  /// per way group instead of two parallel arrays. lru 0 = never used.
-  struct Line {
-    std::uint64_t tag;
-    std::uint64_t lru;
-  };
 
   void insert(Line* base, std::uint64_t tag);
 

@@ -1,0 +1,38 @@
+#include "net/io.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstddef>
+
+namespace hs::net {
+
+bool send_all_bounded(int fd, std::string_view frame, int timeout_ms) {
+  std::size_t off = 0;
+  int waits_ms_left = timeout_ms;
+  while (off < frame.size()) {
+    const ssize_t n =
+        ::send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (waits_ms_left <= 0) return false;
+      // Short poll slices keep the worst-case stall close to timeout_ms
+      // even if POLLOUT keeps firing with room for only a byte or two.
+      const int slice = waits_ms_left < 20 ? waits_ms_left : 20;
+      pollfd p{fd, POLLOUT, 0};
+      const int r = ::poll(&p, 1, slice);
+      if (r < 0 && errno != EINTR) return false;
+      waits_ms_left -= slice;
+      continue;
+    }
+    return false;  // broken pipe / reset: nothing more to say to this peer
+  }
+  return true;
+}
+
+}  // namespace hs::net

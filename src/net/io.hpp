@@ -1,0 +1,19 @@
+// Small blocking-ish socket I/O helpers shared by the net layer.
+#pragma once
+
+#include <string_view>
+
+namespace hs::net {
+
+/// Writes the whole frame to a (possibly nonblocking) socket, retrying
+/// partial writes and EINTR and waiting -- bounded -- for POLLOUT on
+/// EAGAIN. A single ::send is not enough for fire-and-close frames like
+/// the accept-time busy reject: accept4 hands out SOCK_NONBLOCK sockets,
+/// so a short write or a full socket buffer would truncate the frame and
+/// the peer would see a framing error instead of the structured response.
+/// Gives up after roughly `timeout_ms` of cumulative waiting so the caller
+/// (the accept loop) can never be wedged by an unreadable peer. Returns
+/// true when every byte was handed to the kernel.
+bool send_all_bounded(int fd, std::string_view frame, int timeout_ms);
+
+}  // namespace hs::net

@@ -14,6 +14,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "net/io.hpp"
 #include "net/protocol.hpp"
 #include "serve/request.hpp"
 #include "trace/histogram.hpp"
@@ -226,9 +227,11 @@ void NetServer::loop() {
 
     fds.clear();
     fds.push_back(pollfd{wake_read_fd_, POLLIN, 0});
-    const bool accepting =
-        !stopping && listen_fd_ >= 0 &&
-        conns_.size() < options_.max_connections;
+    // Poll the listen socket even at the connection cap: accept_clients
+    // answers over-limit peers with the structured busy reject and closes
+    // them. Leaving them in the kernel backlog would make them hang
+    // silently until a slot frees instead of hearing "busy" promptly.
+    const bool accepting = !stopping && listen_fd_ >= 0;
     if (accepting) fds.push_back(pollfd{listen_fd_, POLLIN, 0});
     for (const auto& [fd, conn] : conns_) {
       short events = 0;
@@ -371,7 +374,7 @@ void NetServer::accept_clients() {
     if (conns_.size() >= options_.max_connections) {
       const std::string busy = error_frame("server busy: too many connections",
                                            /*fatal=*/true);
-      (void)::send(fd, busy.data(), busy.size(), MSG_NOSIGNAL);
+      (void)send_all_bounded(fd, busy, /*timeout_ms=*/100);
       ::close(fd);
       continue;
     }

@@ -1,11 +1,13 @@
 #include "serve/request.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <limits>
 #include <sstream>
+#include <system_error>
 
 #include "trace/json_check.hpp"
 
@@ -268,6 +270,40 @@ RequestBatch read_request_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open request file: " + path);
   return read_requests(in, path);
+}
+
+std::optional<FaultSpec> parse_fault_spec(std::string_view arg,
+                                          std::string* error) {
+  const auto fail = [error](const std::string& what) -> std::optional<FaultSpec> {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
+  if (arg.empty()) return fail("--fault needs substr[:n]");
+
+  FaultSpec spec;
+  spec.substr = std::string(arg);
+  const std::size_t colon = arg.rfind(':');
+  if (colon != std::string_view::npos && colon + 1 < arg.size()) {
+    const std::string_view tail = arg.substr(colon + 1);
+    const bool all_digits =
+        tail.find_first_not_of("0123456789") == std::string_view::npos;
+    if (all_digits) {
+      int n = 0;
+      const auto r = std::from_chars(tail.data(), tail.data() + tail.size(), n);
+      if (r.ec == std::errc::result_out_of_range) {
+        return fail("--fault attempt count out of range: '" +
+                    std::string(tail) + "'");
+      }
+      if (n == 0) return fail("--fault attempt count must be >= 1");
+      spec.attempts = n;
+      spec.substr = std::string(arg.substr(0, colon));
+      if (spec.substr.empty()) {
+        return fail("--fault substring is empty (got ':" + std::string(tail) +
+                    "')");
+      }
+    }
+  }
+  return spec;
 }
 
 }  // namespace hs::serve

@@ -19,6 +19,8 @@
 // the server itself does.
 #pragma once
 
+#include <climits>
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -82,5 +84,22 @@ RequestBatch read_requests(std::istream& in, std::string_view source = {});
 /// File wrapper; throws std::runtime_error when the file cannot be opened.
 /// Errors come back labeled with "<path>:<line>".
 RequestBatch read_request_file(const std::string& path);
+
+/// Decoded `--fault substr[:n]` fault-injection spec (hsi-served).
+struct FaultSpec {
+  std::string substr;       ///< jobs whose name contains this are faulted
+  int attempts = INT32_MAX; ///< fail the first n attempts (default: all)
+};
+
+/// Strict parser for `--fault substr[:n]`. The suffix after the LAST ':'
+/// is an attempt count only when it is a complete base-10 digit string
+/// (from_chars: no sign, no whitespace, no trailing junk, locale-free);
+/// any other suffix keeps the whole argument as the substring, so job
+/// names containing ':' still match. Returns nullopt -- with a message in
+/// `error` -- for an empty argument, an empty substring (":3"), a zero
+/// count, or a count that overflows int (stoi used to truncate "5x" to 5
+/// and accept negatives silently).
+std::optional<FaultSpec> parse_fault_spec(std::string_view arg,
+                                          std::string* error = nullptr);
 
 }  // namespace hs::serve

@@ -1,7 +1,9 @@
 #include "trace/json_check.hpp"
 
 #include <cctype>
-#include <cstdlib>
+#include <charconv>
+#include <limits>
+#include <system_error>
 
 namespace hs::trace::json {
 
@@ -212,8 +214,31 @@ struct Parser {
       if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
       if (!digits()) return fail("expected exponent digits");
     }
-    const std::string token(text.substr(start, pos - start));
-    out.number = std::strtod(token.c_str(), nullptr);
+    // std::from_chars, not strtod: JSON's decimal point is always '.',
+    // while strtod follows the process locale (under de_DE it expects ','
+    // and would truncate "1.5" to 1). The grammar above already validated
+    // the token, so from_chars consumes all of it.
+    const char* tb = text.data() + start;
+    const char* te = text.data() + pos;
+    double v = 0.0;
+    if (std::from_chars(tb, te, v).ec == std::errc::result_out_of_range) {
+      // Outside double's range. Mirror strtod: overflow to +-inf,
+      // underflow to +-0. long double's wider exponent range decides
+      // which side any practical token falls on; beyond even that, the
+      // exponent's sign does.
+      long double lv = 0.0L;
+      if (std::from_chars(tb, te, lv).ec == std::errc()) {
+        v = static_cast<double>(lv);
+      } else {
+        const std::string_view token(tb, static_cast<std::size_t>(te - tb));
+        const std::size_t e = token.find_first_of("eE");
+        const bool tiny =
+            e != std::string_view::npos && token[e + 1] == '-';
+        v = tiny ? 0.0 : std::numeric_limits<double>::infinity();
+        if (token.front() == '-') v = -v;
+      }
+    }
+    out.number = v;
     return true;
   }
 };

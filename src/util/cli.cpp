@@ -1,8 +1,9 @@
 #include "util/cli.hpp"
 
+#include <charconv>
 #include <cstdio>
-#include <cstdlib>
 #include <string_view>
+#include <system_error>
 
 namespace hs::util {
 
@@ -54,14 +55,27 @@ std::string Cli::get(const std::string& name, const std::string& fallback) const
   return it == values_.end() ? fallback : it->second;
 }
 
+// Numeric flags parse with std::from_chars: unlike strtoll/strtod it never
+// consults the process locale, so `--deadline 1.5` means 1.5 even when the
+// host runs under de_DE (where strtod expects "1,5" and stops at the dot).
+// A value that does not start with a number yields the fallback.
+
 std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
   auto it = values_.find(name);
-  return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+  if (it == values_.end()) return fallback;
+  std::int64_t v = 0;
+  const char* b = it->second.data();
+  const auto r = std::from_chars(b, b + it->second.size(), v);
+  return r.ec == std::errc() ? v : fallback;
 }
 
 double Cli::get_double(const std::string& name, double fallback) const {
   auto it = values_.find(name);
-  return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  if (it == values_.end()) return fallback;
+  double v = 0.0;
+  const char* b = it->second.data();
+  const auto r = std::from_chars(b, b + it->second.size(), v);
+  return r.ec == std::errc() ? v : fallback;
 }
 
 bool Cli::get_bool(const std::string& name, bool fallback) const {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <string>
+
 namespace hs::util {
 namespace {
 
@@ -64,6 +67,44 @@ TEST(Cli, CollectsPositionalArguments) {
   ASSERT_EQ(cli.positional().size(), 2u);
   EXPECT_EQ(cli.positional()[0], "input.hdr");
   EXPECT_EQ(cli.positional()[1], "output.hdr");
+}
+
+TEST(Cli, NumericParsingIsLocaleIndependent) {
+  // Regression for strtod-based parsing: a comma-decimal locale (de_DE
+  // style) made `--deadline 1.5` read as 1 because strtod stopped at the
+  // '.'. Parsing now goes through std::from_chars, which never consults
+  // the process locale. The container may not ship de_DE locale data, so
+  // try a few comma-decimal names and fall through to C -- the value must
+  // be the same under every locale that installs.
+  Cli cli;
+  cli.add_flag("deadline", "seconds until abort", "0");
+  const char* argv[] = {"prog", "--deadline", "1.5"};
+  ASSERT_TRUE(cli.parse(3, argv));
+
+  const char* const names[] = {"de_DE.UTF-8", "de_DE.utf8", "de_DE",
+                               "fr_FR.UTF-8", "C"};
+  const std::string saved = std::setlocale(LC_NUMERIC, nullptr);
+  int tried = 0;
+  for (const char* name : names) {
+    if (std::setlocale(LC_NUMERIC, name) == nullptr) continue;
+    SCOPED_TRACE(std::string("LC_NUMERIC=") + name);
+    ++tried;
+    EXPECT_EQ(cli.get_double("deadline", 0.0), 1.5);
+    // get_int keeps strtoll's longest-prefix semantics in every locale.
+    EXPECT_EQ(cli.get_int("deadline", -1), 1);
+  }
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  EXPECT_GE(tried, 1);  // "C" always exists
+}
+
+TEST(Cli, NumericFallbacksOnGarbage) {
+  Cli cli;
+  cli.add_flag("deadline", "seconds until abort", "0");
+  cli.add_flag("count", "an int", "0");
+  const char* argv[] = {"prog", "--deadline", "soon", "--count=many"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  EXPECT_EQ(cli.get_double("deadline", 2.5), 2.5);
+  EXPECT_EQ(cli.get_int("count", 7), 7);
 }
 
 TEST(Cli, BoolParsingVariants) {

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 
@@ -27,6 +28,7 @@
 
 #include "net/client.hpp"
 #include "net/frame.hpp"
+#include "net/io.hpp"
 #include "net/protocol.hpp"
 #include "serve/request.hpp"
 #include "serve/server.hpp"
@@ -613,6 +615,115 @@ TEST(NetServerLoop, OversizedFrameIsFatalForTheConnection) {
   ns.stop(true);
   server.shutdown(true);
   EXPECT_EQ(ns.stats().oversized_frames, 1u);
+}
+
+TEST(NetIo, SendAllBoundedSurvivesFullSocketBufferAndPartialWrites) {
+  // Regression for the accept-time busy reject, which used to be a single
+  // fire-and-forget ::send on a SOCK_NONBLOCK socket: with the buffer
+  // full the frame was silently dropped or truncated. Shrink the kernel
+  // buffers, stuff the pipe until ::send reports EAGAIN, then ask
+  // send_all_bounded for a frame much larger than the remaining room --
+  // every byte must come out the other end, in order, while a slow reader
+  // drains.
+  int sv[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  for (int fd : sv) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ASSERT_EQ(::fcntl(fd, F_SETFL, flags | O_NONBLOCK), 0);
+    const int small = 4096;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &small, sizeof(small));
+  }
+
+  // Fill until the kernel pushes back.
+  std::string plug(1024, 'p');
+  std::size_t plugged = 0;
+  for (;;) {
+    const ssize_t n = ::send(sv[0], plug.data(), plug.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      ASSERT_TRUE(errno == EAGAIN || errno == EWOULDBLOCK);
+      break;
+    }
+    plugged += static_cast<std::size_t>(n);
+  }
+
+  std::string frame(64 * 1024, 'x');
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    frame[i] = static_cast<char>('a' + (i % 26));
+  }
+
+  std::string received;
+  std::thread reader([&] {
+    std::this_thread::sleep_for(20ms);  // let the writer hit EAGAIN first
+    char buf[512];                      // small reads force partial writes
+    const std::size_t want = plugged + frame.size();
+    while (received.size() < want) {
+      const ssize_t n = ::recv(sv[1], buf, sizeof(buf), 0);
+      if (n > 0) {
+        received.append(buf, static_cast<std::size_t>(n));
+      } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        std::this_thread::sleep_for(1ms);
+      } else if (n < 0 && errno == EINTR) {
+        continue;
+      } else {
+        break;
+      }
+    }
+  });
+
+  EXPECT_TRUE(send_all_bounded(sv[0], frame, /*timeout_ms=*/10000));
+  reader.join();
+  ASSERT_EQ(received.size(), plugged + frame.size());
+  EXPECT_EQ(received.substr(plugged), frame);
+
+  // With nobody draining, the bounded wait gives up instead of wedging.
+  std::size_t refill = 0;
+  for (;;) {
+    const ssize_t n = ::send(sv[0], plug.data(), plug.size(), MSG_NOSIGNAL);
+    if (n < 0) break;
+    refill += static_cast<std::size_t>(n);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(send_all_bounded(sv[0], frame, /*timeout_ms=*/50));
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(waited, 5.0);
+  (void)refill;
+
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(NetServerLoop, BusyRejectFrameArrivesIntactOverConnectionLimit) {
+  serve::Server server(base_server_options(1));
+  NetServerOptions nopt;
+  nopt.max_connections = 1;
+  NetServer ns(server, nopt);
+  ns.start();
+
+  Client first;
+  std::string error;
+  ASSERT_TRUE(first.connect("127.0.0.1", ns.port(), &error)) << error;
+  expect_hello(first);
+
+  // Over the limit: the server must deliver one complete, parseable
+  // fatal error frame and close.
+  Client second;
+  ASSERT_TRUE(second.connect("127.0.0.1", ns.port(), &error)) << error;
+  const auto frame = second.read_frame(10.0, &error);
+  ASSERT_TRUE(frame.has_value()) << error;
+  const auto r = parse_response_frame(*frame);
+  ASSERT_TRUE(r.has_value()) << *frame;
+  EXPECT_EQ(r->type, "error");
+  EXPECT_TRUE(r->fatal);
+  EXPECT_NE(r->error.find("busy"), std::string::npos);
+  EXPECT_FALSE(second.read_frame(1.0, &error).has_value());  // then EOF
+
+  second.close();
+  first.close();
+  ns.stop(true);
+  server.shutdown(true);
 }
 
 TEST(NetServerLoop, SynchronousRejectStreams429WithRetryAfter) {

@@ -213,6 +213,54 @@ TEST(ParallelPipeline, UnmixBitIdenticalAcrossWorkerCounts) {
   }
 }
 
+TEST(ParallelPipeline, SoaEngineBitIdenticalAcrossWorkerCounts) {
+  // The SoA engine must reproduce the default (compiled) engine bit for
+  // bit at every worker count: engine choice and chunk parallelism are
+  // both invisible to outputs, counters, cache statistics and modeled
+  // time. workers = 1 pins the sequential SoA run itself to the compiled
+  // baseline; 7 covers the ragged final wave.
+  const auto cube = random_cube(24, 18, 8, 11);
+  const StructuringElement se = StructuringElement::square(1);
+
+  const AmcGpuReport base = morphology_gpu(cube, se, chunked_options(1));
+  ASSERT_GE(base.chunk_count, 5u) << "scene must split into several chunks";
+
+  for (std::size_t workers : {1u, 2u, 4u, 7u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    AmcGpuOptions opt = chunked_options(workers);
+    opt.sim.exec_engine = gpusim::ExecEngine::Soa;
+    const AmcGpuReport soa = morphology_gpu(cube, se, opt);
+    EXPECT_EQ(soa.chunk_count, base.chunk_count);
+    expect_same_morph(base.morph, soa.morph);
+    expect_same_totals(base.totals, soa.totals);
+    EXPECT_EQ(base.modeled_seconds, soa.modeled_seconds);
+  }
+}
+
+TEST(ParallelPipeline, SoaUnmixBitIdenticalAcrossWorkerCounts) {
+  const auto cube = random_cube(22, 16, 8, 15);
+  std::vector<std::vector<float>> endmembers;
+  for (int k = 0; k < 5; ++k) {
+    const auto spectrum = random_cube(1, 1, 8, 100 + static_cast<std::uint64_t>(k));
+    endmembers.emplace_back(spectrum.raw().begin(), spectrum.raw().end());
+  }
+  const GpuUnmixReport base =
+      unmix_gpu(cube, endmembers, chunked_options(1), /*download_abundances=*/true);
+  ASSERT_GT(base.chunk_count, 1u);
+
+  for (std::size_t workers : {1u, 2u, 4u, 7u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    AmcGpuOptions opt = chunked_options(workers);
+    opt.sim.exec_engine = gpusim::ExecEngine::Soa;
+    const GpuUnmixReport soa = unmix_gpu(cube, endmembers, opt,
+                                         /*download_abundances=*/true);
+    ASSERT_EQ(base.labels, soa.labels);
+    ASSERT_EQ(base.abundances, soa.abundances);
+    expect_same_totals(base.totals, soa.totals);
+    EXPECT_EQ(base.modeled_seconds, soa.modeled_seconds);
+  }
+}
+
 // Reads the process-global trace counter registry, which the HS_TRACE=OFF
 // configuration compiles down to inert stubs.
 #if HS_TRACE_ENABLED

@@ -3,9 +3,9 @@
 //   * the interpreter executes any valid program without faulting and its
 //     counters always reconcile with the program's static instruction mix;
 //   * device passes never write outside their render targets;
-//   * differential: the compiled engine reproduces the interpreter
-//     bit-for-bit -- outputs, counters, cache statistics, modeled time --
-//     on fullscreen and geometry passes alike.
+//   * differential: the compiled and SoA engines reproduce the
+//     interpreter bit-for-bit -- outputs, counters, cache statistics,
+//     modeled time -- on fullscreen and geometry passes alike.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -219,19 +219,22 @@ TEST_P(ProgramFuzz, DevicePassesRunToCompletion) {
 
 // ---- engine differential --------------------------------------------------
 //
-// Two devices, identical in everything but the execution engine, are fed
-// identical programs, constants and texture contents. The compiled engine
-// must reproduce the interpreter *bit for bit*: raw output texels (memcmp,
-// so NaNs compare too), execution counters, texture-cache hit/miss
-// statistics (LRU-order sensitive), unique-tile traffic and modeled time.
+// Three devices, identical in everything but the execution engine, are
+// fed identical programs, constants and texture contents. The compiled
+// and SoA engines must each reproduce the interpreter *bit for bit*: raw
+// output texels (memcmp, so NaNs compare too), execution counters,
+// texture-cache hit/miss statistics (LRU-order sensitive), unique-tile
+// traffic and modeled time.
 
-struct EnginePair {
+struct EngineTrio {
   Device interp;
   Device compiled;
+  Device soa;
 
-  explicit EnginePair(int pipes)
+  explicit EngineTrio(int pipes)
       : interp(profile_for(pipes), config_for(ExecEngine::Interpreter)),
-        compiled(profile_for(pipes), config_for(ExecEngine::Compiled)) {}
+        compiled(profile_for(pipes), config_for(ExecEngine::Compiled)),
+        soa(profile_for(pipes), config_for(ExecEngine::Soa)) {}
 
   static DeviceProfile profile_for(int pipes) {
     DeviceProfile profile = geforce_7800_gtx();
@@ -276,7 +279,7 @@ TEST_P(ProgramFuzz, EnginesBitIdenticalOnFullscreenPasses) {
   const std::pair<int, int> shapes[] = {{8, 8}, {70, 9}, {5, 3}, {64, 4}};
   for (int trial = 0; trial < 8; ++trial) {
     const int pipes = 1 + static_cast<int>(rng.uniform_int(4));
-    EnginePair pair(pipes);
+    EngineTrio trio(pipes);
     const auto [w, h] = shapes[trial % 4];
     const AddressMode mode_a = modes[rng.uniform_int(3)];
     const AddressMode mode_b = modes[rng.uniform_int(3)];
@@ -291,9 +294,9 @@ TEST_P(ProgramFuzz, EnginesBitIdenticalOnFullscreenPasses) {
     }
     for (auto& v : data_b) v = static_cast<float>(rng.uniform(-4, 4));
 
-    TextureHandle in_a[2], in_b[2], out[2];
-    Device* devs[2] = {&pair.interp, &pair.compiled};
-    for (int d = 0; d < 2; ++d) {
+    TextureHandle in_a[3], in_b[3], out[3];
+    Device* devs[3] = {&trio.interp, &trio.compiled, &trio.soa};
+    for (int d = 0; d < 3; ++d) {
       in_a[d] = devs[d]->create_texture(w, h, TextureFormat::RGBA32F, mode_a);
       in_b[d] = devs[d]->create_texture(w, h, TextureFormat::R32F, mode_b);
       out[d] = devs[d]->create_texture(w, h, TextureFormat::RGBA32F);
@@ -309,16 +312,19 @@ TEST_P(ProgramFuzz, EnginesBitIdenticalOnFullscreenPasses) {
     const float4 constants[4] = {{1, 2, 3, 4}, {0.5, -0.5, 0.5, -0.5},
                                  {-1, 0, 1, 2}, {4, 3, 2, 1}};
     for (int repeat = 0; repeat < 2; ++repeat) {  // second draw hits the cache
-      const TextureHandle ins_i[2] = {in_a[0], in_b[0]};
-      const TextureHandle ins_c[2] = {in_a[1], in_b[1]};
-      const TextureHandle outs_i[1] = {out[0]};
-      const TextureHandle outs_c[1] = {out[1]};
-      const PassStats si = pair.interp.draw(p, ins_i, constants, outs_i);
-      const PassStats sc = pair.compiled.draw(p, ins_c, constants, outs_c);
-      expect_identical_stats(si, sc);
-      expect_identical_texels(pair.interp, out[0], pair.compiled, out[1]);
+      PassStats stats[3];
+      for (int d = 0; d < 3; ++d) {
+        const TextureHandle ins[2] = {in_a[d], in_b[d]};
+        const TextureHandle outs[1] = {out[d]};
+        stats[d] = devs[d]->draw(p, ins, constants, outs);
+      }
+      for (int d = 1; d < 3; ++d) {
+        expect_identical_stats(stats[0], stats[d]);
+        expect_identical_texels(trio.interp, out[0], *devs[d], out[d]);
+      }
     }
-    EXPECT_GE(pair.compiled.program_cache().hits(), 1u);
+    EXPECT_GE(trio.compiled.program_cache().hits(), 1u);
+    EXPECT_GE(trio.soa.program_cache().hits(), 1u);
   }
 }
 
@@ -326,7 +332,7 @@ TEST_P(ProgramFuzz, EnginesBitIdenticalOnGeometryPasses) {
   util::Xoshiro256 rng(GetParam() ^ 0x6E0ULL);
   for (int trial = 0; trial < 6; ++trial) {
     const int pipes = 1 + static_cast<int>(rng.uniform_int(4));
-    EnginePair pair(pipes);
+    EngineTrio trio(pipes);
     const int w = 17, h = 11;
 
     std::vector<float4> data(static_cast<std::size_t>(w) * h);
@@ -337,9 +343,9 @@ TEST_P(ProgramFuzz, EnginesBitIdenticalOnGeometryPasses) {
            static_cast<float>(rng.uniform(-4, 4))};
     }
 
-    TextureHandle in[2], out[2];
-    Device* devs[2] = {&pair.interp, &pair.compiled};
-    for (int d = 0; d < 2; ++d) {
+    TextureHandle in[3], out[3];
+    Device* devs[3] = {&trio.interp, &trio.compiled, &trio.soa};
+    for (int d = 0; d < 3; ++d) {
       in[d] = devs[d]->create_texture(w, h, TextureFormat::RGBA32F,
                                       AddressMode::Repeat);
       out[d] = devs[d]->create_texture(w, h, TextureFormat::RGBA32F);
@@ -360,16 +366,16 @@ TEST_P(ProgramFuzz, EnginesBitIdenticalOnGeometryPasses) {
         random_program(rng, 16, 1, /*partial_masks=*/true);
     const float4 constants[4] = {{1, 2, 3, 4}, {0.5, -0.5, 0.5, -0.5},
                                  {-1, 0, 1, 2}, {4, 3, 2, 1}};
-    const TextureHandle ins_i[1] = {in[0]};
-    const TextureHandle ins_c[1] = {in[1]};
-    const TextureHandle outs_i[1] = {out[0]};
-    const TextureHandle outs_c[1] = {out[1]};
-    const PassStats si =
-        pair.interp.draw_fragments(p, frags, ins_i, constants, outs_i);
-    const PassStats sc =
-        pair.compiled.draw_fragments(p, frags, ins_c, constants, outs_c);
-    expect_identical_stats(si, sc);
-    expect_identical_texels(pair.interp, out[0], pair.compiled, out[1]);
+    PassStats stats[3];
+    for (int d = 0; d < 3; ++d) {
+      const TextureHandle ins[1] = {in[d]};
+      const TextureHandle outs[1] = {out[d]};
+      stats[d] = devs[d]->draw_fragments(p, frags, ins, constants, outs);
+    }
+    for (int d = 1; d < 3; ++d) {
+      expect_identical_stats(stats[0], stats[d]);
+      expect_identical_texels(trio.interp, out[0], *devs[d], out[d]);
+    }
   }
 }
 

@@ -157,6 +157,46 @@ TEST(ServeRequest, ReadsBatchSkippingCommentsAndCollectingErrors) {
   EXPECT_EQ(batch.errors[0].first, 4);  // 1-based line number
 }
 
+TEST(ServeRequest, FaultSpecContract) {
+  // `--fault substr[:n]` (hsi-served). The suffix after the last ':' is a
+  // count only when it is a complete digit string; stoi used to truncate
+  // "5x" to 5 and accept "-3" and " 7".
+  std::string error;
+
+  auto ok = parse_fault_spec("mei");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->substr, "mei");
+  EXPECT_EQ(ok->attempts, INT32_MAX);  // default: every attempt fails
+
+  ok = parse_fault_spec("mei:3");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->substr, "mei");
+  EXPECT_EQ(ok->attempts, 3);
+
+  // Only the LAST ':' can introduce a count; earlier ones stay literal.
+  ok = parse_fault_spec("ns:job:2");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->substr, "ns:job");
+  EXPECT_EQ(ok->attempts, 2);
+
+  // Non-numeric suffixes are part of the substring, not a count.
+  for (const char* arg : {"mei:5x", "mei:-3", "mei: 7", "a:b", "mei:"}) {
+    SCOPED_TRACE(arg);
+    ok = parse_fault_spec(arg);
+    ASSERT_TRUE(ok.has_value());
+    EXPECT_EQ(ok->substr, arg);
+    EXPECT_EQ(ok->attempts, INT32_MAX);
+  }
+
+  // Hard errors: empty argument, empty substring, zero or overflowing count.
+  for (const char* arg : {"", ":3", "mei:0", "mei:99999999999"}) {
+    SCOPED_TRACE(arg);
+    error.clear();
+    EXPECT_FALSE(parse_fault_spec(arg, &error).has_value());
+    EXPECT_FALSE(error.empty());
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Helpers for server tests.
 

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <clocale>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -453,6 +455,44 @@ TEST(TraceJson, ParserHandlesEscapesAndRejectsGarbage) {
   EXPECT_FALSE(json::parse("[1,]", &error).has_value());
   EXPECT_FALSE(json::parse("\"unterminated", &error).has_value());
   EXPECT_FALSE(json::parse("{} trailing", &error).has_value());
+}
+
+TEST(TraceJson, NumbersParseLocaleIndependently) {
+  // Regression for strtod-based number parsing: under a comma-decimal
+  // locale (de_DE style) "1.5" read back as 1, silently corrupting every
+  // fractional value in a metrics document. The parser now uses
+  // std::from_chars, which never consults the process locale. de_DE
+  // locale data may not be installed; whatever subset of these names
+  // installs (at minimum "C") must produce identical values.
+  const char* const names[] = {"de_DE.UTF-8", "de_DE.utf8", "de_DE",
+                               "fr_FR.UTF-8", "C"};
+  const std::string saved = std::setlocale(LC_NUMERIC, nullptr);
+  int tried = 0;
+  for (const char* name : names) {
+    if (std::setlocale(LC_NUMERIC, name) == nullptr) continue;
+    SCOPED_TRACE(std::string("LC_NUMERIC=") + name);
+    ++tried;
+    std::string error;
+    const auto doc = json::parse(
+        "{\"wall_seconds\": 1.5, \"speedup\": 2.25e-1, \"neg\": -0.125}",
+        &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    EXPECT_EQ(doc->find("wall_seconds")->number, 1.5);
+    EXPECT_EQ(doc->find("speedup")->number, 0.225);
+    EXPECT_EQ(doc->find("neg")->number, -0.125);
+  }
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  EXPECT_GE(tried, 1);
+
+  // Range extremes keep strtod's saturation semantics.
+  std::string error;
+  const auto doc = json::parse(
+      "[1e999, -1e999, 1e-999, 12345678901234567890.5]", &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->array[0].number, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(doc->array[1].number, -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(doc->array[2].number, 0.0);
+  EXPECT_EQ(doc->array[3].number, 12345678901234567890.5);
 }
 
 }  // namespace

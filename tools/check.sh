@@ -174,11 +174,26 @@ smoke_shard() {
   rm -rf "$out"
 }
 
+# Engine-comparison bench: regenerate the engine table off the ctest path
+# and check the JSON carries the SoA acceptance metric. The run itself
+# asserts bit-identity across the three engines (interpreter, compiled,
+# soa) before timing them, so this doubles as an end-to-end engine smoke.
+smoke_bench_engines() {
+  local dir="$1"
+  local out
+  out="$(mktemp -d)"
+  "$dir/bench/micro_kernels" --benchmark_filter=NONE     --json "$out/bench.json" > /dev/null
+  grep -q '"speedup_soa_vs_compiled"' "$out/bench.json"
+  grep -q '"wall_seconds_soa"' "$out/bench.json"
+  rm -rf "$out"
+}
+
 CTEST_ARGS=("$@")
 
 echo "==> Release"
 run_config build-release -DCMAKE_BUILD_TYPE=Release
 smoke_profile build-release
+smoke_bench_engines build-release
 smoke_served build-release
 smoke_cache build-release
 smoke_telemetry build-release
@@ -193,6 +208,16 @@ run_config build-sanitize -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 # args filtered the net tests out of the run above.
 ctest --test-dir build-sanitize --output-on-failure -L 'net|slow' -j
 
+echo "==> SoA engine (three-way fuzz oracle + parallel determinism, ASan/UBSan)"
+# The fuzz oracle diffs interpreter vs compiled vs soa bit for bit on
+# randomized programs; the ParallelPipeline.Soa* tests pin the SoA engine
+# to the compiled baseline across worker counts {1,2,4,7}. Re-run them
+# by name under ASan/UBSan so an out-of-bounds lane loop or a stale plane
+# read in the SoA executor fails fast even when extra ctest args filtered
+# them out of the main sanitizer pass.
+ctest --test-dir build-sanitize --output-on-failure \
+  -R 'ProgramFuzz|ParallelPipeline\.Soa' -j
+
 echo "==> ThreadSanitizer (concurrency suite)"
 # TSan slows execution ~10x, so run the tests that exercise real
 # concurrency: the chunk-parallel pipeline/scheduler determinism suite,
@@ -206,7 +231,7 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DHS_SANITIZE=thread
 cmake --build build-tsan -j
 ctest --test-dir build-tsan --output-on-failure \
-  -R 'ParallelPipeline|ChunkScheduler|Serve|Cache|ThreadPool|TaskGroup|StreamExecutor|Trace\.|Histogram|FlightRecorder|Timeline|Net' \
+  -R 'ParallelPipeline|ChunkScheduler|ProgramFuzz|Serve|Cache|ThreadPool|TaskGroup|StreamExecutor|Trace\.|Histogram|FlightRecorder|Timeline|Net' \
   -j "${CTEST_ARGS[@]}"
 # The sharded tier under TSan: the router's event-loop thread vs
 # submit/wait/kill callers, with real worker processes behind it.

@@ -84,7 +84,8 @@ int run(int argc, char** argv) {
   cli.add_flag("se", "structuring element radius", "1");
   cli.add_flag("budget", "chunk texel budget (0 = auto)", "0");
   cli.add_flag("half", "half-precision stream textures", "false");
-  cli.add_flag("engine", "fragment engine: compiled | interpreter", "compiled");
+  cli.add_flag("engine", "fragment engine: compiled | soa | interpreter",
+               "compiled");
   cli.add_flag("workers", "chunk-parallel workers (0 = one per host cpu)", "1");
   cli.add_flag("trace", "Chrome trace-event JSON output path", "");
   cli.add_flag("metrics", "metrics JSON output path", "");
@@ -139,9 +140,7 @@ int run(int argc, char** argv) {
   opt.half_precision = cli.get_bool("half", false);
   opt.workers = static_cast<std::size_t>(workers);
   const std::string engine = cli.get("engine", "compiled");
-  if (engine == "interpreter") {
-    opt.sim.exec_engine = gpusim::ExecEngine::Interpreter;
-  } else if (engine != "compiled") {
+  if (!gpusim::parse_exec_engine(engine, opt.sim.exec_engine)) {
     std::cerr << "hsi-profile: unknown --engine '" << engine << "'\n";
     return 1;
   }

@@ -534,29 +534,27 @@ int run(int argc, char** argv) {
   }
 
   // --fault substr[:n]: ids are assigned in submission order by a single
-  // submitter thread, so the faulted set is computable up front.
+  // submitter thread, so the faulted set is computable up front. Parsing
+  // is strict (serve::parse_fault_spec): a malformed attempt count is a
+  // usage error, not a silently different fault plan.
   if (!fault_arg.empty()) {
-    std::string substr = fault_arg;
-    int fault_attempts = INT32_MAX;
-    if (const auto colon = fault_arg.rfind(':');
-        colon != std::string::npos && colon + 1 < fault_arg.size()) {
-      try {
-        fault_attempts = std::stoi(fault_arg.substr(colon + 1));
-        substr = fault_arg.substr(0, colon);
-      } catch (const std::exception&) {
-        // Not a number after ':': treat the whole argument as the substring.
-      }
+    std::string fault_error;
+    const auto fault = serve::parse_fault_spec(fault_arg, &fault_error);
+    if (!fault) {
+      std::cerr << "hsi-served: " << fault_error << "\n";
+      return 1;
     }
     auto fault_ids = std::make_shared<std::set<std::uint64_t>>();
     std::uint64_t next_id = 1;
     for (std::int64_t pass = 0; pass < repeat; ++pass) {
       for (const serve::JobSpec& spec : batch.jobs) {
-        if (spec.name.find(substr) != std::string::npos) {
+        if (spec.name.find(fault->substr) != std::string::npos) {
           fault_ids->insert(next_id);
         }
         ++next_id;
       }
     }
+    const int fault_attempts = fault->attempts;
     options.inject_fault = [fault_ids, fault_attempts](std::uint64_t id,
                                                        int attempt) {
       return attempt <= fault_attempts && fault_ids->count(id) > 0;
